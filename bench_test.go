@@ -1,0 +1,159 @@
+// Package repro's top-level benchmarks: one testing.B entry per table
+// and figure of the paper's evaluation (§6), wrapping the experiment
+// harness in internal/bench. Run with:
+//
+//	go test -bench . -benchmem
+//
+// Scales are reduced to keep individual benchmark iterations under a
+// second; cmd/experiments runs the same experiments at larger scale
+// with table-formatted output.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable10Encoding measures encoding all twelve collections in
+// the three formats (Tables 10 and 11).
+func BenchmarkTable10Encoding(b *testing.B) {
+	oldA, oldS := workload.TwitterMsgArchiveTweets, workload.SensorReadings
+	workload.TwitterMsgArchiveTweets, workload.SensorReadings = 50, 400
+	defer func() {
+		workload.TwitterMsgArchiveTweets, workload.SensorReadings = oldA, oldS
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Table10And11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable12DataGuide measures DataGuide + DMDV derivation for
+// all collections (Table 12).
+func BenchmarkTable12DataGuide(b *testing.B) {
+	oldA, oldS := workload.TwitterMsgArchiveTweets, workload.SensorReadings
+	workload.TwitterMsgArchiveTweets, workload.SensorReadings = 50, 400
+	defer func() {
+		workload.TwitterMsgArchiveTweets, workload.SensorReadings = oldA, oldS
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkOLAP runs the nine Table 13 queries against one storage
+// mode (Figure 3).
+func benchmarkOLAP(b *testing.B, mode bench.StorageMode) {
+	env, err := bench.SetupOLAP(mode, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for qi := 0; qi < 9; qi++ {
+			if _, _, err := env.RunQuery(qi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig3OLAPJSON(b *testing.B) { benchmarkOLAP(b, bench.ModeJSON) }
+func BenchmarkFig3OLAPBSON(b *testing.B) { benchmarkOLAP(b, bench.ModeBSON) }
+func BenchmarkFig3OLAPOSON(b *testing.B) { benchmarkOLAP(b, bench.ModeOSON) }
+func BenchmarkFig3OLAPREL(b *testing.B)  { benchmarkOLAP(b, bench.ModeREL) }
+
+// BenchmarkFig4Storage measures load + storage accounting for the four
+// modes (Figure 4).
+func BenchmarkFig4Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mode := range bench.AllModes {
+			env, err := bench.SetupOLAP(mode, 200)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if env.StorageBytes <= 0 {
+				b.Fatal("no storage accounted")
+			}
+		}
+	}
+}
+
+// benchmarkNoBench runs the eleven NOBENCH queries in one §6.4 mode
+// (Figures 5 and 6).
+func benchmarkNoBench(b *testing.B, enable func(*bench.NoBenchEnv) error, queries []int) {
+	env, err := bench.SetupNoBench(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if enable != nil {
+		if err := enable(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, qi := range queries {
+			if _, _, err := env.RunQuery(qi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+var allNoBench = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+func BenchmarkFig5NoBenchText(b *testing.B) {
+	benchmarkNoBench(b, nil, allNoBench)
+}
+
+func BenchmarkFig5NoBenchOsonIMC(b *testing.B) {
+	benchmarkNoBench(b, (*bench.NoBenchEnv).EnableOSONIMC, allNoBench)
+}
+
+func BenchmarkFig6NoBenchOsonIMC(b *testing.B) {
+	benchmarkNoBench(b, (*bench.NoBenchEnv).EnableOSONIMC, bench.Fig6Queries)
+}
+
+func BenchmarkFig6NoBenchVCIMC(b *testing.B) {
+	benchmarkNoBench(b, func(e *bench.NoBenchEnv) error {
+		if err := e.EnableOSONIMC(); err != nil {
+			return err
+		}
+		return e.EnableVCIMC()
+	}, bench.Fig6Queries)
+}
+
+// BenchmarkFig7Insert measures the three insertion modes (Figure 7).
+func BenchmarkFig7Insert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig7(2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8HomoHetero measures DataGuide maintenance under
+// homogeneous vs heterogeneous insertion (Figure 8).
+func BenchmarkFig8HomoHetero(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig8(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Transient measures transient DataGuide aggregation and
+// persistent index creation (Figure 9).
+func BenchmarkFig9Transient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig9(1500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section (§6) and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [flags] [table10|table11|table12|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all]
+//
+// Scale flags shrink or grow the document counts; the paper's absolute
+// numbers used much larger collections, but §6 is explicit that only
+// the ratios between approaches matter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+var (
+	fig3Docs = flag.Int("fig3-docs", 5000, "purchase orders for figures 3-4 (paper: 100k)")
+	fig5Docs = flag.Int("fig5-docs", 3000, "NOBENCH docs for figures 5-6 (paper: 64M)")
+	fig7Docs = flag.Int("fig7-docs", 10000, "docs for figures 7-8 (paper: 10k)")
+	fig9Docs = flag.Int("fig9-docs", 5000, "docs for figure 9 (paper: 2M)")
+	reps     = flag.Int("reps", 3, "repetitions per query (best time kept)")
+	archive  = flag.Int("archive-tweets", 400, "tweets per TwitterMsgArchive document")
+	readings = flag.Int("sensor-readings", 4000, "readings per SensorData document")
+)
+
+func main() {
+	flag.Parse()
+	workload.TwitterMsgArchiveTweets = *archive
+	workload.SensorReadings = *readings
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = strings.ToLower(flag.Arg(0))
+	}
+	run := func(name string, fn func() error) {
+		if what != "all" && what != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var sizeRows []bench.SizeRow
+	var segRows []bench.SegRow
+	sizesOnce := func() error {
+		if sizeRows != nil {
+			return nil
+		}
+		var err error
+		sizeRows, segRows, err = bench.Table10And11()
+		return err
+	}
+
+	run("table10", func() error {
+		if err := sizesOnce(); err != nil {
+			return err
+		}
+		return printTable10(sizeRows)
+	})
+	run("table11", func() error {
+		if err := sizesOnce(); err != nil {
+			return err
+		}
+		return printTable11(segRows)
+	})
+	run("table12", func() error {
+		rows, err := bench.Table12()
+		if err != nil {
+			return err
+		}
+		return printTable12(rows)
+	})
+	var fig3 *bench.Fig3Result
+	fig3Once := func() error {
+		if fig3 != nil {
+			return nil
+		}
+		var err error
+		fig3, err = bench.RunFig3(*fig3Docs, *reps)
+		return err
+	}
+	run("fig3", func() error {
+		if err := fig3Once(); err != nil {
+			return err
+		}
+		return printFig3(fig3)
+	})
+	run("fig4", func() error {
+		if err := fig3Once(); err != nil {
+			return err
+		}
+		return printFig4(fig3)
+	})
+	run("fig5", func() error {
+		res, err := bench.RunFig5(*fig5Docs, *reps)
+		if err != nil {
+			return err
+		}
+		return printFig5(res)
+	})
+	run("fig6", func() error {
+		res, err := bench.RunFig6(*fig5Docs, *reps)
+		if err != nil {
+			return err
+		}
+		return printFig6(res)
+	})
+	run("fig7", func() error {
+		res, err := bench.RunFig7(*fig7Docs)
+		if err != nil {
+			return err
+		}
+		return printFig7(res)
+	})
+	run("fig8", func() error {
+		res, err := bench.RunFig8(*fig7Docs)
+		if err != nil {
+			return err
+		}
+		return printFig8(res)
+	})
+	run("fig9", func() error {
+		res, err := bench.RunFig9(*fig9Docs)
+		if err != nil {
+			return err
+		}
+		return printFig9(res)
+	})
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func printTable10(rows []bench.SizeRow) error {
+	fmt.Println("Table 10 — average document size by encoding (bytes)")
+	w := tw()
+	fmt.Fprintln(w, "collection\tdocs\tJSON text\tBSON\tOSON\tOSON/JSON")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.2f\n",
+			r.Collection, r.Docs, r.AvgJSON, r.AvgBSON, r.AvgOSON,
+			float64(r.AvgOSON)/float64(r.AvgJSON))
+	}
+	return w.Flush()
+}
+
+func printTable11(rows []bench.SegRow) error {
+	fmt.Println("Table 11 — OSON three-segment size shares (%)")
+	w := tw()
+	fmt.Fprintln(w, "collection\tfield-id-name dict\ttree navigation\tleaf values")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Collection, r.DictPct, r.TreePct, r.ValPct)
+	}
+	return w.Flush()
+}
+
+func printTable12(rows []bench.DGRow) error {
+	fmt.Println("Table 12 — JSON DataGuide statistics")
+	w := tw()
+	fmt.Fprintln(w, "collection\tdocs\tdistinct paths\tDMDV columns\tDMDV fan-out")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\n",
+			r.Collection, r.Docs, r.DistinctPaths, r.DMDVColumns, r.FanOut)
+	}
+	return w.Flush()
+}
+
+func printFig3(res *bench.Fig3Result) error {
+	fmt.Printf("Figure 3 — OLAP query times over %d purchase orders\n", res.NDocs)
+	w := tw()
+	fmt.Fprintln(w, "query\trows\tJSON\tBSON\tOSON\tREL\tJSON/OSON")
+	for qi := 0; qi < 9; qi++ {
+		j := res.Times[bench.ModeJSON][qi]
+		o := res.Times[bench.ModeOSON][qi]
+		fmt.Fprintf(w, "Q%d\t%d\t%v\t%v\t%v\t%v\t%.1fx\n", qi+1, res.Rows[qi],
+			j.Round(time.Microsecond),
+			res.Times[bench.ModeBSON][qi].Round(time.Microsecond),
+			o.Round(time.Microsecond),
+			res.Times[bench.ModeREL][qi].Round(time.Microsecond),
+			float64(j)/float64(o))
+	}
+	return w.Flush()
+}
+
+func printFig4(res *bench.Fig3Result) error {
+	fmt.Printf("Figure 4 — storage size over %d purchase orders (bytes)\n", res.NDocs)
+	w := tw()
+	fmt.Fprintln(w, "storage\tbytes\tvs REL")
+	for _, m := range bench.AllModes {
+		fmt.Fprintf(w, "%s\t%d\t%.2fx\n", m, res.Storage[m],
+			float64(res.Storage[m])/float64(res.Storage[bench.ModeREL]))
+	}
+	return w.Flush()
+}
+
+func printFig5(res *bench.Fig5Result) error {
+	fmt.Printf("Figure 5 — NOBENCH query times over %d documents\n", res.NDocs)
+	w := tw()
+	fmt.Fprintln(w, "query\trows\tTEXT-MODE\tOSON-IMC-MODE\tspeedup")
+	for qi := 0; qi < 11; qi++ {
+		fmt.Fprintf(w, "Q%d\t%d\t%v\t%v\t%.1fx\n", qi+1, res.Rows[qi],
+			res.TextTime[qi].Round(time.Microsecond),
+			res.OsonTime[qi].Round(time.Microsecond),
+			float64(res.TextTime[qi])/float64(res.OsonTime[qi]))
+	}
+	return w.Flush()
+}
+
+func printFig6(res *bench.Fig6Result) error {
+	fmt.Printf("Figure 6 — OSON-IMC vs VC-IMC over %d documents\n", res.NDocs)
+	w := tw()
+	fmt.Fprintln(w, "query\tOSON-IMC-MODE\tVC-IMC-MODE\tspeedup")
+	for _, qi := range bench.Fig6Queries {
+		fmt.Fprintf(w, "Q%d\t%v\t%v\t%.1fx\n", qi+1,
+			res.OsonTime[qi].Round(time.Microsecond),
+			res.VCTime[qi].Round(time.Microsecond),
+			float64(res.OsonTime[qi])/float64(res.VCTime[qi]))
+	}
+	return w.Flush()
+}
+
+func printFig7(res *bench.Fig7Result) error {
+	fmt.Printf("Figure 7 — insertion time for %d homogeneous documents\n", res.NDocs)
+	w := tw()
+	fmt.Fprintln(w, "mode\ttime\toverhead vs no-check")
+	base := float64(res.NoConstraint)
+	fmt.Fprintf(w, "no-json-constraint\t%v\t-\n", res.NoConstraint.Round(time.Millisecond))
+	fmt.Fprintf(w, "json-constraint\t%v\t%.1f%%\n",
+		res.JSONConstraint.Round(time.Millisecond), 100*(float64(res.JSONConstraint)-base)/base)
+	fmt.Fprintf(w, "json-constraint-dataguide\t%v\t%.1f%%\n",
+		res.WithDataGuide.Round(time.Millisecond), 100*(float64(res.WithDataGuide)-base)/base)
+	return w.Flush()
+}
+
+func printFig8(res *bench.Fig8Result) error {
+	fmt.Printf("Figure 8 — insertion time with DataGuide, %d documents\n", res.NDocs)
+	w := tw()
+	fmt.Fprintln(w, "collection\ttime\tvs homogeneous")
+	fmt.Fprintf(w, "homogeneous\t%v\t1.0x\n", res.Homo.Round(time.Millisecond))
+	fmt.Fprintf(w, "heterogeneous\t%v\t%.1fx\n", res.Hetero.Round(time.Millisecond),
+		float64(res.Hetero)/float64(res.Homo))
+	return w.Flush()
+}
+
+func printFig9(res *bench.Fig9Result) error {
+	fmt.Printf("Figure 9 — transient DataGuide aggregation over %d documents\n", res.NDocs)
+	w := tw()
+	fmt.Fprintln(w, "computation\ttime")
+	for i, pct := range res.SamplePcts {
+		fmt.Fprintf(w, "transient sample(%d)\t%v\n", pct, res.Transient[i].Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "persistent (search index create)\t%v\n", res.Persistent.Round(time.Millisecond))
+	return w.Flush()
+}

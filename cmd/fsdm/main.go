@@ -1,0 +1,174 @@
+// Command fsdm is a small CLI for the FSDM library:
+//
+//	fsdm sql                    read SQL from stdin, one statement per
+//	                            line (lines may be continued with a
+//	                            trailing backslash), print results
+//	fsdm dataguide FILE...      print the DataGuide implied by JSON files
+//	fsdm encode FILE...         compare JSON/BSON/OSON encoding sizes
+//
+// The SQL shell runs against a fresh in-memory database; pipe a script:
+//
+//	fsdm sql <<'EOF'
+//	create table t (id number, jdoc varchar2(4000) check (jdoc is json));
+//	insert into t values (1, '{"a":{"b":[1,2,3]}}');
+//	select json_query(jdoc, '$.a.b') from t;
+//	EOF
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/bson"
+	"repro/internal/dataguide"
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/oson"
+	"repro/internal/sqlengine"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "sql":
+		runSQL()
+	case "dataguide":
+		runDataGuide(os.Args[2:])
+	case "encode":
+		runEncode(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fsdm sql | fsdm dataguide FILE... | fsdm encode FILE...")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsdm:", err)
+	os.Exit(1)
+}
+
+func runSQL() {
+	eng := sqlengine.New()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var pending strings.Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if trimmed := strings.TrimSpace(line); trimmed == "" || strings.HasPrefix(trimmed, "--") {
+			continue
+		}
+		if strings.HasSuffix(line, "\\") {
+			pending.WriteString(strings.TrimSuffix(line, "\\"))
+			pending.WriteString("\n")
+			continue
+		}
+		pending.WriteString(line)
+		stmt := pending.String()
+		pending.Reset()
+		res, err := eng.Exec(stmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "line %d: %v\n", lineNo, err)
+			os.Exit(1)
+		}
+		printResult(res)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func printResult(res *sqlengine.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Println("ok")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = renderDatum(v)
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	w.Flush() //nolint:errcheck
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func renderDatum(v jsondom.Value) string {
+	switch t := v.(type) {
+	case jsondom.Null:
+		return "NULL"
+	case jsondom.String:
+		return string(t)
+	default:
+		return jsontext.SerializeString(v)
+	}
+}
+
+func runDataGuide(files []string) {
+	if len(files) == 0 {
+		usage()
+	}
+	g := dataguide.New()
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := g.AddText(text); err != nil {
+			fatal(fmt.Errorf("%s: %w", f, err))
+		}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "path\ttype\tfrequency\tmax length")
+	for _, e := range g.Entries() {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\n", e.Path, e.TypeString(), e.Frequency, e.MaxLen)
+	}
+	w.Flush() //nolint:errcheck
+}
+
+func runEncode(files []string) {
+	if len(files) == 0 {
+		usage()
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "file\tJSON text\tBSON\tOSON\tOSON dict/tree/values")
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		dom, err := jsontext.Parse(text)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", f, err))
+		}
+		compact := jsontext.Serialize(dom)
+		bb, err := bson.Encode(dom)
+		if err != nil {
+			fatal(err)
+		}
+		ob, err := oson.Encode(dom)
+		if err != nil {
+			fatal(err)
+		}
+		od, err := oson.Parse(ob)
+		if err != nil {
+			fatal(err)
+		}
+		d, t, v := od.SegmentSizes()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d/%d/%d\n", f, len(compact), len(bb), len(ob), d, t, v)
+	}
+	w.Flush() //nolint:errcheck
+}

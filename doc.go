@@ -1,0 +1,12 @@
+// Package repro reproduces "Closing the Functional and Performance
+// Gap between SQL and NoSQL" (Liu et al., SIGMOD 2016) as a pure-Go,
+// stdlib-only library: the JSON DataGuide dynamic soft schema, the
+// OSON binary JSON format, SQL/JSON query processing, and the
+// dual-format in-memory store, together with the relational engine
+// substrate they run on.
+//
+// The public entry point is internal/core (the FSDM facade); the
+// top-level bench_test.go regenerates every table and figure of the
+// paper's evaluation as Go benchmarks, and cmd/experiments prints them
+// as text tables. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,224 @@
+package bench
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// each pair measures one mechanism on and off so its contribution to
+// the headline results is attributable.
+
+import (
+	"testing"
+
+	"repro/internal/imc"
+	"repro/internal/jsondom"
+	"repro/internal/oson"
+	"repro/internal/sqlengine"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// --- JSON_EXISTS prefilter on JSON_TABLE (§6.3) ---
+
+func benchmarkPrefilter(b *testing.B, disable bool) {
+	env, err := SetupOLAP(ModeOSON, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.Eng.Planner.DisablePrefilter = disable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Q3 is the selective partno probe that benefits most
+		if _, _, err := env.RunQuery(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPrefilterOn(b *testing.B)  { benchmarkPrefilter(b, false) }
+func BenchmarkAblationPrefilterOff(b *testing.B) { benchmarkPrefilter(b, true) }
+
+// --- vectorized predicate pushdown (§5.2.1) ---
+
+func benchmarkVectorFilter(b *testing.B, disable bool) {
+	env, err := SetupNoBench(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.EnableOSONIMC(); err != nil {
+		b.Fatal(err)
+	}
+	if err := env.EnableVCIMC(); err != nil {
+		b.Fatal(err)
+	}
+	env.Eng.Planner.DisableVectorFilter = disable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.RunQuery(5); err != nil { // Q6: numeric range
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationVectorFilterOn(b *testing.B)  { benchmarkVectorFilter(b, false) }
+func BenchmarkAblationVectorFilterOff(b *testing.B) { benchmarkVectorFilter(b, true) }
+
+// --- single-row look-back field-id cache (§4.2.1) ---
+
+func BenchmarkAblationLookbackOn(b *testing.B) {
+	docs := encodedNoBench(b, 200)
+	ref := oson.NewFieldRef("num")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range docs {
+			if _, ok := ref.Resolve(d); !ok {
+				b.Fatal("unresolved")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationLookbackOff(b *testing.B) {
+	docs := encodedNoBench(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range docs {
+			// a fresh ref per document defeats the cache: full hash +
+			// binary search every time
+			ref := oson.NewFieldRef("num")
+			if _, ok := ref.Resolve(d); !ok {
+				b.Fatal("unresolved")
+			}
+		}
+	}
+}
+
+func encodedNoBench(b *testing.B, n int) []*oson.Doc {
+	b.Helper()
+	docs := make([]*oson.Doc, n)
+	for i := range docs {
+		buf, err := oson.Encode(workload.GenNoBench(Seed, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := oson.Parse(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		docs[i] = d
+	}
+	return docs
+}
+
+// --- OSON set encoding vs per-document encoding (§7) ---
+
+func BenchmarkAblationIMCPerDocOSON(b *testing.B) {
+	eng, tab := noBenchTable(b, 1000)
+	_ = eng
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := imc.NewStore(tab)
+		if err := s.PopulateOSON("jdoc"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.MemoryBytes()), "mem_bytes")
+	}
+}
+
+func BenchmarkAblationIMCSetEncodedOSON(b *testing.B) {
+	eng, tab := noBenchTable(b, 1000)
+	_ = eng
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := imc.NewStore(tab)
+		if err := s.PopulateOSONShared("jdoc"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.MemoryBytes()), "mem_bytes")
+	}
+}
+
+func noBenchTable(b *testing.B, n int) (*sqlengine.Engine, *store.Table) {
+	b.Helper()
+	env, err := SetupNoBench(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, _ := env.Eng.Catalog().Table("nobench")
+	return env.Eng, tab
+}
+
+// TestAblationSetEncodingMemory pins the §7 claim: set encoding uses
+// meaningfully less memory than per-document OSON for a homogeneous
+// collection.
+func TestAblationSetEncodingMemory(t *testing.T) {
+	env, err := SetupNoBench(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := env.Eng.Catalog().Table("nobench")
+	perDoc := imc.NewStore(tab)
+	if err := perDoc.PopulateOSON("jdoc"); err != nil {
+		t.Fatal(err)
+	}
+	shared := imc.NewStore(tab)
+	if err := shared.PopulateOSONShared("jdoc"); err != nil {
+		t.Fatal(err)
+	}
+	if float64(shared.MemoryBytes()) > 0.75*float64(perDoc.MemoryBytes()) {
+		t.Fatalf("set encoding %d should be well under per-doc %d",
+			shared.MemoryBytes(), perDoc.MemoryBytes())
+	}
+	// query results are identical in both modes
+	q := env.Queries[0]
+	env.Eng.AttachIMC("nobench", perDoc)
+	r1, err := env.Eng.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Eng.AttachIMC("nobench", shared)
+	r2, err := env.Eng.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatalf("rows differ: %d vs %d", len(r1.Rows), len(r2.Rows))
+	}
+	for i := range r1.Rows {
+		for j := range r1.Rows[i] {
+			if !jsondom.Equal(r1.Rows[i][j], r2.Rows[i][j]) {
+				t.Fatalf("cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+// TestAblationPrefilterCorrectness verifies that disabling the
+// prefilter changes performance only, never results.
+func TestAblationPrefilterCorrectness(t *testing.T) {
+	env, err := SetupOLAP(ModeOSON, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withRows, withoutRows []int
+	for qi := 0; qi < 9; qi++ {
+		_, n, err := env.RunQuery(qi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withRows = append(withRows, n)
+	}
+	env.Eng.Planner.DisablePrefilter = true
+	env.Eng.Planner.DisableVCRewrite = true
+	env.Eng.Planner.DisableIndexScan = true
+	env.Eng.Planner.DisableVectorFilter = true
+	for qi := 0; qi < 9; qi++ {
+		_, n, err := env.RunQuery(qi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withoutRows = append(withoutRows, n)
+	}
+	for qi := range withRows {
+		if withRows[qi] != withoutRows[qi] {
+			t.Fatalf("Q%d: %d rows with optimizations, %d without", qi+1, withRows[qi], withoutRows[qi])
+		}
+	}
+}

@@ -1,0 +1,802 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§6) on the library's own
+// engine. Each experiment returns structured rows that cmd/experiments
+// renders as text tables and bench_test.go wraps as Go benchmarks.
+//
+// Scale factors default to laptop-size document counts; the paper's
+// absolute numbers used 100k-64M documents, but §6 is explicit that
+// the *ratios* between approaches are the result, not the absolute
+// times.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bson"
+	"repro/internal/core"
+	"repro/internal/dataguide"
+	"repro/internal/imc"
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/oson"
+	"repro/internal/sqlengine"
+	"repro/internal/store"
+	"repro/internal/viewgen"
+	"repro/internal/workload"
+)
+
+// Seed is the deterministic workload seed shared by all experiments.
+const Seed = 20160626 // SIGMOD'16 opening day
+
+// ---------------------------------------------------------------------------
+// Table 10 + 11: encoding sizes and OSON segment ratios
+
+// SizeRow is one collection's Table 10 row.
+type SizeRow struct {
+	Collection string
+	Docs       int
+	AvgJSON    int
+	AvgBSON    int
+	AvgOSON    int
+}
+
+// SegRow is one collection's Table 11 row: average percentage of the
+// OSON encoding occupied by each segment.
+type SegRow struct {
+	Collection string
+	DictPct    float64
+	TreePct    float64
+	ValPct     float64
+}
+
+// Table10And11 measures every collection once and produces both
+// tables.
+func Table10And11() ([]SizeRow, []SegRow, error) {
+	var sizes []SizeRow
+	var segs []SegRow
+	for _, c := range workload.Collections() {
+		docs := c.Docs(Seed, c.DefaultCount)
+		var jt, bt, ot int
+		var dictB, treeB, valB float64
+		for _, d := range docs {
+			text := jsontext.Serialize(d)
+			jt += len(text)
+			bb, err := bson.Encode(d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: bson: %w", c.Name, err)
+			}
+			bt += len(bb)
+			ob, err := oson.Encode(d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: oson: %w", c.Name, err)
+			}
+			ot += len(ob)
+			od, err := oson.Parse(ob)
+			if err != nil {
+				return nil, nil, err
+			}
+			dict, tree, vals := od.SegmentSizes()
+			total := float64(dict + tree + vals)
+			dictB += float64(dict) / total
+			treeB += float64(tree) / total
+			valB += float64(vals) / total
+		}
+		n := len(docs)
+		sizes = append(sizes, SizeRow{
+			Collection: c.Name, Docs: n,
+			AvgJSON: jt / n, AvgBSON: bt / n, AvgOSON: ot / n,
+		})
+		segs = append(segs, SegRow{
+			Collection: c.Name,
+			DictPct:    100 * dictB / float64(n),
+			TreePct:    100 * treeB / float64(n),
+			ValPct:     100 * valB / float64(n),
+		})
+	}
+	return sizes, segs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 12: DataGuide statistics
+
+// DGRow is one collection's Table 12 row.
+type DGRow struct {
+	Collection    string
+	Docs          int
+	DistinctPaths int
+	DMDVColumns   int
+	FanOut        float64
+}
+
+// Table12 computes DataGuide statistics per collection by actually
+// generating and populating the full-document DMDV.
+func Table12() ([]DGRow, error) {
+	var out []DGRow
+	for _, c := range workload.Collections() {
+		docs := c.Docs(Seed, c.DefaultCount)
+		db := core.Open()
+		col, err := db.CreateCollection("c")
+		if err != nil {
+			return nil, err
+		}
+		g := dataguide.New()
+		for _, d := range docs {
+			g.Add(d)
+			if _, err := col.Put(d); err != nil {
+				return nil, fmt.Errorf("%s: %w", c.Name, err)
+			}
+		}
+		ddl, err := viewgen.CreateViewOnPath(db.SQL(), "dmdv", "c", core.DocColumn, g,
+			viewgen.ViewOptions{KeyColumns: []string{core.KeyColumn}})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w (ddl %s)", c.Name, err, ddl)
+		}
+		r, err := db.Query(`select count(*) from dmdv`)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		rows, _ := r.Rows[0][0].(jsondom.Number).Int64()
+		cols, err := db.Query(`select * from dmdv limit 1`)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DGRow{
+			Collection:    c.Name,
+			Docs:          len(docs),
+			DistinctPaths: g.Len(),
+			DMDVColumns:   len(cols.Columns) - 1, // minus the key column
+			FanOut:        float64(rows) / float64(len(docs)),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3 + 4: OLAP queries over four storage modes
+
+// StorageMode identifies the four §6.3 storage methods.
+type StorageMode string
+
+// The four storage modes of §6.3.
+const (
+	ModeJSON StorageMode = "JSON"
+	ModeBSON StorageMode = "BSON"
+	ModeOSON StorageMode = "OSON"
+	ModeREL  StorageMode = "REL"
+)
+
+// AllModes lists the storage modes in paper order.
+var AllModes = []StorageMode{ModeJSON, ModeBSON, ModeOSON, ModeREL}
+
+// OLAPEnv is a fully loaded engine for one storage mode with the
+// po_mv / po_item_dmdv views of §6.3 defined.
+type OLAPEnv struct {
+	Mode    StorageMode
+	Eng     *sqlengine.Engine
+	Queries []string
+	Params  [][]jsondom.Value
+	// StorageBytes is the Figure 4 measurement.
+	StorageBytes int
+}
+
+// dmdvColumns is the JSON_TABLE column list shared by the three
+// document storage modes.
+const dmdvColumns = `columns (
+	reference varchar2(40) path '$.purchaseOrder.reference',
+	requestor varchar2(40) path '$.purchaseOrder.requestor',
+	costcenter varchar2(8) path '$.purchaseOrder.costcenter',
+	instructions varchar2(80) path '$.purchaseOrder.instructions',
+	nested path '$.purchaseOrder.items[*]' columns (
+		itemno number path '$.itemno',
+		partno varchar2(16) path '$.partno',
+		description varchar2(40) path '$.description',
+		quantity number path '$.quantity',
+		unitprice number path '$.unitprice'
+	)
+)`
+
+const mvColumns = `columns (
+	reference varchar2(40) path '$.purchaseOrder.reference',
+	requestor varchar2(40) path '$.purchaseOrder.requestor',
+	costcenter varchar2(8) path '$.purchaseOrder.costcenter',
+	instructions varchar2(80) path '$.purchaseOrder.instructions',
+	total number path '$.purchaseOrder.total'
+)`
+
+// OLAPQueries returns the nine queries of Table 13 with bind
+// parameters drawn from the generated data.
+func OLAPQueries(nDocs int) ([]string, [][]jsondom.Value) {
+	// draw selective constants from real rows
+	probe := workload.GenPO(Seed, nDocs/2)
+	part1 := probe.Items[0].PartNo
+	part2 := workload.GenPO(Seed, nDocs/3).Items[0].PartNo
+	part3 := workload.GenPO(Seed, nDocs/4).Items[0].PartNo
+	queries := []string{
+		`select count(*) from po_mv p where p.reference = ?`,
+		`select costcenter, count(*) from po_mv group by costcenter order by 1`,
+		`select costcenter, count(*) from po_item_dmdv where partno = ? group by costcenter`,
+		`select reference, instructions, itemno, partno, description, quantity, unitprice
+		   from po_item_dmdv d where requestor = ? and d.quantity > ? and d.unitprice > ?`,
+		`select l.reference, l.itemno, l.partno, l.description from po_item_dmdv l
+		   where l.partno in (?, ?, ?)`,
+		`select partno, reference, quantity, quantity -
+		     lag(quantity, 1, quantity) over (order by substr(reference, instr(reference, '-') + 1)) as difference
+		   from po_item_dmdv where partno = ?
+		   order by substr(reference, instr(reference, '-') + 1) desc`,
+		`select sum(quantity * unitprice) from po_item_dmdv group by costcenter order by 1`,
+		`select reference, instructions, itemno, partno, description, quantity, unitprice
+		   from po_item_dmdv where quantity > ? and unitprice > ?`,
+		`select reference, instructions, itemno, partno, description, quantity, unitprice
+		   from po_item_dmdv`,
+	}
+	params := [][]jsondom.Value{
+		{jsondom.String(probe.Reference)},
+		nil,
+		{jsondom.String(part1)},
+		{jsondom.String(probe.Requestor), jsondom.Number("5"), jsondom.Number("400")},
+		{jsondom.String(part1), jsondom.String(part2), jsondom.String(part3)},
+		{jsondom.String(part1)},
+		nil,
+		{jsondom.Number("8"), jsondom.Number("700")},
+		nil,
+	}
+	return queries, params
+}
+
+// SetupOLAP loads nDocs purchase orders in the given storage mode and
+// defines the po_mv and po_item_dmdv views over it.
+func SetupOLAP(mode StorageMode, nDocs int) (*OLAPEnv, error) {
+	eng := sqlengine.New()
+	env := &OLAPEnv{Mode: mode, Eng: eng}
+	env.Queries, env.Params = OLAPQueries(nDocs)
+
+	exec := func(sql string, params ...jsondom.Value) error {
+		_, err := eng.Exec(sql, params...)
+		return err
+	}
+
+	switch mode {
+	case ModeREL:
+		if err := exec(`create table purchase_master_tab (
+			did number primary key, reference varchar2(40), requestor varchar2(40),
+			costcenter varchar2(8), instructions varchar2(80), podate varchar2(12),
+			status varchar2(10), shipto_name varchar2(40), shipto_city varchar2(20),
+			shipto_zip varchar2(8), total number)`); err != nil {
+			return nil, err
+		}
+		if err := exec(`create table lineitem_detail_tab (
+			po_did number, itemno number, partno varchar2(16),
+			description varchar2(40), quantity number, unitprice number)`); err != nil {
+			return nil, err
+		}
+		master, _ := eng.Catalog().Table("purchase_master_tab")
+		detail, _ := eng.Catalog().Table("lineitem_detail_tab")
+		for i := 0; i < nDocs; i++ {
+			po := workload.GenPO(Seed, i)
+			_, err := master.Insert(store.Row{
+				jsondom.NumberFromInt(po.DID), jsondom.String(po.Reference),
+				jsondom.String(po.Requestor), jsondom.String(po.CostCenter),
+				jsondom.String(po.Instructions), jsondom.String(po.PODate),
+				jsondom.String(po.Status), jsondom.String(po.ShipToName),
+				jsondom.String(po.ShipToCity), jsondom.String(po.ShipToZip),
+				jsondom.NumberFromFloat(po.Total),
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range po.Items {
+				_, err := detail.Insert(store.Row{
+					jsondom.NumberFromInt(po.DID), jsondom.NumberFromInt(it.ItemNo),
+					jsondom.String(it.PartNo), jsondom.String(it.Description),
+					jsondom.NumberFromInt(it.Quantity), jsondom.NumberFromFloat(it.UnitPrice),
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := exec(`create view po_mv as
+			select did, reference, requestor, costcenter, instructions, total
+			from purchase_master_tab`); err != nil {
+			return nil, err
+		}
+		if err := exec(`create view po_item_dmdv as
+			select m.did, m.reference, m.requestor, m.costcenter, m.instructions,
+			       l.itemno, l.partno, l.description, l.quantity, l.unitprice
+			from purchase_master_tab m join lineitem_detail_tab l on m.did = l.po_did`); err != nil {
+			return nil, err
+		}
+		env.StorageBytes = master.StorageBytes() + detail.StorageBytes()
+		return env, nil
+
+	case ModeJSON, ModeBSON, ModeOSON:
+		colType := "varchar2(0) check (jdoc is json)"
+		if mode != ModeJSON {
+			colType = "raw(0)"
+		}
+		if err := exec(fmt.Sprintf(`create table po (did number primary key, jdoc %s)`, colType)); err != nil {
+			return nil, err
+		}
+		tab, _ := eng.Catalog().Table("po")
+		for i := 0; i < nDocs; i++ {
+			doc := workload.GenPO(Seed, i).JSON()
+			var datum jsondom.Value
+			switch mode {
+			case ModeJSON:
+				datum = jsondom.String(jsontext.SerializeString(doc))
+			case ModeBSON:
+				b, err := bson.Encode(doc)
+				if err != nil {
+					return nil, err
+				}
+				datum = jsondom.Binary(b)
+			case ModeOSON:
+				b, err := oson.Encode(doc)
+				if err != nil {
+					return nil, err
+				}
+				datum = jsondom.Binary(b)
+			}
+			if _, err := tab.Insert(store.Row{jsondom.NumberFromInt(int64(i)), datum}); err != nil {
+				return nil, err
+			}
+		}
+		if err := exec(`create view po_mv as
+			select po.did, jt.* from po, json_table(jdoc, '$' ` + mvColumns + `) jt`); err != nil {
+			return nil, err
+		}
+		if err := exec(`create view po_item_dmdv as
+			select po.did, jt.* from po, json_table(jdoc, '$' ` + dmdvColumns + `) jt`); err != nil {
+			return nil, err
+		}
+		env.StorageBytes = tab.StorageBytes()
+		return env, nil
+	}
+	return nil, fmt.Errorf("bench: unknown mode %q", mode)
+}
+
+// RunQuery executes query qi once and returns its duration and row
+// count.
+func (env *OLAPEnv) RunQuery(qi int) (time.Duration, int, error) {
+	start := time.Now()
+	r, err := env.Eng.Exec(env.Queries[qi], env.Params[qi]...)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s Q%d: %w", env.Mode, qi+1, err)
+	}
+	return time.Since(start), len(r.Rows), nil
+}
+
+// Fig3Result holds the query time matrix of Figure 3.
+type Fig3Result struct {
+	NDocs int
+	// Times[mode][qi] is the per-query execution time.
+	Times map[StorageMode][]time.Duration
+	// Rows[qi] is the (mode-independent) result cardinality, used to
+	// verify all modes compute identical results.
+	Rows []int
+	// Storage[mode] is Figure 4's storage size.
+	Storage map[StorageMode]int
+}
+
+// RunFig3 executes the full Figure 3 / Figure 4 experiment: nine
+// queries across four storage modes, each repeated reps times (best
+// time kept).
+func RunFig3(nDocs, reps int) (*Fig3Result, error) {
+	res := &Fig3Result{
+		NDocs:   nDocs,
+		Times:   make(map[StorageMode][]time.Duration),
+		Storage: make(map[StorageMode]int),
+		Rows:    make([]int, 9),
+	}
+	for _, mode := range AllModes {
+		env, err := SetupOLAP(mode, nDocs)
+		if err != nil {
+			return nil, err
+		}
+		res.Storage[mode] = env.StorageBytes
+		times := make([]time.Duration, 9)
+		for qi := 0; qi < 9; qi++ {
+			best := time.Duration(0)
+			var rows int
+			for rep := 0; rep < reps; rep++ {
+				d, n, err := env.RunQuery(qi)
+				if err != nil {
+					return nil, err
+				}
+				rows = n
+				if rep == 0 || d < best {
+					best = d
+				}
+			}
+			times[qi] = best
+			if mode == AllModes[0] {
+				res.Rows[qi] = rows
+			} else if res.Rows[qi] != rows {
+				return nil, fmt.Errorf("bench: %s Q%d returned %d rows, %s returned %d",
+					mode, qi+1, rows, AllModes[0], res.Rows[qi])
+			}
+		}
+		res.Times[mode] = times
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 + 6: NOBENCH in-memory modes
+
+// NoBenchEnv is a loaded NOBENCH engine that can switch among the
+// three §6.4 modes.
+type NoBenchEnv struct {
+	Eng     *sqlengine.Engine
+	Queries []string
+	NDocs   int
+	mem     *imc.Store
+}
+
+// SetupNoBench loads n NOBENCH documents as JSON text.
+func SetupNoBench(n int) (*NoBenchEnv, error) {
+	eng := sqlengine.New()
+	if _, err := eng.Exec(`create table nobench (did number, jdoc varchar2(0) check (jdoc is json))`); err != nil {
+		return nil, err
+	}
+	tab, _ := eng.Catalog().Table("nobench")
+	for i := 0; i < n; i++ {
+		doc := workload.GenNoBench(Seed, i)
+		_, err := tab.Insert(store.Row{
+			jsondom.NumberFromInt(int64(i)),
+			jsondom.String(jsontext.SerializeString(doc)),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &NoBenchEnv{
+		Eng:     eng,
+		Queries: workload.NoBenchQueries("nobench", "jdoc", n),
+		NDocs:   n,
+	}, nil
+}
+
+// EnableOSONIMC populates the in-memory OSON column (OSON-IMC-MODE).
+func (e *NoBenchEnv) EnableOSONIMC() error {
+	tab, _ := e.Eng.Catalog().Table("nobench")
+	if e.mem == nil {
+		e.mem = imc.NewStore(tab)
+	}
+	if err := e.mem.PopulateOSON("jdoc"); err != nil {
+		return err
+	}
+	e.Eng.AttachIMC("nobench", e.mem)
+	return nil
+}
+
+// vcDefs are the three virtual columns of §6.4's VC-IMC-MODE.
+var vcDefs = []struct{ name, ddl string }{
+	{"jdoc$str1", `alter table nobench add virtual column jdoc$str1 as json_value(jdoc, '$.str1')`},
+	{"jdoc$num", `alter table nobench add virtual column jdoc$num as json_value(jdoc, '$.num' returning number)`},
+	{"jdoc$dyn1", `alter table nobench add virtual column jdoc$dyn1 as json_value(jdoc, '$.dyn1' returning number)`},
+}
+
+// EnableVCIMC adds the three virtual columns of §6.4 and populates
+// their column vectors (VC-IMC-MODE). Queries using the matching
+// JSON_VALUE expressions are rewritten onto the vectors.
+func (e *NoBenchEnv) EnableVCIMC() error {
+	for _, vc := range vcDefs {
+		if _, err := e.Eng.Exec(vc.ddl); err != nil {
+			return err
+		}
+	}
+	tab, _ := e.Eng.Catalog().Table("nobench")
+	if e.mem == nil {
+		e.mem = imc.NewStore(tab)
+	}
+	for _, vc := range vcDefs {
+		if err := e.mem.PopulateVC(vc.name); err != nil {
+			return err
+		}
+	}
+	e.Eng.AttachIMC("nobench", e.mem)
+	return nil
+}
+
+// RunQuery executes NOBENCH query qi (0-based) once.
+func (e *NoBenchEnv) RunQuery(qi int) (time.Duration, int, error) {
+	start := time.Now()
+	r, err := e.Eng.Exec(e.Queries[qi])
+	if err != nil {
+		return 0, 0, fmt.Errorf("NOBENCH Q%d: %w", qi+1, err)
+	}
+	return time.Since(start), len(r.Rows), nil
+}
+
+// Fig5Result is the TEXT vs OSON-IMC comparison.
+type Fig5Result struct {
+	NDocs    int
+	TextTime []time.Duration
+	OsonTime []time.Duration
+	Rows     []int
+}
+
+// RunFig5 measures all 11 NOBENCH queries in TEXT-MODE and
+// OSON-IMC-MODE.
+func RunFig5(nDocs, reps int) (*Fig5Result, error) {
+	env, err := SetupNoBench(nDocs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{NDocs: nDocs,
+		TextTime: make([]time.Duration, 11),
+		OsonTime: make([]time.Duration, 11),
+		Rows:     make([]int, 11)}
+	measure := func(out []time.Duration, check bool) error {
+		for qi := 0; qi < 11; qi++ {
+			best := time.Duration(0)
+			var rows int
+			for rep := 0; rep < reps; rep++ {
+				d, n, err := env.RunQuery(qi)
+				if err != nil {
+					return err
+				}
+				rows = n
+				if rep == 0 || d < best {
+					best = d
+				}
+			}
+			out[qi] = best
+			if check {
+				if res.Rows[qi] != rows {
+					return fmt.Errorf("bench: Q%d row drift: %d vs %d", qi+1, rows, res.Rows[qi])
+				}
+			} else {
+				res.Rows[qi] = rows
+			}
+		}
+		return nil
+	}
+	if err := measure(res.TextTime, false); err != nil {
+		return nil, err
+	}
+	if err := env.EnableOSONIMC(); err != nil {
+		return nil, err
+	}
+	if err := measure(res.OsonTime, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig6Queries are the four queries accelerated by VC-IMC (§6.4).
+var Fig6Queries = []int{5, 6, 9, 10} // Q6, Q7, Q10, Q11 (0-based)
+
+// Fig6Result compares OSON-IMC vs VC-IMC on Q6, Q7, Q10, Q11.
+type Fig6Result struct {
+	NDocs    int
+	OsonTime map[int]time.Duration
+	VCTime   map[int]time.Duration
+}
+
+// RunFig6 measures the VC-IMC speedup over OSON-IMC.
+func RunFig6(nDocs, reps int) (*Fig6Result, error) {
+	env, err := SetupNoBench(nDocs)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.EnableOSONIMC(); err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{NDocs: nDocs,
+		OsonTime: make(map[int]time.Duration),
+		VCTime:   make(map[int]time.Duration)}
+	rows := map[int]int{}
+	for _, qi := range Fig6Queries {
+		best := time.Duration(0)
+		for rep := 0; rep < reps; rep++ {
+			d, n, err := env.RunQuery(qi)
+			if err != nil {
+				return nil, err
+			}
+			rows[qi] = n
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		res.OsonTime[qi] = best
+	}
+	if err := env.EnableVCIMC(); err != nil {
+		return nil, err
+	}
+	for _, qi := range Fig6Queries {
+		best := time.Duration(0)
+		for rep := 0; rep < reps; rep++ {
+			d, n, err := env.RunQuery(qi)
+			if err != nil {
+				return nil, err
+			}
+			if n != rows[qi] {
+				return nil, fmt.Errorf("bench: Q%d rows drifted under VC-IMC: %d vs %d", qi+1, n, rows[qi])
+			}
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		res.VCTime[qi] = best
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7 + 8: insertion cost
+
+// Fig7Result times inserting n identical NOBENCH documents in the
+// three §6.5 modes.
+type Fig7Result struct {
+	NDocs          int
+	NoConstraint   time.Duration
+	JSONConstraint time.Duration
+	WithDataGuide  time.Duration
+}
+
+// RunFig7 measures the insertion overhead of the IS JSON constraint
+// and of DataGuide maintenance for a homogeneous collection. Each mode
+// runs three times after a warmup; the minimum is kept to suppress
+// GC/startup noise.
+func RunFig7(nDocs int) (*Fig7Result, error) {
+	docs := workload.NoBenchIdentical(Seed, nDocs)
+	texts := make([]jsondom.Value, len(docs))
+	for i, d := range docs {
+		texts[i] = jsondom.String(jsontext.SerializeString(d))
+	}
+	runOnce := func(check, dataguide bool) (time.Duration, error) {
+		eng := sqlengine.New()
+		col := "jdoc varchar2(0)"
+		if check {
+			col = "jdoc varchar2(0) check (jdoc is json)"
+		}
+		if _, err := eng.Exec(`create table t (did number, ` + col + `)`); err != nil {
+			return 0, err
+		}
+		if dataguide {
+			// the paper's third mode measures DataGuide maintenance only,
+			// not full-text posting maintenance (§6.5)
+			if _, err := eng.Exec(`create search index t_sx on t (jdoc) parameters ('DATAGUIDE ONLY')`); err != nil {
+				return 0, err
+			}
+		}
+		tab, _ := eng.Catalog().Table("t")
+		runtime.GC()
+		start := time.Now()
+		for i, tx := range texts {
+			if _, err := tab.Insert(store.Row{jsondom.NumberFromInt(int64(i)), tx}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	run := func(check, dataguide bool) (time.Duration, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < 4; rep++ {
+			d, err := runOnce(check, dataguide)
+			if err != nil {
+				return 0, err
+			}
+			if rep == 0 {
+				continue // warmup
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	res := &Fig7Result{NDocs: nDocs}
+	var err error
+	if res.NoConstraint, err = run(false, false); err != nil {
+		return nil, err
+	}
+	if res.JSONConstraint, err = run(true, false); err != nil {
+		return nil, err
+	}
+	if res.WithDataGuide, err = run(true, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig8Result compares homogeneous vs heterogeneous insertion with the
+// DataGuide enabled.
+type Fig8Result struct {
+	NDocs  int
+	Homo   time.Duration
+	Hetero time.Duration
+}
+
+// RunFig8 measures DataGuide maintenance cost when every document
+// introduces a new path.
+func RunFig8(nDocs int) (*Fig8Result, error) {
+	runOnce := func(docs []jsondom.Value) (time.Duration, error) {
+		texts := make([]jsondom.Value, len(docs))
+		for i, d := range docs {
+			texts[i] = jsondom.String(jsontext.SerializeString(d))
+		}
+		eng := sqlengine.New()
+		if _, err := eng.Exec(`create table t (did number, jdoc varchar2(0) check (jdoc is json))`); err != nil {
+			return 0, err
+		}
+		if _, err := eng.Exec(`create search index t_sx on t (jdoc) parameters ('DATAGUIDE ONLY')`); err != nil {
+			return 0, err
+		}
+		tab, _ := eng.Catalog().Table("t")
+		runtime.GC()
+		start := time.Now()
+		for i, tx := range texts {
+			if _, err := tab.Insert(store.Row{jsondom.NumberFromInt(int64(i)), tx}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	run := func(docs []jsondom.Value) (time.Duration, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < 4; rep++ {
+			d, err := runOnce(docs)
+			if err != nil {
+				return 0, err
+			}
+			if rep == 0 {
+				continue // warmup
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	res := &Fig8Result{NDocs: nDocs}
+	var err error
+	if res.Homo, err = run(workload.NoBenchIdentical(Seed, nDocs)); err != nil {
+		return nil, err
+	}
+	if res.Hetero, err = run(workload.NoBenchHetero(Seed, nDocs)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: transient DataGuide aggregation vs persistent creation
+
+// Fig9Result holds transient aggregation times by sample percentage
+// plus the persistent index creation time.
+type Fig9Result struct {
+	NDocs      int
+	SamplePcts []int
+	Transient  []time.Duration
+	Persistent time.Duration
+}
+
+// RunFig9 measures JSON_DATAGUIDEAGG at several sampling rates and the
+// cost of building the persistent DataGuide (search index creation)
+// over the same collection.
+func RunFig9(nDocs int) (*Fig9Result, error) {
+	env, err := SetupNoBench(nDocs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{NDocs: nDocs, SamplePcts: []int{25, 50, 75, 99}}
+	for _, pct := range res.SamplePcts {
+		q := fmt.Sprintf(`select json_dataguideagg(jdoc) from nobench sample (%d)`, pct)
+		start := time.Now()
+		if _, err := env.Eng.Exec(q); err != nil {
+			return nil, err
+		}
+		res.Transient = append(res.Transient, time.Since(start))
+	}
+	start := time.Now()
+	if _, err := env.Eng.Exec(`create search index nb_sx on nobench (jdoc) parameters ('DATAGUIDE ON')`); err != nil {
+		return nil, err
+	}
+	res.Persistent = time.Since(start)
+	return res, nil
+}

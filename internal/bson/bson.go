@@ -1,0 +1,462 @@
+// Package bson implements the subset of the BSON specification
+// (bsonspec.org) the paper uses as a baseline binary JSON format (§2,
+// §4.1, §6): length-prefixed documents with inline repeated field names
+// and serial element scan with skip navigation.
+//
+// The deliberate contrast with OSON: BSON repeats field names at every
+// object level (arrays of objects repeat them per element), field lookup
+// is a serial scan with string comparison, and there is no random access
+// to array positions — exactly the costs §4.1 attributes to it.
+package bson
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+// Element type tags from the BSON specification.
+const (
+	TypeDouble   = 0x01
+	TypeString   = 0x02
+	TypeDocument = 0x03
+	TypeArray    = 0x04
+	TypeBinary   = 0x05
+	TypeBool     = 0x08
+	TypeDatetime = 0x09
+	TypeNull     = 0x0A
+	TypeInt32    = 0x10
+	TypeInt64    = 0x12
+)
+
+// ErrCorrupt reports structurally invalid BSON bytes.
+var ErrCorrupt = errors.New("bson: corrupt document")
+
+// ErrTopLevel is returned when encoding a non-object top-level value;
+// BSON documents are objects by definition.
+var ErrTopLevel = errors.New("bson: top-level value must be an object")
+
+// Encode serializes a JSON object to BSON bytes.
+func Encode(v jsondom.Value) ([]byte, error) {
+	obj, ok := v.(*jsondom.Object)
+	if !ok {
+		return nil, ErrTopLevel
+	}
+	var out []byte
+	return appendDocument(out, obj)
+}
+
+// MustEncode encodes or panics; for fixtures.
+func MustEncode(v jsondom.Value) []byte {
+	b, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func appendDocument(out []byte, obj *jsondom.Object) ([]byte, error) {
+	start := len(out)
+	out = append(out, 0, 0, 0, 0) // length placeholder
+	var err error
+	for _, f := range obj.Fields() {
+		out, err = appendElement(out, f.Name, f.Value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, 0)
+	binary.LittleEndian.PutUint32(out[start:], uint32(len(out)-start))
+	return out, nil
+}
+
+func appendArrayDoc(out []byte, arr *jsondom.Array) ([]byte, error) {
+	start := len(out)
+	out = append(out, 0, 0, 0, 0)
+	var err error
+	for i, e := range arr.Elems {
+		out, err = appendElement(out, strconv.Itoa(i), e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, 0)
+	binary.LittleEndian.PutUint32(out[start:], uint32(len(out)-start))
+	return out, nil
+}
+
+func appendElement(out []byte, name string, v jsondom.Value) ([]byte, error) {
+	appendHeader := func(t byte) error {
+		for i := 0; i < len(name); i++ {
+			if name[i] == 0 {
+				return fmt.Errorf("bson: field name %q contains NUL", name)
+			}
+		}
+		out = append(out, t)
+		out = append(out, name...)
+		out = append(out, 0)
+		return nil
+	}
+	switch t := v.(type) {
+	case jsondom.Null:
+		if err := appendHeader(TypeNull); err != nil {
+			return nil, err
+		}
+	case jsondom.Bool:
+		if err := appendHeader(TypeBool); err != nil {
+			return nil, err
+		}
+		if t {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	case jsondom.Number:
+		if i, ok := t.Int64(); ok {
+			if i >= math.MinInt32 && i <= math.MaxInt32 {
+				if err := appendHeader(TypeInt32); err != nil {
+					return nil, err
+				}
+				out = binary.LittleEndian.AppendUint32(out, uint32(int32(i)))
+			} else {
+				if err := appendHeader(TypeInt64); err != nil {
+					return nil, err
+				}
+				out = binary.LittleEndian.AppendUint64(out, uint64(i))
+			}
+		} else {
+			if err := appendHeader(TypeDouble); err != nil {
+				return nil, err
+			}
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(t.Float64()))
+		}
+	case jsondom.Double:
+		if err := appendHeader(TypeDouble); err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(float64(t)))
+	case jsondom.String:
+		if err := appendHeader(TypeString); err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(t)+1))
+		out = append(out, t...)
+		out = append(out, 0)
+	case jsondom.Timestamp:
+		if err := appendHeader(TypeDatetime); err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(t)))
+	case jsondom.Binary:
+		if err := appendHeader(TypeBinary); err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(t)))
+		out = append(out, 0) // generic subtype
+		out = append(out, t...)
+	case *jsondom.Object:
+		if err := appendHeader(TypeDocument); err != nil {
+			return nil, err
+		}
+		return appendDocument(out, t)
+	case *jsondom.Array:
+		if err := appendHeader(TypeArray); err != nil {
+			return nil, err
+		}
+		return appendArrayDoc(out, t)
+	default:
+		return nil, fmt.Errorf("bson: unsupported kind %v", v.Kind())
+	}
+	return out, nil
+}
+
+// Decode parses BSON bytes into a jsondom object.
+func Decode(buf []byte) (jsondom.Value, error) {
+	v, rest, err := decodeDocument(buf, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return v, nil
+}
+
+func decodeDocument(buf []byte, asArray bool) (jsondom.Value, []byte, error) {
+	if len(buf) < 5 {
+		return nil, nil, fmt.Errorf("%w: short document", ErrCorrupt)
+	}
+	total := int(int32(binary.LittleEndian.Uint32(buf)))
+	if total < 5 || total > len(buf) {
+		return nil, nil, fmt.Errorf("%w: bad document length %d", ErrCorrupt, total)
+	}
+	body := buf[4 : total-1]
+	if buf[total-1] != 0 {
+		return nil, nil, fmt.Errorf("%w: missing document terminator", ErrCorrupt)
+	}
+	var obj *jsondom.Object
+	var arr *jsondom.Array
+	if asArray {
+		arr = jsondom.NewArray()
+	} else {
+		obj = jsondom.NewObject()
+	}
+	for len(body) > 0 {
+		typ := body[0]
+		body = body[1:]
+		// cstring name
+		end := -1
+		for i, c := range body {
+			if c == 0 {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, nil, fmt.Errorf("%w: unterminated element name", ErrCorrupt)
+		}
+		name := string(body[:end])
+		body = body[end+1:]
+		v, rest, err := decodeValue(typ, body)
+		if err != nil {
+			return nil, nil, err
+		}
+		body = rest
+		if asArray {
+			arr.Append(v)
+		} else {
+			obj.Set(name, v)
+		}
+	}
+	if asArray {
+		return arr, buf[total:], nil
+	}
+	return obj, buf[total:], nil
+}
+
+func decodeValue(typ byte, body []byte) (jsondom.Value, []byte, error) {
+	need := func(n int) error {
+		if len(body) < n {
+			return fmt.Errorf("%w: truncated value", ErrCorrupt)
+		}
+		return nil
+	}
+	switch typ {
+	case TypeNull:
+		return jsondom.Null{}, body, nil
+	case TypeBool:
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		return jsondom.Bool(body[0] != 0), body[1:], nil
+	case TypeInt32:
+		if err := need(4); err != nil {
+			return nil, nil, err
+		}
+		i := int32(binary.LittleEndian.Uint32(body))
+		return jsondom.NumberFromInt(int64(i)), body[4:], nil
+	case TypeInt64:
+		if err := need(8); err != nil {
+			return nil, nil, err
+		}
+		i := int64(binary.LittleEndian.Uint64(body))
+		return jsondom.NumberFromInt(i), body[8:], nil
+	case TypeDouble:
+		if err := need(8); err != nil {
+			return nil, nil, err
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(body))
+		return jsondom.Double(f), body[8:], nil
+	case TypeDatetime:
+		if err := need(8); err != nil {
+			return nil, nil, err
+		}
+		return jsondom.Timestamp(int64(binary.LittleEndian.Uint64(body))), body[8:], nil
+	case TypeString:
+		if err := need(4); err != nil {
+			return nil, nil, err
+		}
+		n := int(int32(binary.LittleEndian.Uint32(body)))
+		if n < 1 || len(body) < 4+n {
+			return nil, nil, fmt.Errorf("%w: bad string length", ErrCorrupt)
+		}
+		if body[4+n-1] != 0 {
+			return nil, nil, fmt.Errorf("%w: string missing NUL", ErrCorrupt)
+		}
+		return jsondom.String(body[4 : 4+n-1]), body[4+n:], nil
+	case TypeBinary:
+		if err := need(5); err != nil {
+			return nil, nil, err
+		}
+		n := int(int32(binary.LittleEndian.Uint32(body)))
+		if n < 0 || len(body) < 5+n {
+			return nil, nil, fmt.Errorf("%w: bad binary length", ErrCorrupt)
+		}
+		return jsondom.Binary(append([]byte(nil), body[5:5+n]...)), body[5+n:], nil
+	case TypeDocument:
+		return decodeDocument(body, false)
+	case TypeArray:
+		return decodeDocument(body, true)
+	}
+	return nil, nil, fmt.Errorf("%w: unknown element type 0x%02x", ErrCorrupt, typ)
+}
+
+// Reader provides skip-based navigation over one BSON document without
+// materializing a DOM. Lookups are serial scans: the reader walks
+// elements, compares names, and uses container length prefixes to skip
+// subtrees it does not need (§4.1's characterization of BSON access).
+type Reader struct {
+	buf []byte
+}
+
+// NewReader validates the outermost frame and returns a Reader.
+func NewReader(buf []byte) (*Reader, error) {
+	if len(buf) < 5 {
+		return nil, fmt.Errorf("%w: short document", ErrCorrupt)
+	}
+	total := int(int32(binary.LittleEndian.Uint32(buf)))
+	if total < 5 || total > len(buf) || buf[total-1] != 0 {
+		return nil, fmt.Errorf("%w: bad outer frame", ErrCorrupt)
+	}
+	return &Reader{buf: buf[:total]}, nil
+}
+
+// valueSize returns the encoded size of a value of the given type
+// starting at body, using length prefixes to avoid full decoding.
+func valueSize(typ byte, body []byte) (int, error) {
+	switch typ {
+	case TypeNull:
+		return 0, nil
+	case TypeBool:
+		return 1, nil
+	case TypeInt32:
+		return 4, nil
+	case TypeDouble, TypeInt64, TypeDatetime:
+		return 8, nil
+	case TypeString:
+		if len(body) < 4 {
+			return 0, ErrCorrupt
+		}
+		n := int(int32(binary.LittleEndian.Uint32(body)))
+		if n < 1 {
+			return 0, ErrCorrupt
+		}
+		return 4 + n, nil
+	case TypeBinary:
+		if len(body) < 5 {
+			return 0, ErrCorrupt
+		}
+		n := int(int32(binary.LittleEndian.Uint32(body)))
+		if n < 0 {
+			return 0, ErrCorrupt
+		}
+		return 5 + n, nil
+	case TypeDocument, TypeArray:
+		if len(body) < 4 {
+			return 0, ErrCorrupt
+		}
+		n := int(int32(binary.LittleEndian.Uint32(body)))
+		if n < 5 {
+			return 0, ErrCorrupt
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("%w: unknown type 0x%02x", ErrCorrupt, typ)
+}
+
+// Lookup scans the document for the named top-level field and returns
+// its decoded value. It demonstrates BSON's skip navigation: unneeded
+// containers are skipped via their length words, but every preceding
+// element's name must still be scanned and compared.
+func (r *Reader) Lookup(name string) (jsondom.Value, bool, error) {
+	return lookupIn(r.buf, name)
+}
+
+// LookupPath resolves a chain of field names through nested documents.
+func (r *Reader) LookupPath(path ...string) (jsondom.Value, bool, error) {
+	buf := r.buf
+	for i, name := range path {
+		if i == len(path)-1 {
+			return lookupIn(buf, name)
+		}
+		sub, ok, err := lookupRaw(buf, name)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if sub.typ != TypeDocument {
+			return nil, false, nil
+		}
+		buf = sub.body
+	}
+	return nil, false, nil
+}
+
+type rawElem struct {
+	typ  byte
+	body []byte
+}
+
+func lookupRaw(buf []byte, name string) (rawElem, bool, error) {
+	if len(buf) < 5 {
+		return rawElem{}, false, ErrCorrupt
+	}
+	total := int(int32(binary.LittleEndian.Uint32(buf)))
+	if total < 5 || total > len(buf) {
+		return rawElem{}, false, ErrCorrupt
+	}
+	body := buf[4 : total-1]
+	for len(body) > 0 {
+		typ := body[0]
+		body = body[1:]
+		end := -1
+		for i, c := range body {
+			if c == 0 {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return rawElem{}, false, ErrCorrupt
+		}
+		elemName := body[:end]
+		body = body[end+1:]
+		size, err := valueSize(typ, body)
+		if err != nil {
+			return rawElem{}, false, err
+		}
+		if len(body) < size {
+			return rawElem{}, false, ErrCorrupt
+		}
+		if string(elemName) == name {
+			return rawElem{typ: typ, body: body[:size]}, true, nil
+		}
+		body = body[size:] // skip navigation
+	}
+	return rawElem{}, false, nil
+}
+
+func lookupIn(buf []byte, name string) (jsondom.Value, bool, error) {
+	e, ok, err := lookupRaw(buf, name)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	v, _, err := decodeValue(e.typ, e.body)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// FromJSONText transcodes JSON text to BSON bytes.
+func FromJSONText(text []byte) ([]byte, error) {
+	v, err := jsontext.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(v)
+}

@@ -1,0 +1,322 @@
+package bson
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+func sampleDoc() *jsondom.Object {
+	return jsontext.MustParse(`{"purchaseOrder":{"id":1,"podate":"2014-09-08",
+		"items":[{"name":"phone","price":100,"quantity":2},
+		         {"name":"ipad","price":350.86,"quantity":3}]}}`).(*jsondom.Object)
+}
+
+// numEqual compares two DOM trees treating Number and Double as
+// interchangeable when numerically equal: BSON stores non-integer
+// numbers as IEEE doubles.
+func numEqual(a, b jsondom.Value) bool {
+	if a.Kind() != b.Kind() {
+		cmp, ok := jsondom.CompareScalar(a, b)
+		return ok && cmp == 0
+	}
+	switch av := a.(type) {
+	case *jsondom.Object:
+		bo := b.(*jsondom.Object)
+		if av.Len() != bo.Len() {
+			return false
+		}
+		for _, f := range av.Fields() {
+			bv, ok := bo.Get(f.Name)
+			if !ok || !numEqual(f.Value, bv) {
+				return false
+			}
+		}
+		return true
+	case *jsondom.Array:
+		ba := b.(*jsondom.Array)
+		if av.Len() != ba.Len() {
+			return false
+		}
+		for i := range av.Elems {
+			if !numEqual(av.Elems[i], ba.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return jsondom.Equal(a, b)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc := sampleDoc()
+	enc, err := Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numEqual(doc, dec) {
+		t.Fatalf("round trip mismatch:\n in: %s\nout: %s",
+			jsontext.SerializeString(doc), jsontext.SerializeString(dec))
+	}
+}
+
+func TestRoundTripScalarTypes(t *testing.T) {
+	doc := jsondom.NewObject().
+		Set("null", jsondom.Null{}).
+		Set("true", jsondom.Bool(true)).
+		Set("false", jsondom.Bool(false)).
+		Set("i32", jsondom.Number("42")).
+		Set("i32neg", jsondom.Number("-42")).
+		Set("i64", jsondom.Number("9007199254740993")).
+		Set("dbl", jsondom.Double(2.5)).
+		Set("frac", jsondom.Number("1.25")).
+		Set("str", jsondom.String("héllo 世界")).
+		Set("empty", jsondom.String("")).
+		Set("ts", jsondom.Timestamp(1466935200000)).
+		Set("bin", jsondom.Binary{1, 2, 3}).
+		Set("emptyobj", jsondom.NewObject()).
+		Set("emptyarr", jsondom.NewArray())
+	enc := MustEncode(doc)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := dec.(*jsondom.Object)
+	if v, _ := o.Get("i32"); v.(jsondom.Number) != "42" {
+		t.Errorf("i32 = %v", v)
+	}
+	if v, _ := o.Get("i64"); v.(jsondom.Number) != "9007199254740993" {
+		t.Errorf("i64 = %v", v)
+	}
+	if v, _ := o.Get("frac"); v.(jsondom.Double) != 1.25 {
+		t.Errorf("frac = %v", v)
+	}
+	if v, _ := o.Get("ts"); v.(jsondom.Timestamp) != 1466935200000 {
+		t.Errorf("ts = %v", v)
+	}
+	if !numEqual(doc, dec) {
+		t.Fatal("full doc mismatch")
+	}
+}
+
+func TestEncodeTopLevelRestriction(t *testing.T) {
+	if _, err := Encode(jsondom.Number("1")); !errors.Is(err, ErrTopLevel) {
+		t.Fatalf("err = %v, want ErrTopLevel", err)
+	}
+	if _, err := Encode(jsondom.NewArray()); !errors.Is(err, ErrTopLevel) {
+		t.Fatalf("array top level err = %v", err)
+	}
+}
+
+func TestEncodeNulInFieldName(t *testing.T) {
+	doc := jsondom.NewObject().Set("a\x00b", jsondom.Number("1"))
+	if _, err := Encode(doc); err == nil {
+		t.Fatal("NUL in field name must be rejected")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	good := MustEncode(sampleDoc())
+	cases := map[string][]byte{
+		"empty":          {},
+		"short":          {1, 2, 3},
+		"truncated":      good[:len(good)-3],
+		"bad length":     append([]byte{0xFF, 0xFF, 0xFF, 0x7F}, good[4:]...),
+		"no terminator":  append(append([]byte{}, good[:len(good)-1]...), 7),
+		"trailing bytes": append(append([]byte{}, good...), 0, 0),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: Decode should fail", name)
+		}
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	// {len}{0x7F}"a"\0 ... : unknown element type
+	buf := []byte{0, 0, 0, 0, 0x7F, 'a', 0, 0}
+	buf[0] = byte(len(buf))
+	if _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReaderLookup(t *testing.T) {
+	doc := jsontext.MustParse(`{"a":1,"big":{"x":[1,2,3],"y":"z"},"b":"last"}`)
+	r, err := NewReader(MustEncode(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := r.Lookup("b")
+	if err != nil || !ok || v.(jsondom.String) != "last" {
+		t.Fatalf("Lookup(b) = %v,%v,%v", v, ok, err)
+	}
+	v, ok, err = r.Lookup("a")
+	if err != nil || !ok || v.(jsondom.Number) != "1" {
+		t.Fatalf("Lookup(a) = %v,%v,%v", v, ok, err)
+	}
+	_, ok, err = r.Lookup("missing")
+	if err != nil || ok {
+		t.Fatalf("Lookup(missing) = %v,%v", ok, err)
+	}
+}
+
+func TestReaderLookupPath(t *testing.T) {
+	doc := jsontext.MustParse(`{"po":{"hdr":{"id":7},"items":[1]}}`)
+	r, err := NewReader(MustEncode(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := r.LookupPath("po", "hdr", "id")
+	if err != nil || !ok || v.(jsondom.Number) != "7" {
+		t.Fatalf("LookupPath = %v,%v,%v", v, ok, err)
+	}
+	// path through a scalar yields not-found, not an error
+	_, ok, err = r.LookupPath("po", "hdr", "id", "deeper")
+	if err != nil || ok {
+		t.Fatalf("path through scalar = %v,%v", ok, err)
+	}
+	// path through an array (non-document) yields not-found
+	_, ok, err = r.LookupPath("po", "items", "0")
+	if err != nil || ok {
+		t.Fatalf("path through array = %v,%v", ok, err)
+	}
+	if _, err := NewReader([]byte{1}); err == nil {
+		t.Fatal("NewReader on garbage should fail")
+	}
+}
+
+func TestFromJSONText(t *testing.T) {
+	b, err := FromJSONText([]byte(`{"a":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numEqual(v, jsontext.MustParse(`{"a":[1,2]}`)) {
+		t.Fatal("transcode mismatch")
+	}
+	if _, err := FromJSONText([]byte(`{bad`)); err == nil {
+		t.Fatal("bad text should fail")
+	}
+}
+
+func genDoc(r *rand.Rand, depth int) *jsondom.Object {
+	o := jsondom.NewObject()
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		name := genFieldName(r)
+		o.Set(name, genVal(r, depth-1))
+	}
+	return o
+}
+
+func genVal(r *rand.Rand, depth int) jsondom.Value {
+	max := 7
+	if depth <= 0 {
+		max = 5
+	}
+	switch r.Intn(max) {
+	case 0:
+		return jsondom.Null{}
+	case 1:
+		return jsondom.Bool(r.Intn(2) == 0)
+	case 2:
+		return jsondom.NumberFromInt(r.Int63() - math.MaxInt64/2)
+	case 3:
+		return jsondom.Double(r.NormFloat64())
+	case 4:
+		return jsondom.String(genFieldName(r))
+	case 5:
+		return genDoc(r, depth)
+	default:
+		a := jsondom.NewArray()
+		for i := r.Intn(4); i > 0; i-- {
+			a.Append(genVal(r, depth-1))
+		}
+		return a
+	}
+}
+
+func genFieldName(r *rand.Rand) string {
+	const alpha = "abcXYZ_ü界"
+	runes := []rune(alpha)
+	var sb strings.Builder
+	for i := 1 + r.Intn(8); i > 0; i-- {
+		sb.WriteRune(runes[r.Intn(len(runes))])
+	}
+	return sb.String()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := genDoc(r, 3)
+		enc, err := Encode(doc)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return numEqual(doc, dec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFuzzResilience(t *testing.T) {
+	// flipping bytes must produce an error or a valid value — never a panic
+	base := MustEncode(sampleDoc())
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte(nil), base...)
+		for j := 0; j < 1+r.Intn(4); j++ {
+			mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		}
+		_, _ = Decode(mut) //nolint:errcheck // only checking absence of panic
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	doc := sampleDoc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupLastField(b *testing.B) {
+	o := jsondom.NewObject()
+	for i := 0; i < 50; i++ {
+		o.Set("field_"+strings.Repeat("x", 10)+string(rune('a'+i%26))+string(rune('0'+i/26)), jsondom.NumberFromInt(int64(i)))
+	}
+	o.Set("target", jsondom.String("found"))
+	r, err := NewReader(MustEncode(o))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := r.Lookup("target"); err != nil || !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/workload"
+)
+
+func newLoadedDB(t *testing.T) (*DB, *Collection) {
+	t.Helper()
+	db := Open()
+	col, err := db.CreateCollection("po")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := col.Put(workload.GenPO(1, i).JSON()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, col
+}
+
+func TestPutGetCount(t *testing.T) {
+	_, col := newLoadedDB(t)
+	if col.Count() != 20 {
+		t.Fatalf("count = %d", col.Count())
+	}
+	doc, err := col.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jsondom.Equal(doc, workload.GenPO(1, 0).JSON()) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := col.Get(999); err == nil {
+		t.Fatal("missing doc should fail")
+	}
+	// invalid JSON text rejected by the IS JSON constraint
+	if _, err := col.PutText("{oops"); err == nil {
+		t.Fatal("invalid text should fail")
+	}
+	// collection handle re-open
+	db2, _ := col.db.Collection("po")
+	if db2.Count() != 20 {
+		t.Fatal("re-opened handle")
+	}
+	if _, ok := col.db.Collection("nothere"); ok {
+		t.Fatal("phantom collection")
+	}
+}
+
+func TestTransientDataGuide(t *testing.T) {
+	_, col := newLoadedDB(t)
+	g, err := col.DataGuide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DocCount() != 20 {
+		t.Fatalf("guide docs = %d", g.DocCount())
+	}
+	if _, ok := g.Lookup("$.purchaseOrder.items.unitprice", 2); !ok {
+		t.Fatalf("missing path; guide: %s", g.FlatJSON())
+	}
+}
+
+func TestPersistentDataGuideViaSearchIndex(t *testing.T) {
+	_, col := newLoadedDB(t)
+	if err := col.EnableSearchIndex(true); err != nil {
+		t.Fatal(err)
+	}
+	sx, ok := col.SearchIndex()
+	if !ok || sx.DocCount() != 20 {
+		t.Fatalf("index docs = %v", sx.DocCount())
+	}
+	// DataGuide now comes from the index and is maintained on Put
+	g, err := col.DataGuide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Len()
+	if _, err := col.PutText(`{"purchaseOrder":{"brand_new_field":1}}`); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := col.DataGuide()
+	if g2.Len() != before+1 {
+		t.Fatalf("persistent guide not maintained: %d -> %d", before, g2.Len())
+	}
+}
+
+func TestEndToEndRelationalAccess(t *testing.T) {
+	db, col := newLoadedDB(t)
+	// AddVC: singleton scalars become queryable columns
+	vcs, err := col.AddVirtualColumns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcs) < 8 {
+		t.Fatalf("vcs = %d", len(vcs))
+	}
+	r, err := db.Query(`select count(*) from po where "jdoc$status" = 'open'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := r.Rows[0][0].(jsondom.Number).Int64()
+	if n <= 0 || n >= 20 {
+		t.Fatalf("open POs = %d", n)
+	}
+	// DMDV view: full SQL over un-nested line items
+	ddl, err := col.CreateView("po_dmdv", "$", 0)
+	if err != nil {
+		t.Fatalf("%v\nddl: %s", err, ddl)
+	}
+	r, err = db.Query(`select count(*) from po_dmdv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := r.Rows[0][0].(jsondom.Number).Int64()
+	items := 0
+	for i := 0; i < 20; i++ {
+		items += len(workload.GenPO(1, i).Items)
+	}
+	if int(rows) != items {
+		t.Fatalf("dmdv rows = %d, want %d", rows, items)
+	}
+	// analytic query over the view
+	r, err = db.Query(`select "jdoc$costcenter", sum("jdoc$quantity" * "jdoc$unitprice")
+		from po_dmdv group by "jdoc$costcenter" order by 2 desc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no groups")
+	}
+}
+
+func TestInMemoryModes(t *testing.T) {
+	db, col := newLoadedDB(t)
+	if col.InMemoryBytes() != 0 {
+		t.Fatal("not populated yet")
+	}
+	// text-mode result as baseline
+	q := `select json_value(jdoc, '$.purchaseOrder.total' returning number) from po order by 1`
+	base, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OSON-IMC mode
+	if err := col.PopulateInMemory(true); err != nil {
+		t.Fatal(err)
+	}
+	if col.InMemoryBytes() == 0 {
+		t.Fatal("no in-memory bytes after populate")
+	}
+	got, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(base.Rows) {
+		t.Fatalf("imc rows = %d, want %d", len(got.Rows), len(base.Rows))
+	}
+	for i := range got.Rows {
+		if !jsondom.Equal(got.Rows[i][0], base.Rows[i][0]) {
+			t.Fatalf("row %d: %v != %v", i, got.Rows[i][0], base.Rows[i][0])
+		}
+	}
+	// VC-IMC mode on top
+	if _, err := col.AddVirtualColumns(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.PopulateInMemory(false, "jdoc$total"); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Rows) != len(base.Rows) {
+		t.Fatal("vc-imc rows differ")
+	}
+	// eviction falls back to text
+	col.EvictInMemory()
+	got3, err := db.Query(q)
+	if err != nil || len(got3.Rows) != len(base.Rows) {
+		t.Fatalf("post-evict: %d rows, %v", len(got3.Rows), err)
+	}
+	// populating a missing VC errors
+	if err := col.PopulateInMemory(false, "no_such_vc"); err == nil {
+		t.Fatal("missing vc should fail")
+	}
+}
+
+func TestMixedRelationalAndJSON(t *testing.T) {
+	// the headline scenario: one engine, relational tables and JSON
+	// collections joined in one query
+	db, col := newLoadedDB(t)
+	if _, err := db.Exec(`create table requestors (name varchar2(40), region varchar2(20))`); err != nil {
+		t.Fatal(err)
+	}
+	for _, nm := range []string{"Alexis Bull", "Sarah Bell"} {
+		if _, err := db.Exec(`insert into requestors values (?, 'west')`, jsondom.String(nm)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := col.AddVirtualColumns(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query(`select count(*) from po p join requestors r on p."jdoc$requestor" = r.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := r.Rows[0][0].(jsondom.Number).Int64()
+	if n <= 0 {
+		t.Fatal("join found nothing")
+	}
+}
+
+func TestCreateCollectionErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.CreateCollection("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateCollection("c1"); err == nil {
+		t.Fatal("duplicate collection should fail")
+	}
+}
+
+func TestDocColumnSerialization(t *testing.T) {
+	db := Open()
+	col, _ := db.CreateCollection("c")
+	doc := jsontext.MustParse(`{ "a" : [ 1 , 2 ] }`)
+	id, err := col.Put(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ := col.Table().Get(0)
+	text := string(row[1].(jsondom.String))
+	if strings.Contains(text, " ") {
+		t.Fatalf("stored text not compact: %q", text)
+	}
+	got, err := col.Get(id)
+	if err != nil || !jsondom.Equal(got, doc) {
+		t.Fatalf("get = %v, %v", got, err)
+	}
+}
+
+func TestSetEncodedInMemory(t *testing.T) {
+	// §7 future work: set-encoded in-memory OSON with a merged dictionary
+	db, col := newLoadedDB(t)
+	q := `select json_value(jdoc, '$.purchaseOrder.reference') from po order by 1`
+	base, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// measure per-document memory first
+	if err := col.PopulateInMemory(true); err != nil {
+		t.Fatal(err)
+	}
+	perDoc := col.InMemoryBytes()
+	col.EvictInMemory()
+	// set-encoded population
+	if err := col.PopulateInMemorySetEncoded(); err != nil {
+		t.Fatal(err)
+	}
+	shared := col.InMemoryBytes()
+	if shared >= perDoc {
+		t.Fatalf("set-encoded %d should be under per-doc %d", shared, perDoc)
+	}
+	got, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(base.Rows) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(base.Rows))
+	}
+	for i := range got.Rows {
+		if !jsondom.Equal(got.Rows[i][0], base.Rows[i][0]) {
+			t.Fatalf("row %d: %v != %v", i, got.Rows[i][0], base.Rows[i][0])
+		}
+	}
+	// JSON_TABLE views work over set-encoded documents too
+	if _, err := col.CreateView("po_v", "$", 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query(`select count(*) from po_v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := r.Rows[0][0].(jsondom.Number).Int64(); n <= 0 {
+		t.Fatalf("view rows = %d", n)
+	}
+}
+
+func TestDeleteAndReplace(t *testing.T) {
+	_, col := newLoadedDB(t)
+	if err := col.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() != 19 {
+		t.Fatalf("count = %d", col.Count())
+	}
+	if _, err := col.Get(5); err == nil {
+		t.Fatal("deleted doc still readable")
+	}
+	if err := col.Delete(5); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	// replace re-validates and changes content
+	patched := jsontext.MustParse(`{"purchaseOrder":{"id":1,"patched":true}}`)
+	if err := col.Replace(1, patched); err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.Get(1)
+	if err != nil || !jsondom.Equal(got, patched) {
+		t.Fatalf("replace = %v, %v", got, err)
+	}
+	if err := col.Replace(999, patched); err == nil {
+		t.Fatal("replace of missing doc should fail")
+	}
+}

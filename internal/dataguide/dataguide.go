@@ -1,0 +1,505 @@
+// Package dataguide implements the JSON DataGuide of §3: a dynamic
+// soft schema automatically computed and continuously maintained over
+// JSON collections.
+//
+// A DataGuide for a single document is the container-node skeleton of
+// its DOM tree with leaf scalars replaced by (type, length). The
+// DataGuide of a collection is the merge-union of instance DataGuides:
+// duplicate (path, node-category) pairs collapse; conflicting scalar
+// types generalize; lengths take the maximum (§3.1).
+//
+// Entries carry the statistics the $DG table stores (frequency,
+// min/max, null counts, §3.2.1) and can be rendered in the two forms
+// of §3.2.2: the flat form (one JSON object per path) and the
+// hierarchical form (a JSON-Schema-like nested document).
+package dataguide
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+// Category classifies a path's node type. Scalar subtypes live in
+// Entry.ScalarKind and merge within the scalar category; differing
+// categories at the same path are distinct entries (§3.1).
+type Category uint8
+
+// Path node categories.
+const (
+	CatObject Category = iota
+	CatArray
+	CatScalar
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatObject:
+		return "object"
+	case CatArray:
+		return "array"
+	case CatScalar:
+		return "scalar"
+	}
+	return "unknown"
+}
+
+// Entry is one row of the DataGuide ($DG table, §3.2.1).
+type Entry struct {
+	// Steps are the field names from the root; Path is the rendered
+	// SQL/JSON path ("$.purchaseOrder.items.name"). Array traversal is
+	// transparent: steps never include subscripts.
+	Steps []string
+	Path  string
+
+	Category Category
+	// ScalarKind is the merged leaf type for CatScalar entries.
+	ScalarKind jsondom.Kind
+	// Many reports that the node occurs inside an array somewhere along
+	// the path (one-to-many with the document); the paper renders such
+	// entries as "array of X".
+	Many bool
+
+	// Statistics (populated continuously; §3.2.1).
+	Frequency   int           // number of documents containing the path
+	Occurrences int           // total occurrences across all documents
+	MaxLen      int           // maximum rendered length of scalar values
+	NullCount   int           // occurrences with JSON null at this path
+	Min, Max    jsondom.Value // extreme scalar values (same-kind compares only)
+
+	// mixed records that incomparable scalar kinds were observed, which
+	// permanently invalidates Min/Max (order-independent behaviour).
+	mixed bool
+}
+
+// TypeString renders the $DG "Type" column ("number", "array of
+// string", "array of array", ...).
+func (e *Entry) TypeString() string {
+	base := e.Category.String()
+	if e.Category == CatScalar {
+		base = e.ScalarKind.String()
+	}
+	if e.Many {
+		return "array of " + base
+	}
+	return base
+}
+
+// Guide is a JSON DataGuide for a collection.
+type Guide struct {
+	entries map[string]*Entry
+	docs    int
+}
+
+// New returns an empty DataGuide.
+func New() *Guide {
+	return &Guide{entries: make(map[string]*Entry)}
+}
+
+// FromValue computes the instance DataGuide of one document.
+func FromValue(v jsondom.Value) *Guide {
+	g := New()
+	g.Add(v)
+	return g
+}
+
+// DocCount returns how many documents have been merged in.
+func (g *Guide) DocCount() int { return g.docs }
+
+// Len returns the number of distinct (path, category) entries, the
+// "Number of Distinct Paths" statistic of Table 12.
+func (g *Guide) Len() int { return len(g.entries) }
+
+func entryKey(path string, cat Category) string {
+	return path + "\x00" + cat.String()
+}
+
+// Add merges one document into the DataGuide and returns the entries
+// that are new to the guide (the rows a persistent maintainer would
+// insert into $DG). The returned slice is nil when the document adds
+// no new structure — the fast path the IS JSON constraint integration
+// relies on (§3.2.1).
+func (g *Guide) Add(v jsondom.Value) []*Entry {
+	g.docs++
+	seen := make(map[*Entry]bool)
+	var added []*Entry
+	g.walk(v, nil, false, seen, &added)
+	for e := range seen {
+		e.Frequency++
+	}
+	return added
+}
+
+func (g *Guide) walk(v jsondom.Value, steps []string, many bool, seen map[*Entry]bool, added *[]*Entry) {
+	switch t := v.(type) {
+	case *jsondom.Object:
+		if len(steps) > 0 {
+			e := g.record(steps, CatObject, 0, many, added)
+			seen[e] = true
+			e.Occurrences++
+		}
+		for _, f := range t.Fields() {
+			g.walk(f.Value, append(steps, f.Name), many, seen, added)
+		}
+	case *jsondom.Array:
+		if len(steps) > 0 {
+			e := g.record(steps, CatArray, 0, many, added)
+			seen[e] = true
+			e.Occurrences++
+		}
+		for _, el := range t.Elems {
+			g.walkElem(el, steps, seen, added)
+		}
+	default:
+		if len(steps) == 0 {
+			return // a bare scalar document has no named paths
+		}
+		e := g.record(steps, CatScalar, v.Kind(), many, added)
+		seen[e] = true
+		e.Occurrences++
+		g.updateScalarStats(e, v)
+	}
+}
+
+// walkElem handles an array element. Elements keep the enclosing
+// array's path and are one-to-many. Container elements do not produce
+// entries of their own — the array entry covers them (Table 2 lists
+// "items" once, as "array") — but their members and scalar elements
+// are recorded with the many flag set.
+func (g *Guide) walkElem(el jsondom.Value, steps []string, seen map[*Entry]bool, added *[]*Entry) {
+	switch et := el.(type) {
+	case *jsondom.Object:
+		for _, f := range et.Fields() {
+			g.walk(f.Value, append(steps, f.Name), true, seen, added)
+		}
+	case *jsondom.Array:
+		for _, inner := range et.Elems {
+			g.walkElem(inner, steps, seen, added)
+		}
+	default:
+		if len(steps) == 0 {
+			return
+		}
+		e := g.record(steps, CatScalar, el.Kind(), true, added)
+		seen[e] = true
+		e.Occurrences++
+		g.updateScalarStats(e, el)
+	}
+}
+
+func (g *Guide) record(steps []string, cat Category, sk jsondom.Kind, many bool, added *[]*Entry) *Entry {
+	path := RenderPath(steps)
+	key := entryKey(path, cat)
+	e, ok := g.entries[key]
+	if !ok {
+		e = &Entry{
+			Steps:      append([]string(nil), steps...),
+			Path:       path,
+			Category:   cat,
+			ScalarKind: sk,
+			Many:       many,
+		}
+		g.entries[key] = e
+		*added = append(*added, e)
+		return e
+	}
+	if many {
+		e.Many = true
+	}
+	if cat == CatScalar {
+		e.ScalarKind = generalize(e.ScalarKind, sk)
+	}
+	return e
+}
+
+func (g *Guide) updateScalarStats(e *Entry, v jsondom.Value) {
+	if v.Kind() == jsondom.KindNull {
+		e.NullCount++
+		return
+	}
+	if n := len(jsontext.Serialize(v)); n > e.MaxLen {
+		e.MaxLen = n
+	}
+	if e.mixed {
+		return
+	}
+	if e.Min == nil {
+		e.Min, e.Max = v, v
+		return
+	}
+	cmpMin, ok := jsondom.CompareScalar(v, e.Min)
+	if !ok {
+		// incomparable kinds at the same path: drop min/max permanently
+		// so the statistics are independent of insertion order
+		e.mixed = true
+		e.Min, e.Max = nil, nil
+		return
+	}
+	if cmpMin < 0 {
+		e.Min = v
+	}
+	if cmpMax, _ := jsondom.CompareScalar(v, e.Max); cmpMax > 0 {
+		e.Max = v
+	}
+}
+
+// generalize merges two scalar kinds per §3.1: conflicting data types
+// are replaced by a more general type. Null yields to anything;
+// number and double merge to number; everything else generalizes to
+// string.
+func generalize(a, b jsondom.Kind) jsondom.Kind {
+	if a == b {
+		return a
+	}
+	if a == jsondom.KindNull {
+		return b
+	}
+	if b == jsondom.KindNull {
+		return a
+	}
+	numeric := func(k jsondom.Kind) bool {
+		return k == jsondom.KindNumber || k == jsondom.KindDouble
+	}
+	if numeric(a) && numeric(b) {
+		return jsondom.KindNumber
+	}
+	return jsondom.KindString
+}
+
+// Merge unions another guide into g. Merge is commutative,
+// associative and idempotent over entry sets; statistics accumulate.
+func (g *Guide) Merge(o *Guide) {
+	g.docs += o.docs
+	for key, oe := range o.entries {
+		e, ok := g.entries[key]
+		if !ok {
+			cp := *oe
+			cp.Steps = append([]string(nil), oe.Steps...)
+			g.entries[key] = &cp
+			continue
+		}
+		if oe.Many {
+			e.Many = true
+		}
+		if e.Category == CatScalar {
+			e.ScalarKind = generalize(e.ScalarKind, oe.ScalarKind)
+		}
+		e.Frequency += oe.Frequency
+		e.Occurrences += oe.Occurrences
+		e.NullCount += oe.NullCount
+		if oe.MaxLen > e.MaxLen {
+			e.MaxLen = oe.MaxLen
+		}
+		switch {
+		case e.mixed || oe.mixed:
+			e.mixed = true
+			e.Min, e.Max = nil, nil
+		case e.Min == nil:
+			e.Min, e.Max = oe.Min, oe.Max
+		case oe.Min != nil:
+			cmp, ok := jsondom.CompareScalar(oe.Min, e.Min)
+			if !ok {
+				e.mixed = true
+				e.Min, e.Max = nil, nil
+				break
+			}
+			if cmp < 0 {
+				e.Min = oe.Min
+			}
+			if cmp, _ := jsondom.CompareScalar(oe.Max, e.Max); cmp > 0 {
+				e.Max = oe.Max
+			}
+		}
+	}
+}
+
+// Entries returns the entries sorted by (path, category): the flat
+// $DG relational form.
+func (g *Guide) Entries() []*Entry {
+	out := make([]*Entry, 0, len(g.entries))
+	for _, e := range g.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// LeafEntries returns only scalar entries: the candidate columns of a
+// DMDV (Table 12's "DMDV number of columns").
+func (g *Guide) LeafEntries() []*Entry {
+	var out []*Entry
+	for _, e := range g.Entries() {
+		if e.Category == CatScalar {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Lookup finds the entry for a rendered path and category.
+func (g *Guide) Lookup(path string, cat Category) (*Entry, bool) {
+	e, ok := g.entries[entryKey(path, cat)]
+	return e, ok
+}
+
+// RenderPath renders field steps as a SQL/JSON path, quoting names
+// that are not plain identifiers.
+func RenderPath(steps []string) string {
+	var sb strings.Builder
+	sb.WriteByte('$')
+	for _, s := range steps {
+		sb.WriteByte('.')
+		writeName(&sb, s)
+	}
+	return sb.String()
+}
+
+func writeName(sb *strings.Builder, name string) {
+	simple := name != ""
+	for i := 0; simple && i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			simple = false
+		}
+	}
+	if simple {
+		sb.WriteString(name)
+		return
+	}
+	sb.WriteByte('"')
+	for i := 0; i < len(name); i++ {
+		if name[i] == '"' || name[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(name[i])
+	}
+	sb.WriteByte('"')
+}
+
+// Flat renders the DataGuide in flat form: a JSON array with one
+// object per path carrying "o:path", "type", "o:length",
+// "o:frequency" and null statistics, ordered by path (§3.2.2).
+func (g *Guide) Flat() jsondom.Value {
+	arr := jsondom.NewArray()
+	for _, e := range g.Entries() {
+		o := jsondom.NewObject().
+			Set("o:path", jsondom.String(e.Path)).
+			Set("type", jsondom.String(e.TypeString()))
+		if e.Category == CatScalar {
+			o.Set("o:length", jsondom.NumberFromInt(int64(e.MaxLen)))
+		}
+		o.Set("o:frequency", jsondom.NumberFromInt(int64(e.Frequency)))
+		if e.NullCount > 0 {
+			o.Set("o:num_nulls", jsondom.NumberFromInt(int64(e.NullCount)))
+		}
+		if e.Min != nil {
+			o.Set("o:low_value", e.Min)
+			o.Set("o:high_value", e.Max)
+		}
+		arr.Append(o)
+	}
+	return arr
+}
+
+// Hierarchical renders the DataGuide as a nested JSON-Schema-like
+// document (§3.2.2): objects get "properties", arrays get "items",
+// scalars get "type" and "o:length". Paths that occur with multiple
+// categories render as {"oneOf": [...]}.
+func (g *Guide) Hierarchical() jsondom.Value {
+	root := g.buildTree()
+	return renderTree(root)
+}
+
+type treeNode struct {
+	entries  []*Entry             // categories present at this path
+	children map[string]*treeNode // by field name
+	order    []string
+}
+
+func newTreeNode() *treeNode {
+	return &treeNode{children: make(map[string]*treeNode)}
+}
+
+func (g *Guide) buildTree() *treeNode {
+	root := newTreeNode()
+	for _, e := range g.Entries() {
+		n := root
+		for _, s := range e.Steps {
+			c, ok := n.children[s]
+			if !ok {
+				c = newTreeNode()
+				n.children[s] = c
+				n.order = append(n.order, s)
+			}
+			n = c
+		}
+		n.entries = append(n.entries, e)
+	}
+	return root
+}
+
+func renderTree(n *treeNode) jsondom.Value {
+	var variants []jsondom.Value
+	hasContainerEntry := false
+	for _, e := range n.entries {
+		switch e.Category {
+		case CatScalar:
+			o := jsondom.NewObject().
+				Set("type", jsondom.String(e.ScalarKind.String())).
+				Set("o:length", jsondom.NumberFromInt(int64(e.MaxLen))).
+				Set("o:frequency", jsondom.NumberFromInt(int64(e.Frequency)))
+			variants = append(variants, o)
+		case CatObject, CatArray:
+			hasContainerEntry = true
+		}
+	}
+	if hasContainerEntry || len(n.children) > 0 || len(n.entries) == 0 {
+		isArray := false
+		freq := 0
+		for _, e := range n.entries {
+			if e.Category == CatArray {
+				isArray = true
+			}
+			if e.Category != CatScalar {
+				freq = e.Frequency
+			}
+		}
+		props := jsondom.NewObject()
+		for _, name := range n.order {
+			props.Set(name, renderTree(n.children[name]))
+		}
+		o := jsondom.NewObject()
+		if isArray {
+			o.Set("type", jsondom.String("array"))
+			items := jsondom.NewObject().Set("type", jsondom.String("object")).Set("properties", props)
+			o.Set("items", items)
+		} else {
+			o.Set("type", jsondom.String("object"))
+			o.Set("properties", props)
+		}
+		if freq > 0 {
+			o.Set("o:frequency", jsondom.NumberFromInt(int64(freq)))
+		}
+		variants = append(variants, o)
+	}
+	if len(variants) == 1 {
+		return variants[0]
+	}
+	return jsondom.NewObject().Set("oneOf", jsondom.NewArray(variants...))
+}
+
+// FlatJSON returns the flat form as compact JSON text, the CLOB shape
+// getDataGuide() returns (§3.2.2).
+func (g *Guide) FlatJSON() []byte { return jsontext.Serialize(g.Flat()) }
+
+// HierarchicalJSON returns the hierarchical form as compact JSON text.
+func (g *Guide) HierarchicalJSON() []byte { return jsontext.Serialize(g.Hierarchical()) }

@@ -1,0 +1,421 @@
+package dataguide
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+// The three purchase-order documents of Tables 1, 3 and 5.
+const doc1 = `{"purchaseOrder":{"id":1,"podate":"2014-09-08",
+	"items":[{"name":"phone","price":100,"quantity":2},
+	         {"name":"ipad","price":350.86,"quantity":3}]}}`
+
+const doc2 = `{"purchaseOrder":{"id":2,"podate":"2015-03-04",
+	"items":[{"name":"table","price":52.78,"quantity":2},
+	         {"name":"chair","price":35.24,"quantity":4}]}}`
+
+const doc3 = `{"purchaseOrder":{"id":2,"podate":"2015-06-03","foreign_id":"CDEG35",
+	"items":[{"name":"TV","price":345.55,"quantity":1,
+	          "parts":[{"partName":"remoteCon","partQuantity":"1"}]},
+	         {"name":"PC","price":546.78,"quantity":10,
+	          "parts":[{"partName":"mouse","partQuantity":"2"},
+	                   {"partName":"keyboard","partQuantity":"1"}]}]}}`
+
+const doc4 = `{"purchaseOrder":{"id":3,"podate":"2015-07-01",
+	"items":[{"name":"lamp","price":12.5,"quantity":1}],
+	"discount_items":[{"dis_itemName":"desk","dis_itemPrice":80,"dis_itemQuanitty":1,
+	                   "dis_parts":[{"dis_partName":"leg","dis_partQuantity":4}]}]}}`
+
+func mustDoc(t *testing.T, s string) jsondom.Value {
+	t.Helper()
+	v, err := jsontext.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// typeOf returns the rendered $DG type for a path, "" if absent.
+func typeOf(g *Guide, path string) string {
+	var types []string
+	for _, e := range g.Entries() {
+		if e.Path == path {
+			types = append(types, e.TypeString())
+		}
+	}
+	return strings.Join(types, "|")
+}
+
+func TestTable2Paths(t *testing.T) {
+	// Table 2: the $DG contents after inserting the Table 1 collection.
+	g := New()
+	g.Add(mustDoc(t, doc1))
+	g.Add(mustDoc(t, doc2))
+
+	want := map[string]string{
+		"$.purchaseOrder":                "object",
+		"$.purchaseOrder.id":             "number",
+		"$.purchaseOrder.podate":         "string",
+		"$.purchaseOrder.items":          "array",
+		"$.purchaseOrder.items.name":     "array of string",
+		"$.purchaseOrder.items.price":    "array of number",
+		"$.purchaseOrder.items.quantity": "array of number",
+	}
+	if g.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d; entries: %s", g.Len(), len(want), g.FlatJSON())
+	}
+	for path, typ := range want {
+		if got := typeOf(g, path); got != typ {
+			t.Errorf("type of %s = %q, want %q", path, got, typ)
+		}
+	}
+	if g.DocCount() != 2 {
+		t.Fatalf("DocCount = %d", g.DocCount())
+	}
+}
+
+func TestTable4DeeperHierarchy(t *testing.T) {
+	// Inserting the Table 3 document adds exactly 4 rows (Table 4).
+	g := New()
+	g.Add(mustDoc(t, doc1))
+	g.Add(mustDoc(t, doc2))
+	added := g.Add(mustDoc(t, doc3))
+	if len(added) != 4 {
+		t.Fatalf("added %d entries, want 4: %v", len(added), paths(added))
+	}
+	want := map[string]string{
+		"$.purchaseOrder.items.parts":              "array of array",
+		"$.purchaseOrder.items.parts.partName":     "array of string",
+		"$.purchaseOrder.items.parts.partQuantity": "array of string",
+		"$.purchaseOrder.foreign_id":               "string",
+	}
+	for path, typ := range want {
+		if got := typeOf(g, path); got != typ {
+			t.Errorf("type of %s = %q, want %q", path, got, typ)
+		}
+	}
+}
+
+func TestTable6SiblingHierarchy(t *testing.T) {
+	// A new sibling detail hierarchy makes the DataGuide grow wider:
+	// 7 new rows (Table 6 shape, our doc4 uses 5+... count them).
+	g := New()
+	g.Add(mustDoc(t, doc1))
+	added := g.Add(mustDoc(t, doc4))
+	wantNew := map[string]string{
+		"$.purchaseOrder.discount_items":                            "array",
+		"$.purchaseOrder.discount_items.dis_itemName":               "array of string",
+		"$.purchaseOrder.discount_items.dis_itemPrice":              "array of number",
+		"$.purchaseOrder.discount_items.dis_itemQuanitty":           "array of number",
+		"$.purchaseOrder.discount_items.dis_parts":                  "array of array",
+		"$.purchaseOrder.discount_items.dis_parts.dis_partName":     "array of string",
+		"$.purchaseOrder.discount_items.dis_parts.dis_partQuantity": "array of number",
+	}
+	if len(added) != len(wantNew) {
+		t.Fatalf("added %d entries, want %d: %v", len(added), len(wantNew), paths(added))
+	}
+	for path, typ := range wantNew {
+		if got := typeOf(g, path); got != typ {
+			t.Errorf("type of %s = %q, want %q", path, got, typ)
+		}
+	}
+}
+
+func paths(es []*Entry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Path + " (" + e.TypeString() + ")"
+	}
+	return out
+}
+
+func TestNoNewEntriesForHomogeneousDoc(t *testing.T) {
+	// the fast path of §3.2.1: identical structure adds nothing
+	g := New()
+	g.Add(mustDoc(t, doc1))
+	if added := g.Add(mustDoc(t, doc2)); len(added) != 0 {
+		t.Fatalf("homogeneous insert added %v", paths(added))
+	}
+}
+
+func TestScalarTypeGeneralization(t *testing.T) {
+	// §3.1: number + string at the same path merge to string
+	g := New()
+	g.Add(mustDoc(t, `{"a":{"b":1}}`))
+	g.Add(mustDoc(t, `{"a":{"b":"x"}}`))
+	if got := typeOf(g, "$.a.b"); got != "string" {
+		t.Fatalf("generalized type = %q", got)
+	}
+	// null yields to the other type
+	g = New()
+	g.Add(mustDoc(t, `{"a":{"b":null}}`))
+	g.Add(mustDoc(t, `{"a":{"b":2}}`))
+	if got := typeOf(g, "$.a.b"); got != "number" {
+		t.Fatalf("null merge = %q", got)
+	}
+	// boolean + number generalize to string
+	g = New()
+	g.Add(mustDoc(t, `{"a":{"b":true}}`))
+	g.Add(mustDoc(t, `{"a":{"b":2}}`))
+	if got := typeOf(g, "$.a.b"); got != "string" {
+		t.Fatalf("bool+number merge = %q", got)
+	}
+}
+
+func TestMixedCategoryKeepsBothPaths(t *testing.T) {
+	// §3.1: ($.a.b) as scalar and as object are both kept
+	g := New()
+	g.Add(mustDoc(t, `{"a":{"b":5}}`))
+	g.Add(mustDoc(t, `{"a":{"b":{"c":1}}}`))
+	if got := typeOf(g, "$.a.b"); got != "number|object" && got != "object|number" {
+		t.Fatalf("mixed categories = %q", got)
+	}
+	// distinct-path count includes both
+	found := 0
+	for _, e := range g.Entries() {
+		if e.Path == "$.a.b" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("entries for $.a.b = %d", found)
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	g := New()
+	g.Add(mustDoc(t, `{"v":5,"s":"hello"}`))
+	g.Add(mustDoc(t, `{"v":-2}`))
+	g.Add(mustDoc(t, `{"v":null}`))
+	e, ok := g.Lookup("$.v", CatScalar)
+	if !ok {
+		t.Fatal("no $.v entry")
+	}
+	if e.Frequency != 3 {
+		t.Fatalf("frequency = %d", e.Frequency)
+	}
+	if e.NullCount != 1 {
+		t.Fatalf("nulls = %d", e.NullCount)
+	}
+	if e.Min.(jsondom.Number) != "-2" || e.Max.(jsondom.Number) != "5" {
+		t.Fatalf("min/max = %v/%v", e.Min, e.Max)
+	}
+	s, _ := g.Lookup("$.s", CatScalar)
+	if s.Frequency != 1 || s.MaxLen != len(`"hello"`) {
+		t.Fatalf("s stats = %+v", s)
+	}
+}
+
+func TestFrequencyCountsDocumentsNotOccurrences(t *testing.T) {
+	g := New()
+	g.Add(mustDoc(t, `{"items":[{"x":1},{"x":2},{"x":3}]}`))
+	e, ok := g.Lookup("$.items.x", CatScalar)
+	if !ok {
+		t.Fatal("no entry")
+	}
+	if e.Frequency != 1 {
+		t.Fatalf("frequency = %d, want 1 (per document)", e.Frequency)
+	}
+	if e.Occurrences != 3 {
+		t.Fatalf("occurrences = %d, want 3", e.Occurrences)
+	}
+}
+
+func TestMergeEqualsSequentialAdd(t *testing.T) {
+	docs := []string{doc1, doc2, doc3, doc4}
+	seq := New()
+	for _, d := range docs {
+		seq.Add(mustDoc(t, d))
+	}
+	g1 := New()
+	g1.Add(mustDoc(t, docs[0]))
+	g1.Add(mustDoc(t, docs[1]))
+	g2 := New()
+	g2.Add(mustDoc(t, docs[2]))
+	g2.Add(mustDoc(t, docs[3]))
+	g1.Merge(g2)
+	if string(seq.FlatJSON()) != string(g1.FlatJSON()) {
+		t.Fatalf("merge != sequential:\n%s\n%s", seq.FlatJSON(), g1.FlatJSON())
+	}
+	if g1.DocCount() != 4 {
+		t.Fatalf("merged DocCount = %d", g1.DocCount())
+	}
+}
+
+func genVal(r *rand.Rand, depth int) jsondom.Value {
+	names := []string{"a", "b", "c", "items", "x"}
+	switch n := r.Intn(8); {
+	case n < 2 && depth > 0:
+		o := jsondom.NewObject()
+		for i := 1 + r.Intn(3); i > 0; i-- {
+			o.Set(names[r.Intn(len(names))], genVal(r, depth-1))
+		}
+		return o
+	case n < 4 && depth > 0:
+		a := jsondom.NewArray()
+		for i := r.Intn(4); i > 0; i-- {
+			a.Append(genVal(r, depth-1))
+		}
+		return a
+	case n == 4:
+		return jsondom.Null{}
+	case n == 5:
+		return jsondom.Bool(true)
+	case n == 6:
+		return jsondom.NumberFromInt(r.Int63n(100))
+	default:
+		return jsondom.String("s")
+	}
+}
+
+func TestMergePropertyCommutativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := jsondom.NewObject().Set("r", genVal(r, 3))
+		b := jsondom.NewObject().Set("r", genVal(r, 3))
+
+		ab, ba := New(), New()
+		ab.Add(a)
+		ab.Add(b)
+		ba.Add(b)
+		ba.Add(a)
+		if string(ab.FlatJSON()) != string(ba.FlatJSON()) {
+			t.Logf("not commutative for %s / %s", jsontext.Serialize(a), jsontext.Serialize(b))
+			return false
+		}
+		// structural idempotence: re-adding changes no structure
+		before := ab.Len()
+		if added := ab.Add(a); len(added) != 0 || ab.Len() != before {
+			t.Log("not structurally idempotent")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuotedPathNames(t *testing.T) {
+	g := New()
+	g.Add(mustDoc(t, `{"foreign id":{"we\"ird":1}}`))
+	if got := typeOf(g, `$."foreign id"."we\"ird"`); got != "number" {
+		t.Fatalf("quoted path type = %q; entries %s", got, g.FlatJSON())
+	}
+}
+
+func TestFlatForm(t *testing.T) {
+	g := New()
+	g.Add(mustDoc(t, doc1))
+	flat := g.Flat().(*jsondom.Array)
+	if flat.Len() != 7 {
+		t.Fatalf("flat entries = %d", flat.Len())
+	}
+	first := flat.At(0).(*jsondom.Object)
+	if p, _ := first.Get("o:path"); p.(jsondom.String) != "$.purchaseOrder" {
+		t.Fatalf("first path = %v", p)
+	}
+	if _, ok := first.Get("type"); !ok {
+		t.Fatal("type missing")
+	}
+	// scalar rows carry o:length
+	for _, e := range flat.Elems {
+		o := e.(*jsondom.Object)
+		typ, _ := o.Get("type")
+		ts := string(typ.(jsondom.String))
+		_, hasLen := o.Get("o:length")
+		isScalar := !strings.Contains(ts, "object") && ts != "array" &&
+			!strings.HasSuffix(ts, "of array")
+		if isScalar != hasLen {
+			t.Errorf("o:length presence wrong for %s", ts)
+		}
+	}
+}
+
+func TestHierarchicalForm(t *testing.T) {
+	g := New()
+	g.Add(mustDoc(t, doc1))
+	h := g.Hierarchical().(*jsondom.Object)
+	// root: object with properties.purchaseOrder
+	props, ok := h.Get("properties")
+	if !ok {
+		t.Fatalf("no properties: %s", g.HierarchicalJSON())
+	}
+	po, ok := props.(*jsondom.Object).Get("purchaseOrder")
+	if !ok {
+		t.Fatal("no purchaseOrder")
+	}
+	poProps, ok := po.(*jsondom.Object).Get("properties")
+	if !ok {
+		t.Fatal("no purchaseOrder.properties")
+	}
+	items, ok := poProps.(*jsondom.Object).Get("items")
+	if !ok {
+		t.Fatal("no items")
+	}
+	itemsType, _ := items.(*jsondom.Object).Get("type")
+	if itemsType.(jsondom.String) != "array" {
+		t.Fatalf("items type = %v", itemsType)
+	}
+	itemsOf, ok := items.(*jsondom.Object).Get("items")
+	if !ok {
+		t.Fatal("no items.items")
+	}
+	elemProps, ok := itemsOf.(*jsondom.Object).Get("properties")
+	if !ok {
+		t.Fatal("no element properties")
+	}
+	if _, ok := elemProps.(*jsondom.Object).Get("price"); !ok {
+		t.Fatal("no price in element properties")
+	}
+	// mixed-category path renders as oneOf
+	g2 := New()
+	g2.Add(mustDoc(t, `{"a":1}`))
+	g2.Add(mustDoc(t, `{"a":{"b":2}}`))
+	h2 := string(g2.HierarchicalJSON())
+	if !strings.Contains(h2, "oneOf") {
+		t.Fatalf("expected oneOf in %s", h2)
+	}
+}
+
+func TestEmptyGuide(t *testing.T) {
+	g := New()
+	if g.Len() != 0 || g.DocCount() != 0 {
+		t.Fatal("empty guide not empty")
+	}
+	if flat := g.Flat().(*jsondom.Array); flat.Len() != 0 {
+		t.Fatal("flat of empty guide")
+	}
+	// bare scalar document contributes no paths
+	g.Add(jsondom.Number("5"))
+	if g.Len() != 0 {
+		t.Fatal("scalar root should add no paths")
+	}
+}
+
+func TestRenderPath(t *testing.T) {
+	if got := RenderPath(nil); got != "$" {
+		t.Fatalf("root = %q", got)
+	}
+	if got := RenderPath([]string{"a", "b c", `d"e`}); got != `$.a."b c"."d\"e"` {
+		t.Fatalf("quoted = %q", got)
+	}
+	if got := RenderPath([]string{"0digit"}); got != `$."0digit"` {
+		t.Fatalf("digit start = %q", got)
+	}
+}
+
+func BenchmarkAddHomogeneous(b *testing.B) {
+	doc := jsontext.MustParse(doc1)
+	g := New()
+	g.Add(doc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(doc)
+	}
+}

@@ -1,0 +1,169 @@
+// Event-driven DataGuide maintenance: §3.2.1 folds DataGuide upkeep
+// into the processing of the IS JSON check constraint, so the
+// structural analysis runs over the parse events of the document being
+// validated — no DOM is materialized. AddText implements that pipeline
+// on the jsontext streaming parser, with semantics identical to Add
+// over a parsed tree.
+
+package dataguide
+
+import (
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+// AddText merges the document given as JSON text into the DataGuide by
+// streaming its parse events. It returns the newly discovered entries
+// (as Add does) and an error for malformed text.
+func (g *Guide) AddText(text []byte) ([]*Entry, error) {
+	added, _, err := g.AddTextTracked(text)
+	return added, err
+}
+
+// AddTextTracked is AddText but additionally returns every entry the
+// document touched, which persistent maintainers cache per structure
+// fingerprint so that later identical documents can bump frequencies
+// without re-analyzing (§3.2.1).
+func (g *Guide) AddTextTracked(text []byte) (added, touched []*Entry, err error) {
+	p := jsontext.NewParser(text)
+	ev, err := p.Next()
+	if err != nil {
+		return nil, nil, err
+	}
+	g.docs++
+	seen := make(map[*Entry]bool)
+	w := &eventWalker{g: g, seen: seen, added: &added}
+	if err := w.value(p, ev, false); err != nil {
+		return nil, nil, err
+	}
+	touched = make([]*Entry, 0, len(seen))
+	for e := range seen {
+		e.Frequency++
+		touched = append(touched, e)
+	}
+	return added, touched, nil
+}
+
+// BumpFrequency increments document frequency for a cached entry set
+// (a structure-fingerprint hit): the document count grows and each
+// touched entry's frequency follows, while value statistics are left
+// untouched — the approximation the fast path trades for skipping the
+// structural walk.
+func (g *Guide) BumpFrequency(touched []*Entry) {
+	g.docs++
+	for _, e := range touched {
+		e.Frequency++
+	}
+}
+
+type eventWalker struct {
+	g     *Guide
+	steps []string
+	seen  map[*Entry]bool
+	added *[]*Entry
+}
+
+// value consumes one complete value whose first event is ev; many
+// marks one-to-many context (inside an array). It is invoked for the
+// root value and for object field values; array elements are handled
+// inline by array().
+func (w *eventWalker) value(p *jsontext.Parser, ev jsontext.Event, many bool) error {
+	switch ev.Kind {
+	case jsontext.EvObjectStart:
+		if len(w.steps) > 0 {
+			w.note(CatObject, 0, many, nil)
+		}
+		return w.object(p, many)
+	case jsontext.EvArrayStart:
+		if len(w.steps) > 0 {
+			w.note(CatArray, 0, many, nil)
+		}
+		return w.array(p, many)
+	default:
+		if len(w.steps) == 0 {
+			return nil // bare scalar document
+		}
+		return w.scalar(ev, many)
+	}
+}
+
+func (w *eventWalker) object(p *jsontext.Parser, many bool) error {
+	for {
+		ev, err := p.Next()
+		if err != nil {
+			return err
+		}
+		if ev.Kind == jsontext.EvObjectEnd {
+			return nil
+		}
+		// ev is a key
+		w.steps = append(w.steps, ev.Str)
+		vev, err := p.Next()
+		if err != nil {
+			return err
+		}
+		if err := w.value(p, vev, many); err != nil {
+			return err
+		}
+		w.steps = w.steps[:len(w.steps)-1]
+	}
+}
+
+// array consumes elements: container elements do not record their own
+// entry (the array entry covers them); their members and scalar
+// elements are recorded with the many flag set — matching walkElem.
+func (w *eventWalker) array(p *jsontext.Parser, _ bool) error {
+	for {
+		ev, err := p.Next()
+		if err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case jsontext.EvArrayEnd:
+			return nil
+		case jsontext.EvObjectStart:
+			if err := w.object(p, true); err != nil {
+				return err
+			}
+		case jsontext.EvArrayStart:
+			if err := w.array(p, true); err != nil {
+				return err
+			}
+		default:
+			if len(w.steps) > 0 {
+				if err := w.scalar(ev, true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+func (w *eventWalker) scalar(ev jsontext.Event, many bool) error {
+	var v jsondom.Value
+	switch ev.Kind {
+	case jsontext.EvNull:
+		v = jsondom.Null{}
+	case jsontext.EvBool:
+		v = jsondom.Bool(ev.Bool)
+	case jsontext.EvString:
+		v = jsondom.String(ev.Str)
+	case jsontext.EvNumber:
+		n, err := jsondom.N(ev.Str)
+		if err != nil {
+			return err
+		}
+		v = n
+	}
+	w.note(CatScalar, v.Kind(), many, v)
+	return nil
+}
+
+func (w *eventWalker) note(cat Category, sk jsondom.Kind, many bool, v jsondom.Value) {
+	e := w.g.record(w.steps, cat, sk, many, w.added)
+	w.seen[e] = true
+	e.Occurrences++
+	if cat == CatScalar {
+		w.g.updateScalarStats(e, v)
+	}
+}

@@ -1,0 +1,113 @@
+package dataguide
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+// TestAddTextAgreesWithAdd pins the core invariant of the event-driven
+// maintenance path: streaming a document's text must produce exactly
+// the same DataGuide as walking its DOM.
+func TestAddTextAgreesWithAdd(t *testing.T) {
+	docs := []string{
+		doc1, doc2, doc3, doc4,
+		`{"scalar_elems":{"tags":["a","b",3]}}`,
+		`{"nested":[[1,2],[{"x":1}]]}`,
+		`{"mixed":{"v":1}}`,
+		`{"mixed":{"v":{"w":true}}}`,
+		`{"empty_obj":{},"empty_arr":[]}`,
+		`{"nulls":[null,null]}`,
+	}
+	domGuide, evGuide := New(), New()
+	for _, d := range docs {
+		dom := mustDoc(t, d)
+		domGuide.Add(dom)
+		if _, err := evGuide.AddText(jsontext.Serialize(dom)); err != nil {
+			t.Fatalf("AddText(%s): %v", d, err)
+		}
+	}
+	if string(domGuide.FlatJSON()) != string(evGuide.FlatJSON()) {
+		t.Fatalf("event walker disagrees with DOM walker:\n dom: %s\n  ev: %s",
+			domGuide.FlatJSON(), evGuide.FlatJSON())
+	}
+	if domGuide.DocCount() != evGuide.DocCount() {
+		t.Fatal("doc counts differ")
+	}
+}
+
+func TestAddTextAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := New(), New()
+		for i := 0; i < 4; i++ {
+			dom := jsondom.NewObject().Set("root", genVal(r, 4))
+			a.Add(dom)
+			if _, err := b.AddText(jsontext.Serialize(dom)); err != nil {
+				t.Logf("AddText error: %v", err)
+				return false
+			}
+		}
+		return string(a.FlatJSON()) == string(b.FlatJSON())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddTextErrors(t *testing.T) {
+	g := New()
+	if _, err := g.AddText([]byte(`{oops`)); err == nil {
+		t.Fatal("malformed text should fail")
+	}
+	// a bare scalar document contributes nothing but counts as a doc
+	g2 := New()
+	if _, err := g2.AddText([]byte(`42`)); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != 0 || g2.DocCount() != 1 {
+		t.Fatalf("scalar doc: len=%d docs=%d", g2.Len(), g2.DocCount())
+	}
+}
+
+func TestAddTextTrackedAndBumpFrequency(t *testing.T) {
+	g := New()
+	added, touched, err := g.AddTextTracked([]byte(`{"a":1,"b":{"c":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 3 || len(touched) != 3 {
+		t.Fatalf("added=%d touched=%d", len(added), len(touched))
+	}
+	e, _ := g.Lookup("$.a", CatScalar)
+	if e.Frequency != 1 {
+		t.Fatalf("freq = %d", e.Frequency)
+	}
+	// a fingerprint hit bumps frequencies without re-analysis
+	g.BumpFrequency(touched)
+	if e.Frequency != 2 {
+		t.Fatalf("freq after bump = %d", e.Frequency)
+	}
+	if g.DocCount() != 2 {
+		t.Fatalf("docs = %d", g.DocCount())
+	}
+}
+
+func TestFromValueAndLeafEntries(t *testing.T) {
+	g := FromValue(mustDoc(t, doc1))
+	if g.DocCount() != 1 {
+		t.Fatal("FromValue doc count")
+	}
+	leaves := g.LeafEntries()
+	for _, e := range leaves {
+		if e.Category != CatScalar {
+			t.Fatalf("non-scalar leaf %s", e.Path)
+		}
+	}
+	if len(leaves) != 5 { // id, podate, name, price, quantity
+		t.Fatalf("leaves = %d: %v", len(leaves), paths(leaves))
+	}
+}

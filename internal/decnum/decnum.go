@@ -1,0 +1,306 @@
+// Package decnum implements an order-preserving, variable-length binary
+// decimal encoding modeled on the Oracle NUMBER format the paper's OSON
+// leaf-scalar-value segment uses by default (§4.2.3).
+//
+// Properties:
+//   - exact decimal representation (no binary-float rounding),
+//   - compact: two decimal digits per mantissa byte,
+//   - order-preserving: bytes.Compare(Encode(a), Encode(b)) orders a and
+//     b numerically, which lets SQL predicate evaluation compare numbers
+//     without decoding.
+//
+// Layout (following the classic Oracle scheme):
+//
+//	zero:      [0x80]
+//	positive:  [0xC1+e] [d1+1] ... [dn+1]           di in 1..99 (base-100)
+//	negative:  [0x3E-e] [101-d1] ... [101-dn] [0x66]
+//
+// where the value is 0.d1d2...dn * 100^(e+1) in base-100 normalized form.
+// The trailing 0x66 byte on negatives makes shorter mantissas (which are
+// *larger* negative numbers... i.e. closer to zero) sort after longer
+// prefixes, preserving order under lexicographic byte comparison.
+package decnum
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrRange is returned when a number's base-100 exponent is outside the
+// encodable range [-65, 62].
+var ErrRange = errors.New("decnum: exponent out of range")
+
+// ErrSyntax is returned for an unparsable decimal literal.
+var ErrSyntax = errors.New("decnum: invalid decimal syntax")
+
+// ErrCorrupt is returned when decoding malformed bytes.
+var ErrCorrupt = errors.New("decnum: corrupt encoding")
+
+const (
+	zeroByte       = 0x80
+	negTerm        = 0x66 // 102
+	maxMantissa    = 20   // base-100 digits kept (40 decimal digits)
+	minExp, maxExp = -65, 62
+)
+
+// Encode converts a decimal literal (JSON number syntax; leading '+'
+// tolerated) to its order-preserving binary form.
+func Encode(s string) ([]byte, error) {
+	neg, digits, exp, err := parseDecimal(s)
+	if err != nil {
+		return nil, err
+	}
+	if digits == "" {
+		return []byte{zeroByte}, nil
+	}
+	// Normalize to base-100: value = 0.D1D2... * 100^(e100+1) where Di are
+	// base-100 digits. Align the digit string so its start sits on an even
+	// power of ten.
+	// decimal point is after position len(digits)+exp... define p = number
+	// of decimal digits left of the point relative to digit string start.
+	p := len(digits) + exp // value = 0.digits * 10^p
+	if p%2 != 0 {
+		digits = "0" + digits
+		p++
+	}
+	e100 := p/2 - 1
+	if e100 < minExp || e100 > maxExp {
+		return nil, fmt.Errorf("%w: %s", ErrRange, s)
+	}
+	if len(digits)%2 != 0 {
+		digits += "0"
+	}
+	n := len(digits) / 2
+	if n > maxMantissa {
+		n = maxMantissa // round-truncate beyond 40 significant digits
+		digits = digits[:2*n]
+	}
+	mant := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		d := (digits[2*i]-'0')*10 + (digits[2*i+1] - '0')
+		mant = append(mant, d)
+	}
+	// strip trailing zero base-100 digits
+	for len(mant) > 0 && mant[len(mant)-1] == 0 {
+		mant = mant[:len(mant)-1]
+	}
+	if len(mant) == 0 {
+		return []byte{zeroByte}, nil
+	}
+	out := make([]byte, 0, len(mant)+2)
+	if !neg {
+		out = append(out, byte(0xC1+e100))
+		for _, d := range mant {
+			out = append(out, d+1)
+		}
+	} else {
+		out = append(out, byte(0x3E-e100))
+		for _, d := range mant {
+			out = append(out, 101-d)
+		}
+		out = append(out, negTerm)
+	}
+	return out, nil
+}
+
+// EncodeInt encodes an int64.
+func EncodeInt(i int64) []byte {
+	b, err := Encode(strconv.FormatInt(i, 10))
+	if err != nil {
+		panic(err) // int64 range is always encodable
+	}
+	return b
+}
+
+// EncodeFloat encodes a float64 via its shortest decimal representation.
+func EncodeFloat(f float64) ([]byte, error) {
+	return Encode(strconv.FormatFloat(f, 'g', -1, 64))
+}
+
+// Decode converts an encoding back to a canonical decimal string.
+func Decode(b []byte) (string, error) {
+	if len(b) == 0 {
+		return "", ErrCorrupt
+	}
+	if b[0] == zeroByte {
+		if len(b) != 1 {
+			return "", ErrCorrupt
+		}
+		return "0", nil
+	}
+	var neg bool
+	var e100 int
+	var mant []byte
+	if b[0] > zeroByte { // positive
+		e100 = int(b[0]) - 0xC1
+		for _, d := range b[1:] {
+			if d < 1 || d > 100 {
+				return "", ErrCorrupt
+			}
+			mant = append(mant, d-1)
+		}
+	} else {
+		neg = true
+		e100 = 0x3E - int(b[0])
+		body := b[1:]
+		if len(body) == 0 || body[len(body)-1] != negTerm {
+			return "", ErrCorrupt
+		}
+		body = body[:len(body)-1]
+		if len(body) == 0 {
+			return "", ErrCorrupt
+		}
+		for _, d := range body {
+			v := 101 - int(d)
+			if v < 0 || v > 99 {
+				return "", ErrCorrupt
+			}
+			mant = append(mant, byte(v))
+		}
+	}
+	if len(mant) == 0 || len(mant) > maxMantissa {
+		return "", ErrCorrupt
+	}
+	// Normalization invariant from the encoder: the first and last
+	// base-100 digits are nonzero.
+	if mant[0] == 0 || mant[len(mant)-1] == 0 {
+		return "", ErrCorrupt
+	}
+	// value = 0.M1M2... * 100^(e100+1) in base 100
+	var sb strings.Builder
+	for _, d := range mant {
+		sb.WriteByte('0' + d/10)
+		sb.WriteByte('0' + d%10)
+	}
+	digits := sb.String()
+	p := 2 * (e100 + 1) // decimal digits left of the point
+	return assemble(neg, digits, p), nil
+}
+
+// assemble renders sign/digits/point-position as a canonical decimal
+// string (plain form preferred, scientific beyond sensible widths).
+func assemble(neg bool, digits string, p int) string {
+	digits = strings.TrimRight(digits, "0")
+	lead := 0
+	for lead < len(digits) && digits[lead] == '0' {
+		lead++
+	}
+	digits = digits[lead:]
+	p -= lead
+	if digits == "" {
+		return "0"
+	}
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	switch {
+	case p >= len(digits) && p <= 21:
+		b.WriteString(digits)
+		b.WriteString(strings.Repeat("0", p-len(digits)))
+	case p > 0 && p < len(digits):
+		b.WriteString(digits[:p])
+		b.WriteByte('.')
+		b.WriteString(digits[p:])
+	case p <= 0 && p > -6:
+		b.WriteString("0.")
+		b.WriteString(strings.Repeat("0", -p))
+		b.WriteString(digits)
+	default:
+		b.WriteString(digits[:1])
+		if len(digits) > 1 {
+			b.WriteByte('.')
+			b.WriteString(digits[1:])
+		}
+		b.WriteByte('e')
+		b.WriteString(strconv.Itoa(p - 1))
+	}
+	return b.String()
+}
+
+// Compare orders two encodings numerically without decoding.
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// Float64 decodes the encoding to a float64 (possibly lossy).
+func Float64(b []byte) (float64, error) {
+	s, err := Decode(b)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseDecimal splits a decimal literal into sign, significant digit
+// string (leading zeros stripped) and exponent relative to the last
+// digit of that string.
+func parseDecimal(s string) (neg bool, digits string, exp int, err error) {
+	if s == "" {
+		return false, "", 0, ErrSyntax
+	}
+	i := 0
+	switch s[i] {
+	case '-':
+		neg = true
+		i++
+	case '+':
+		i++
+	}
+	start := i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	intPart := s[start:i]
+	frac := ""
+	if i < len(s) && s[i] == '.' {
+		i++
+		start = i
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		frac = s[start:i]
+	}
+	if intPart == "" && frac == "" {
+		return false, "", 0, ErrSyntax
+	}
+	e := 0
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		es := 1
+		if i < len(s) && (s[i] == '+' || s[i] == '-') {
+			if s[i] == '-' {
+				es = -1
+			}
+			i++
+		}
+		start = i
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if start == i {
+			return false, "", 0, ErrSyntax
+		}
+		ev, perr := strconv.Atoi(s[start:i])
+		if perr != nil {
+			return false, "", 0, ErrSyntax
+		}
+		e = es * ev
+	}
+	if i != len(s) {
+		return false, "", 0, ErrSyntax
+	}
+	all := intPart + frac
+	all = strings.TrimLeft(all, "0")
+	if all == "" {
+		return neg, "", 0, nil // zero
+	}
+	exp = e - len(frac)
+	// strip trailing zeros into exponent
+	for len(all) > 0 && all[len(all)-1] == '0' {
+		all = all[:len(all)-1]
+		exp++
+	}
+	return neg, all, exp, nil
+}

@@ -1,0 +1,280 @@
+package decnum
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeBasics(t *testing.T) {
+	cases := map[string]string{
+		"0":          "0",
+		"-0":         "0",
+		"1":          "1",
+		"-1":         "-1",
+		"10":         "10",
+		"100":        "100",
+		"99":         "99",
+		"-99":        "-99",
+		"0.5":        "0.5",
+		"-0.5":       "-0.5",
+		"123456789":  "123456789",
+		"-123456789": "-123456789",
+		"3.14159":    "3.14159",
+		"1e10":       "10000000000",
+		"2.5e-3":     "0.0025",
+		"1e-7":       "1e-7",
+		"1e100":      "1e100",
+		"-1e100":     "-1e100",
+	}
+	for in, want := range cases {
+		b, err := Encode(in)
+		if err != nil {
+			t.Errorf("Encode(%q): %v", in, err)
+			continue
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Errorf("Decode(Encode(%q)): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("round trip %q = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEncodeZeroForms(t *testing.T) {
+	for _, z := range []string{"0", "0.000", "-0.0", "0e9", "000"} {
+		b, err := Encode(z)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", z, err)
+		}
+		if !bytes.Equal(b, []byte{0x80}) {
+			t.Fatalf("Encode(%q) = %x, want 80", z, b)
+		}
+	}
+}
+
+func TestEncodeSyntaxErrors(t *testing.T) {
+	for _, bad := range []string{"", "-", "+", "e5", "1e", "1e+", "1.2.3", "abc", "1x"} {
+		if _, err := Encode(bad); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Encode(%q) err = %v, want ErrSyntax", bad, err)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	if _, err := Encode("1e130"); !errors.Is(err, ErrRange) {
+		t.Errorf("1e130 err = %v, want ErrRange", err)
+	}
+	if _, err := Encode("1e-140"); !errors.Is(err, ErrRange) {
+		t.Errorf("1e-140 err = %v, want ErrRange", err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x80, 0x01},       // zero with trailing bytes
+		{0xC1, 0x01},       // positive digit byte below 2
+		{0xC1},             // positive with no mantissa
+		{0x3E},             // negative with no body
+		{0x3E, 0x60},       // negative missing terminator
+		{0x3E, 0x66},       // negative with empty mantissa
+		{0x3E, 0x00, 0x66}, // negative digit out of range (101-0=101>99... 0 -> 101 invalid)
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: Decode(%x) err = %v, want ErrCorrupt", i, b, err)
+		}
+	}
+}
+
+func TestOrderPreservation(t *testing.T) {
+	// hand-picked values crossing sign, magnitude and length boundaries
+	vals := []string{
+		"-1e100", "-123456789", "-100.5", "-100", "-99.99", "-2", "-1.5",
+		"-1", "-0.5", "-0.0001", "0", "0.0001", "0.5", "1", "1.5", "2",
+		"99.99", "100", "100.5", "123456789", "1e100",
+	}
+	encs := make([][]byte, len(vals))
+	for i, v := range vals {
+		b, err := Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", v, err)
+		}
+		encs[i] = b
+	}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := sign(Compare(encs[i], encs[j])); got != want {
+				t.Errorf("Compare(%s, %s) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestOrderPreservationProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		// Keep within encodable exponent range.
+		if a != 0 && (math.Abs(a) > 1e120 || math.Abs(a) < 1e-120) {
+			return true
+		}
+		if b != 0 && (math.Abs(b) > 1e120 || math.Abs(b) < 1e-120) {
+			return true
+		}
+		ea, err := EncodeFloat(a)
+		if err != nil {
+			return false
+		}
+		eb, err := EncodeFloat(b)
+		if err != nil {
+			return false
+		}
+		cmp := sign(Compare(ea, eb))
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		return cmp == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		if x != 0 && (math.Abs(x) > 1e120 || math.Abs(x) < 1e-120) {
+			return true
+		}
+		b, err := EncodeFloat(x)
+		if err != nil {
+			return false
+		}
+		f64, err := Float64(b)
+		if err != nil {
+			return false
+		}
+		return f64 == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool {
+		b := EncodeInt(i)
+		s, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		got, err := strconv.ParseInt(s, 10, 64)
+		return err == nil && got == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntOrderProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		cmp := sign(Compare(EncodeInt(a), EncodeInt(b)))
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		return cmp == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// two decimal digits per byte: 123456 = 3 base-100 digits + 1 header
+	b, err := Encode("123456")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 4 {
+		t.Fatalf("Encode(123456) length = %d, want 4", len(b))
+	}
+	// trailing zero base-100 digits are stripped: 100 is 1 digit + header
+	b, err = Encode("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 {
+		t.Fatalf("Encode(100) length = %d, want 2", len(b))
+	}
+}
+
+func TestMantissaTruncation(t *testing.T) {
+	// 50 significant digits get truncated to 40 without error
+	long := "1.2345678901234567890123456789012345678901234567890"
+	b, err := Encode(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) < 20 {
+		t.Fatalf("decoded truncated value too short: %q", s)
+	}
+	f, _ := strconv.ParseFloat(s, 64)
+	if math.Abs(f-1.23456789012345678) > 1e-10 {
+		t.Fatalf("truncated value drifted: %v", f)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode("12345.6789"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	x := EncodeInt(123456789)
+	y := EncodeInt(123456790)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(x, y)
+	}
+}

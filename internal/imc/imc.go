@@ -1,0 +1,387 @@
+// Package imc implements the dual-format in-memory store integration
+// of §5.2, modeled on Oracle Database In-Memory [19]:
+//
+//   - In-memory OSON (§5.2.2): for a table whose JSON documents are
+//     stored as text, population encodes each document to OSON once;
+//     scans then substitute the OSON bytes for the text column, so all
+//     SQL/JSON operators transparently navigate the binary form while
+//     the on-disk format remains text.
+//   - In-memory virtual columns (§5.2.1): JSON_VALUE virtual columns
+//     are evaluated once at population time into typed column vectors
+//     (values + null bitmap); scans then serve the vector value
+//     instead of re-evaluating the path per row.
+//
+// A populated Store implements sqlengine.InMemorySource and is
+// attached with Engine.AttachIMC.
+package imc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/oson"
+	"repro/internal/store"
+)
+
+// Store is the in-memory representation of one table.
+type Store struct {
+	mu  sync.RWMutex
+	tab *store.Table
+
+	osonCol  string
+	osonDocs []jsondom.Value // Binary OSON per row; Null where source was NULL
+	// sharedDict is set when the OSON column was populated with the set
+	// encoding of §7 (one merged dictionary for the whole store).
+	sharedDict *oson.SharedDict
+
+	vectors map[string]*Vector
+}
+
+// Vector is a typed in-memory column: numbers or strings with a null
+// bitmap, the columnar format suitable for tight predicate loops.
+type Vector struct {
+	IsNumber bool
+	Nums     []float64
+	Strs     []string
+	Nulls    []bool
+}
+
+// Len returns the number of entries.
+func (v *Vector) Len() int { return len(v.Nulls) }
+
+// Value returns the i-th entry as a SQL value.
+func (v *Vector) Value(i int) jsondom.Value {
+	if i < 0 || i >= len(v.Nulls) || v.Nulls[i] {
+		return jsondom.Null{}
+	}
+	if v.IsNumber {
+		return jsondom.NumberFromFloat(v.Nums[i])
+	}
+	return jsondom.String(v.Strs[i])
+}
+
+// MemoryBytes estimates the vector's in-memory footprint.
+func (v *Vector) MemoryBytes() int {
+	n := len(v.Nulls)
+	if v.IsNumber {
+		return 8*n + n
+	}
+	total := n
+	for _, s := range v.Strs {
+		total += len(s) + 16
+	}
+	return total
+}
+
+// NewStore creates an empty in-memory store for a table.
+func NewStore(tab *store.Table) *Store {
+	return &Store{tab: tab, vectors: make(map[string]*Vector)}
+}
+
+// PopulateOSON encodes the named JSON text column of every row into
+// OSON (§5.2.2's implicit OSON() constructor invocation during
+// population). Rows whose column is NULL or not a string are left
+// unsubstituted.
+func (s *Store) PopulateOSON(jsonCol string) error {
+	pos, ok := s.tab.ColumnPos(jsonCol)
+	if !ok {
+		return fmt.Errorf("imc: no column %q in table %q", jsonCol, s.tab.Name)
+	}
+	docs := make([]jsondom.Value, 0, s.tab.NumRows())
+	var encErr error
+	s.tab.Scan(func(rid int, row store.Row) bool {
+		v := row[pos]
+		str, ok := v.(jsondom.String)
+		if !ok {
+			docs = append(docs, jsondom.Null{})
+			return true
+		}
+		b, err := oson.FromJSONText([]byte(str))
+		if err != nil {
+			encErr = fmt.Errorf("imc: row %d: %w", rid, err)
+			return false
+		}
+		docs = append(docs, jsondom.Binary(b))
+		return true
+	})
+	if encErr != nil {
+		return encErr
+	}
+	s.mu.Lock()
+	s.osonCol = jsonCol
+	s.osonDocs = docs
+	s.mu.Unlock()
+	return nil
+}
+
+// PopulateOSONShared is PopulateOSON using the OSON set encoding of
+// §7: all documents share one merged field-name dictionary, removing
+// the per-document dictionary segments from memory and making field-id
+// resolution a one-time, store-wide operation.
+func (s *Store) PopulateOSONShared(jsonCol string) error {
+	pos, ok := s.tab.ColumnPos(jsonCol)
+	if !ok {
+		return fmt.Errorf("imc: no column %q in table %q", jsonCol, s.tab.Name)
+	}
+	dict := oson.NewSharedDict()
+	docs := make([]jsondom.Value, 0, s.tab.NumRows())
+	var encErr error
+	s.tab.Scan(func(rid int, row store.Row) bool {
+		str, ok := row[pos].(jsondom.String)
+		if !ok {
+			docs = append(docs, jsondom.Null{})
+			return true
+		}
+		dom, err := jsontext.Parse([]byte(str))
+		if err != nil {
+			encErr = fmt.Errorf("imc: row %d: %w", rid, err)
+			return false
+		}
+		b, err := oson.EncodeShared(dom, dict)
+		if err != nil {
+			encErr = fmt.Errorf("imc: row %d: %w", rid, err)
+			return false
+		}
+		doc, err := oson.ParseShared(b, dict)
+		if err != nil {
+			encErr = fmt.Errorf("imc: row %d: %w", rid, err)
+			return false
+		}
+		docs = append(docs, oson.SharedValue{Doc: doc})
+		return true
+	})
+	if encErr != nil {
+		return encErr
+	}
+	s.mu.Lock()
+	s.osonCol = jsonCol
+	s.osonDocs = docs
+	s.sharedDict = dict
+	s.mu.Unlock()
+	return nil
+}
+
+// PopulateVC evaluates the named virtual column for every row into a
+// typed vector (§5.2.1). The vector type is inferred from the first
+// non-null value.
+func (s *Store) PopulateVC(vcName string) error {
+	col, ok := s.tab.Column(vcName)
+	if !ok || !col.Virtual || col.Expr == nil {
+		return fmt.Errorf("imc: %q is not a virtual column of %q", vcName, s.tab.Name)
+	}
+	n := s.tab.NumRows()
+	vec := &Vector{Nulls: make([]bool, 0, n)}
+	typed := false
+	var evalErr error
+	s.tab.Scan(func(rid int, row store.Row) bool {
+		v, err := col.Expr(row)
+		if err != nil {
+			evalErr = fmt.Errorf("imc: row %d: %w", rid, err)
+			return false
+		}
+		if v == nil || v.Kind() == jsondom.KindNull {
+			vec.Nulls = append(vec.Nulls, true)
+			vec.Nums = append(vec.Nums, 0)
+			vec.Strs = append(vec.Strs, "")
+			return true
+		}
+		if !typed {
+			typed = true
+			vec.IsNumber = v.Kind() == jsondom.KindNumber || v.Kind() == jsondom.KindDouble
+		}
+		vec.Nulls = append(vec.Nulls, false)
+		if vec.IsNumber {
+			switch t := v.(type) {
+			case jsondom.Number:
+				vec.Nums = append(vec.Nums, t.Float64())
+			case jsondom.Double:
+				vec.Nums = append(vec.Nums, float64(t))
+			default:
+				// type drift after inference: store as null
+				vec.Nulls[len(vec.Nulls)-1] = true
+				vec.Nums = append(vec.Nums, 0)
+			}
+			vec.Strs = append(vec.Strs, "")
+			return true
+		}
+		vec.Nums = append(vec.Nums, 0)
+		if t, ok := v.(jsondom.String); ok {
+			vec.Strs = append(vec.Strs, string(t))
+		} else {
+			vec.Nulls[len(vec.Nulls)-1] = true
+			vec.Strs = append(vec.Strs, "")
+		}
+		return true
+	})
+	if evalErr != nil {
+		return evalErr
+	}
+	s.mu.Lock()
+	s.vectors[vcName] = vec
+	s.mu.Unlock()
+	return nil
+}
+
+// Substitute implements sqlengine.InMemorySource.
+func (s *Store) Substitute(rowID int, col string) (jsondom.Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if col == s.osonCol && rowID >= 0 && rowID < len(s.osonDocs) {
+		v := s.osonDocs[rowID]
+		if v != nil && v.Kind() != jsondom.KindNull {
+			return v, true
+		}
+		return nil, false
+	}
+	if vec, ok := s.vectors[col]; ok && rowID >= 0 && rowID < vec.Len() {
+		return vec.Value(rowID), true
+	}
+	return nil, false
+}
+
+// CompileFilter builds a vectorized predicate over a populated column
+// vector: op is one of = != < <= > >= between (between takes two
+// operands). The returned function tests one row id against the vector
+// without materializing the row — the columnar predicate evaluation
+// that gives VC-IMC its edge over per-document navigation (§5.2.1).
+func (s *Store) CompileFilter(col, op string, operands []jsondom.Value) (func(rowID int) bool, bool) {
+	s.mu.RLock()
+	vec, ok := s.vectors[col]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if vec.IsNumber {
+		nums := make([]float64, len(operands))
+		for i, o := range operands {
+			f, ok := numericOperand(o)
+			if !ok {
+				return nil, false
+			}
+			nums[i] = f
+		}
+		return numberFilter(vec, op, nums)
+	}
+	strs := make([]string, len(operands))
+	for i, o := range operands {
+		sv, ok := o.(jsondom.String)
+		if !ok {
+			return nil, false
+		}
+		strs[i] = string(sv)
+	}
+	return stringFilter(vec, op, strs)
+}
+
+func numericOperand(v jsondom.Value) (float64, bool) {
+	switch t := v.(type) {
+	case jsondom.Number:
+		return t.Float64(), true
+	case jsondom.Double:
+		return float64(t), true
+	}
+	return 0, false
+}
+
+func numberFilter(vec *Vector, op string, args []float64) (func(int) bool, bool) {
+	test := func(cmp func(float64) bool) func(int) bool {
+		return func(i int) bool {
+			if i < 0 || i >= len(vec.Nulls) || vec.Nulls[i] {
+				return false
+			}
+			return cmp(vec.Nums[i])
+		}
+	}
+	switch {
+	case op == "=" && len(args) == 1:
+		a := args[0]
+		return test(func(v float64) bool { return v == a }), true
+	case op == "!=" && len(args) == 1:
+		a := args[0]
+		return test(func(v float64) bool { return v != a }), true
+	case op == "<" && len(args) == 1:
+		a := args[0]
+		return test(func(v float64) bool { return v < a }), true
+	case op == "<=" && len(args) == 1:
+		a := args[0]
+		return test(func(v float64) bool { return v <= a }), true
+	case op == ">" && len(args) == 1:
+		a := args[0]
+		return test(func(v float64) bool { return v > a }), true
+	case op == ">=" && len(args) == 1:
+		a := args[0]
+		return test(func(v float64) bool { return v >= a }), true
+	case op == "between" && len(args) == 2:
+		lo, hi := args[0], args[1]
+		return test(func(v float64) bool { return v >= lo && v <= hi }), true
+	}
+	return nil, false
+}
+
+func stringFilter(vec *Vector, op string, args []string) (func(int) bool, bool) {
+	test := func(cmp func(string) bool) func(int) bool {
+		return func(i int) bool {
+			if i < 0 || i >= len(vec.Nulls) || vec.Nulls[i] {
+				return false
+			}
+			return cmp(vec.Strs[i])
+		}
+	}
+	switch {
+	case op == "=" && len(args) == 1:
+		a := args[0]
+		return test(func(v string) bool { return v == a }), true
+	case op == "!=" && len(args) == 1:
+		a := args[0]
+		return test(func(v string) bool { return v != a }), true
+	case op == "<" && len(args) == 1:
+		a := args[0]
+		return test(func(v string) bool { return v < a }), true
+	case op == "<=" && len(args) == 1:
+		a := args[0]
+		return test(func(v string) bool { return v <= a }), true
+	case op == ">" && len(args) == 1:
+		a := args[0]
+		return test(func(v string) bool { return v > a }), true
+	case op == ">=" && len(args) == 1:
+		a := args[0]
+		return test(func(v string) bool { return v >= a }), true
+	case op == "between" && len(args) == 2:
+		lo, hi := args[0], args[1]
+		return test(func(v string) bool { return v >= lo && v <= hi }), true
+	}
+	return nil, false
+}
+
+// Vector returns a populated vector by column name.
+func (s *Store) Vector(name string) (*Vector, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vectors[name]
+	return v, ok
+}
+
+// MemoryBytes reports the total in-memory footprint: OSON bytes plus
+// vector bytes.
+func (s *Store) MemoryBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, d := range s.osonDocs {
+		switch t := d.(type) {
+		case jsondom.Binary:
+			total += len(t)
+		case oson.SharedValue:
+			total += len(t.Doc.Bytes())
+		}
+	}
+	if s.sharedDict != nil {
+		total += s.sharedDict.MemoryBytes()
+	}
+	for _, v := range s.vectors {
+		total += v.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,585 @@
+// Package jsondom defines the JSON data model used throughout the FSDM
+// stack: a tree of objects, arrays and scalars, per the SQL/JSON DOM
+// semantics the paper's path language is defined over (§3.1).
+//
+// The scalar set is the extended set common to binary JSON formats:
+// strings, decimal numbers, IEEE doubles, booleans, null, timestamps and
+// raw binary (§4.1, third design criterion).
+package jsondom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the node type of a Value.
+type Kind uint8
+
+// The node kinds. Scalar kinds come first; KindObject and KindArray are
+// the two container kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindNumber // arbitrary-precision decimal, canonical string mantissa
+	KindDouble // IEEE 754 double (extended scalar type)
+	KindString
+	KindTimestamp // milliseconds since Unix epoch, UTC (extended)
+	KindBinary    // raw bytes (extended)
+	KindObject
+	KindArray
+)
+
+// String returns the lower-case name of the kind as used by the
+// DataGuide ("object", "array", "string", "number", ...).
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindTimestamp:
+		return "timestamp"
+	case KindBinary:
+		return "binary"
+	case KindObject:
+		return "object"
+	case KindArray:
+		return "array"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsScalar reports whether the kind is a leaf scalar kind.
+func (k Kind) IsScalar() bool { return k < KindObject }
+
+// Value is a node in a JSON DOM tree.
+type Value interface {
+	// Kind returns the node type.
+	Kind() Kind
+}
+
+// Null is the JSON null value.
+type Null struct{}
+
+// Bool is a JSON boolean.
+type Bool bool
+
+// Number is a JSON number held as its canonical decimal string
+// (no leading '+', no leading zeros, lower-case 'e' exponent only when
+// needed). Use N or MustNumber to construct canonical values.
+type Number string
+
+// Double is an IEEE 754 double-precision scalar, the alternate number
+// representation OSON supports (§4.2.3).
+type Double float64
+
+// String is a JSON string.
+type String string
+
+// Timestamp is a point in time with millisecond precision.
+type Timestamp int64
+
+// Binary is a raw byte scalar.
+type Binary []byte
+
+// Field is a single key/value member of an Object.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Object is a JSON object. Field insertion order is preserved, matching
+// JSON text semantics; lookup by name is supported.
+type Object struct {
+	fields []Field
+	index  map[string]int
+}
+
+// Array is an ordered list of JSON values.
+type Array struct {
+	Elems []Value
+}
+
+func (Null) Kind() Kind      { return KindNull }
+func (Bool) Kind() Kind      { return KindBool }
+func (Number) Kind() Kind    { return KindNumber }
+func (Double) Kind() Kind    { return KindDouble }
+func (String) Kind() Kind    { return KindString }
+func (Timestamp) Kind() Kind { return KindTimestamp }
+func (Binary) Kind() Kind    { return KindBinary }
+func (*Object) Kind() Kind   { return KindObject }
+func (*Array) Kind() Kind    { return KindArray }
+
+// NewObject returns an empty object.
+func NewObject() *Object {
+	return &Object{index: make(map[string]int)}
+}
+
+// NewArray returns an array with the given elements.
+func NewArray(elems ...Value) *Array { return &Array{Elems: elems} }
+
+// Set adds the field or replaces the value of an existing field with
+// the same name. It returns the object to allow chaining.
+func (o *Object) Set(name string, v Value) *Object {
+	if o.index == nil {
+		o.index = make(map[string]int)
+	}
+	if i, ok := o.index[name]; ok {
+		o.fields[i].Value = v
+		return o
+	}
+	o.index[name] = len(o.fields)
+	o.fields = append(o.fields, Field{Name: name, Value: v})
+	return o
+}
+
+// Get returns the value of the named field.
+func (o *Object) Get(name string) (Value, bool) {
+	if o.index == nil {
+		return nil, false
+	}
+	i, ok := o.index[name]
+	if !ok {
+		return nil, false
+	}
+	return o.fields[i].Value, true
+}
+
+// Has reports whether the object has a field with the given name.
+func (o *Object) Has(name string) bool {
+	_, ok := o.Get(name)
+	return ok
+}
+
+// Delete removes the named field if present and reports whether it was.
+func (o *Object) Delete(name string) bool {
+	i, ok := o.index[name]
+	if !ok {
+		return false
+	}
+	o.fields = append(o.fields[:i], o.fields[i+1:]...)
+	delete(o.index, name)
+	for j := i; j < len(o.fields); j++ {
+		o.index[o.fields[j].Name] = j
+	}
+	return true
+}
+
+// Len returns the number of fields.
+func (o *Object) Len() int { return len(o.fields) }
+
+// Fields returns the fields in insertion order. The slice is shared;
+// callers must not modify it.
+func (o *Object) Fields() []Field { return o.fields }
+
+// Names returns the field names in insertion order.
+func (o *Object) Names() []string {
+	names := make([]string, len(o.fields))
+	for i, f := range o.fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// SortedFields returns a copy of the fields sorted by name; the
+// DataGuide and OSON encoder use name-stable iteration orders.
+func (o *Object) SortedFields() []Field {
+	fs := append([]Field(nil), o.fields...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+	return fs
+}
+
+// Append adds elements to the array and returns it for chaining.
+func (a *Array) Append(vs ...Value) *Array {
+	a.Elems = append(a.Elems, vs...)
+	return a
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return len(a.Elems) }
+
+// At returns the i-th element, or nil if out of range.
+func (a *Array) At(i int) Value {
+	if i < 0 || i >= len(a.Elems) {
+		return nil
+	}
+	return a.Elems[i]
+}
+
+// N builds a canonical Number from a decimal string. It returns an
+// error if s is not a valid JSON number.
+func N(s string) (Number, error) {
+	c, err := CanonNumber(s)
+	if err != nil {
+		return "", err
+	}
+	return Number(c), nil
+}
+
+// MustNumber is N but panics on invalid input; for literals in tests
+// and generators.
+func MustNumber(s string) Number {
+	n, err := N(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NumberFromInt returns the Number for an integer.
+func NumberFromInt(i int64) Number { return Number(strconv.FormatInt(i, 10)) }
+
+// NumberFromFloat returns the canonical Number for a float. It panics
+// on NaN or infinities, which have no JSON representation.
+func NumberFromFloat(f float64) Number {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic("jsondom: NaN/Inf has no JSON number representation")
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// FormatFloat emits exponents like "e+07"; canonicalize them
+	if strings.ContainsRune(s, 'e') {
+		c, err := CanonNumber(s)
+		if err != nil {
+			panic("jsondom: " + err.Error()) // unreachable for FormatFloat output
+		}
+		return Number(c)
+	}
+	return Number(s)
+}
+
+// Float64 returns the number as a float64.
+func (n Number) Float64() float64 {
+	f, _ := strconv.ParseFloat(string(n), 64)
+	return f
+}
+
+// Int64 returns the number as an int64 if it is an exact integer in
+// range.
+func (n Number) Int64() (int64, bool) {
+	i, err := strconv.ParseInt(string(n), 10, 64)
+	return i, err == nil
+}
+
+// CanonNumber validates a JSON number literal and returns its canonical
+// form: sign preserved, redundant zeros and '+' removed, exponent folded
+// into the plain decimal form when the result stays short, otherwise
+// normalized scientific notation.
+func CanonNumber(s string) (string, error) {
+	neg, mant, exp, err := splitNumber(s)
+	if err != nil {
+		return "", err
+	}
+	// mant is a digit string with an implied decimal point position:
+	// value = mant * 10^exp (exp counts from the rightmost digit).
+	mant = strings.TrimLeft(mant, "0")
+	if mant == "" {
+		return "0", nil
+	}
+	// strip trailing zeros into the exponent
+	for len(mant) > 0 && mant[len(mant)-1] == '0' {
+		mant = mant[:len(mant)-1]
+		exp++
+	}
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	// Decide plain vs scientific: prefer plain if total width reasonable.
+	pointPos := len(mant) + exp // digits before the decimal point
+	switch {
+	case exp >= 0 && pointPos <= 21:
+		b.WriteString(mant)
+		b.WriteString(strings.Repeat("0", exp))
+	case exp < 0 && pointPos > 0:
+		b.WriteString(mant[:pointPos])
+		b.WriteByte('.')
+		b.WriteString(mant[pointPos:])
+	case exp < 0 && pointPos <= 0 && pointPos > -6:
+		b.WriteString("0.")
+		b.WriteString(strings.Repeat("0", -pointPos))
+		b.WriteString(mant)
+	default:
+		// scientific: d.ddd e (pointPos-1)
+		b.WriteString(mant[:1])
+		if len(mant) > 1 {
+			b.WriteByte('.')
+			b.WriteString(mant[1:])
+		}
+		b.WriteByte('e')
+		b.WriteString(strconv.Itoa(pointPos - 1))
+	}
+	return b.String(), nil
+}
+
+// splitNumber parses a JSON number into sign, digit string and base-10
+// exponent relative to the last digit.
+func splitNumber(s string) (neg bool, mant string, exp int, err error) {
+	if s == "" {
+		return false, "", 0, fmt.Errorf("jsondom: empty number")
+	}
+	i := 0
+	if s[i] == '-' {
+		neg = true
+		i++
+	} else if s[i] == '+' {
+		// tolerated on input even though JSON forbids it
+		i++
+	}
+	start := i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == start {
+		return false, "", 0, fmt.Errorf("jsondom: invalid number %q", s)
+	}
+	digits := s[start:i]
+	frac := ""
+	if i < len(s) && s[i] == '.' {
+		i++
+		start = i
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i == start {
+			return false, "", 0, fmt.Errorf("jsondom: invalid number %q", s)
+		}
+		frac = s[start:i]
+	}
+	e := 0
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		esign := 1
+		if i < len(s) && (s[i] == '+' || s[i] == '-') {
+			if s[i] == '-' {
+				esign = -1
+			}
+			i++
+		}
+		start = i
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i == start {
+			return false, "", 0, fmt.Errorf("jsondom: invalid number %q", s)
+		}
+		ev, perr := strconv.Atoi(s[start:i])
+		if perr != nil {
+			return false, "", 0, fmt.Errorf("jsondom: exponent overflow in %q", s)
+		}
+		e = esign * ev
+	}
+	if i != len(s) {
+		return false, "", 0, fmt.Errorf("jsondom: invalid number %q", s)
+	}
+	return neg, digits + frac, e - len(frac), nil
+}
+
+// Time returns the timestamp as a time.Time in UTC.
+func (t Timestamp) Time() time.Time { return time.UnixMilli(int64(t)).UTC() }
+
+// TimestampOf builds a Timestamp from a time.Time.
+func TimestampOf(t time.Time) Timestamp { return Timestamp(t.UnixMilli()) }
+
+// Equal reports deep structural equality of two values. Objects compare
+// by field set (order-insensitive, matching JSON object semantics);
+// arrays compare element-wise; Number and Double compare within their
+// own kinds only.
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch av := a.(type) {
+	case Null:
+		return true
+	case Bool:
+		return av == b.(Bool)
+	case Number:
+		return av == b.(Number)
+	case Double:
+		return av == b.(Double)
+	case String:
+		return av == b.(String)
+	case Timestamp:
+		return av == b.(Timestamp)
+	case Binary:
+		bv := b.(Binary)
+		if len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+		return true
+	case *Object:
+		bo := b.(*Object)
+		if av.Len() != bo.Len() {
+			return false
+		}
+		for _, f := range av.fields {
+			bvv, ok := bo.Get(f.Name)
+			if !ok || !Equal(f.Value, bvv) {
+				return false
+			}
+		}
+		return true
+	case *Array:
+		ba := b.(*Array)
+		if len(av.Elems) != len(ba.Elems) {
+			return false
+		}
+		for i := range av.Elems {
+			if !Equal(av.Elems[i], ba.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// CompareScalar orders two scalar values using SQL/JSON comparison
+// semantics: numbers (Number and Double interchangeably) compare
+// numerically, strings lexically, booleans false<true, timestamps by
+// instant. It returns ok=false for cross-type comparisons (other than
+// Number/Double) and for containers, which SQL/JSON treats as
+// non-comparable.
+func CompareScalar(a, b Value) (cmp int, ok bool) {
+	ak, bk := a.Kind(), b.Kind()
+	numeric := func(k Kind) bool { return k == KindNumber || k == KindDouble }
+	switch {
+	case numeric(ak) && numeric(bk):
+		af, bf := scalarFloat(a), scalarFloat(b)
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	case ak == KindString && bk == KindString:
+		return strings.Compare(string(a.(String)), string(b.(String))), true
+	case ak == KindBool && bk == KindBool:
+		av, bv := a.(Bool), b.(Bool)
+		switch {
+		case !bool(av) && bool(bv):
+			return -1, true
+		case bool(av) && !bool(bv):
+			return 1, true
+		}
+		return 0, true
+	case ak == KindTimestamp && bk == KindTimestamp:
+		av, bv := a.(Timestamp), b.(Timestamp)
+		switch {
+		case av < bv:
+			return -1, true
+		case av > bv:
+			return 1, true
+		}
+		return 0, true
+	case ak == KindNull && bk == KindNull:
+		return 0, true
+	}
+	return 0, false
+}
+
+func scalarFloat(v Value) float64 {
+	switch t := v.(type) {
+	case Number:
+		return t.Float64()
+	case Double:
+		return float64(t)
+	}
+	return math.NaN()
+}
+
+// Clone returns a deep copy of v.
+func Clone(v Value) Value {
+	switch t := v.(type) {
+	case *Object:
+		o := NewObject()
+		for _, f := range t.fields {
+			o.Set(f.Name, Clone(f.Value))
+		}
+		return o
+	case *Array:
+		a := &Array{Elems: make([]Value, len(t.Elems))}
+		for i, e := range t.Elems {
+			a.Elems[i] = Clone(e)
+		}
+		return a
+	case Binary:
+		return Binary(append([]byte(nil), t...))
+	default:
+		return v // scalars are immutable
+	}
+}
+
+// Walk visits every node of the tree rooted at v in depth-first
+// pre-order. fn receives the path of object field names / array markers
+// leading to the node; it returns false to prune the subtree.
+func Walk(v Value, fn func(path []string, v Value) bool) {
+	walk(v, nil, fn)
+}
+
+func walk(v Value, path []string, fn func(path []string, v Value) bool) {
+	if !fn(path, v) {
+		return
+	}
+	switch t := v.(type) {
+	case *Object:
+		for _, f := range t.fields {
+			walk(f.Value, append(path, f.Name), fn)
+		}
+	case *Array:
+		for _, e := range t.Elems {
+			walk(e, path, fn)
+		}
+	}
+}
+
+// Size returns the number of nodes in the tree rooted at v.
+func Size(v Value) int {
+	n := 0
+	Walk(v, func([]string, Value) bool { n++; return true })
+	return n
+}
+
+// Depth returns the maximum container nesting depth (a scalar has
+// depth 0, {"a":1} has depth 1).
+func Depth(v Value) int {
+	switch t := v.(type) {
+	case *Object:
+		max := 0
+		for _, f := range t.fields {
+			if d := Depth(f.Value); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	case *Array:
+		max := 0
+		for _, e := range t.Elems {
+			if d := Depth(e); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	default:
+		return 0
+	}
+}

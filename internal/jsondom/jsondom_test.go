@@ -1,0 +1,371 @@
+package jsondom
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "boolean", KindNumber: "number",
+		KindDouble: "double", KindString: "string", KindTimestamp: "timestamp",
+		KindBinary: "binary", KindObject: "object", KindArray: "array",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestKindIsScalar(t *testing.T) {
+	for _, k := range []Kind{KindNull, KindBool, KindNumber, KindDouble, KindString, KindTimestamp, KindBinary} {
+		if !k.IsScalar() {
+			t.Errorf("%v should be scalar", k)
+		}
+	}
+	for _, k := range []Kind{KindObject, KindArray} {
+		if k.IsScalar() {
+			t.Errorf("%v should not be scalar", k)
+		}
+	}
+}
+
+func TestObjectSetGet(t *testing.T) {
+	o := NewObject().Set("a", Number("1")).Set("b", String("x"))
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", o.Len())
+	}
+	v, ok := o.Get("a")
+	if !ok || v.(Number) != "1" {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := o.Get("missing"); ok {
+		t.Fatal("Get(missing) should fail")
+	}
+	// replace keeps order
+	o.Set("a", Number("2"))
+	if o.Len() != 2 {
+		t.Fatalf("Len after replace = %d", o.Len())
+	}
+	if names := o.Names(); names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if !o.Has("b") || o.Has("zz") {
+		t.Fatal("Has misbehaves")
+	}
+}
+
+func TestObjectDelete(t *testing.T) {
+	o := NewObject().Set("a", Null{}).Set("b", Null{}).Set("c", Null{})
+	if !o.Delete("b") {
+		t.Fatal("Delete(b) = false")
+	}
+	if o.Delete("b") {
+		t.Fatal("second Delete(b) = true")
+	}
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	// index must be rebuilt so later fields stay reachable
+	if v, ok := o.Get("c"); !ok || v.Kind() != KindNull {
+		t.Fatal("Get(c) after delete failed")
+	}
+	if names := o.Names(); names[0] != "a" || names[1] != "c" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestObjectSortedFields(t *testing.T) {
+	o := NewObject().Set("z", Null{}).Set("a", Null{}).Set("m", Null{})
+	fs := o.SortedFields()
+	if fs[0].Name != "a" || fs[1].Name != "m" || fs[2].Name != "z" {
+		t.Fatalf("SortedFields order wrong: %v", fs)
+	}
+	// original order untouched
+	if o.Names()[0] != "z" {
+		t.Fatal("SortedFields mutated insertion order")
+	}
+}
+
+func TestArrayOps(t *testing.T) {
+	a := NewArray(Number("1")).Append(Number("2"), Number("3"))
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if a.At(1).(Number) != "2" {
+		t.Fatalf("At(1) = %v", a.At(1))
+	}
+	if a.At(-1) != nil || a.At(3) != nil {
+		t.Fatal("out-of-range At should be nil")
+	}
+}
+
+func TestCanonNumber(t *testing.T) {
+	cases := map[string]string{
+		"0":        "0",
+		"-0":       "0",
+		"0.0":      "0",
+		"00":       "0",
+		"1":        "1",
+		"+1":       "1",
+		"-1":       "-1",
+		"1.50":     "1.5",
+		"0010":     "10",
+		"1e2":      "100",
+		"1E2":      "100",
+		"1.5e3":    "1500",
+		"12e-1":    "1.2",
+		"0.000001": "0.000001",
+		"1e-7":     "1e-7",
+		"123e30":   "1.23e32",
+		"2.5e+4":   "25000",
+		"-3.14159": "-3.14159",
+	}
+	for in, want := range cases {
+		got, err := CanonNumber(in)
+		if err != nil {
+			t.Errorf("CanonNumber(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("CanonNumber(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "-", "1.", ".5", "1e", "1e+", "abc", "1x", "1.2.3"} {
+		if _, err := CanonNumber(bad); err == nil {
+			t.Errorf("CanonNumber(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCanonNumberRoundTripValue(t *testing.T) {
+	// canonical form must preserve numeric value
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		n := NumberFromFloat(x)
+		c, err := CanonNumber(string(n))
+		if err != nil {
+			return false
+		}
+		got, err := N(c)
+		if err != nil {
+			return false
+		}
+		return got.Float64() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonNumberIdempotent(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := string(NumberFromFloat(x))
+		c1, err1 := CanonNumber(s)
+		if err1 != nil {
+			return false
+		}
+		c2, err2 := CanonNumber(c1)
+		return err2 == nil && c1 == c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberConversions(t *testing.T) {
+	if NumberFromInt(-42) != "-42" {
+		t.Fatal("NumberFromInt")
+	}
+	if got := Number("2.5").Float64(); got != 2.5 {
+		t.Fatalf("Float64 = %v", got)
+	}
+	if i, ok := Number("123").Int64(); !ok || i != 123 {
+		t.Fatalf("Int64 = %v, %v", i, ok)
+	}
+	if _, ok := Number("1.5").Int64(); ok {
+		t.Fatal("1.5 should not be an Int64")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NumberFromFloat(NaN) should panic")
+		}
+	}()
+	NumberFromFloat(math.NaN())
+}
+
+func TestMustNumberPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNumber on garbage should panic")
+		}
+	}()
+	MustNumber("not-a-number")
+}
+
+func TestTimestamp(t *testing.T) {
+	now := time.Date(2016, 6, 26, 10, 0, 0, 0, time.UTC)
+	ts := TimestampOf(now)
+	if !ts.Time().Equal(now) {
+		t.Fatalf("Time round trip: %v != %v", ts.Time(), now)
+	}
+}
+
+func sampleDoc() *Object {
+	return NewObject().
+		Set("id", Number("1")).
+		Set("name", String("phone")).
+		Set("tags", NewArray(String("a"), String("b"))).
+		Set("nested", NewObject().Set("x", Bool(true)).Set("y", Null{})).
+		Set("bin", Binary{1, 2, 3}).
+		Set("ts", Timestamp(1000)).
+		Set("d", Double(2.5))
+}
+
+func TestEqual(t *testing.T) {
+	a, b := sampleDoc(), sampleDoc()
+	if !Equal(a, b) {
+		t.Fatal("identical docs should be Equal")
+	}
+	b.Set("id", Number("2"))
+	if Equal(a, b) {
+		t.Fatal("differing docs should not be Equal")
+	}
+	// object field order is irrelevant
+	o1 := NewObject().Set("a", Number("1")).Set("b", Number("2"))
+	o2 := NewObject().Set("b", Number("2")).Set("a", Number("1"))
+	if !Equal(o1, o2) {
+		t.Fatal("field order must not affect equality")
+	}
+	if Equal(Number("1"), String("1")) {
+		t.Fatal("cross-kind equality")
+	}
+	if Equal(Binary{1}, Binary{1, 2}) || !Equal(Binary{1, 2}, Binary{1, 2}) {
+		t.Fatal("binary equality")
+	}
+	if !Equal(nil, nil) || Equal(nil, Null{}) {
+		t.Fatal("nil handling")
+	}
+	if Equal(NewArray(Number("1")), NewArray(Number("2"))) {
+		t.Fatal("array element inequality missed")
+	}
+	if Equal(NewArray(Number("1")), NewArray()) {
+		t.Fatal("array length inequality missed")
+	}
+	if Equal(NewObject().Set("a", Null{}), NewObject().Set("b", Null{})) {
+		t.Fatal("object key inequality missed")
+	}
+}
+
+func TestCompareScalar(t *testing.T) {
+	type tc struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}
+	cases := []tc{
+		{Number("1"), Number("2"), -1, true},
+		{Number("2"), Number("2"), 0, true},
+		{Number("3"), Double(2.5), 1, true},
+		{Double(1.5), Number("2"), -1, true},
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Bool(true), Bool(false), 1, true},
+		{Timestamp(1), Timestamp(2), -1, true},
+		{Timestamp(2), Timestamp(2), 0, true},
+		{Timestamp(3), Timestamp(2), 1, true},
+		{Null{}, Null{}, 0, true},
+		{Number("1"), String("1"), 0, false},
+		{NewObject(), NewObject(), 0, false},
+	}
+	for i, c := range cases {
+		cmp, ok := CompareScalar(c.a, c.b)
+		if ok != c.ok || (ok && cmp != c.cmp) {
+			t.Errorf("case %d: CompareScalar = %d,%v want %d,%v", i, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := sampleDoc()
+	b := Clone(a).(*Object)
+	if !Equal(a, b) {
+		t.Fatal("clone not equal")
+	}
+	// mutate clone; original must not change
+	b.Set("id", Number("999"))
+	nested, _ := b.Get("nested")
+	nested.(*Object).Set("x", Bool(false))
+	bin, _ := b.Get("bin")
+	bin.(Binary)[0] = 99
+	if v, _ := a.Get("id"); v.(Number) != "1" {
+		t.Fatal("clone mutation leaked (scalar)")
+	}
+	if n, _ := a.Get("nested"); func() Value { x, _ := n.(*Object).Get("x"); return x }().(Bool) != true {
+		t.Fatal("clone mutation leaked (nested)")
+	}
+	if v, _ := a.Get("bin"); v.(Binary)[0] != 1 {
+		t.Fatal("clone mutation leaked (binary)")
+	}
+}
+
+func TestWalkAndSize(t *testing.T) {
+	doc := sampleDoc()
+	// sampleDoc: object + 7 fields, tags array + 2, nested object + 2 = count
+	want := 1 + 7 + 2 + 2
+	if got := Size(doc); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	var leafPaths []string
+	Walk(doc, func(path []string, v Value) bool {
+		if v.Kind().IsScalar() {
+			leafPaths = append(leafPaths, strings.Join(path, "."))
+		}
+		return true
+	})
+	found := false
+	for _, p := range leafPaths {
+		if p == "nested.x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Walk paths missing nested.x: %v", leafPaths)
+	}
+	// pruning
+	n := 0
+	Walk(doc, func(path []string, v Value) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("pruned walk visited %d nodes", n)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if Depth(Number("1")) != 0 {
+		t.Fatal("scalar depth")
+	}
+	if Depth(NewObject()) != 1 {
+		t.Fatal("empty object depth")
+	}
+	d := NewObject().Set("a", NewArray(NewObject().Set("b", Number("1"))))
+	if Depth(d) != 3 {
+		t.Fatalf("Depth = %d, want 3", Depth(d))
+	}
+}

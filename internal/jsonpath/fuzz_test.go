@@ -1,0 +1,33 @@
+package jsonpath
+
+import "testing"
+
+// FuzzParse checks the path parser never panics and that its String
+// rendering is stable under reparsing.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"$", "$.a.b", `$."white space"`, "$.items[*].price",
+		"$[0,2 to 4,last,last-3]", "$.*", "$..name", "strict $.a",
+		`lax $.items[*]?(@.price > 100 && @.name == "tv").x`,
+		`$?(exists(@.a) || !(@.b <= 2))`,
+		`$?(@.s starts with "ab")`, `$?(@.s has substring "bc")`,
+		`$?(@.x == null || @.y == true)`,
+		"", "$.", "$[", "$?(", "a.b", `$."unterminated`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p1, err := Parse(input)
+		if err != nil {
+			return
+		}
+		s1 := p1.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("String output unparsable: %q -> %q: %v", input, s1, err)
+		}
+		if s2 := p2.String(); s1 != s2 {
+			t.Fatalf("String not a fixpoint: %q -> %q -> %q", input, s1, s2)
+		}
+	})
+}

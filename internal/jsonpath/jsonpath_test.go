@@ -1,0 +1,237 @@
+package jsonpath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jsondom"
+)
+
+func TestParseSimple(t *testing.T) {
+	p, err := Parse("$")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Lax || len(p.Steps) != 0 {
+		t.Fatalf("bad root path: %+v", p)
+	}
+
+	p = MustParse("$.purchaseOrder.items")
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Steps[0].(FieldStep).Name != "purchaseOrder" {
+		t.Fatal("step 0")
+	}
+	if p.Steps[1].(FieldStep).Name != "items" {
+		t.Fatal("step 1")
+	}
+}
+
+func TestParseModes(t *testing.T) {
+	if p := MustParse("lax $.a"); !p.Lax {
+		t.Fatal("lax not lax")
+	}
+	if p := MustParse("strict $.a"); p.Lax {
+		t.Fatal("strict is lax")
+	}
+	if p := MustParse("$.a"); !p.Lax {
+		t.Fatal("default should be lax")
+	}
+	// 'strictly' is an identifier, not a mode
+	if _, err := Parse("strictly $.a"); err == nil {
+		t.Fatal("bad mode should fail")
+	}
+}
+
+func TestParseQuotedNames(t *testing.T) {
+	p := MustParse(`$."foreign id"."we\"ird"`)
+	if p.Steps[0].(FieldStep).Name != "foreign id" {
+		t.Fatalf("quoted name = %q", p.Steps[0].(FieldStep).Name)
+	}
+	if p.Steps[1].(FieldStep).Name != `we"ird` {
+		t.Fatalf("escaped name = %q", p.Steps[1].(FieldStep).Name)
+	}
+}
+
+func TestParseArraySteps(t *testing.T) {
+	p := MustParse("$.items[*]")
+	a := p.Steps[1].(ArrayStep)
+	if !a.Wildcard {
+		t.Fatal("wildcard")
+	}
+
+	p = MustParse("$.a[0]")
+	a = p.Steps[1].(ArrayStep)
+	if a.Wildcard || len(a.Subs) != 1 || a.Subs[0].From.Pos != 0 || a.Subs[0].IsRange {
+		t.Fatalf("single index: %+v", a)
+	}
+
+	p = MustParse("$.a[1 to 3, 5, last-2, last]")
+	a = p.Steps[1].(ArrayStep)
+	if len(a.Subs) != 4 {
+		t.Fatalf("subs = %d", len(a.Subs))
+	}
+	if !a.Subs[0].IsRange || a.Subs[0].From.Pos != 1 || a.Subs[0].To.Pos != 3 {
+		t.Fatalf("range: %+v", a.Subs[0])
+	}
+	if a.Subs[1].From.Pos != 5 {
+		t.Fatal("plain 5")
+	}
+	if !a.Subs[2].From.Last || a.Subs[2].From.Back != 2 {
+		t.Fatalf("last-2: %+v", a.Subs[2])
+	}
+	if !a.Subs[3].From.Last || a.Subs[3].From.Back != 0 {
+		t.Fatal("last")
+	}
+}
+
+func TestParseWildcardAndDescendant(t *testing.T) {
+	p := MustParse("$.*.name")
+	if _, ok := p.Steps[0].(WildcardStep); !ok {
+		t.Fatal("wildcard step")
+	}
+	p = MustParse("$..price")
+	if d, ok := p.Steps[0].(DescendantStep); !ok || d.Name != "price" {
+		t.Fatal("descendant step")
+	}
+}
+
+func TestParseFilters(t *testing.T) {
+	p := MustParse(`$.items[*]?(@.price > 100 && @.name == "tv")`)
+	f := p.Steps[2].(FilterStep)
+	and, ok := f.Pred.(AndPred)
+	if !ok {
+		t.Fatalf("pred = %T", f.Pred)
+	}
+	l := and.L.(CmpPred)
+	if l.Op != OpGt {
+		t.Fatal("op")
+	}
+	lp := l.Left.(PathOperand)
+	if lp.Path.Text != "@.price" {
+		t.Fatalf("left path text = %q", lp.Path.Text)
+	}
+	if lit := l.Right.(LiteralOperand); lit.Value.(jsondom.Number) != "100" {
+		t.Fatal("right literal")
+	}
+	r := and.R.(CmpPred)
+	if r.Right.(LiteralOperand).Value.(jsondom.String) != "tv" {
+		t.Fatal("string literal")
+	}
+}
+
+func TestParseFilterVariants(t *testing.T) {
+	cases := []string{
+		`$?(exists(@.a))`,
+		`$?(!(@.a == 1))`,
+		`$?(@.a == 1 || @.b != 2)`,
+		`$?((@.a == 1 || @.b == 2) && @.c < 3)`,
+		`$?(@.s starts with "ab")`,
+		`$?(@.s has substring "bc")`,
+		`$?(@.x >= 1.5)`,
+		`$?(@.x <= -2e3)`,
+		`$?(@.x <> 4)`,
+		`$?(@.b == true)`,
+		`$?(@.b == false)`,
+		`$?(@.n == null)`,
+		`$?(@.a[0].b == 1)`,
+		`$?($.top == @.cur)`,
+		`$?(@.q = 7)`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err != nil {
+			t.Errorf("Parse(%q): %v", c, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "$.", "$.[", "$[", "$[]", "$[1", "$[1,]", "$[a]",
+		"$..", "$.a..", `$."unterminated`,
+		"$?(", "$?()", "$?(@.a)", "$?(@.a ==)", "$?(== 1)",
+		"$?(@.a == 1", "$?(@.a starts 1)", "$?(@.a has sub 1)",
+		"a.b", "$ x", "$.a extra",
+		"$?(!@.a == 1)",
+	}
+	for _, c := range bad {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		} else if !strings.Contains(err.Error(), "jsonpath:") {
+			t.Errorf("error %v lacks context", err)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"$",
+		"$.a.b.c",
+		`$."white space".x`,
+		"$.items[*].price",
+		"$.a[0,2 to 4,last,last-3]",
+		"$.*",
+		"$..name",
+		`strict $.a`,
+		`$.items[*]?(@.price > 100 && @.name == "tv").x`,
+		`$?(exists(@.a) || !(@.b <= 2))`,
+		`$?(@.s starts with "ab")`,
+	}
+	for _, c := range cases {
+		p1 := MustParse(c)
+		s1 := p1.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", s1, c, err)
+			continue
+		}
+		if s2 := p2.String(); s1 != s2 {
+			t.Errorf("String not stable: %q -> %q -> %q", c, s1, s2)
+		}
+	}
+}
+
+func TestFieldChain(t *testing.T) {
+	names, whole := MustParse("$.a.b.c").FieldChain()
+	if !whole || len(names) != 3 || names[2] != "c" {
+		t.Fatalf("chain = %v, %v", names, whole)
+	}
+	names, whole = MustParse("$.a[*].b").FieldChain()
+	if whole || len(names) != 1 {
+		t.Fatalf("partial chain = %v, %v", names, whole)
+	}
+	if _, whole := MustParse("$").FieldChain(); !whole {
+		t.Fatal("root is a whole chain")
+	}
+}
+
+func TestHasFilter(t *testing.T) {
+	if MustParse("$.a.b").HasFilter() {
+		t.Fatal("no filter expected")
+	}
+	if !MustParse("$.a?(@.x == 1).b").HasFilter() {
+		t.Fatal("filter expected")
+	}
+}
+
+func TestIsRootRelative(t *testing.T) {
+	p := MustParse(`$?($.top == 1 && @.cur == 2)`)
+	f := p.Steps[0].(FilterStep)
+	and := f.Pred.(AndPred)
+	if !and.L.(CmpPred).Left.(PathOperand).Path.IsRootRelative() {
+		t.Fatal("$ operand should be root relative")
+	}
+	if and.R.(CmpPred).Left.(PathOperand).Path.IsRootRelative() {
+		t.Fatal("@ operand should not be root relative")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpStartsWith, OpHasSubstring}
+	for _, op := range ops {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "CmpOp(") {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}

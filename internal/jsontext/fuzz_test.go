@@ -1,0 +1,49 @@
+package jsontext
+
+import (
+	"testing"
+
+	"repro/internal/jsondom"
+)
+
+// FuzzParse checks the parser's core contract on arbitrary bytes: no
+// panics, and anything that parses must survive a
+// serialize-and-reparse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{}`, `[]`, `null`, `0`, `"x"`,
+		`{"a":1,"b":[true,null,{"c":"x"}]}`,
+		`{"deep":{"deeper":{"deepest":[1,2,3]}}}`,
+		`[1e10,-2.5,0.001,"é😀"]`,
+		`{"":""}`, `{"a":{}}`, `[[[[[]]]]]`,
+		`{"esc":"a\"b\\c\nd"}`,
+		`{bad`, `[1,`, `"unterminated`, `tru`, `1..2`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Parse(data)
+		if err != nil {
+			if Valid(data) {
+				t.Fatalf("Valid accepted input Parse rejected: %q", data)
+			}
+			return
+		}
+		if !Valid(data) {
+			t.Fatalf("Parse accepted input Valid rejected: %q", data)
+		}
+		out := Serialize(v)
+		v2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of serialized output failed: %q -> %q: %v", data, out, err)
+		}
+		if !jsondom.Equal(v, v2) {
+			t.Fatalf("round trip changed value: %q -> %q", data, out)
+		}
+		// a valid document must also fingerprint successfully
+		if _, err := StructureFingerprint(data); err != nil {
+			t.Fatalf("fingerprint rejected valid document %q: %v", data, err)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package oson
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/decnum"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+// FuzzParse feeds arbitrary bytes to the OSON reader: parsing and full
+// decoding must never panic, and buffers produced by the encoder must
+// always round-trip.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		`{}`, `[]`, `{"a":1}`,
+		`{"purchaseOrder":{"id":1,"items":[{"name":"phone","price":100}]}}`,
+		`{"nested":{"arr":[[1],[2,[3]]]},"s":"text","b":true,"n":null}`,
+	} {
+		f.Add(MustEncode(jsontext.MustParse(s)))
+	}
+	f.Add([]byte("OSN1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// navigation and decoding over possibly-corrupt buffers must be
+		// error-returning, never panicking
+		_, _ = d.DecodeRoot() //nolint:errcheck
+		if k, err := d.NodeKind(d.Root()); err == nil && k == jsondom.KindObject {
+			n, err := d.ObjectLen(d.Root())
+			if err == nil {
+				for i := 0; i < n && i < 64; i++ {
+					_, _, _ = d.ObjectEntry(d.Root(), i) //nolint:errcheck
+				}
+			}
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip derives documents from JSON text and checks the
+// encode/decode cycle preserves them exactly.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		`{}`, `[1,2,3]`, `{"a":{"b":{"c":[true,null,"x",1.5]}}}`,
+		`{"rep":[{"k":1},{"k":2},{"k":3}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, text []byte) {
+		dom, err := jsontext.Parse(text)
+		if err != nil {
+			return
+		}
+		buf, err := Encode(dom)
+		if err != nil {
+			return // out-of-range numbers may legitimately fail
+		}
+		d, err := Parse(buf)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		got, err := d.DecodeRoot()
+		if err != nil {
+			t.Fatalf("own encoding failed to decode: %v", err)
+		}
+		// numbers round-trip at decnum precision (40 significant digits,
+		// mirroring Oracle NUMBER's 38); normalize both sides before
+		// comparing
+		if !jsondom.Equal(normNums(dom), normNums(got)) {
+			t.Fatalf("round trip mismatch: %s -> %s",
+				jsontext.Serialize(dom), jsontext.Serialize(got))
+		}
+	})
+}
+
+// normNums rewrites every Number through the decnum encoding so both
+// comparands share its precision.
+func normNums(v jsondom.Value) jsondom.Value {
+	switch t := v.(type) {
+	case jsondom.Double:
+		// doubles arising from number-range fallback compare numerically
+		return normNums(jsondom.NumberFromFloat(float64(t)))
+	case jsondom.Number:
+		b, err := decnum.Encode(string(t))
+		if err != nil {
+			// out of decnum range: the encoder stores these as IEEE
+			// doubles, so compare at double precision
+			f := t.Float64()
+			if math.IsInf(f, 0) || math.IsNaN(f) {
+				return t
+			}
+			return jsondom.NumberFromFloat(f)
+		}
+		s, err := decnum.Decode(b)
+		if err != nil {
+			return t
+		}
+		return jsondom.Number(s)
+	case *jsondom.Object:
+		o := jsondom.NewObject()
+		for _, f := range t.Fields() {
+			o.Set(f.Name, normNums(f.Value))
+		}
+		return o
+	case *jsondom.Array:
+		a := jsondom.NewArray()
+		for _, e := range t.Elems {
+			a.Append(normNums(e))
+		}
+		return a
+	default:
+		return v
+	}
+}

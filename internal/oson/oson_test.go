@@ -1,0 +1,491 @@
+package oson
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+const poText = `{"purchaseOrder":{"id":1,"podate":"2014-09-08",
+	"items":[{"name":"phone","price":100,"quantity":2},
+	         {"name":"ipad","price":350.86,"quantity":3}]}}`
+
+func poDoc() jsondom.Value { return jsontext.MustParse(poText) }
+
+func TestRoundTrip(t *testing.T) {
+	doc := poDoc()
+	d := MustParse(MustEncode(doc))
+	got, err := d.DecodeRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jsondom.Equal(doc, got) {
+		t.Fatalf("round trip mismatch:\n in: %s\nout: %s",
+			jsontext.SerializeString(doc), jsontext.SerializeString(got))
+	}
+}
+
+func TestRoundTripScalarRoots(t *testing.T) {
+	for _, v := range []jsondom.Value{
+		jsondom.Null{}, jsondom.Bool(true), jsondom.Bool(false),
+		jsondom.Number("42"), jsondom.Number("-3.25"),
+		jsondom.Double(1.5), jsondom.String("hello"),
+		jsondom.String(""), jsondom.Timestamp(12345),
+		jsondom.Binary{9, 8, 7}, jsondom.NewArray(), jsondom.NewObject(),
+	} {
+		d := MustParse(MustEncode(v))
+		got, err := d.DecodeRoot()
+		if err != nil {
+			t.Fatalf("%v: %v", v.Kind(), err)
+		}
+		if !jsondom.Equal(v, got) {
+			t.Fatalf("kind %v: %#v != %#v", v.Kind(), got, v)
+		}
+	}
+}
+
+func TestHugeNumberFallsBackToDouble(t *testing.T) {
+	// exponent beyond decnum range degrades to IEEE double encoding
+	v := jsondom.NewObject().Set("n", jsondom.Number("1e200"))
+	d := MustParse(MustEncode(v))
+	got, err := d.DecodeRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := got.(*jsondom.Object).Get("n")
+	if n.Kind() != jsondom.KindDouble || float64(n.(jsondom.Double)) != 1e200 {
+		t.Fatalf("fallback value = %#v", n)
+	}
+}
+
+func TestFieldNameDictionaryDedup(t *testing.T) {
+	// an array of homogeneous objects stores each field name once
+	arr := jsondom.NewArray()
+	for i := 0; i < 50; i++ {
+		arr.Append(jsondom.NewObject().
+			Set("longFieldNameOne", jsondom.NumberFromInt(int64(i))).
+			Set("longFieldNameTwo", jsondom.NumberFromInt(int64(i))))
+	}
+	d := MustParse(MustEncode(arr))
+	if d.DictLen() != 2 {
+		t.Fatalf("DictLen = %d, want 2", d.DictLen())
+	}
+	dict, _, _ := d.SegmentSizes()
+	// 2 entries: 2 (count) + 2*8 (entries) + 2*(2+16) heap = 54
+	if dict != 54 {
+		t.Fatalf("dict segment = %d, want 54", dict)
+	}
+}
+
+func TestNavigation(t *testing.T) {
+	d := MustParse(MustEncode(poDoc()))
+	root := d.Root()
+	k, err := d.NodeKind(root)
+	if err != nil || k != jsondom.KindObject {
+		t.Fatalf("root kind = %v, %v", k, err)
+	}
+	po, ok, err := d.GetFieldByName(root, "purchaseOrder")
+	if err != nil || !ok {
+		t.Fatalf("GetFieldByName: %v %v", ok, err)
+	}
+	items, ok, err := d.GetFieldByName(po, "items")
+	if err != nil || !ok {
+		t.Fatal("items missing")
+	}
+	n, err := d.ArrayLen(items)
+	if err != nil || n != 2 {
+		t.Fatalf("ArrayLen = %d, %v", n, err)
+	}
+	item1, ok, err := d.GetArrayElement(items, 1)
+	if err != nil || !ok {
+		t.Fatal("element 1 missing")
+	}
+	price, ok, err := d.GetFieldByName(item1, "price")
+	if err != nil || !ok {
+		t.Fatal("price missing")
+	}
+	v, err := d.Scalar(price)
+	if err != nil || v.(jsondom.Number) != "350.86" {
+		t.Fatalf("price = %v, %v", v, err)
+	}
+	// out-of-range and missing lookups
+	if _, ok, _ := d.GetArrayElement(items, 2); ok {
+		t.Fatal("element 2 should be absent")
+	}
+	if _, ok, _ := d.GetArrayElement(items, -1); ok {
+		t.Fatal("negative index should be absent")
+	}
+	if _, ok, _ := d.GetFieldByName(po, "nonexistent"); ok {
+		t.Fatal("nonexistent field found")
+	}
+	// kind mismatches are not errors, just not-found
+	if _, ok, _ := d.GetFieldValue(items, 0); ok {
+		t.Fatal("field lookup on array should miss")
+	}
+	if _, ok, _ := d.GetArrayElement(po, 0); ok {
+		t.Fatal("array lookup on object should miss")
+	}
+}
+
+func TestObjectChildIDsSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := genDoc(r, 3)
+		d := MustParse(MustEncode(doc))
+		return checkSorted(t, d, d.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkSorted(t *testing.T, d *Doc, a NodeAddr) bool {
+	k, err := d.NodeKind(a)
+	if err != nil {
+		return false
+	}
+	switch k {
+	case jsondom.KindObject:
+		n, err := d.ObjectLen(a)
+		if err != nil {
+			return false
+		}
+		var prev FieldID
+		for i := 0; i < n; i++ {
+			id, child, err := d.ObjectEntry(a, i)
+			if err != nil {
+				return false
+			}
+			if i > 0 && id <= prev {
+				t.Logf("unsorted ids: %d after %d", id, prev)
+				return false
+			}
+			prev = id
+			if !checkSorted(t, d, child) {
+				return false
+			}
+		}
+	case jsondom.KindArray:
+		n, _ := d.ArrayLen(a)
+		for i := 0; i < n; i++ {
+			child, ok, err := d.GetArrayElement(a, i)
+			if err != nil || !ok {
+				return false
+			}
+			if !checkSorted(t, d, child) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestLookupIDAndFieldRef(t *testing.T) {
+	doc1 := jsontext.MustParse(`{"alpha":1,"beta":2,"gamma":3}`)
+	doc2 := jsontext.MustParse(`{"alpha":9,"beta":8,"gamma":7}`)
+	doc3 := jsontext.MustParse(`{"zeta":1,"alpha":5}`)
+	d1 := MustParse(MustEncode(doc1))
+	d2 := MustParse(MustEncode(doc2))
+	d3 := MustParse(MustEncode(doc3))
+
+	ref := NewFieldRef("alpha")
+	id1, ok := ref.Resolve(d1)
+	if !ok {
+		t.Fatal("alpha not found in d1")
+	}
+	// homogeneous docs: the look-back id must match
+	id2, ok := ref.Resolve(d2)
+	if !ok || id2 != id1 {
+		t.Fatalf("look-back failed: id2=%d id1=%d ok=%v", id2, id1, ok)
+	}
+	// heterogeneous doc: id may differ but must be correct
+	id3, ok := ref.Resolve(d3)
+	if !ok {
+		t.Fatal("alpha not found in d3")
+	}
+	name, err := d3.FieldName(id3)
+	if err != nil || name != "alpha" {
+		t.Fatalf("FieldName(id3) = %q, %v", name, err)
+	}
+	// repeated resolve on same doc hits the cached path
+	id3b, ok := ref.Resolve(d3)
+	if !ok || id3b != id3 {
+		t.Fatal("same-doc resolve changed answer")
+	}
+	// missing name
+	missing := NewFieldRef("nope")
+	if _, ok := missing.Resolve(d1); ok {
+		t.Fatal("missing name resolved")
+	}
+	if _, ok := missing.Resolve(d2); ok {
+		t.Fatal("missing name resolved after look-back")
+	}
+}
+
+func TestHashCollisionsResolvedByName(t *testing.T) {
+	// FNV-1a collisions are rare; simulate by building many names and
+	// verifying every LookupName answer is self-consistent.
+	o := jsondom.NewObject()
+	var names []string
+	for i := 0; i < 500; i++ {
+		n := "f" + strings.Repeat("x", i%7) + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		if !o.Has(n) {
+			names = append(names, n)
+			o.Set(n, jsondom.NumberFromInt(int64(i)))
+		}
+	}
+	d := MustParse(MustEncode(o))
+	for _, n := range names {
+		id, ok := d.LookupName(n)
+		if !ok {
+			t.Fatalf("LookupName(%q) failed", n)
+		}
+		got, err := d.FieldName(id)
+		if err != nil || got != n {
+			t.Fatalf("FieldName(%d) = %q, want %q", id, got, n)
+		}
+	}
+}
+
+func TestNumberAndStringBytes(t *testing.T) {
+	d := MustParse(MustEncode(jsontext.MustParse(`{"n":12.5,"s":"abc"}`)))
+	nAddr, _, _ := d.GetFieldByName(d.Root(), "n")
+	sAddr, _, _ := d.GetFieldByName(d.Root(), "s")
+	nb, ok, err := d.NumberBytes(nAddr)
+	if err != nil || !ok || len(nb) == 0 {
+		t.Fatalf("NumberBytes: %v %v", ok, err)
+	}
+	if _, ok, _ := d.NumberBytes(sAddr); ok {
+		t.Fatal("NumberBytes on string should miss")
+	}
+	sb, ok, err := d.StringBytes(sAddr)
+	if err != nil || !ok || string(sb) != "abc" {
+		t.Fatalf("StringBytes = %q, %v, %v", sb, ok, err)
+	}
+	if _, ok, _ := d.StringBytes(nAddr); ok {
+		t.Fatal("StringBytes on number should miss")
+	}
+	if _, _, err := d.NumberBytes(d.Root()); !errors.Is(err, ErrNotScalar) {
+		t.Fatalf("container err = %v", err)
+	}
+}
+
+func TestUpdateScalarInPlace(t *testing.T) {
+	d := MustParse(MustEncode(jsontext.MustParse(`{"price":350.86,"name":"widget"}`)))
+	pAddr, _, _ := d.GetFieldByName(d.Root(), "price")
+	if err := d.UpdateScalar(pAddr, jsondom.Number("99.5")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Scalar(pAddr)
+	if err != nil || v.(jsondom.Number) != "99.5" {
+		t.Fatalf("after update: %v, %v", v, err)
+	}
+	// same-size string update
+	nAddr, _, _ := d.GetFieldByName(d.Root(), "name")
+	if err := d.UpdateScalar(nAddr, jsondom.String("gadget")); err != nil {
+		t.Fatal(err)
+	}
+	// shrinking string update
+	if err := d.UpdateScalar(nAddr, jsondom.String("ab")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = d.Scalar(nAddr)
+	if v.(jsondom.String) != "ab" {
+		t.Fatalf("shrunk = %v", v)
+	}
+	// growth fails
+	if err := d.UpdateScalar(nAddr, jsondom.String("muchlongerstring")); !errors.Is(err, ErrUpdateTooLarge) {
+		t.Fatalf("grow err = %v", err)
+	}
+	// type change fails
+	if err := d.UpdateScalar(nAddr, jsondom.Number("1")); err == nil {
+		t.Fatal("type change should fail")
+	}
+	// container target fails
+	if err := d.UpdateScalar(d.Root(), jsondom.Number("1")); !errors.Is(err, ErrNotScalar) {
+		t.Fatalf("container update err = %v", err)
+	}
+	// whole doc still decodes after updates
+	if _, err := d.DecodeRoot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	good := MustEncode(poDoc())
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:10],
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)-5],
+	}
+	for name, buf := range cases {
+		if _, err := Parse(buf); err == nil {
+			t.Errorf("%s: Parse should fail", name)
+		}
+	}
+}
+
+func TestCorruptionResilience(t *testing.T) {
+	// random bit flips must never panic; they either error or decode to
+	// some value
+	base := MustEncode(poDoc())
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		mut := append([]byte(nil), base...)
+		for j := 0; j < 1+r.Intn(4); j++ {
+			mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		}
+		d, err := Parse(mut)
+		if err != nil {
+			continue
+		}
+		_, _ = d.DecodeRoot() //nolint:errcheck // checking absence of panic
+	}
+}
+
+func TestFromJSONText(t *testing.T) {
+	b, err := FromJSONText([]byte(`{"a":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := MustParse(b)
+	v, _ := d.DecodeRoot()
+	if !jsondom.Equal(v, jsontext.MustParse(`{"a":1}`)) {
+		t.Fatal("transcode mismatch")
+	}
+	if _, err := FromJSONText([]byte("{bad")); err == nil {
+		t.Fatal("bad text should fail")
+	}
+}
+
+func genDoc(r *rand.Rand, depth int) jsondom.Value {
+	return genVal(r, depth)
+}
+
+func genVal(r *rand.Rand, depth int) jsondom.Value {
+	max := 8
+	if depth <= 0 {
+		max = 6
+	}
+	switch r.Intn(max) {
+	case 0:
+		return jsondom.Null{}
+	case 1:
+		return jsondom.Bool(r.Intn(2) == 0)
+	case 2:
+		return jsondom.NumberFromInt(r.Int63n(1e12) - 5e11)
+	case 3:
+		return jsondom.Number(jsondom.NumberFromFloat(r.NormFloat64() * 1000))
+	case 4:
+		return jsondom.String(genName(r))
+	case 5:
+		return jsondom.Timestamp(r.Int63n(1e13))
+	case 6:
+		o := jsondom.NewObject()
+		for i := r.Intn(6); i > 0; i-- {
+			o.Set(genName(r), genVal(r, depth-1))
+		}
+		return o
+	default:
+		a := jsondom.NewArray()
+		for i := r.Intn(6); i > 0; i-- {
+			a.Append(genVal(r, depth-1))
+		}
+		return a
+	}
+}
+
+func genName(r *rand.Rand) string {
+	const alpha = "abcdefXYZ_ü界"
+	runes := []rune(alpha)
+	var sb strings.Builder
+	for i := 1 + r.Intn(10); i > 0; i-- {
+		sb.WriteRune(runes[r.Intn(len(runes))])
+	}
+	return sb.String()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := genDoc(r, 4)
+		d, err := Parse(MustEncode(doc))
+		if err != nil {
+			return false
+		}
+		got, err := d.DecodeRoot()
+		if err != nil {
+			return false
+		}
+		return jsondom.Equal(doc, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthClassesLargeDoc(t *testing.T) {
+	// force 2-byte and 4-byte offset classes with a large array
+	arr := jsondom.NewArray()
+	for i := 0; i < 30000; i++ {
+		arr.Append(jsondom.NewObject().Set("v", jsondom.NumberFromInt(int64(i))))
+	}
+	d := MustParse(MustEncode(arr))
+	n, err := d.ArrayLen(d.Root())
+	if err != nil || n != 30000 {
+		t.Fatalf("len = %d, %v", n, err)
+	}
+	el, ok, err := d.GetArrayElement(d.Root(), 29999)
+	if err != nil || !ok {
+		t.Fatal("last element missing")
+	}
+	vAddr, ok, err := d.GetFieldByName(el, "v")
+	if err != nil || !ok {
+		t.Fatal("v missing")
+	}
+	v, err := d.Scalar(vAddr)
+	if err != nil || v.(jsondom.Number) != "29999" {
+		t.Fatalf("v = %v, %v", v, err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	doc := poDoc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNavigatePath(b *testing.B) {
+	d := MustParse(MustEncode(poDoc()))
+	refPO := NewFieldRef("purchaseOrder")
+	refItems := NewFieldRef("items")
+	refPrice := NewFieldRef("price")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		po, _, _ := d.GetFieldValue(d.Root(), mustID(refPO, d))
+		items, _, _ := d.GetFieldValue(po, mustID(refItems, d))
+		el, _, _ := d.GetArrayElement(items, 1)
+		price, _, _ := d.GetFieldValue(el, mustID(refPrice, d))
+		if _, err := d.Scalar(price); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustID(r *FieldRef, d *Doc) FieldID {
+	id, ok := r.Resolve(d)
+	if !ok {
+		panic("unresolved " + r.Name)
+	}
+	return id
+}

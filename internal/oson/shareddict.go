@@ -1,0 +1,180 @@
+// OSON set encoding (§7, future work): the paper proposes extracting
+// the per-document field-id-name dictionary segments and merging them
+// into a single dictionary for the in-memory store, reducing memory
+// consumption and letting field-name-to-id mapping happen once for the
+// entire store.
+//
+// A SharedDict assigns stable, append-only field ids; documents encoded
+// against it omit their dictionary segment entirely (flag bit 6) and
+// must be parsed with ParseShared. Because ids are stable across the
+// whole collection, the single-row look-back cache of §4.2.1 hits on
+// every document, and heterogeneous collections remain fully supported
+// — unlike Dremel's fixed-schema columnar layout (§7).
+
+package oson
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/jsondom"
+)
+
+// flagSharedDict marks buffers whose field ids reference an external
+// SharedDict rather than an embedded dictionary segment.
+const flagSharedDict = 0x40
+
+// SharedDict is a merged field-name dictionary for a document set.
+// Ids are assigned in arrival order and never change, so documents
+// encoded earlier stay valid as the dictionary grows.
+type SharedDict struct {
+	mu    sync.RWMutex
+	names []string
+	ids   map[string]FieldID
+}
+
+// NewSharedDict creates an empty shared dictionary.
+func NewSharedDict() *SharedDict {
+	return &SharedDict{ids: make(map[string]FieldID)}
+}
+
+// Intern returns the id for a name, assigning the next id on first
+// sight.
+func (d *SharedDict) Intern(name string) FieldID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := FieldID(len(d.names))
+	d.names = append(d.names, name)
+	d.ids[name] = id
+	return id
+}
+
+// Lookup resolves a name without interning.
+func (d *SharedDict) Lookup(name string) (FieldID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the name for an id.
+func (d *SharedDict) Name(id FieldID) (string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.names) {
+		return "", fmt.Errorf("%w: shared field id %d out of range", ErrCorrupt, id)
+	}
+	return d.names[id], nil
+}
+
+// Len returns the number of interned names.
+func (d *SharedDict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
+
+// MemoryBytes estimates the dictionary's footprint.
+func (d *SharedDict) MemoryBytes() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	total := 0
+	for _, n := range d.names {
+		total += len(n) + 24 // string payload + map/slice overhead
+	}
+	return total
+}
+
+// EncodeShared serializes a document against a shared dictionary: the
+// per-document dictionary segment is omitted and field ids reference
+// the dictionary, which is grown as needed.
+func EncodeShared(v jsondom.Value, dict *SharedDict) ([]byte, error) {
+	enc := &encoder{nameIDs: make(map[string]FieldID), sharedDict: dict}
+	enc.collectNames(v)
+
+	ct, cv := byte(0), byte(0)
+	cf := classFor(dict.Len() - 1)
+	for {
+		m := &measurer{seen: make(map[string]bool)}
+		treeSize, valSize := m.measure(v, widthOf(ct), widthOf(cv), widthOf(cf))
+		nct, ncv := classFor(treeSize), classFor(valSize)
+		if nct == ct && ncv == cv {
+			break
+		}
+		ct, cv = nct, ncv
+	}
+	enc.wt, enc.wv, enc.wf = widthOf(ct), widthOf(cv), widthOf(cf)
+	enc.valDedup = make(map[string]int)
+
+	rootOff, err := enc.writeNode(v)
+	if err != nil {
+		return nil, err
+	}
+	dictOff := headerSize
+	treeOff := dictOff // empty dictionary segment
+	valOff := treeOff + len(enc.tree)
+	total := valOff + len(enc.vals)
+
+	out := make([]byte, 0, total)
+	out = append(out, Magic...)
+	flags := byte(ct) | byte(cv)<<2 | cf<<4 | flagSharedDict
+	out = append(out, flags)
+	out = appendU32(out, uint32(dictOff))
+	out = appendU32(out, uint32(treeOff))
+	out = appendU32(out, uint32(valOff))
+	out = appendU32(out, uint32(rootOff))
+	out = appendU32(out, uint32(total))
+	out = append(out, enc.tree...)
+	out = append(out, enc.vals...)
+	return out, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// ParseShared parses a buffer produced by EncodeShared, binding it to
+// the dictionary it was encoded against.
+func ParseShared(buf []byte, dict *SharedDict) (*Doc, error) {
+	if len(buf) < headerSize || string(buf[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	if buf[4]&flagSharedDict == 0 {
+		return nil, fmt.Errorf("%w: buffer is not shared-dictionary encoded", ErrCorrupt)
+	}
+	d, err := parseCommon(buf)
+	if err != nil {
+		return nil, err
+	}
+	d.shared = dict
+	return d, nil
+}
+
+// SharedValue is a SQL datum wrapping a shared-dictionary document:
+// the raw bytes alone cannot be decoded, so the in-memory store hands
+// the pre-bound Doc through the scan.
+type SharedValue struct{ Doc *Doc }
+
+// Kind classifies the datum as binary for SQL typing purposes.
+func (SharedValue) Kind() jsondom.Kind { return jsondom.KindBinary }
+
+// internName registers a field name: against the shared dictionary
+// when set-encoding, otherwise into the per-document dictionary whose
+// ids are assigned later by buildDict.
+func (e *encoder) internName(name string) FieldID {
+	if e.sharedDict != nil {
+		id := e.sharedDict.Intern(name)
+		e.nameIDs[name] = id
+		return id
+	}
+	// per-document dictionary: ids assigned in buildDict after the
+	// collection pass
+	if _, seen := e.nameIDs[name]; !seen {
+		e.nameIDs[name] = 0
+		e.names = append(e.names, dictEntry{hash: Hash(name), name: name})
+	}
+	return 0
+}

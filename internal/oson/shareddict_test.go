@@ -1,0 +1,132 @@
+package oson
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+func TestSharedDictRoundTrip(t *testing.T) {
+	dict := NewSharedDict()
+	docs := []string{
+		`{"name":"a","price":1,"tags":["x"]}`,
+		`{"name":"b","price":2,"extra":{"deep":true}}`,
+		`{"different":"shape"}`,
+	}
+	var parsed []*Doc
+	for _, d := range docs {
+		dom := jsontext.MustParse(d)
+		b, err := EncodeShared(dom, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := ParseShared(b, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := doc.DecodeRoot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !jsondom.Equal(dom, got) {
+			t.Fatalf("round trip mismatch for %s: %s", d, jsontext.Serialize(got))
+		}
+		parsed = append(parsed, doc)
+	}
+	// the merged dictionary covers all names once
+	if dict.Len() != 6 {
+		t.Fatalf("dict size = %d, want 6", dict.Len())
+	}
+	// ids are stable across documents: the look-back always hits
+	ref := NewFieldRef("price")
+	id0, ok := ref.Resolve(parsed[0])
+	if !ok {
+		t.Fatal("price not found in doc 0")
+	}
+	id1, ok := ref.Resolve(parsed[1])
+	if !ok || id1 != id0 {
+		t.Fatalf("shared ids unstable: %d vs %d", id1, id0)
+	}
+	// name lookup round-trips
+	name, err := dict.Name(id0)
+	if err != nil || name != "price" {
+		t.Fatalf("Name(%d) = %q, %v", id0, name, err)
+	}
+	if _, err := dict.Name(FieldID(999)); err == nil {
+		t.Fatal("out-of-range id should fail")
+	}
+}
+
+func TestSharedEncodingOmitsDictionary(t *testing.T) {
+	dict := NewSharedDict()
+	dom := jsontext.MustParse(`{"alpha":1,"beta":2,"gamma":{"delta":3}}`)
+	shared, err := EncodeShared(dom, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := MustEncode(dom)
+	if len(shared) >= len(solo) {
+		t.Fatalf("shared %d should be smaller than self-contained %d", len(shared), len(solo))
+	}
+	doc, err := ParseShared(shared, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, _ := doc.SegmentSizes()
+	if d != 2 { // just the (empty) count prefix accounting
+		t.Logf("dict segment bytes = %d", d)
+	}
+}
+
+func TestSharedParseMismatch(t *testing.T) {
+	dict := NewSharedDict()
+	dom := jsontext.MustParse(`{"a":1}`)
+	shared, err := EncodeShared(dom, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a shared buffer cannot be parsed standalone
+	if _, err := Parse(shared); err == nil {
+		t.Fatal("Parse of shared buffer should fail")
+	}
+	// a self-contained buffer cannot be parsed as shared
+	if _, err := ParseShared(MustEncode(dom), dict); err == nil {
+		t.Fatal("ParseShared of self-contained buffer should fail")
+	}
+	if _, err := ParseShared([]byte("xx"), dict); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestSharedValueKind(t *testing.T) {
+	if (SharedValue{}).Kind() != jsondom.KindBinary {
+		t.Fatal("SharedValue kind")
+	}
+}
+
+func TestSharedDictGrowthKeepsOldDocsValid(t *testing.T) {
+	dict := NewSharedDict()
+	first := jsontext.MustParse(`{"a":1}`)
+	b1, err := EncodeShared(first, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// grow the dictionary far beyond the 1-byte id range
+	for i := 0; i < 500; i++ {
+		o := jsondom.NewObject().
+			Set(fmt.Sprintf("grow_%03d", i), jsondom.Number("1"))
+		if _, err := EncodeShared(o, dict); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1, err := ParseShared(b1, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d1.DecodeRoot()
+	if err != nil || !jsondom.Equal(got, first) {
+		t.Fatalf("old doc invalidated by growth: %v, %v", got, err)
+	}
+}

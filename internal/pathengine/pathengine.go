@@ -1,0 +1,929 @@
+// Package pathengine evaluates SQL/JSON path expressions (§5.1).
+//
+// Two execution strategies mirror the paper:
+//
+//   - a DOM engine generic over a Tree backend. The jsondom backend
+//     walks materialized trees; the OSON backend walks serialized OSON
+//     bytes directly, using node addresses (byte offsets) in lieu of
+//     machine pointers and binary search over sorted field ids.
+//   - a streaming engine over jsontext parser events for simple paths,
+//     which never materializes a DOM. Complex operators (filters,
+//     descendants, 'last' subscripts) fall back to DOM construction,
+//     the cost the paper attributes to text processing.
+//
+// Compiled paths precompute field-name hashes at "query compile time"
+// so per-document field-id resolution is a binary search plus the
+// single-row look-back cache (§4.2.1).
+package pathengine
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsonpath"
+	"repro/internal/jsontext"
+	"repro/internal/oson"
+)
+
+// Tree abstracts a JSON tree for the DOM engine. N is the node handle:
+// jsondom.Value for materialized trees, oson.NodeAddr for OSON buffers.
+type Tree[N any] interface {
+	// Kind returns the node type.
+	Kind(n N) jsondom.Kind
+	// Field returns the named member of an object node.
+	Field(n N, f *CompiledField) (N, bool)
+	// Elem returns the i-th element of an array node.
+	Elem(n N, i int) (N, bool)
+	// Len returns the element count of an array node (0 otherwise).
+	Len(n N) int
+	// Children invokes fn for each child of a container in order, with
+	// the field name for object members; it stops early if fn returns
+	// false.
+	Children(n N, fn func(name string, hasName bool, child N) bool)
+	// Scalar decodes a leaf node (ok=false for containers).
+	Scalar(n N) (jsondom.Value, bool)
+	// Materialize converts the subtree to a jsondom value.
+	Materialize(n N) (jsondom.Value, error)
+}
+
+// CompiledField carries a field name with its precomputed hash-based
+// OSON reference.
+type CompiledField struct {
+	Name string
+	Ref  *oson.FieldRef
+}
+
+// Compiled is a path prepared for repeated evaluation.
+type Compiled struct {
+	Path  *jsonpath.Path
+	steps []compiledStep
+	// chain caches the compiled fields when every step is a plain
+	// field step, enabling the allocation-free fast path.
+	chain []*CompiledField
+}
+
+type compiledStep struct {
+	raw    jsonpath.Step
+	field  *CompiledField // FieldStep / DescendantStep
+	filter *compiledPred  // FilterStep
+}
+
+type compiledPred struct {
+	raw   jsonpath.Predicate
+	kids  []*compiledPred // And/Or/Not children
+	paths []*compiledOpnd // comparison operands / exists paths
+}
+
+type compiledOpnd struct {
+	path    *Compiled
+	root    bool // '$'-anchored (vs '@')
+	literal jsondom.Value
+}
+
+// Compile prepares a parsed path for evaluation.
+func Compile(p *jsonpath.Path) *Compiled {
+	c := &Compiled{Path: p}
+	for _, s := range p.Steps {
+		cs := compiledStep{raw: s}
+		switch t := s.(type) {
+		case jsonpath.FieldStep:
+			cs.field = &CompiledField{Name: t.Name, Ref: oson.NewFieldRef(t.Name)}
+		case jsonpath.DescendantStep:
+			cs.field = &CompiledField{Name: t.Name, Ref: oson.NewFieldRef(t.Name)}
+		case jsonpath.FilterStep:
+			cs.filter = compilePred(t.Pred)
+		}
+		c.steps = append(c.steps, cs)
+	}
+	chain := make([]*CompiledField, 0, len(c.steps))
+	for _, cs := range c.steps {
+		if _, ok := cs.raw.(jsonpath.FieldStep); !ok {
+			chain = nil
+			break
+		}
+		chain = append(chain, cs.field)
+	}
+	c.chain = chain
+	return c
+}
+
+// EvalFieldChain navigates a pure field-chain path iteratively with no
+// allocations. applicable=false means the path is not a plain field
+// chain, or lax array unwrapping would be required — callers must then
+// fall back to Eval. found=false (with applicable=true) means the path
+// definitively selects nothing.
+func EvalFieldChain[N any](t Tree[N], root N, c *Compiled) (node N, found, applicable bool) {
+	if c.chain == nil {
+		var zero N
+		return zero, false, false
+	}
+	node = root
+	for _, f := range c.chain {
+		switch t.Kind(node) {
+		case jsondom.KindObject:
+			next, ok := t.Field(node, f)
+			if !ok {
+				var zero N
+				return zero, false, true
+			}
+			node = next
+		case jsondom.KindArray:
+			// lax unwrap territory: defer to the general engine
+			var zero N
+			return zero, false, false
+		default:
+			var zero N
+			return zero, false, true
+		}
+	}
+	return node, true, true
+}
+
+// MustCompile parses and compiles a path, panicking on syntax errors.
+func MustCompile(text string) *Compiled {
+	return Compile(jsonpath.MustParse(text))
+}
+
+// CompileText parses and compiles a path.
+func CompileText(text string) (*Compiled, error) {
+	p, err := jsonpath.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(p), nil
+}
+
+func compilePred(p jsonpath.Predicate) *compiledPred {
+	cp := &compiledPred{raw: p}
+	switch t := p.(type) {
+	case jsonpath.AndPred:
+		cp.kids = []*compiledPred{compilePred(t.L), compilePred(t.R)}
+	case jsonpath.OrPred:
+		cp.kids = []*compiledPred{compilePred(t.L), compilePred(t.R)}
+	case jsonpath.NotPred:
+		cp.kids = []*compiledPred{compilePred(t.P)}
+	case jsonpath.ExistsPred:
+		cp.paths = []*compiledOpnd{compileOperandPath(t.Path)}
+	case jsonpath.CmpPred:
+		cp.paths = []*compiledOpnd{compileOperand(t.Left), compileOperand(t.Right)}
+	}
+	return cp
+}
+
+func compileOperand(o jsonpath.Operand) *compiledOpnd {
+	switch t := o.(type) {
+	case jsonpath.PathOperand:
+		return compileOperandPath(t.Path)
+	case jsonpath.LiteralOperand:
+		return &compiledOpnd{literal: t.Value}
+	}
+	return nil
+}
+
+func compileOperandPath(p *jsonpath.Path) *compiledOpnd {
+	return &compiledOpnd{path: Compile(p), root: p.IsRootRelative()}
+}
+
+// ---------------------------------------------------------------------------
+// DOM engine
+
+// Eval evaluates the compiled path against root and returns the
+// resulting node sequence in document order.
+func Eval[N any](t Tree[N], root N, c *Compiled) []N {
+	cur := []N{root}
+	for i := range c.steps {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = evalStep(t, root, cur, c, i)
+	}
+	return cur
+}
+
+// EvalValues evaluates the path and materializes the results.
+func EvalValues[N any](t Tree[N], root N, c *Compiled) ([]jsondom.Value, error) {
+	nodes := Eval(t, root, c)
+	out := make([]jsondom.Value, 0, len(nodes))
+	for _, n := range nodes {
+		v, err := t.Materialize(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Exists reports whether the path yields at least one item.
+func Exists[N any](t Tree[N], root N, c *Compiled) bool {
+	return len(Eval(t, root, c)) > 0
+}
+
+func evalStep[N any](t Tree[N], root N, cur []N, c *Compiled, idx int) []N {
+	step := c.steps[idx]
+	lax := c.Path.Lax
+	var next []N
+	switch raw := step.raw.(type) {
+	case jsonpath.FieldStep:
+		for _, n := range cur {
+			fieldFrom(t, n, step.field, lax, &next)
+		}
+	case jsonpath.WildcardStep:
+		for _, n := range cur {
+			wildcardFrom(t, n, lax, &next)
+		}
+	case jsonpath.ArrayStep:
+		for _, n := range cur {
+			arrayFrom(t, n, raw, lax, &next)
+		}
+	case jsonpath.DescendantStep:
+		for _, n := range cur {
+			descendants(t, n, step.field, &next)
+		}
+	case jsonpath.FilterStep:
+		for _, n := range cur {
+			if lax && t.Kind(n) == jsondom.KindArray {
+				// lax mode unwraps arrays before applying the predicate
+				t.Children(n, func(_ string, _ bool, child N) bool {
+					if evalPred(t, root, child, step.filter) {
+						next = append(next, child)
+					}
+					return true
+				})
+				continue
+			}
+			if evalPred(t, root, n, step.filter) {
+				next = append(next, n)
+			}
+		}
+	}
+	return next
+}
+
+func fieldFrom[N any](t Tree[N], n N, f *CompiledField, lax bool, out *[]N) {
+	switch t.Kind(n) {
+	case jsondom.KindObject:
+		if v, ok := t.Field(n, f); ok {
+			*out = append(*out, v)
+		}
+	case jsondom.KindArray:
+		if !lax {
+			return
+		}
+		// lax: unwrap one array level
+		t.Children(n, func(_ string, _ bool, child N) bool {
+			if t.Kind(child) == jsondom.KindObject {
+				if v, ok := t.Field(child, f); ok {
+					*out = append(*out, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func wildcardFrom[N any](t Tree[N], n N, lax bool, out *[]N) {
+	switch t.Kind(n) {
+	case jsondom.KindObject:
+		t.Children(n, func(_ string, _ bool, child N) bool {
+			*out = append(*out, child)
+			return true
+		})
+	case jsondom.KindArray:
+		if !lax {
+			return
+		}
+		t.Children(n, func(_ string, _ bool, elem N) bool {
+			if t.Kind(elem) == jsondom.KindObject {
+				t.Children(elem, func(_ string, _ bool, child N) bool {
+					*out = append(*out, child)
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+func arrayFrom[N any](t Tree[N], n N, step jsonpath.ArrayStep, lax bool, out *[]N) {
+	if t.Kind(n) != jsondom.KindArray {
+		if !lax {
+			return
+		}
+		// lax: wrap the item as a singleton array
+		if step.Wildcard || selectsZero(step.Subs, 1) {
+			*out = append(*out, n)
+		}
+		return
+	}
+	length := t.Len(n)
+	if step.Wildcard {
+		t.Children(n, func(_ string, _ bool, child N) bool {
+			*out = append(*out, child)
+			return true
+		})
+		return
+	}
+	for _, sub := range step.Subs {
+		from := resolveIndex(sub.From, length)
+		to := from
+		if sub.IsRange {
+			to = resolveIndex(sub.To, length)
+		}
+		for i := from; i <= to; i++ {
+			if v, ok := t.Elem(n, i); ok {
+				*out = append(*out, v)
+			}
+		}
+	}
+}
+
+// selectsZero reports whether any subscript resolves to position 0 for
+// an array of the given length; used for lax singleton wrapping.
+func selectsZero(subs []jsonpath.Subscript, length int) bool {
+	for _, sub := range subs {
+		from := resolveIndex(sub.From, length)
+		to := from
+		if sub.IsRange {
+			to = resolveIndex(sub.To, length)
+		}
+		if from <= 0 && to >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func resolveIndex(ix jsonpath.Index, length int) int {
+	if ix.Last {
+		return length - 1 - ix.Back
+	}
+	return ix.Pos
+}
+
+func descendants[N any](t Tree[N], n N, f *CompiledField, out *[]N) {
+	switch t.Kind(n) {
+	case jsondom.KindObject:
+		t.Children(n, func(name string, _ bool, child N) bool {
+			if name == f.Name {
+				*out = append(*out, child)
+			}
+			descendants(t, child, f, out)
+			return true
+		})
+	case jsondom.KindArray:
+		t.Children(n, func(_ string, _ bool, child N) bool {
+			descendants(t, child, f, out)
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+
+func evalPred[N any](t Tree[N], root, ctx N, p *compiledPred) bool {
+	switch p.raw.(type) {
+	case jsonpath.AndPred:
+		return evalPred(t, root, ctx, p.kids[0]) && evalPred(t, root, ctx, p.kids[1])
+	case jsonpath.OrPred:
+		return evalPred(t, root, ctx, p.kids[0]) || evalPred(t, root, ctx, p.kids[1])
+	case jsonpath.NotPred:
+		return !evalPred(t, root, ctx, p.kids[0])
+	case jsonpath.ExistsPred:
+		return len(evalOperandNodes(t, root, ctx, p.paths[0])) > 0
+	case jsonpath.CmpPred:
+		raw := p.raw.(jsonpath.CmpPred)
+		left := operandValues(t, root, ctx, p.paths[0])
+		right := operandValues(t, root, ctx, p.paths[1])
+		// existential semantics: true if any pair satisfies the operator
+		for _, l := range left {
+			for _, r := range right {
+				if compare(l, raw.Op, r) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func evalOperandNodes[N any](t Tree[N], root, ctx N, o *compiledOpnd) []N {
+	base := ctx
+	if o.root {
+		base = root
+	}
+	return Eval(t, base, o.path)
+}
+
+func operandValues[N any](t Tree[N], root, ctx N, o *compiledOpnd) []jsondom.Value {
+	if o.path == nil {
+		return []jsondom.Value{o.literal}
+	}
+	nodes := evalOperandNodes(t, root, ctx, o)
+	out := make([]jsondom.Value, 0, len(nodes))
+	for _, n := range nodes {
+		if v, ok := t.Scalar(n); ok {
+			out = append(out, v)
+		} else if t.Kind(n) == jsondom.KindArray && o.path.Path.Lax {
+			// lax: unwrap array of scalars for comparison
+			t.Children(n, func(_ string, _ bool, child N) bool {
+				if v, ok := t.Scalar(child); ok {
+					out = append(out, v)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func compare(l jsondom.Value, op jsonpath.CmpOp, r jsondom.Value) bool {
+	switch op {
+	case jsonpath.OpStartsWith, jsonpath.OpHasSubstring:
+		ls, lok := l.(jsondom.String)
+		rs, rok := r.(jsondom.String)
+		if !lok || !rok {
+			return false
+		}
+		if op == jsonpath.OpStartsWith {
+			return strings.HasPrefix(string(ls), string(rs))
+		}
+		return strings.Contains(string(ls), string(rs))
+	}
+	cmp, ok := jsondom.CompareScalar(l, r)
+	if !ok {
+		// null comparisons: == and != are defined across kinds
+		if l.Kind() == jsondom.KindNull || r.Kind() == jsondom.KindNull {
+			eq := l.Kind() == r.Kind()
+			switch op {
+			case jsonpath.OpEq:
+				return eq
+			case jsonpath.OpNe:
+				return !eq
+			}
+		}
+		return false
+	}
+	switch op {
+	case jsonpath.OpEq:
+		return cmp == 0
+	case jsonpath.OpNe:
+		return cmp != 0
+	case jsonpath.OpLt:
+		return cmp < 0
+	case jsonpath.OpLe:
+		return cmp <= 0
+	case jsonpath.OpGt:
+		return cmp > 0
+	case jsonpath.OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// jsondom backend
+
+// DomTree is the Tree backend over materialized jsondom values.
+type DomTree struct{}
+
+// Dom is the shared DomTree instance.
+var Dom DomTree
+
+// Kind implements Tree.
+func (DomTree) Kind(n jsondom.Value) jsondom.Kind { return n.Kind() }
+
+// Field implements Tree.
+func (DomTree) Field(n jsondom.Value, f *CompiledField) (jsondom.Value, bool) {
+	o, ok := n.(*jsondom.Object)
+	if !ok {
+		return nil, false
+	}
+	return o.Get(f.Name)
+}
+
+// Elem implements Tree.
+func (DomTree) Elem(n jsondom.Value, i int) (jsondom.Value, bool) {
+	a, ok := n.(*jsondom.Array)
+	if !ok || i < 0 || i >= a.Len() {
+		return nil, false
+	}
+	return a.At(i), true
+}
+
+// Len implements Tree.
+func (DomTree) Len(n jsondom.Value) int {
+	if a, ok := n.(*jsondom.Array); ok {
+		return a.Len()
+	}
+	return 0
+}
+
+// Children implements Tree.
+func (DomTree) Children(n jsondom.Value, fn func(string, bool, jsondom.Value) bool) {
+	switch t := n.(type) {
+	case *jsondom.Object:
+		for _, f := range t.Fields() {
+			if !fn(f.Name, true, f.Value) {
+				return
+			}
+		}
+	case *jsondom.Array:
+		for _, e := range t.Elems {
+			if !fn("", false, e) {
+				return
+			}
+		}
+	}
+}
+
+// Scalar implements Tree.
+func (DomTree) Scalar(n jsondom.Value) (jsondom.Value, bool) {
+	if n.Kind().IsScalar() {
+		return n, true
+	}
+	return nil, false
+}
+
+// Materialize implements Tree.
+func (DomTree) Materialize(n jsondom.Value) (jsondom.Value, error) { return n, nil }
+
+// ---------------------------------------------------------------------------
+// OSON backend
+
+// OsonTree is the Tree backend navigating OSON bytes directly; node
+// handles are tree-segment byte offsets (§5.1).
+type OsonTree struct {
+	Doc *oson.Doc
+	err error
+}
+
+// NewOsonTree wraps a parsed OSON document.
+func NewOsonTree(d *oson.Doc) *OsonTree { return &OsonTree{Doc: d} }
+
+// Err returns the first navigation error encountered (corrupt buffers
+// surface here rather than panicking mid-query).
+func (t *OsonTree) Err() error { return t.err }
+
+func (t *OsonTree) fail(err error) {
+	if t.err == nil && err != nil {
+		t.err = err
+	}
+}
+
+// Kind implements Tree.
+func (t *OsonTree) Kind(n oson.NodeAddr) jsondom.Kind {
+	k, err := t.Doc.NodeKind(n)
+	if err != nil {
+		t.fail(err)
+		return jsondom.KindNull
+	}
+	return k
+}
+
+// Field implements Tree using the compiled hash reference and the
+// sorted-id binary search.
+func (t *OsonTree) Field(n oson.NodeAddr, f *CompiledField) (oson.NodeAddr, bool) {
+	id, ok := f.Ref.Resolve(t.Doc)
+	if !ok {
+		return 0, false
+	}
+	child, ok, err := t.Doc.GetFieldValue(n, id)
+	if err != nil {
+		t.fail(err)
+		return 0, false
+	}
+	return child, ok
+}
+
+// Elem implements Tree.
+func (t *OsonTree) Elem(n oson.NodeAddr, i int) (oson.NodeAddr, bool) {
+	child, ok, err := t.Doc.GetArrayElement(n, i)
+	if err != nil {
+		t.fail(err)
+		return 0, false
+	}
+	return child, ok
+}
+
+// Len implements Tree.
+func (t *OsonTree) Len(n oson.NodeAddr) int {
+	l, err := t.Doc.ArrayLen(n)
+	if err != nil {
+		return 0
+	}
+	return l
+}
+
+// Children implements Tree.
+func (t *OsonTree) Children(n oson.NodeAddr, fn func(string, bool, oson.NodeAddr) bool) {
+	k, err := t.Doc.NodeKind(n)
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	switch k {
+	case jsondom.KindObject:
+		cnt, err := t.Doc.ObjectLen(n)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		for i := 0; i < cnt; i++ {
+			id, child, err := t.Doc.ObjectEntry(n, i)
+			if err != nil {
+				t.fail(err)
+				return
+			}
+			name, err := t.Doc.FieldName(id)
+			if err != nil {
+				t.fail(err)
+				return
+			}
+			if !fn(name, true, child) {
+				return
+			}
+		}
+	case jsondom.KindArray:
+		cnt, err := t.Doc.ArrayLen(n)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		for i := 0; i < cnt; i++ {
+			child, ok, err := t.Doc.GetArrayElement(n, i)
+			if err != nil || !ok {
+				t.fail(err)
+				return
+			}
+			if !fn("", false, child) {
+				return
+			}
+		}
+	}
+}
+
+// Scalar implements Tree.
+func (t *OsonTree) Scalar(n oson.NodeAddr) (jsondom.Value, bool) {
+	v, err := t.Doc.Scalar(n)
+	if err != nil {
+		if !errors.Is(err, oson.ErrNotScalar) {
+			t.fail(err)
+		}
+		return nil, false
+	}
+	return v, true
+}
+
+// Materialize implements Tree.
+func (t *OsonTree) Materialize(n oson.NodeAddr) (jsondom.Value, error) {
+	return t.Doc.Decode(n)
+}
+
+// EvalOson evaluates a compiled path over OSON bytes and materializes
+// the result values.
+func EvalOson(d *oson.Doc, c *Compiled) ([]jsondom.Value, error) {
+	t := NewOsonTree(d)
+	vals, err := EvalValues[oson.NodeAddr](t, d.Root(), c)
+	if err != nil {
+		return nil, err
+	}
+	if t.Err() != nil {
+		return nil, t.Err()
+	}
+	return vals, nil
+}
+
+// EvalDom evaluates a compiled path over a jsondom tree.
+func EvalDom(root jsondom.Value, c *Compiled) []jsondom.Value {
+	vals, _ := EvalValues[jsondom.Value](Dom, root, c)
+	return vals
+}
+
+// ---------------------------------------------------------------------------
+// Streaming engine over JSON text
+
+var errStop = errors.New("pathengine: stop streaming")
+
+// Streamable reports whether the compiled path can be evaluated by the
+// event-streaming engine without DOM materialization: only plain field
+// steps and array subscript/wildcard steps without 'last' references.
+func (c *Compiled) Streamable() bool {
+	for _, s := range c.steps {
+		switch t := s.raw.(type) {
+		case jsonpath.FieldStep:
+		case jsonpath.ArrayStep:
+			for _, sub := range t.Subs {
+				if sub.From.Last || (sub.IsRange && sub.To.Last) {
+					return false
+				}
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EvalText evaluates the path over JSON text. Streamable paths use the
+// event engine; others parse a DOM first (the expensive fallback the
+// paper describes). limit > 0 stops after that many results.
+func EvalText(text []byte, c *Compiled, limit int) ([]jsondom.Value, error) {
+	if !c.Streamable() {
+		root, err := jsontext.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		vals := EvalDom(root, c)
+		if limit > 0 && len(vals) > limit {
+			vals = vals[:limit]
+		}
+		return vals, nil
+	}
+	var out []jsondom.Value
+	p := jsontext.NewParser(text)
+	ev, err := p.Next()
+	if err != nil {
+		return nil, err
+	}
+	emit := func(v jsondom.Value) error {
+		out = append(out, v)
+		if limit > 0 && len(out) >= limit {
+			return errStop
+		}
+		return nil
+	}
+	// streamSteps consumes the entire root value unless stopped early
+	if err := streamSteps(p, ev, c, 0, emit); err != nil && !errors.Is(err, errStop) {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExistsText reports whether the path matches anything in the text.
+func ExistsText(text []byte, c *Compiled) (bool, error) {
+	vals, err := EvalText(text, c, 1)
+	if err != nil {
+		return false, err
+	}
+	return len(vals) > 0, nil
+}
+
+// streamSteps matches steps[idx:] against the value whose first event
+// is ev; the parser is positioned immediately after ev.
+func streamSteps(p *jsontext.Parser, ev jsontext.Event, c *Compiled, idx int, emit func(jsondom.Value) error) error {
+	if idx == len(c.steps) {
+		v, err := buildFromEvent(p, ev)
+		if err != nil {
+			return err
+		}
+		return emit(v)
+	}
+	lax := c.Path.Lax
+	switch step := c.steps[idx].raw.(type) {
+	case jsonpath.FieldStep:
+		switch ev.Kind {
+		case jsontext.EvObjectStart:
+			for {
+				kev, err := p.Next()
+				if err != nil {
+					return err
+				}
+				if kev.Kind == jsontext.EvObjectEnd {
+					return nil
+				}
+				vev, err := p.Next()
+				if err != nil {
+					return err
+				}
+				if kev.Str == step.Name {
+					if err := streamSteps(p, vev, c, idx+1, emit); err != nil {
+						return err
+					}
+				} else if err := p.SkipValue(vev); err != nil {
+					return err
+				}
+			}
+		case jsontext.EvArrayStart:
+			if !lax {
+				return p.SkipValue(ev)
+			}
+			for {
+				eev, err := p.Next()
+				if err != nil {
+					return err
+				}
+				if eev.Kind == jsontext.EvArrayEnd {
+					return nil
+				}
+				// lax unwrap is one level deep: the field step applies to
+				// object elements only; other elements are skipped
+				if eev.Kind == jsontext.EvObjectStart {
+					if err := streamSteps(p, eev, c, idx, emit); err != nil {
+						return err
+					}
+				} else if err := p.SkipValue(eev); err != nil {
+					return err
+				}
+			}
+		default:
+			return nil // scalar: no match, already consumed
+		}
+	case jsonpath.ArrayStep:
+		if ev.Kind != jsontext.EvArrayStart {
+			if lax && (step.Wildcard || selectsZero(step.Subs, 1)) {
+				return streamSteps(p, ev, c, idx+1, emit)
+			}
+			return p.SkipValue(ev)
+		}
+		i := 0
+		for {
+			eev, err := p.Next()
+			if err != nil {
+				return err
+			}
+			if eev.Kind == jsontext.EvArrayEnd {
+				return nil
+			}
+			if step.Wildcard || indexSelected(step.Subs, i) {
+				if err := streamSteps(p, eev, c, idx+1, emit); err != nil {
+					return err
+				}
+			} else if err := p.SkipValue(eev); err != nil {
+				return err
+			}
+			i++
+		}
+	}
+	return p.SkipValue(ev)
+}
+
+// indexSelected reports whether absolute position i is selected by the
+// subscripts (which are guaranteed not to use 'last' when streaming).
+func indexSelected(subs []jsonpath.Subscript, i int) bool {
+	for _, sub := range subs {
+		from := sub.From.Pos
+		to := from
+		if sub.IsRange {
+			to = sub.To.Pos
+		}
+		if i >= from && i <= to {
+			return true
+		}
+	}
+	return false
+}
+
+// buildFromEvent materializes the value whose first event is ev.
+func buildFromEvent(p *jsontext.Parser, ev jsontext.Event) (jsondom.Value, error) {
+	switch ev.Kind {
+	case jsontext.EvNull:
+		return jsondom.Null{}, nil
+	case jsontext.EvBool:
+		return jsondom.Bool(ev.Bool), nil
+	case jsontext.EvString:
+		return jsondom.String(ev.Str), nil
+	case jsontext.EvNumber:
+		return jsondom.N(ev.Str)
+	case jsontext.EvObjectStart:
+		o := jsondom.NewObject()
+		for {
+			kev, err := p.Next()
+			if err != nil {
+				return nil, err
+			}
+			if kev.Kind == jsontext.EvObjectEnd {
+				return o, nil
+			}
+			vev, err := p.Next()
+			if err != nil {
+				return nil, err
+			}
+			v, err := buildFromEvent(p, vev)
+			if err != nil {
+				return nil, err
+			}
+			o.Set(kev.Str, v)
+		}
+	case jsontext.EvArrayStart:
+		a := jsondom.NewArray()
+		for {
+			eev, err := p.Next()
+			if err != nil {
+				return nil, err
+			}
+			if eev.Kind == jsontext.EvArrayEnd {
+				return a, nil
+			}
+			v, err := buildFromEvent(p, eev)
+			if err != nil {
+				return nil, err
+			}
+			a.Append(v)
+		}
+	}
+	return nil, errors.New("pathengine: unexpected event " + ev.Kind.String())
+}

@@ -1,0 +1,453 @@
+package pathengine
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/oson"
+)
+
+const poText = `{"purchaseOrder":{"id":1,"podate":"2014-09-08","foreign_id":"CDEG35",
+	"items":[{"name":"phone","price":100,"quantity":2,"parts":[{"partName":"case","partQuantity":"1"}]},
+	         {"name":"ipad","price":350.86,"quantity":3},
+	         {"name":"tv","price":345.55,"quantity":1}]}}`
+
+func poDom() jsondom.Value { return jsontext.MustParse(poText) }
+
+// evalAll runs a path through all three engines and checks agreement,
+// returning the DOM engine's results.
+func evalAll(t *testing.T, doc jsondom.Value, path string) []jsondom.Value {
+	t.Helper()
+	c := MustCompile(path)
+	domVals := EvalDom(doc, c)
+
+	osonDoc := oson.MustParse(oson.MustEncode(doc))
+	osonVals, err := EvalOson(osonDoc, c)
+	if err != nil {
+		t.Fatalf("EvalOson(%q): %v", path, err)
+	}
+	text := jsontext.Serialize(doc)
+	textVals, err := EvalText(text, c, 0)
+	if err != nil {
+		t.Fatalf("EvalText(%q): %v", path, err)
+	}
+	// OSON stores object children sorted by field id, so result order
+	// for wildcard-style steps over objects is unspecified; compare as
+	// multisets.
+	if !valsEqual(domVals, osonVals) {
+		t.Fatalf("path %q: DOM %s != OSON %s", path, render(domVals), render(osonVals))
+	}
+	if !valsEqual(domVals, textVals) {
+		t.Fatalf("path %q: DOM %s != TEXT %s", path, render(domVals), render(textVals))
+	}
+	return domVals
+}
+
+// valsEqual compares two result sequences as multisets of serialized
+// values (object field order is canonicalized by sorting keys).
+func valsEqual(a, b []jsondom.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka, kb := make([]string, len(a)), make([]string, len(b))
+	for i := range a {
+		ka[i] = canonKey(a[i])
+		kb[i] = canonKey(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// canonKey renders a value with object fields sorted by name so the
+// key is independent of field order.
+func canonKey(v jsondom.Value) string {
+	switch t := v.(type) {
+	case *jsondom.Object:
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i, f := range t.SortedFields() {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(f.Name)
+			sb.WriteByte(':')
+			sb.WriteString(canonKey(f.Value))
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	case *jsondom.Array:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range t.Elems {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(canonKey(e))
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	default:
+		return jsontext.SerializeString(v)
+	}
+}
+
+func render(vs []jsondom.Value) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.Write(jsontext.Serialize(v))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func TestRootPath(t *testing.T) {
+	doc := poDom()
+	vals := evalAll(t, doc, "$")
+	if len(vals) != 1 || !jsondom.Equal(vals[0], doc) {
+		t.Fatalf("$ = %s", render(vals))
+	}
+}
+
+func TestFieldChain(t *testing.T) {
+	vals := evalAll(t, poDom(), "$.purchaseOrder.id")
+	if len(vals) != 1 || vals[0].(jsondom.Number) != "1" {
+		t.Fatalf("id = %s", render(vals))
+	}
+	if vals := evalAll(t, poDom(), "$.purchaseOrder.missing"); len(vals) != 0 {
+		t.Fatalf("missing = %s", render(vals))
+	}
+	if vals := evalAll(t, poDom(), "$.missing.deeper"); len(vals) != 0 {
+		t.Fatalf("missing chain = %s", render(vals))
+	}
+}
+
+func TestArraySteps(t *testing.T) {
+	vals := evalAll(t, poDom(), "$.purchaseOrder.items[*].name")
+	if len(vals) != 3 || vals[2].(jsondom.String) != "tv" {
+		t.Fatalf("names = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), "$.purchaseOrder.items[1].price")
+	if len(vals) != 1 || vals[0].(jsondom.Number) != "350.86" {
+		t.Fatalf("item 1 price = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), "$.purchaseOrder.items[0 to 1].name")
+	if len(vals) != 2 {
+		t.Fatalf("range = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), "$.purchaseOrder.items[0,2].name")
+	if len(vals) != 2 || vals[1].(jsondom.String) != "tv" {
+		t.Fatalf("list = %s", render(vals))
+	}
+	// out of range yields empty
+	if vals := evalAll(t, poDom(), "$.purchaseOrder.items[9].name"); len(vals) != 0 {
+		t.Fatalf("out of range = %s", render(vals))
+	}
+}
+
+func TestLastSubscript(t *testing.T) {
+	// 'last' forces the DOM fallback in EvalText; agreement must hold
+	vals := evalAll(t, poDom(), "$.purchaseOrder.items[last].name")
+	if len(vals) != 1 || vals[0].(jsondom.String) != "tv" {
+		t.Fatalf("last = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), "$.purchaseOrder.items[last-2].name")
+	if len(vals) != 1 || vals[0].(jsondom.String) != "phone" {
+		t.Fatalf("last-2 = %s", render(vals))
+	}
+}
+
+func TestLaxArrayUnwrap(t *testing.T) {
+	// field step applied to an array: lax unwraps elements
+	vals := evalAll(t, poDom(), "$.purchaseOrder.items.name")
+	if len(vals) != 3 {
+		t.Fatalf("lax unwrap = %s", render(vals))
+	}
+	// array step on a non-array wraps: $.purchaseOrder.id[0]
+	vals = evalAll(t, poDom(), "$.purchaseOrder.id[0]")
+	if len(vals) != 1 || vals[0].(jsondom.Number) != "1" {
+		t.Fatalf("lax wrap = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), "$.purchaseOrder.id[*]")
+	if len(vals) != 1 {
+		t.Fatalf("lax wrap wildcard = %s", render(vals))
+	}
+	if vals := evalAll(t, poDom(), "$.purchaseOrder.id[1]"); len(vals) != 0 {
+		t.Fatalf("lax wrap index 1 = %s", render(vals))
+	}
+}
+
+func TestStrictMode(t *testing.T) {
+	c := MustCompile("strict $.purchaseOrder.items.name")
+	vals := EvalDom(poDom(), c)
+	if len(vals) != 0 {
+		t.Fatalf("strict unwrap should fail: %s", render(vals))
+	}
+}
+
+func TestWildcardStep(t *testing.T) {
+	doc := jsontext.MustParse(`{"a":1,"b":{"c":2},"d":[3]}`)
+	vals := evalAll(t, doc, "$.*")
+	if len(vals) != 3 {
+		t.Fatalf("wildcard = %s", render(vals))
+	}
+}
+
+func TestDescendantStep(t *testing.T) {
+	vals := evalAll(t, poDom(), "$..partName")
+	if len(vals) != 1 || vals[0].(jsondom.String) != "case" {
+		t.Fatalf("descendant = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), "$..name")
+	if len(vals) != 3 {
+		t.Fatalf("descendant names = %s", render(vals))
+	}
+}
+
+func TestFilterComparisons(t *testing.T) {
+	vals := evalAll(t, poDom(), `$.purchaseOrder.items[*]?(@.price > 300).name`)
+	if len(vals) != 2 {
+		t.Fatalf("price > 300 = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), `$.purchaseOrder.items[*]?(@.name == "tv").price`)
+	if len(vals) != 1 || vals[0].(jsondom.Number) != "345.55" {
+		t.Fatalf("name == tv = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), `$.purchaseOrder.items[*]?(@.price >= 100 && @.quantity <= 2).name`)
+	if len(vals) != 2 {
+		t.Fatalf("and = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), `$.purchaseOrder.items[*]?(@.name == "phone" || @.name == "tv").name`)
+	if len(vals) != 2 {
+		t.Fatalf("or = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), `$.purchaseOrder.items[*]?(!(@.name == "phone")).name`)
+	if len(vals) != 2 {
+		t.Fatalf("not = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), `$.purchaseOrder.items[*]?(exists(@.parts)).name`)
+	if len(vals) != 1 || vals[0].(jsondom.String) != "phone" {
+		t.Fatalf("exists = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), `$.purchaseOrder.items[*]?(@.name starts with "ip").name`)
+	if len(vals) != 1 || vals[0].(jsondom.String) != "ipad" {
+		t.Fatalf("starts with = %s", render(vals))
+	}
+	vals = evalAll(t, poDom(), `$.purchaseOrder.items[*]?(@.name has substring "a").name`)
+	if len(vals) != 1 || vals[0].(jsondom.String) != "ipad" {
+		t.Fatalf("has substring = %s", render(vals))
+	}
+}
+
+func TestFilterLaxUnwrapsArray(t *testing.T) {
+	// filter applied directly to an array in lax mode unwraps it
+	vals := evalAll(t, poDom(), `$.purchaseOrder.items?(@.price > 300).name`)
+	if len(vals) != 2 {
+		t.Fatalf("lax filter unwrap = %s", render(vals))
+	}
+}
+
+func TestFilterRootReference(t *testing.T) {
+	vals := evalAll(t, poDom(),
+		`$.purchaseOrder.items[*]?(@.quantity == $.purchaseOrder.id).name`)
+	if len(vals) != 1 || vals[0].(jsondom.String) != "tv" {
+		t.Fatalf("root ref = %s", render(vals))
+	}
+}
+
+func TestNullComparison(t *testing.T) {
+	doc := jsontext.MustParse(`[{"v":null,"k":"a"},{"v":1,"k":"b"}]`)
+	vals := evalAll(t, doc, `$[*]?(@.v == null).k`)
+	if len(vals) != 1 || vals[0].(jsondom.String) != "a" {
+		t.Fatalf("null eq = %s", render(vals))
+	}
+	vals = evalAll(t, doc, `$[*]?(@.v != null).k`)
+	if len(vals) != 1 || vals[0].(jsondom.String) != "b" {
+		t.Fatalf("null ne = %s", render(vals))
+	}
+}
+
+func TestExistsHelpers(t *testing.T) {
+	c := MustCompile("$.purchaseOrder.foreign_id")
+	if !Exists[jsondom.Value](Dom, poDom(), c) {
+		t.Fatal("Exists should be true")
+	}
+	ok, err := ExistsText(jsontext.Serialize(poDom()), c)
+	if err != nil || !ok {
+		t.Fatalf("ExistsText = %v, %v", ok, err)
+	}
+	c = MustCompile("$.nothing")
+	ok, err = ExistsText(jsontext.Serialize(poDom()), c)
+	if err != nil || ok {
+		t.Fatalf("ExistsText(miss) = %v, %v", ok, err)
+	}
+}
+
+func TestEvalTextLimit(t *testing.T) {
+	c := MustCompile("$.purchaseOrder.items[*].name")
+	vals, err := EvalText([]byte(jsontext.SerializeString(poDom())), c, 2)
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("limit: %s, %v", render(vals), err)
+	}
+	// limit with DOM fallback path
+	c = MustCompile("$.purchaseOrder.items[last].name")
+	vals, err = EvalText([]byte(jsontext.SerializeString(poDom())), c, 1)
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("fallback limit: %s, %v", render(vals), err)
+	}
+}
+
+func TestStreamable(t *testing.T) {
+	cases := map[string]bool{
+		"$.a.b":           true,
+		"$.a[*].b":        true,
+		"$.a[0,1 to 2].b": true,
+		"$":               true,
+		"$.a[last]":       false,
+		"$.a[0 to last]":  false,
+		"$.*":             false,
+		"$..x":            false,
+		"$.a?(@.b == 1)":  false,
+	}
+	for path, want := range cases {
+		if got := MustCompile(path).Streamable(); got != want {
+			t.Errorf("Streamable(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestEvalTextBadInput(t *testing.T) {
+	c := MustCompile("$.a.b")
+	if _, err := EvalText([]byte(`{"a":{`), c, 0); err == nil {
+		t.Fatal("truncated text should error")
+	}
+	c = MustCompile("$.a[last]") // DOM fallback
+	if _, err := EvalText([]byte(`{"a":[`), c, 0); err == nil {
+		t.Fatal("truncated text should error in fallback")
+	}
+}
+
+func genDoc(r *rand.Rand, depth int) jsondom.Value {
+	switch r.Intn(3) {
+	case 0:
+		o := jsondom.NewObject()
+		names := []string{"a", "b", "c", "items", "name", "price"}
+		for i := 1 + r.Intn(4); i > 0; i-- {
+			o.Set(names[r.Intn(len(names))], genSub(r, depth-1))
+		}
+		return o
+	case 1:
+		a := jsondom.NewArray()
+		for i := r.Intn(5); i > 0; i-- {
+			a.Append(genSub(r, depth-1))
+		}
+		return a
+	default:
+		return genSub(r, depth-1)
+	}
+}
+
+func genSub(r *rand.Rand, depth int) jsondom.Value {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return jsondom.Null{}
+		case 1:
+			return jsondom.Bool(r.Intn(2) == 0)
+		case 2:
+			return jsondom.NumberFromInt(r.Int63n(1000))
+		default:
+			return jsondom.String([]string{"x", "yy", "zzz"}[r.Intn(3)])
+		}
+	}
+	return genDoc(r, depth)
+}
+
+var propPaths = []string{
+	"$", "$.a", "$.a.b", "$.items[*].name", "$.items[0].price",
+	"$.a[*]", "$.a[0,2]", "$.a[0 to 1].b", "$.items.name",
+	"$.a[last]", "$.*", "$..name",
+	`$.items[*]?(@.price > 500).name`,
+	`$.a?(exists(@.b)).c`,
+}
+
+func TestThreeEngineAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := genDoc(r, 4)
+		for _, pt := range propPaths {
+			c := MustCompile(pt)
+			domVals := EvalDom(doc, c)
+
+			od := oson.MustParse(oson.MustEncode(doc))
+			osonVals, err := EvalOson(od, c)
+			if err != nil {
+				t.Logf("oson eval error on %q: %v", pt, err)
+				return false
+			}
+			textVals, err := EvalText(jsontext.Serialize(doc), c, 0)
+			if err != nil {
+				t.Logf("text eval error on %q: %v", pt, err)
+				return false
+			}
+			if !valsEqual(domVals, osonVals) || !valsEqual(domVals, textVals) {
+				t.Logf("disagreement on path %q doc %s:\n dom=%s\noson=%s\ntext=%s",
+					pt, jsontext.Serialize(doc), render(domVals), render(osonVals), render(textVals))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvalDom(b *testing.B) {
+	doc := poDom()
+	c := MustCompile("$.purchaseOrder.items[*].price")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(EvalDom(doc, c)) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkEvalOson(b *testing.B) {
+	d := oson.MustParse(oson.MustEncode(poDom()))
+	c := MustCompile("$.purchaseOrder.items[*].price")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals, err := EvalOson(d, c)
+		if err != nil || len(vals) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkEvalTextStreaming(b *testing.B) {
+	text := jsontext.Serialize(poDom())
+	c := MustCompile("$.purchaseOrder.items[*].price")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals, err := EvalText(text, c, 0)
+		if err != nil || len(vals) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}

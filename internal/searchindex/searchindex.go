@@ -1,0 +1,289 @@
+// Package searchindex implements the schema-agnostic JSON search index
+// of §3.2: an inverted index over every JSON field-name path and every
+// leaf scalar value (strings tokenized into keywords), maintained
+// incrementally as documents are inserted.
+//
+// The index hosts the *persistent JSON DataGuide*: its maintenance is
+// folded into document insertion, and in the common case where a new
+// document introduces no new paths the DataGuide module is not touched
+// beyond the in-memory structural check (§3.2.1). The $DG rows the
+// paper stores relationally are exposed via Guide().Entries().
+package searchindex
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataguide"
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/sqljson"
+	"repro/internal/store"
+)
+
+// Index is a JSON search index over one JSON column of a table.
+type Index struct {
+	Name      string
+	TableName string
+	Column    string
+
+	mu sync.RWMutex
+	// pathPostings: field-name path -> doc ids containing that path.
+	pathPostings map[string][]int
+	// keywordPostings: token -> doc ids containing the keyword in any
+	// string leaf.
+	keywordPostings map[string][]int
+	// valuePostings: path + "=" + scalar rendering -> doc ids, for
+	// equality probes on leaf values.
+	valuePostings map[string][]int
+
+	dataGuide bool
+	// postings controls inverted-list maintenance; a DataGuide-only
+	// index (Figure 7's third mode) skips it and streams the document
+	// through the event-driven structural analysis instead.
+	postings bool
+	guide    *dataguide.Guide
+	// fpEntries caches, per structure fingerprint, the DataGuide
+	// entries a document of that structure touches; fingerprint hits
+	// skip structural analysis entirely (§3.2.1's common case).
+	fpEntries map[uint64][]*dataguide.Entry
+	// dgRows mirrors the relational $DG table: append-only (§3.4:
+	// "persistent JSON DataGuide is additive").
+	dgRows []DGRow
+
+	docCount int
+}
+
+// DGRow is one row of the $DG table (Tables 2, 4, 6).
+type DGRow struct {
+	Path string
+	Type string
+}
+
+// New creates a search index. dataGuide enables persistent DataGuide
+// maintenance.
+func New(name, table, column string, dataGuide bool) *Index {
+	return &Index{
+		Name:            name,
+		TableName:       table,
+		Column:          column,
+		pathPostings:    make(map[string][]int),
+		keywordPostings: make(map[string][]int),
+		valuePostings:   make(map[string][]int),
+		dataGuide:       dataGuide,
+		postings:        true,
+		guide:           dataguide.New(),
+		fpEntries:       make(map[uint64][]*dataguide.Entry),
+	}
+}
+
+// NewDataGuideOnly creates an index that maintains only the persistent
+// DataGuide, without inverted lists — the configuration §6.5 measures
+// as "json-constraint-dataguide".
+func NewDataGuideOnly(name, table, column string) *Index {
+	ix := New(name, table, column, true)
+	ix.postings = false
+	return ix
+}
+
+// DataGuideEnabled reports whether DataGuide maintenance is on.
+func (ix *Index) DataGuideEnabled() bool { return ix.dataGuide }
+
+// PostingsEnabled reports whether inverted lists are maintained (false
+// for DataGuide-only indexes).
+func (ix *Index) PostingsEnabled() bool { return ix.postings }
+
+// Guide returns the maintained DataGuide (empty when disabled).
+func (ix *Index) Guide() *dataguide.Guide {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.guide
+}
+
+// DGTable returns the accumulated $DG rows in insertion order.
+func (ix *Index) DGTable() []DGRow {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]DGRow(nil), ix.dgRows...)
+}
+
+// DocCount returns the number of indexed documents.
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docCount
+}
+
+// RowInserted implements store.InsertObserver: it parses the JSON
+// column value and maintains the inverted lists and the DataGuide.
+func (ix *Index) RowInserted(t *store.Table, rowID int, row store.Row) error {
+	pos, ok := t.ColumnPos(ix.Column)
+	if !ok {
+		return fmt.Errorf("searchindex: column %s missing from table %s", ix.Column, t.Name)
+	}
+	v := row[pos]
+	if v.Kind() == jsondom.KindNull {
+		return nil
+	}
+	if !ix.postings {
+		// DataGuide-only maintenance streams the text through the
+		// event-driven structural analysis (§3.2.1) — no DOM is built
+		if s, ok := v.(jsondom.String); ok {
+			return ix.addTextDataGuideOnly([]byte(s))
+		}
+	}
+	doc, err := sqljson.FromDatum(v)
+	if err != nil {
+		return err
+	}
+	dom, err := doc.DOM()
+	if err != nil {
+		return err
+	}
+	return ix.AddDocument(rowID, dom)
+}
+
+func (ix *Index) addTextDataGuideOnly(text []byte) error {
+	// cheap single-scan structure fingerprint; a hit means this
+	// structure contributed to the DataGuide before, so processing
+	// stops without touching the persistent DataGuide module (§3.2.1)
+	fp, err := jsontext.StructureFingerprint(text)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.docCount++
+	if touched, ok := ix.fpEntries[fp]; ok {
+		ix.guide.BumpFrequency(touched)
+		return nil
+	}
+	added, touched, err := ix.guide.AddTextTracked(text)
+	if err != nil {
+		return err
+	}
+	ix.fpEntries[fp] = touched
+	for _, e := range added {
+		ix.dgRows = append(ix.dgRows, DGRow{Path: e.Path, Type: e.TypeString()})
+	}
+	return nil
+}
+
+// AddDocument indexes one parsed document under the given id.
+func (ix *Index) AddDocument(docID int, dom jsondom.Value) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.docCount++
+	if !ix.postings {
+		if ix.dataGuide {
+			for _, e := range ix.guide.Add(dom) {
+				ix.dgRows = append(ix.dgRows, DGRow{Path: e.Path, Type: e.TypeString()})
+			}
+		}
+		return nil
+	}
+	seenPaths := make(map[string]bool)
+	seenKw := make(map[string]bool)
+	seenVal := make(map[string]bool)
+	indexNode(dom, "$", docID, ix, seenPaths, seenKw, seenVal)
+	if ix.dataGuide {
+		for _, e := range ix.guide.Add(dom) {
+			ix.dgRows = append(ix.dgRows, DGRow{Path: e.Path, Type: e.TypeString()})
+		}
+	}
+	return nil
+}
+
+func indexNode(v jsondom.Value, path string, docID int, ix *Index, seenPaths, seenKw, seenVal map[string]bool) {
+	switch t := v.(type) {
+	case *jsondom.Object:
+		for _, f := range t.Fields() {
+			childPath := path + "." + f.Name
+			if !seenPaths[childPath] {
+				seenPaths[childPath] = true
+				ix.pathPostings[childPath] = append(ix.pathPostings[childPath], docID)
+			}
+			indexNode(f.Value, childPath, docID, ix, seenPaths, seenKw, seenVal)
+		}
+	case *jsondom.Array:
+		for _, e := range t.Elems {
+			indexNode(e, path, docID, ix, seenPaths, seenKw, seenVal)
+		}
+	case jsondom.String:
+		for _, tok := range sqljson.Tokenize(string(t)) {
+			if !seenKw[tok] {
+				seenKw[tok] = true
+				ix.keywordPostings[tok] = append(ix.keywordPostings[tok], docID)
+			}
+		}
+		ix.recordValue(path, v, docID, seenVal)
+	default:
+		if v.Kind().IsScalar() {
+			ix.recordValue(path, v, docID, seenVal)
+		}
+	}
+}
+
+func (ix *Index) recordValue(path string, v jsondom.Value, docID int, seenVal map[string]bool) {
+	key := path + "=" + jsontext.SerializeString(v)
+	if seenVal[key] {
+		return
+	}
+	seenVal[key] = true
+	ix.valuePostings[key] = append(ix.valuePostings[key], docID)
+}
+
+// DocsWithPath returns the ids of documents containing the field-name
+// path (array steps are transparent, matching DataGuide paths).
+func (ix *Index) DocsWithPath(path string) []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]int(nil), ix.pathPostings[path]...)
+}
+
+// DocsWithKeyword returns the ids of documents whose string leaves
+// contain the keyword.
+func (ix *Index) DocsWithKeyword(keyword string) []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	toks := sqljson.Tokenize(keyword)
+	if len(toks) == 0 {
+		return nil
+	}
+	// conjunction over the keyword's tokens
+	result := append([]int(nil), ix.keywordPostings[toks[0]]...)
+	for _, tok := range toks[1:] {
+		result = intersect(result, ix.keywordPostings[tok])
+	}
+	return result
+}
+
+// DocsWithValue returns the ids of documents having the exact scalar
+// value at the path.
+func (ix *Index) DocsWithValue(path string, v jsondom.Value) []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	key := path + "=" + jsontext.SerializeString(v)
+	return append([]int(nil), ix.valuePostings[key]...)
+}
+
+// DistinctPathCount returns the number of distinct indexed paths.
+func (ix *Index) DistinctPathCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.pathPostings)
+}
+
+func intersect(a, b []int) []int {
+	set := make(map[int]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// UPDATE and DELETE execution. DML detaches the target table's
+// in-memory store (its contents would be stale); search indexes stay
+// attached — the persistent DataGuide is additive by design (§3.4) and
+// tombstoned row ids simply disappear from posting results.
+
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/jsondom"
+	"repro/internal/store"
+)
+
+func (e *Engine) runDelete(t *DeleteStmt, params []jsondom.Value) (*Result, error) {
+	tab, ok := e.cat.Table(strings.ToLower(t.Table))
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", t.Table)
+	}
+	ids, err := e.matchRows(tab, t.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	for _, rid := range ids {
+		tab.Delete(rid)
+	}
+	e.DetachIMC(tab.Name)
+	return affected(len(ids)), nil
+}
+
+func (e *Engine) runUpdate(t *UpdateStmt, params []jsondom.Value) (*Result, error) {
+	tab, ok := e.cat.Table(strings.ToLower(t.Table))
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", t.Table)
+	}
+	cols := tab.Columns()
+	stored := 0
+	for _, c := range cols {
+		if !c.Virtual {
+			stored++
+		}
+	}
+	// resolve target columns to stored positions
+	targets := make([]int, len(t.Sets))
+	for i, set := range t.Sets {
+		pos, ok := tab.ColumnPos(set.Column)
+		if !ok || cols[pos].Virtual {
+			return nil, fmt.Errorf("sql: no such stored column %q in %q", set.Column, t.Table)
+		}
+		targets[i] = pos
+	}
+	ids, err := e.matchRows(tab, t.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	env := &planEnv{params: params, aggCols: map[*FuncCall]int{}, winCols: map[*WindowFunc]int{}}
+	sch := tableSchema(tab, "")
+	ctx := env.bindCtx(sch)
+	for _, set := range t.Sets {
+		bindCols(set.Expr, sch, ctx.colIdx)
+	}
+	for _, rid := range ids {
+		old, ok := tab.Get(rid)
+		if !ok {
+			continue
+		}
+		full, err := materializeRow(tab, cols, old)
+		if err != nil {
+			return nil, err
+		}
+		ctx.row = full
+		newRow := make(store.Row, stored)
+		copy(newRow, old)
+		for i, set := range t.Sets {
+			v, err := evalExpr(ctx, set.Expr)
+			if err != nil {
+				return nil, err
+			}
+			newRow[targets[i]] = v
+		}
+		if err := tab.Update(rid, newRow); err != nil {
+			return nil, err
+		}
+	}
+	e.DetachIMC(tab.Name)
+	return affected(len(ids)), nil
+}
+
+// matchRows evaluates the WHERE predicate over every visible row
+// (virtual columns included) and returns matching row ids.
+func (e *Engine) matchRows(tab *store.Table, where Expr, params []jsondom.Value) ([]int, error) {
+	cols := tab.Columns()
+	var ids []int
+	if where == nil {
+		tab.Scan(func(rid int, _ store.Row) bool {
+			ids = append(ids, rid)
+			return true
+		})
+		return ids, nil
+	}
+	env := &planEnv{params: params, aggCols: map[*FuncCall]int{}, winCols: map[*WindowFunc]int{}}
+	sch := tableSchema(tab, "")
+	ctx := env.bindCtx(sch, where)
+	var evalErr error
+	tab.Scan(func(rid int, row store.Row) bool {
+		full, err := materializeRow(tab, cols, row)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		ctx.row = full
+		v, err := evalExpr(ctx, where)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if truthy(v) {
+			ids = append(ids, rid)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return ids, nil
+}
+
+// tableSchema builds a Schema covering stored and virtual columns.
+func tableSchema(tab *store.Table, alias string) Schema {
+	var sch Schema
+	for _, c := range tab.Columns() {
+		sch = append(sch, ColMeta{Table: alias, Name: c.Name, Hidden: c.Hidden})
+	}
+	return sch
+}
+
+// materializeRow extends a stored row with computed virtual columns.
+func materializeRow(tab *store.Table, cols []store.Column, row store.Row) ([]jsondom.Value, error) {
+	full := make([]jsondom.Value, len(cols))
+	for i, c := range cols {
+		if !c.Virtual {
+			full[i] = row[i]
+			continue
+		}
+		if c.Expr == nil {
+			full[i] = null
+			continue
+		}
+		v, err := c.Expr(row)
+		if err != nil {
+			return nil, err
+		}
+		full[i] = v
+	}
+	return full, nil
+}
+
+func affected(n int) *Result {
+	return &Result{Columns: []string{"rows_affected"},
+		Rows: [][]jsondom.Value{{jsondom.NumberFromInt(int64(n))}}}
+}

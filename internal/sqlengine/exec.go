@@ -1,0 +1,1194 @@
+// Row-source executor: the Open/Next/Close iterator model of the row
+// source API the paper cites for JSON_TABLE ([9], §5.1), used here for
+// every operator.
+//
+// Aggregate and window function results flow through the pipeline as
+// synthetic columns appended by groupAggOp/windowOp; expression
+// evaluation resolves the originating AST nodes to those columns via
+// the shared planEnv maps.
+
+package sqlengine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataguide"
+	"repro/internal/jsondom"
+	"repro/internal/pathengine"
+	"repro/internal/sqljson"
+	"repro/internal/store"
+)
+
+type rowSource interface {
+	Open() error
+	Next() ([]jsondom.Value, bool, error)
+	Close() error
+	Schema() Schema
+}
+
+// planEnv is shared by all operators of one plan: bind parameters plus
+// the positions of aggregate/window results within the row.
+type planEnv struct {
+	params  []jsondom.Value
+	aggCols map[*FuncCall]int
+	winCols map[*WindowFunc]int
+}
+
+func (e *planEnv) ctx(sch Schema, row []jsondom.Value) *evalCtx {
+	return &evalCtx{schema: sch, row: row, params: e.params,
+		aggCols: e.aggCols, winCols: e.winCols}
+}
+
+// bindCtx prepares a reusable evaluation context for an operator: the
+// column references of the given expressions are resolved against the
+// schema once, so per-row evaluation is a pointer-keyed map hit.
+func (e *planEnv) bindCtx(sch Schema, exprs ...Expr) *evalCtx {
+	ctx := e.ctx(sch, nil)
+	ctx.colIdx = make(map[*ColRef]int)
+	for _, x := range exprs {
+		bindCols(x, sch, ctx.colIdx)
+	}
+	return ctx
+}
+
+func bindCols(e Expr, sch Schema, m map[*ColRef]int) {
+	for _, c := range exprColRefs(e) {
+		if i, err := sch.Resolve(c.Table, c.Name); err == nil {
+			m[c] = i
+		}
+	}
+}
+
+// InMemorySource substitutes column values during a scan, modeling the
+// dual-format in-memory store of §5.2: OSON bytes in place of JSON
+// text (OSON-IMC) and pre-computed virtual column vectors (VC-IMC).
+type InMemorySource interface {
+	// Substitute returns the in-memory value for (rowID, column), or
+	// ok=false when the column is not populated in memory.
+	Substitute(rowID int, col string) (jsondom.Value, bool)
+}
+
+// VectorFilterSource is an optional InMemorySource extension: it
+// compiles simple comparison predicates over in-memory column vectors
+// so the scan can skip non-matching rows before materializing them —
+// the columnar predicate evaluation of §5.2.1.
+type VectorFilterSource interface {
+	InMemorySource
+	// CompileFilter returns a per-row predicate for (col op operands),
+	// ok=false when the column has no vector or the shape is
+	// unsupported. op is one of = != < <= > >= between.
+	CompileFilter(col, op string, operands []jsondom.Value) (func(rowID int) bool, bool)
+}
+
+// ---------------------------------------------------------------------------
+// table scan
+
+type tableScan struct {
+	tab   *store.Table
+	alias string
+	sch   Schema
+	// needVC marks virtual columns the query references; unreferenced
+	// virtual columns are not computed (left NULL).
+	needVC []bool
+	cols   []store.Column
+	sub    InMemorySource // IMC substitution, may be nil
+	// vecFilters are compiled columnar predicates; rows failing any of
+	// them are skipped before materialization (§5.2.1).
+	vecFilters []func(rowID int) bool
+	// rowIDs, when non-nil, restricts the scan to these row ids (an
+	// index-driven scan from JSON search index postings).
+	rowIDs []int
+	idPos  int
+
+	samplePct float64
+	rng       *rand.Rand
+
+	pos, maxID int
+}
+
+func newTableScan(tab *store.Table, alias string, needed map[string]bool, sub InMemorySource, samplePct float64) *tableScan {
+	cols := tab.Columns()
+	ts := &tableScan{tab: tab, alias: alias, cols: cols, sub: sub, samplePct: samplePct}
+	for _, c := range cols {
+		ts.sch = append(ts.sch, ColMeta{Table: alias, Name: c.Name, Hidden: c.Hidden})
+		ts.needVC = append(ts.needVC, needed == nil || needed[c.Name])
+	}
+	return ts
+}
+
+func (s *tableScan) Open() error {
+	s.pos = 0
+	s.idPos = 0
+	s.maxID = s.tab.MaxRowID()
+	if s.samplePct > 0 {
+		// deterministic sampling for reproducible experiments
+		s.rng = rand.New(rand.NewSource(42))
+	}
+	return nil
+}
+
+func (s *tableScan) Schema() Schema { return s.sch }
+
+func (s *tableScan) Next() ([]jsondom.Value, bool, error) {
+	for {
+		var rowID int
+		var row store.Row
+		if s.rowIDs != nil {
+			if s.idPos >= len(s.rowIDs) {
+				return nil, false, nil
+			}
+			rowID = s.rowIDs[s.idPos]
+			s.idPos++
+			var ok bool
+			row, ok = s.tab.Get(rowID)
+			if !ok {
+				continue
+			}
+		} else {
+			if s.pos >= s.maxID {
+				return nil, false, nil
+			}
+			rowID = s.pos
+			s.pos++
+			var ok bool
+			row, ok = s.tab.Get(rowID)
+			if !ok {
+				continue // deleted row
+			}
+		}
+		if s.rng != nil && s.rng.Float64()*100 >= s.samplePct {
+			continue
+		}
+		if !s.passVecFilters(rowID) {
+			continue
+		}
+		out := make([]jsondom.Value, len(s.cols))
+		for i, c := range s.cols {
+			if s.sub != nil {
+				if v, ok := s.sub.Substitute(rowID, c.Name); ok {
+					out[i] = v
+					continue
+				}
+			}
+			if !c.Virtual {
+				out[i] = row[i]
+				continue
+			}
+			if !s.needVC[i] || c.Expr == nil {
+				out[i] = null
+				continue
+			}
+			v, err := c.Expr(row)
+			if err != nil {
+				return nil, false, err
+			}
+			out[i] = v
+		}
+		return out, true, nil
+	}
+}
+
+func (s *tableScan) passVecFilters(rowID int) bool {
+	for _, f := range s.vecFilters {
+		if !f(rowID) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *tableScan) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// filter / project / limit
+
+type filterOp struct {
+	in   rowSource
+	pred Expr
+	env  *planEnv
+	ctx  *evalCtx
+}
+
+func (f *filterOp) Open() error {
+	f.ctx = f.env.bindCtx(f.in.Schema(), f.pred)
+	return f.in.Open()
+}
+func (f *filterOp) Close() error   { return f.in.Close() }
+func (f *filterOp) Schema() Schema { return f.in.Schema() }
+
+func (f *filterOp) Next() ([]jsondom.Value, bool, error) {
+	for {
+		row, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.ctx.row = row
+		v, err := evalExpr(f.ctx, f.pred)
+		if err != nil {
+			return nil, false, err
+		}
+		if truthy(v) {
+			return row, true, nil
+		}
+	}
+}
+
+type projectOp struct {
+	in    rowSource
+	exprs []Expr
+	sch   Schema
+	env   *planEnv
+	ctx   *evalCtx
+}
+
+func (p *projectOp) Open() error {
+	p.ctx = p.env.bindCtx(p.in.Schema(), p.exprs...)
+	return p.in.Open()
+}
+func (p *projectOp) Close() error   { return p.in.Close() }
+func (p *projectOp) Schema() Schema { return p.sch }
+
+func (p *projectOp) Next() ([]jsondom.Value, bool, error) {
+	row, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p.ctx.row = row
+	out := make([]jsondom.Value, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := evalExpr(p.ctx, e)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+type limitOp struct {
+	in    rowSource
+	limit int
+	n     int
+}
+
+func (l *limitOp) Open() error    { l.n = 0; return l.in.Open() }
+func (l *limitOp) Close() error   { return l.in.Close() }
+func (l *limitOp) Schema() Schema { return l.in.Schema() }
+
+func (l *limitOp) Next() ([]jsondom.Value, bool, error) {
+	if l.n >= l.limit {
+		return nil, false, nil
+	}
+	row, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.n++
+	return row, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// JSON_TABLE lateral apply
+
+type jsonTableOp struct {
+	left rowSource // may be nil when JSON_TABLE is the only FROM item
+	ref  *JSONTableRef
+	sch  Schema
+	env  *planEnv
+
+	leftRow []jsondom.Value
+	pending [][]jsondom.Value
+	pi      int
+	done    bool
+	argCtx  *evalCtx
+	// preFilters are implied JSON_EXISTS path predicates; documents
+	// failing any of them are skipped before row expansion (§6.3).
+	preFilters []*pathengine.Compiled
+}
+
+func newJSONTableOp(left rowSource, ref *JSONTableRef, env *planEnv) *jsonTableOp {
+	op := &jsonTableOp{left: left, ref: ref, env: env}
+	if left != nil {
+		op.sch = append(op.sch, left.Schema()...)
+	}
+	for _, name := range ref.ColNames {
+		op.sch = append(op.sch, ColMeta{Table: ref.Alias, Name: name})
+	}
+	return op
+}
+
+func (j *jsonTableOp) Open() error {
+	j.pending, j.pi, j.done = nil, 0, false
+	j.leftRow = nil
+	var sch Schema
+	if j.left != nil {
+		sch = j.left.Schema()
+	}
+	j.argCtx = j.env.bindCtx(sch, j.ref.Arg)
+	if j.left != nil {
+		return j.left.Open()
+	}
+	return nil
+}
+
+func (j *jsonTableOp) Close() error {
+	if j.left != nil {
+		return j.left.Close()
+	}
+	return nil
+}
+
+func (j *jsonTableOp) Schema() Schema { return j.sch }
+
+func (j *jsonTableOp) Next() ([]jsondom.Value, bool, error) {
+	for {
+		if j.pi < len(j.pending) {
+			jt := j.pending[j.pi]
+			j.pi++
+			if j.left == nil {
+				return jt, true, nil
+			}
+			out := make([]jsondom.Value, 0, len(j.leftRow)+len(jt))
+			out = append(out, j.leftRow...)
+			out = append(out, jt...)
+			return out, true, nil
+		}
+		if j.done {
+			return nil, false, nil
+		}
+		if j.left == nil {
+			j.done = true
+			rows, err := j.expand(nil)
+			if err != nil {
+				return nil, false, err
+			}
+			j.pending, j.pi = rows, 0
+			continue
+		}
+		row, ok, err := j.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.done = true
+			continue
+		}
+		j.leftRow = row
+		rows, err := j.expand(row)
+		if err != nil {
+			return nil, false, err
+		}
+		j.pending, j.pi = rows, 0
+	}
+}
+
+func (j *jsonTableOp) expand(leftRow []jsondom.Value) ([][]jsondom.Value, error) {
+	j.argCtx.row = leftRow
+	v, err := evalExpr(j.argCtx, j.ref.Arg)
+	if err != nil {
+		return nil, err
+	}
+	if isNull(v) {
+		return nil, nil
+	}
+	doc, err := sqljson.FromDatum(v)
+	if err != nil {
+		return nil, err
+	}
+	for _, pf := range j.preFilters {
+		ok, err := doc.Exists(pf)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil // the residual WHERE would reject every row
+		}
+	}
+	return j.ref.Def.Expand(doc)
+}
+
+// ---------------------------------------------------------------------------
+// joins
+
+// crossJoin is a nested-loop cross product with the right side
+// materialized.
+type crossJoin struct {
+	left, right rowSource
+	sch         Schema
+
+	rightRows [][]jsondom.Value
+	leftRow   []jsondom.Value
+	ri        int
+	init      bool
+}
+
+func newCrossJoin(l, r rowSource) *crossJoin {
+	return &crossJoin{left: l, right: r,
+		sch: append(append(Schema{}, l.Schema()...), r.Schema()...)}
+}
+
+func (c *crossJoin) Open() error {
+	c.init, c.ri, c.leftRow, c.rightRows = false, 0, nil, nil
+	if err := c.left.Open(); err != nil {
+		return err
+	}
+	return c.right.Open()
+}
+
+func (c *crossJoin) Close() error {
+	if err := c.left.Close(); err != nil {
+		return err
+	}
+	return c.right.Close()
+}
+
+func (c *crossJoin) Schema() Schema { return c.sch }
+
+func (c *crossJoin) Next() ([]jsondom.Value, bool, error) {
+	if !c.init {
+		c.init = true
+		for {
+			row, ok, err := c.right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			c.rightRows = append(c.rightRows, row)
+		}
+	}
+	for {
+		if c.leftRow == nil {
+			row, ok, err := c.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			c.leftRow = row
+			c.ri = 0
+		}
+		if c.ri >= len(c.rightRows) {
+			c.leftRow = nil
+			continue
+		}
+		r := c.rightRows[c.ri]
+		c.ri++
+		out := make([]jsondom.Value, 0, len(c.leftRow)+len(r))
+		out = append(out, c.leftRow...)
+		out = append(out, r...)
+		return out, true, nil
+	}
+}
+
+// hashJoin is an equi-join: build on the right input, probe with the
+// left (the plan the REL storage of §6.3 uses to join master and
+// detail).
+type hashJoin struct {
+	left, right         rowSource
+	leftKeys, rightKeys []Expr
+	residual            Expr
+	leftOuter           bool
+	env                 *planEnv
+	sch                 Schema
+
+	table   map[string][][]jsondom.Value
+	leftRow []jsondom.Value
+	matches [][]jsondom.Value
+	mi      int
+	init    bool
+
+	leftCtx, rightCtx, residCtx *evalCtx
+}
+
+func newHashJoin(l, r rowSource, lk, rk []Expr, residual Expr, leftOuter bool, env *planEnv) *hashJoin {
+	return &hashJoin{
+		left: l, right: r, leftKeys: lk, rightKeys: rk,
+		residual: residual, leftOuter: leftOuter, env: env,
+		sch: append(append(Schema{}, l.Schema()...), r.Schema()...),
+	}
+}
+
+func (h *hashJoin) Open() error {
+	h.init, h.table, h.leftRow, h.matches, h.mi = false, nil, nil, nil, 0
+	h.leftCtx = h.env.bindCtx(h.left.Schema(), h.leftKeys...)
+	h.rightCtx = h.env.bindCtx(h.right.Schema(), h.rightKeys...)
+	if h.residual != nil {
+		h.residCtx = h.env.bindCtx(h.sch, h.residual)
+	}
+	if err := h.left.Open(); err != nil {
+		return err
+	}
+	return h.right.Open()
+}
+
+func (h *hashJoin) Close() error {
+	if err := h.left.Close(); err != nil {
+		return err
+	}
+	return h.right.Close()
+}
+
+func (h *hashJoin) Schema() Schema { return h.sch }
+
+func (h *hashJoin) keyOf(ctx *evalCtx, row []jsondom.Value, keys []Expr) (string, error) {
+	ctx.row = row
+	k := ""
+	for _, e := range keys {
+		v, err := evalExpr(ctx, e)
+		if err != nil {
+			return "", err
+		}
+		if isNull(v) {
+			return "", nil // NULL keys never match
+		}
+		k += keyRender(v) + "\x00"
+	}
+	return k, nil
+}
+
+func (h *hashJoin) Next() ([]jsondom.Value, bool, error) {
+	if !h.init {
+		h.init = true
+		h.table = make(map[string][][]jsondom.Value)
+		for {
+			row, ok, err := h.right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			k, err := h.keyOf(h.rightCtx, row, h.rightKeys)
+			if err != nil {
+				return nil, false, err
+			}
+			if k == "" {
+				continue
+			}
+			h.table[k] = append(h.table[k], row)
+		}
+	}
+	for {
+		if h.mi < len(h.matches) {
+			r := h.matches[h.mi]
+			h.mi++
+			out := make([]jsondom.Value, 0, len(h.leftRow)+len(r))
+			out = append(out, h.leftRow...)
+			out = append(out, r...)
+			if h.residual != nil {
+				h.residCtx.row = out
+				v, err := evalExpr(h.residCtx, h.residual)
+				if err != nil {
+					return nil, false, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			return out, true, nil
+		}
+		row, ok, err := h.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		h.leftRow = row
+		k, err := h.keyOf(h.leftCtx, row, h.leftKeys)
+		if err != nil {
+			return nil, false, err
+		}
+		h.matches = nil
+		if k != "" {
+			h.matches = h.table[k]
+		}
+		h.mi = 0
+		if len(h.matches) == 0 && h.leftOuter {
+			out := make([]jsondom.Value, 0, len(row)+len(h.right.Schema()))
+			out = append(out, row...)
+			for range h.right.Schema() {
+				out = append(out, null)
+			}
+			return out, true, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// grouping and aggregation
+
+// groupAggOp hashes input rows into groups and emits one row per
+// group: a representative input row extended with one synthetic
+// column per aggregate (positions recorded in planEnv.aggCols).
+type groupAggOp struct {
+	in      rowSource
+	groupBy []Expr
+	aggs    []*FuncCall
+	env     *planEnv
+	// implicitGroup: aggregate query without GROUP BY — one group over
+	// the whole input, emitted even when the input is empty.
+	implicitGroup bool
+	sch           Schema
+
+	groups [][]jsondom.Value
+	gi     int
+	opened bool
+}
+
+func newGroupAggOp(in rowSource, groupBy []Expr, aggs []*FuncCall, implicit bool, env *planEnv) *groupAggOp {
+	g := &groupAggOp{in: in, groupBy: groupBy, aggs: aggs, implicitGroup: implicit, env: env}
+	g.sch = append(Schema{}, in.Schema()...)
+	for i, a := range g.aggs {
+		env.aggCols[a] = len(g.sch)
+		g.sch = append(g.sch, ColMeta{Name: fmt.Sprintf("$agg%d", i), Hidden: true})
+	}
+	return g
+}
+
+func (g *groupAggOp) Open() error {
+	g.groups, g.gi, g.opened = nil, 0, false
+	return g.in.Open()
+}
+
+func (g *groupAggOp) Close() error   { return g.in.Close() }
+func (g *groupAggOp) Schema() Schema { return g.sch }
+
+type groupState struct {
+	repr   []jsondom.Value
+	states []aggState
+}
+
+type aggState interface {
+	add(v jsondom.Value)
+	result() jsondom.Value
+}
+
+func (g *groupAggOp) build() error {
+	index := make(map[string]*groupState)
+	var order []string
+	inSch := g.in.Schema()
+	bindExprs := append([]Expr{}, g.groupBy...)
+	for _, a := range g.aggs {
+		bindExprs = append(bindExprs, a.Args...)
+	}
+	ctx := g.env.bindCtx(inSch, bindExprs...)
+	for {
+		row, ok, err := g.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ctx.row = row
+		key := ""
+		for _, e := range g.groupBy {
+			v, err := evalExpr(ctx, e)
+			if err != nil {
+				return err
+			}
+			key += keyRender(v) + "\x00"
+		}
+		gs, ok := index[key]
+		if !ok {
+			gs = &groupState{repr: row, states: g.newStates()}
+			index[key] = gs
+			order = append(order, key)
+		}
+		for i, agg := range g.aggs {
+			var arg jsondom.Value = null
+			if len(agg.Args) > 0 {
+				v, err := evalExpr(ctx, agg.Args[0])
+				if err != nil {
+					return err
+				}
+				arg = v
+			}
+			gs.states[i].add(arg)
+		}
+	}
+	if len(order) == 0 && g.implicitGroup {
+		gs := &groupState{repr: make([]jsondom.Value, len(inSch)), states: g.newStates()}
+		for i := range gs.repr {
+			gs.repr[i] = null
+		}
+		index[""] = gs
+		order = append(order, "")
+	}
+	for _, k := range order {
+		gs := index[k]
+		out := make([]jsondom.Value, 0, len(gs.repr)+len(g.aggs))
+		out = append(out, gs.repr...)
+		for _, st := range gs.states {
+			out = append(out, st.result())
+		}
+		g.groups = append(g.groups, out)
+	}
+	return nil
+}
+
+func (g *groupAggOp) newStates() []aggState {
+	states := make([]aggState, len(g.aggs))
+	for i, a := range g.aggs {
+		switch a.Name {
+		case "count":
+			states[i] = &countState{star: a.Star}
+		case "sum":
+			states[i] = &sumState{}
+		case "avg":
+			states[i] = &avgState{}
+		case "min":
+			states[i] = &minMaxState{min: true}
+		case "max":
+			states[i] = &minMaxState{}
+		case "json_dataguideagg":
+			states[i] = &dataGuideState{guide: dataguide.New()}
+		}
+	}
+	return states
+}
+
+func (g *groupAggOp) Next() ([]jsondom.Value, bool, error) {
+	if !g.opened {
+		g.opened = true
+		if err := g.build(); err != nil {
+			return nil, false, err
+		}
+	}
+	if g.gi >= len(g.groups) {
+		return nil, false, nil
+	}
+	row := g.groups[g.gi]
+	g.gi++
+	return row, true, nil
+}
+
+type countState struct {
+	star bool
+	n    int64
+}
+
+func (s *countState) add(v jsondom.Value) {
+	if s.star || !isNull(v) {
+		s.n++
+	}
+}
+func (s *countState) result() jsondom.Value { return jsondom.NumberFromInt(s.n) }
+
+type sumState struct {
+	sum   float64
+	valid bool
+}
+
+func (s *sumState) add(v jsondom.Value) {
+	if isNull(v) {
+		return
+	}
+	if f, ok := numOf(v); ok {
+		s.sum += f
+		s.valid = true
+	}
+}
+
+func (s *sumState) result() jsondom.Value {
+	if !s.valid {
+		return null
+	}
+	return jsondom.NumberFromFloat(s.sum)
+}
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) add(v jsondom.Value) {
+	if isNull(v) {
+		return
+	}
+	if f, ok := numOf(v); ok {
+		s.sum += f
+		s.n++
+	}
+}
+
+func (s *avgState) result() jsondom.Value {
+	if s.n == 0 {
+		return null
+	}
+	return jsondom.NumberFromFloat(s.sum / float64(s.n))
+}
+
+type minMaxState struct {
+	min  bool
+	best jsondom.Value
+}
+
+func (s *minMaxState) add(v jsondom.Value) {
+	if isNull(v) {
+		return
+	}
+	if s.best == nil {
+		s.best = v
+		return
+	}
+	cmp, ok := compareSQL(v, s.best)
+	if !ok {
+		return
+	}
+	if s.min && cmp < 0 || !s.min && cmp > 0 {
+		s.best = v
+	}
+}
+
+func (s *minMaxState) result() jsondom.Value {
+	if s.best == nil {
+		return null
+	}
+	return s.best
+}
+
+// dataGuideState implements JSON_DATAGUIDEAGG (§3.4): a user-defined
+// aggregate that merges instance DataGuides and returns the flat form
+// as one JSON document.
+type dataGuideState struct {
+	guide *dataguide.Guide
+	err   error
+}
+
+func (s *dataGuideState) add(v jsondom.Value) {
+	if isNull(v) || s.err != nil {
+		return
+	}
+	doc, err := sqljson.FromDatum(v)
+	if err != nil {
+		s.err = err
+		return
+	}
+	dom, err := doc.DOM()
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.guide.Add(dom)
+}
+
+func (s *dataGuideState) result() jsondom.Value {
+	return jsondom.String(s.guide.FlatJSON())
+}
+
+// ---------------------------------------------------------------------------
+// window functions
+
+// windowOp materializes its input, computes window function values and
+// appends them as synthetic columns (positions recorded in
+// planEnv.winCols). LAG/LEAD/ROW_NUMBER with OVER (ORDER BY ...) are
+// supported; Q6 of Table 13 needs LAG.
+type windowOp struct {
+	in    rowSource
+	funcs []*WindowFunc
+	env   *planEnv
+	sch   Schema
+
+	rows   [][]jsondom.Value
+	pos    int
+	opened bool
+}
+
+func newWindowOp(in rowSource, funcs []*WindowFunc, env *planEnv) *windowOp {
+	w := &windowOp{in: in, funcs: funcs, env: env}
+	w.sch = append(Schema{}, in.Schema()...)
+	for i, f := range funcs {
+		env.winCols[f] = len(w.sch)
+		w.sch = append(w.sch, ColMeta{Name: fmt.Sprintf("$win%d", i), Hidden: true})
+	}
+	return w
+}
+
+func (w *windowOp) Open() error {
+	w.rows, w.pos, w.opened = nil, 0, false
+	return w.in.Open()
+}
+
+func (w *windowOp) Close() error   { return w.in.Close() }
+func (w *windowOp) Schema() Schema { return w.sch }
+
+func (w *windowOp) build() error {
+	inSch := w.in.Schema()
+	var base [][]jsondom.Value
+	for {
+		row, ok, err := w.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		base = append(base, row)
+	}
+	ext := make([][]jsondom.Value, len(base))
+	for i, row := range base {
+		ext[i] = make([]jsondom.Value, len(w.sch))
+		copy(ext[i], row)
+		for j := len(row); j < len(w.sch); j++ {
+			ext[i][j] = null
+		}
+	}
+	for fi, f := range w.funcs {
+		order, err := sortedIndexes(base, inSch, w.env, f.OrderBy)
+		if err != nil {
+			return err
+		}
+		col := len(inSch) + fi
+		for rank, rowIdx := range order {
+			ctx := w.env.ctx(inSch, base[rowIdx])
+			switch f.Name {
+			case "row_number":
+				ext[rowIdx][col] = jsondom.NumberFromInt(int64(rank + 1))
+			case "lag", "lead":
+				offset := 1
+				if len(f.Args) >= 2 {
+					ov, err := evalExpr(ctx, f.Args[1])
+					if err != nil {
+						return err
+					}
+					if of, ok := numOf(ov); ok {
+						offset = int(of)
+					}
+				}
+				srcRank := rank - offset
+				if f.Name == "lead" {
+					srcRank = rank + offset
+				}
+				switch {
+				case srcRank >= 0 && srcRank < len(order):
+					v, err := evalExpr(w.env.ctx(inSch, base[order[srcRank]]), f.Args[0])
+					if err != nil {
+						return err
+					}
+					ext[rowIdx][col] = v
+				case len(f.Args) >= 3:
+					v, err := evalExpr(ctx, f.Args[2])
+					if err != nil {
+						return err
+					}
+					ext[rowIdx][col] = v
+				}
+			default:
+				return fmt.Errorf("sql: unsupported window function %q", f.Name)
+			}
+		}
+	}
+	w.rows = ext
+	return nil
+}
+
+func (w *windowOp) Next() ([]jsondom.Value, bool, error) {
+	if !w.opened {
+		w.opened = true
+		if err := w.build(); err != nil {
+			return nil, false, err
+		}
+	}
+	if w.pos >= len(w.rows) {
+		return nil, false, nil
+	}
+	row := w.rows[w.pos]
+	w.pos++
+	return row, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// sorting
+
+// sortOp materializes and orders its input. Key expressions are
+// evaluated against the input schema; positional items (ORDER BY 1)
+// are resolved by the planner into expressions before reaching here.
+type sortOp struct {
+	in    rowSource
+	items []OrderItem
+	env   *planEnv
+
+	rows   [][]jsondom.Value
+	pos    int
+	opened bool
+}
+
+func (s *sortOp) Open() error {
+	s.rows, s.pos, s.opened = nil, 0, false
+	return s.in.Open()
+}
+
+func (s *sortOp) Close() error   { return s.in.Close() }
+func (s *sortOp) Schema() Schema { return s.in.Schema() }
+
+func (s *sortOp) Next() ([]jsondom.Value, bool, error) {
+	if !s.opened {
+		s.opened = true
+		for {
+			row, ok, err := s.in.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			s.rows = append(s.rows, row)
+		}
+		inSch := s.in.Schema()
+		var itemExprs []Expr
+		for _, it := range s.items {
+			itemExprs = append(itemExprs, it.Expr)
+		}
+		ctx := s.env.bindCtx(inSch, itemExprs...)
+		keys := make([][]jsondom.Value, len(s.rows))
+		for i, row := range s.rows {
+			ctx.row = row
+			keys[i] = make([]jsondom.Value, len(s.items))
+			for k, it := range s.items {
+				v, err := evalExpr(ctx, it.Expr)
+				if err != nil {
+					return nil, false, err
+				}
+				keys[i][k] = v
+			}
+		}
+		idx := make([]int, len(s.rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for k, it := range s.items {
+				c := compareForSort(keys[idx[a]][k], keys[idx[b]][k])
+				if it.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted := make([][]jsondom.Value, len(s.rows))
+		for i, j := range idx {
+			sorted[i] = s.rows[j]
+		}
+		s.rows = sorted
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// sortedIndexes sorts row indexes by ORDER BY items evaluated against
+// the rows; used by window functions.
+func sortedIndexes(rows [][]jsondom.Value, sch Schema, env *planEnv, items []OrderItem) ([]int, error) {
+	keys := make([][]jsondom.Value, len(rows))
+	for i, row := range rows {
+		keys[i] = make([]jsondom.Value, len(items))
+		for k, it := range items {
+			if it.Expr == nil {
+				return nil, fmt.Errorf("sql: positional ORDER BY not supported in OVER clauses")
+			}
+			v, err := evalExpr(env.ctx(sch, row), it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i][k] = v
+		}
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, it := range items {
+			c := compareForSort(keys[idx[a]][k], keys[idx[b]][k])
+			if it.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return idx, nil
+}
+
+// compareForSort orders values with NULLs last (the Oracle default for
+// ascending order) and incomparable kinds by kind id for determinism.
+func compareForSort(a, b jsondom.Value) int {
+	an, bn := isNull(a), isNull(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	}
+	if cmp, ok := compareSQL(a, b); ok {
+		return cmp
+	}
+	ak, bk := a.Kind(), b.Kind()
+	switch {
+	case ak < bk:
+		return -1
+	case ak > bk:
+		return 1
+	}
+	return 0
+}
+
+// keyRender produces a canonical grouping/join key for a value.
+func keyRender(v jsondom.Value) string {
+	if isNull(v) {
+		return "\x00N"
+	}
+	switch t := v.(type) {
+	case jsondom.String:
+		return "s" + string(t)
+	case jsondom.Bool:
+		if t {
+			return "bt"
+		}
+		return "bf"
+	default:
+		if f, ok := numOf(v); ok {
+			// numeric normalization so 1 and 1.0 group together
+			return "n" + string(jsondom.NumberFromFloat(f))
+		}
+		return "x"
+	}
+}
+
+// aliasWrap renames the table qualifier of every column, exposing a
+// subquery or view under its alias.
+type aliasWrap struct {
+	in  rowSource
+	sch Schema
+}
+
+func newAliasWrap(in rowSource, alias string, names []string) *aliasWrap {
+	w := &aliasWrap{in: in}
+	inSch := in.Schema()
+	for i := range inSch {
+		name := inSch[i].Name
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		w.sch = append(w.sch, ColMeta{Table: alias, Name: name})
+	}
+	return w
+}
+
+func (w *aliasWrap) Open() error    { return w.in.Open() }
+func (w *aliasWrap) Close() error   { return w.in.Close() }
+func (w *aliasWrap) Schema() Schema { return w.sch }
+func (w *aliasWrap) Next() ([]jsondom.Value, bool, error) {
+	return w.in.Next()
+}

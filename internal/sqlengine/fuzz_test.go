@@ -1,0 +1,32 @@
+package sqlengine
+
+import "testing"
+
+// FuzzParseStatement throws arbitrary text at the SQL parser: it must
+// return a statement or an error, never panic or hang.
+func FuzzParseStatement(f *testing.F) {
+	for _, s := range []string{
+		`select 1 from t`,
+		`select a.b, count(*) from t a where x = 'y' group by a.b order by 2 desc limit 3`,
+		`select * from po, json_table(jdoc, '$' columns (n number path '$.n')) jt`,
+		`create table t (a number primary key, j varchar2(10) check (j is json))`,
+		`insert into t values (1, '{}'), (2, null)`,
+		`update t set a = a + 1 where a in (1, 2)`,
+		`delete from t where json_exists(j, '$.x')`,
+		`create search index sx on t (j) parameters ('DATAGUIDE ONLY')`,
+		`alter table t add hidden virtual column v as oson(j)`,
+		`select lag(v, 1, v) over (order by k desc) from t`,
+		`select "quoted $ident" from "t2"`,
+		`select /* comment */ 1 from t -- trailing`,
+		`select '' from t where a <> -1.5e3`,
+		`selec`, `select`, `select from`, `)))`, `'unterminated`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := ParseStatement(sql)
+		if err == nil && stmt == nil {
+			t.Fatal("nil statement without error")
+		}
+	})
+}

@@ -1,0 +1,205 @@
+// SQL lexer: a hand-written tokenizer for the SQL subset the paper's
+// experiments use (Tables 8, 9, 13; DDL of §6.3).
+
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkQuotedIdent
+	tkString // '...'
+	tkNumber
+	tkOp    // punctuation and operators
+	tkParam // ?
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers lower-cased; quoted idents verbatim
+	pos  int
+}
+
+// SyntaxError reports a SQL parse error.
+type SyntaxError struct {
+	SQL    string
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	start := e.Offset - 20
+	if start < 0 {
+		start = 0
+	}
+	end := e.Offset + 20
+	if end > len(e.SQL) {
+		end = len(e.SQL)
+	}
+	return fmt.Sprintf("sql: %s at offset %d near %q", e.Msg, e.Offset, e.SQL[start:end])
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+func lex(sql string) ([]token, error) {
+	l := &lexer{in: sql}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.in) {
+			l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.in[l.pos]
+		switch {
+		case isIdentStart(c):
+			for l.pos < len(l.in) && isIdentChar(l.in[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tkIdent, text: strings.ToLower(l.in[start:l.pos]), pos: start})
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexQuotedIdent(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkParam, text: "?", pos: start})
+		case c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] == '-':
+			// line comment
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.in) && l.in[l.pos+1] == '*':
+			end := strings.Index(l.in[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, &SyntaxError{SQL: l.in, Offset: start, Msg: "unterminated comment"}
+			}
+			l.pos += end + 4
+		default:
+			if op := l.lexOp(); op == "" {
+				return nil, &SyntaxError{SQL: l.in, Offset: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.in) {
+		switch l.in[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '$' || c == '#'
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9' || l.in[l.pos] == '.') {
+		l.pos++
+	}
+	if l.pos < len(l.in) && (l.in[l.pos] == 'e' || l.in[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.in) && (l.in[l.pos] == '+' || l.in[l.pos] == '-') {
+			l.pos++
+		}
+		digits := false
+		for l.pos < len(l.in) && l.in[l.pos] >= '0' && l.in[l.pos] <= '9' {
+			l.pos++
+			digits = true
+		}
+		if !digits {
+			l.pos = save
+		}
+	}
+	l.toks = append(l.toks, token{kind: tkNumber, text: l.in[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return &SyntaxError{SQL: l.in, Offset: start, Msg: "unterminated string literal"}
+}
+
+func (l *lexer) lexQuotedIdent() error {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '"' {
+				sb.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			// identifiers are case-normalized, quoted or not; quoting only
+			// admits characters like '$' that bare identifiers reject
+			l.toks = append(l.toks, token{kind: tkQuotedIdent, text: strings.ToLower(sb.String()), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return &SyntaxError{SQL: l.in, Offset: start, Msg: "unterminated quoted identifier"}
+}
+
+// multi-character operators first
+var operators = []string{
+	"<>", "!=", "<=", ">=", "||", "(", ")", ",", "*", "+", "-", "/",
+	"=", "<", ">", ".", ";",
+}
+
+func (l *lexer) lexOp() string {
+	for _, op := range operators {
+		if strings.HasPrefix(l.in[l.pos:], op) {
+			l.toks = append(l.toks, token{kind: tkOp, text: op, pos: l.pos})
+			l.pos += len(op)
+			return op
+		}
+	}
+	return ""
+}

@@ -1,0 +1,175 @@
+package sqlengine
+
+// End-to-end tests for the planner's pushdown machinery: vectorized
+// scans over in-memory vectors, JSON_EXISTS prefilters in all
+// translatable shapes, and view predicate pushdown.
+
+import (
+	"testing"
+
+	"repro/internal/imc"
+	"repro/internal/jsondom"
+)
+
+// newVCEngine loads numbered docs with a number VC and a string VC,
+// populated as in-memory vectors.
+func newVCEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	mustExec(t, e, `create table t (did number, jdoc varchar2(0) check (jdoc is json))`)
+	words := []string{"apple", "banana", "cherry", "date", "elder"}
+	for i := 0; i < 50; i++ {
+		doc := `{"n":` + string(jsondom.NumberFromInt(int64(i))) + `,"s":"` + words[i%5] + `"}`
+		mustExec(t, e, `insert into t values (?, ?)`,
+			jsondom.NumberFromInt(int64(i)), jsondom.String(doc))
+	}
+	mustExec(t, e, `alter table t add virtual column vn as json_value(jdoc, '$.n' returning number)`)
+	mustExec(t, e, `alter table t add virtual column vs as json_value(jdoc, '$.s')`)
+	tab, _ := e.Catalog().Table("t")
+	mem := imc.NewStore(tab)
+	if err := mem.PopulateVC("vn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.PopulateVC("vs"); err != nil {
+		t.Fatal(err)
+	}
+	e.AttachIMC("t", mem)
+	return e
+}
+
+func TestVectorPushdownShapes(t *testing.T) {
+	e := newVCEngine(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{`select did from t where vn = 7`, 1},
+		{`select did from t where 7 = vn`, 1},
+		{`select did from t where vn < 3`, 3},
+		{`select did from t where 3 > vn`, 3},
+		{`select did from t where vn between 10 and 19`, 10},
+		{`select did from t where vn >= 48`, 2},
+		{`select did from t where vs = 'banana'`, 10},
+		{`select did from t where vn between ? and ?`, 5},
+		// JSON_VALUE is rewritten onto the VC, then vector-pushed
+		{`select did from t where json_value(jdoc, '$.n' returning number) = 7`, 1},
+		// mixed: one pushable conjunct + one residual
+		{`select did from t where vn < 10 and mod(did, 2) = 0`, 5},
+	}
+	for _, c := range cases {
+		var params []jsondom.Value
+		if c.sql == `select did from t where vn between ? and ?` {
+			params = []jsondom.Value{jsondom.Number("10"), jsondom.Number("14")}
+		}
+		r := mustExec(t, e, c.sql, params...)
+		if len(r.Rows) != c.want {
+			t.Errorf("%s: got %d rows, want %d", c.sql, len(r.Rows), c.want)
+		}
+	}
+	// agreement with the unoptimized plan on every shape
+	e.Planner.DisableVectorFilter = true
+	e.Planner.DisableVCRewrite = true
+	for _, c := range cases {
+		var params []jsondom.Value
+		if c.sql == `select did from t where vn between ? and ?` {
+			params = []jsondom.Value{jsondom.Number("10"), jsondom.Number("14")}
+		}
+		r := mustExec(t, e, c.sql, params...)
+		if len(r.Rows) != c.want {
+			t.Errorf("unoptimized %s: got %d rows, want %d", c.sql, len(r.Rows), c.want)
+		}
+	}
+}
+
+const pushdownView = `create view items_v as
+	select po.did, jt.* from po, json_table(jdoc, '$' columns (
+		reference varchar2(40) path '$.purchaseOrder.podate',
+		nested path '$.purchaseOrder.items[*]' columns (
+			name varchar2(16) path '$.name',
+			price number path '$.price',
+			quantity number path '$.quantity'
+		)
+	)) jt`
+
+func TestPrefilterShapesThroughView(t *testing.T) {
+	e := newPOEngine(t)
+	mustExec(t, e, pushdownView)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		// equality on a nested column
+		{`select name from items_v where name = 'phone'`, 1},
+		// flipped comparison
+		{`select name from items_v where 300 < price`, 2},
+		// IN list
+		{`select name from items_v where name in ('phone', 'chair')`, 2},
+		// BETWEEN
+		{`select name from items_v where price between 50 and 110`, 2},
+		// master-level column
+		{`select count(*) from items_v where reference = '2015-03-04'`, 1},
+		// parameterized
+		{`select name from items_v where name = ?`, 1},
+		// no prefilterable shape (function call) still works
+		{`select name from items_v where length(name) = 5`, 3},
+	}
+	runAll := func(label string) {
+		t.Helper()
+		for _, c := range cases {
+			var params []jsondom.Value
+			if c.sql == `select name from items_v where name = ?` {
+				params = []jsondom.Value{jsondom.String("ipad")}
+			}
+			r := mustExec(t, e, c.sql, params...)
+			if len(r.Rows) != c.want {
+				t.Errorf("%s %s: got %d rows, want %d", label, c.sql, len(r.Rows), c.want)
+			}
+		}
+	}
+	runAll("optimized")
+	e.Planner.DisablePrefilter = true
+	runAll("no-prefilter")
+}
+
+func TestMustExec(t *testing.T) {
+	e := New()
+	e.MustExec(`create table m (v number)`)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExec should panic on error")
+		}
+	}()
+	e.MustExec(`select * from nope`)
+}
+
+func TestHasAggregateAndWindowHelpers(t *testing.T) {
+	parse := func(sql string) *SelectStmt {
+		t.Helper()
+		stmt, err := ParseStatement(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stmt.(*SelectStmt)
+	}
+	agg := parse(`select sum(v) + count(*) from t where abs(v) in (1, max(v)) or v between 1 and min(v)`)
+	for _, it := range agg.Items {
+		if !hasAggregate(it.Expr) {
+			t.Error("aggregate not detected in select item")
+		}
+	}
+	if !hasAggregate(agg.Where) {
+		t.Error("aggregate not detected in where")
+	}
+	plain := parse(`select v, upper(s) from t where v is null and s like 'a%'`)
+	for _, it := range plain.Items {
+		if hasAggregate(it.Expr) || hasWindow(it.Expr) {
+			t.Error("false positive")
+		}
+	}
+	win := parse(`select 1 + lag(v) over (order by v), nvl(row_number() over (order by v), 0) from t`)
+	for _, it := range win.Items {
+		if !hasWindow(it.Expr) {
+			t.Error("window not detected")
+		}
+	}
+}

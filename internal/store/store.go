@@ -1,0 +1,593 @@
+// Package store implements the relational storage substrate: a catalog
+// of tables with typed columns, check constraints (notably IS JSON),
+// virtual columns, and primary/foreign key hash indexes.
+//
+// It stands in for the Oracle storage kernel the paper builds on: the
+// experiments only require heap tables with typed columns, an IS JSON
+// validation hook on insert (§3.2.1, Figure 7), insert observers for
+// search-index / DataGuide maintenance, and key indexes for the
+// relational (REL) baseline of §6.3.
+//
+// SQL data values are represented with jsondom scalars: SQL NULL is
+// jsondom.Null, NUMBER is jsondom.Number (exact decimal), VARCHAR2 is
+// jsondom.String, RAW is jsondom.Binary. This unifies SQL expression
+// evaluation with SQL/JSON path results.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+)
+
+// ColumnType enumerates supported SQL column types.
+type ColumnType uint8
+
+// The column types used by the paper's experiments.
+const (
+	TypeNumber  ColumnType = iota // NUMBER: exact decimal
+	TypeVarchar                   // VARCHAR2(n): text (JSON documents in §6 are varchar(4000))
+	TypeRaw                       // RAW(n): binary (BSON/OSON storage)
+	TypeBool                      // BOOLEAN (for expression results)
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case TypeNumber:
+		return "number"
+	case TypeVarchar:
+		return "varchar2"
+	case TypeRaw:
+		return "raw"
+	case TypeBool:
+		return "boolean"
+	}
+	return "unknown"
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type ColumnType
+	// MaxLen bounds varchar/raw lengths; 0 = unbounded.
+	MaxLen int
+	// CheckJSON enforces the IS JSON constraint on insert (§3.2.1).
+	CheckJSON bool
+	// Virtual columns are computed on read by Expr and never stored.
+	// ExprText is the defining SQL text (for introspection and view
+	// DDL); Expr is installed by the SQL layer.
+	Virtual  bool
+	ExprText string
+	Expr     func(row Row) (jsondom.Value, error)
+	// Hidden columns are excluded from SELECT * expansion (the implicit
+	// OSON virtual column of §5.2.2 is hidden).
+	Hidden bool
+}
+
+// Row is one stored tuple; index i corresponds to the table's stored
+// (non-virtual) column i.
+type Row []jsondom.Value
+
+// InsertObserver is notified after a row passes constraint checks and
+// before it becomes visible. The JSON search index uses this hook to
+// maintain its inverted lists and the persistent DataGuide.
+type InsertObserver interface {
+	RowInserted(t *Table, rowID int, row Row) error
+}
+
+// Common errors.
+var (
+	ErrNoSuchColumn = errors.New("store: no such column")
+	ErrDuplicate    = errors.New("store: duplicate key")
+	ErrConstraint   = errors.New("store: constraint violation")
+	ErrType         = errors.New("store: type mismatch")
+)
+
+// Table is a heap table with optional key indexes and insert
+// observers.
+type Table struct {
+	Name string
+
+	mu        sync.RWMutex
+	columns   []Column       // stored columns then virtual columns
+	colIndex  map[string]int // name -> position in columns
+	numStored int
+	rows      []Row
+
+	pkCol     int // -1 when no primary key
+	pkIndex   map[string]int
+	observers []InsertObserver
+
+	// tombstones marks deleted rows (row ids stay stable); live counts
+	// visible rows.
+	tombstones []bool
+	live       int
+
+	// redo is an append-only change log: every committed insert is
+	// serialized into it, giving inserts the baseline write cost a
+	// durable engine pays before any constraint or index work.
+	redo []byte
+}
+
+// NewTable creates a table with the given stored columns.
+func NewTable(name string, cols ...Column) (*Table, error) {
+	t := &Table{Name: name, colIndex: make(map[string]int), pkCol: -1}
+	for _, c := range cols {
+		if err := t.addColumnLocked(c); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MustNewTable creates a table or panics; for fixtures.
+func MustNewTable(name string, cols ...Column) *Table {
+	t, err := NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Table) addColumnLocked(c Column) error {
+	if _, dup := t.colIndex[c.Name]; dup {
+		return fmt.Errorf("store: duplicate column %q in table %q", c.Name, t.Name)
+	}
+	if c.Virtual {
+		t.colIndex[c.Name] = len(t.columns)
+		t.columns = append(t.columns, c)
+		return nil
+	}
+	if len(t.columns) != t.numStored {
+		return fmt.Errorf("store: stored column %q added after virtual columns", c.Name)
+	}
+	t.colIndex[c.Name] = len(t.columns)
+	t.columns = append(t.columns, c)
+	t.numStored++
+	return nil
+}
+
+// AddVirtualColumn appends a virtual column; used by AddVC (§3.3.1)
+// and the hidden OSON column (§5.2.2).
+func (t *Table) AddVirtualColumn(c Column) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.Virtual = true
+	return t.addColumnLocked(c)
+}
+
+// SetPrimaryKey installs a unique hash index on the named column.
+func (t *Table) SetPrimaryKey(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.colIndex[col]
+	if !ok || t.columns[i].Virtual {
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, col)
+	}
+	idx := make(map[string]int, len(t.rows))
+	for rid, row := range t.rows {
+		k := keyString(row[i])
+		if _, dup := idx[k]; dup {
+			return fmt.Errorf("%w: %s on existing rows", ErrDuplicate, col)
+		}
+		idx[k] = rid
+	}
+	t.pkCol, t.pkIndex = i, idx
+	return nil
+}
+
+// AddObserver registers an insert observer.
+func (t *Table) AddObserver(o InsertObserver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observers = append(t.observers, o)
+}
+
+// Columns returns all columns (stored then virtual). The slice is a
+// copy.
+func (t *Table) Columns() []Column {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]Column(nil), t.columns...)
+}
+
+// Column returns the named column.
+func (t *Table) Column(name string) (Column, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, ok := t.colIndex[name]
+	if !ok {
+		return Column{}, false
+	}
+	return t.columns[i], true
+}
+
+// ColumnPos returns the position of the named column within Columns().
+func (t *Table) ColumnPos(name string) (int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, ok := t.colIndex[name]
+	return i, ok
+}
+
+// NumRows returns the count of visible (non-deleted) rows.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// MaxRowID returns the exclusive upper bound of row ids ever assigned;
+// scans iterate [0, MaxRowID) and skip deleted rows.
+func (t *Table) MaxRowID() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert validates and appends a row (stored columns only, in table
+// order) and returns its row id.
+func (t *Table) Insert(row Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(row) != t.numStored {
+		return 0, fmt.Errorf("%w: got %d values for %d stored columns of %s",
+			ErrType, len(row), t.numStored, t.Name)
+	}
+	for i := 0; i < t.numStored; i++ {
+		if err := checkValue(&t.columns[i], row[i]); err != nil {
+			return 0, err
+		}
+	}
+	if t.pkCol >= 0 {
+		k := keyString(row[t.pkCol])
+		if _, dup := t.pkIndex[k]; dup {
+			return 0, fmt.Errorf("%w: %s=%s in %s", ErrDuplicate,
+				t.columns[t.pkCol].Name, k, t.Name)
+		}
+		t.pkIndex[k] = len(t.rows)
+	}
+	rid := len(t.rows)
+	t.rows = append(t.rows, row)
+	t.live++
+	t.appendRedo(rid, row)
+	observers := t.observers
+	// Observers run outside the table lock (they read table metadata
+	// through locking accessors); failures roll the append back.
+	t.mu.Unlock()
+	var obsErr error
+	for _, o := range observers {
+		if obsErr = o.RowInserted(t, rid, row); obsErr != nil {
+			break
+		}
+	}
+	t.mu.Lock() // re-acquire for the deferred Unlock
+	if obsErr != nil {
+		t.rows = t.rows[:rid]
+		t.live--
+		if t.pkCol >= 0 {
+			delete(t.pkIndex, keyString(row[t.pkCol]))
+		}
+		return 0, obsErr
+	}
+	return rid, nil
+}
+
+// checkValue enforces column typing, length bounds and IS JSON.
+func checkValue(c *Column, v jsondom.Value) error {
+	if v.Kind() == jsondom.KindNull {
+		return nil
+	}
+	switch c.Type {
+	case TypeNumber:
+		if v.Kind() != jsondom.KindNumber && v.Kind() != jsondom.KindDouble {
+			return fmt.Errorf("%w: column %s is NUMBER, got %v", ErrType, c.Name, v.Kind())
+		}
+	case TypeVarchar:
+		s, ok := v.(jsondom.String)
+		if !ok {
+			return fmt.Errorf("%w: column %s is VARCHAR2, got %v", ErrType, c.Name, v.Kind())
+		}
+		if c.MaxLen > 0 && len(s) > c.MaxLen {
+			return fmt.Errorf("%w: value too long for %s(%d): %d bytes",
+				ErrConstraint, c.Name, c.MaxLen, len(s))
+		}
+		if c.CheckJSON && !jsontext.Valid([]byte(s)) {
+			return fmt.Errorf("%w: column %s IS JSON check failed", ErrConstraint, c.Name)
+		}
+	case TypeRaw:
+		b, ok := v.(jsondom.Binary)
+		if !ok {
+			return fmt.Errorf("%w: column %s is RAW, got %v", ErrType, c.Name, v.Kind())
+		}
+		if c.MaxLen > 0 && len(b) > c.MaxLen {
+			return fmt.Errorf("%w: value too long for %s(%d): %d bytes",
+				ErrConstraint, c.Name, c.MaxLen, len(b))
+		}
+	case TypeBool:
+		if v.Kind() != jsondom.KindBool {
+			return fmt.Errorf("%w: column %s is BOOLEAN, got %v", ErrType, c.Name, v.Kind())
+		}
+	}
+	return nil
+}
+
+// appendRedo serializes one insert into the redo log.
+func (t *Table) appendRedo(rid int, row Row) {
+	var hdr [8]byte
+	hdr[0] = byte(rid)
+	hdr[1] = byte(rid >> 8)
+	hdr[2] = byte(rid >> 16)
+	hdr[3] = byte(rid >> 24)
+	hdr[4] = byte(len(row))
+	t.redo = append(t.redo, hdr[:]...)
+	for _, v := range row {
+		t.redo = appendDatum(t.redo, v)
+	}
+}
+
+// appendDatum writes a tagged, length-prefixed datum.
+func appendDatum(buf []byte, v jsondom.Value) []byte {
+	var payload []byte
+	var tag byte
+	switch d := v.(type) {
+	case jsondom.Null:
+		tag = 'N'
+	case jsondom.Bool:
+		tag = 'b'
+		if d {
+			payload = []byte{1}
+		} else {
+			payload = []byte{0}
+		}
+	case jsondom.Number:
+		tag = 'n'
+		payload = []byte(d)
+	case jsondom.String:
+		tag = 's'
+		payload = []byte(d)
+	case jsondom.Binary:
+		tag = 'r'
+		payload = d
+	default:
+		tag = 'j'
+		payload = jsontext.Serialize(v)
+	}
+	n := len(payload)
+	buf = append(buf, tag, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	return append(buf, payload...)
+}
+
+// RedoBytes returns the size of the accumulated redo log.
+func (t *Table) RedoBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.redo)
+}
+
+// Get returns the stored row with the given id; deleted rows are not
+// visible.
+func (t *Table) Get(rowID int) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if rowID < 0 || rowID >= len(t.rows) || t.deleted(rowID) {
+		return nil, false
+	}
+	return t.rows[rowID], true
+}
+
+func (t *Table) deleted(rowID int) bool {
+	return rowID < len(t.tombstones) && t.tombstones[rowID]
+}
+
+// Delete tombstones a row. Row ids are stable, so secondary structures
+// (search-index postings, in-memory stores) holding the id simply stop
+// seeing the row; the persistent DataGuide stays additive (§3.4).
+func (t *Table) Delete(rowID int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rowID < 0 || rowID >= len(t.rows) || t.deleted(rowID) {
+		return false
+	}
+	for len(t.tombstones) < len(t.rows) {
+		t.tombstones = append(t.tombstones, false)
+	}
+	t.tombstones[rowID] = true
+	t.live--
+	if t.pkCol >= 0 {
+		delete(t.pkIndex, keyString(t.rows[rowID][t.pkCol]))
+	}
+	t.redo = append(t.redo, 'D', byte(rowID), byte(rowID>>8), byte(rowID>>16), byte(rowID>>24))
+	return true
+}
+
+// Update replaces the stored columns of a row, enforcing the same
+// checks as Insert.
+func (t *Table) Update(rowID int, row Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rowID < 0 || rowID >= len(t.rows) || t.deleted(rowID) {
+		return fmt.Errorf("store: row %d not found in %s", rowID, t.Name)
+	}
+	if len(row) != t.numStored {
+		return fmt.Errorf("%w: got %d values for %d stored columns of %s",
+			ErrType, len(row), t.numStored, t.Name)
+	}
+	for i := 0; i < t.numStored; i++ {
+		if err := checkValue(&t.columns[i], row[i]); err != nil {
+			return err
+		}
+	}
+	if t.pkCol >= 0 {
+		oldKey := keyString(t.rows[rowID][t.pkCol])
+		newKey := keyString(row[t.pkCol])
+		if newKey != oldKey {
+			if _, dup := t.pkIndex[newKey]; dup {
+				return fmt.Errorf("%w: %s in %s", ErrDuplicate, newKey, t.Name)
+			}
+			delete(t.pkIndex, oldKey)
+			t.pkIndex[newKey] = rowID
+		}
+	}
+	t.rows[rowID] = row
+	t.appendRedo(rowID, row)
+	return nil
+}
+
+// LookupPK returns the row id for a primary key value.
+func (t *Table) LookupPK(v jsondom.Value) (int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pkCol < 0 {
+		return 0, false
+	}
+	rid, ok := t.pkIndex[keyString(v)]
+	return rid, ok
+}
+
+// Value returns the value of the named column for a row, computing
+// virtual columns on demand.
+func (t *Table) Value(rowID int, col string) (jsondom.Value, error) {
+	t.mu.RLock()
+	i, ok := t.colIndex[col]
+	if !ok {
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, col)
+	}
+	c := t.columns[i]
+	if rowID < 0 || rowID >= len(t.rows) {
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("store: row %d out of range in %s", rowID, t.Name)
+	}
+	row := t.rows[rowID]
+	t.mu.RUnlock()
+	if !c.Virtual {
+		return row[i], nil
+	}
+	if c.Expr == nil {
+		return jsondom.Null{}, nil
+	}
+	return c.Expr(row)
+}
+
+// Scan invokes fn for every row id/stored row in insertion order,
+// stopping early if fn returns false.
+func (t *Table) Scan(fn func(rowID int, row Row) bool) {
+	t.mu.RLock()
+	rows := t.rows
+	tombs := t.tombstones
+	t.mu.RUnlock()
+	for i, r := range rows {
+		if i < len(tombs) && tombs[i] {
+			continue
+		}
+		if !fn(i, r) {
+			return
+		}
+	}
+}
+
+// StorageBytes estimates on-disk storage: the sum of stored value
+// sizes (Figure 4's storage size comparison).
+func (t *Table) StorageBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	total := 0
+	for i, row := range t.rows {
+		if t.deleted(i) {
+			continue
+		}
+		for _, v := range row {
+			total += datumBytes(v)
+		}
+	}
+	// index overhead: one entry per indexed row (key pointer + row id)
+	if t.pkCol >= 0 {
+		total += 12 * len(t.rows)
+	}
+	return total
+}
+
+func datumBytes(v jsondom.Value) int {
+	switch d := v.(type) {
+	case jsondom.Null:
+		return 1
+	case jsondom.Bool:
+		return 1
+	case jsondom.Number:
+		return len(d)/2 + 2 // packed-decimal estimate
+	case jsondom.Double:
+		return 8
+	case jsondom.String:
+		return len(d)
+	case jsondom.Binary:
+		return len(d)
+	case jsondom.Timestamp:
+		return 8
+	default:
+		return len(jsontext.Serialize(v))
+	}
+}
+
+// keyString renders a datum as a hash key.
+func keyString(v jsondom.Value) string {
+	return jsontext.SerializeString(v)
+}
+
+// Catalog is a named collection of tables (and, at the SQL layer,
+// views); it stands in for the data dictionary.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a table; the name must be unused.
+func (c *Catalog) Create(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("store: table %q already exists", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return false
+	}
+	delete(c.tables, name)
+	return true
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

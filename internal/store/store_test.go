@@ -1,0 +1,286 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/jsondom"
+)
+
+func poTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("po",
+		Column{Name: "did", Type: TypeNumber},
+		Column{Name: "jdoc", Type: TypeVarchar, MaxLen: 4000, CheckJSON: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tab := poTable(t)
+	rid, err := tab.Insert(Row{jsondom.Number("1"), jsondom.String(`{"a":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := tab.Get(rid)
+	if !ok || row[0].(jsondom.Number) != "1" {
+		t.Fatalf("Get = %v, %v", row, ok)
+	}
+	if tab.NumRows() != 1 {
+		t.Fatal("NumRows")
+	}
+	if _, ok := tab.Get(99); ok {
+		t.Fatal("out-of-range Get")
+	}
+	if _, ok := tab.Get(-1); ok {
+		t.Fatal("negative Get")
+	}
+}
+
+func TestIsJSONConstraint(t *testing.T) {
+	tab := poTable(t)
+	_, err := tab.Insert(Row{jsondom.Number("1"), jsondom.String(`{not json`)})
+	if !errors.Is(err, ErrConstraint) {
+		t.Fatalf("err = %v, want ErrConstraint", err)
+	}
+	// NULL passes the check (no document)
+	if _, err := tab.Insert(Row{jsondom.Number("2"), jsondom.Null{}}); err != nil {
+		t.Fatalf("NULL insert: %v", err)
+	}
+}
+
+func TestTypeChecks(t *testing.T) {
+	tab := poTable(t)
+	if _, err := tab.Insert(Row{jsondom.String("x"), jsondom.String("{}")}); !errors.Is(err, ErrType) {
+		t.Fatalf("number col err = %v", err)
+	}
+	if _, err := tab.Insert(Row{jsondom.Number("1")}); !errors.Is(err, ErrType) {
+		t.Fatalf("arity err = %v", err)
+	}
+	// varchar length bound
+	long := make([]byte, 5000)
+	for i := range long {
+		long[i] = 'a'
+	}
+	_, err := tab.Insert(Row{jsondom.Number("1"), jsondom.String(`"` + string(long) + `"`)})
+	if !errors.Is(err, ErrConstraint) {
+		t.Fatalf("length err = %v", err)
+	}
+	// raw column
+	raw := MustNewTable("r", Column{Name: "b", Type: TypeRaw, MaxLen: 4})
+	if _, err := raw.Insert(Row{jsondom.Binary{1, 2, 3, 4, 5}}); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("raw length err = %v", err)
+	}
+	if _, err := raw.Insert(Row{jsondom.String("x")}); !errors.Is(err, ErrType) {
+		t.Fatalf("raw type err = %v", err)
+	}
+	if _, err := raw.Insert(Row{jsondom.Binary{1}}); err != nil {
+		t.Fatalf("raw ok: %v", err)
+	}
+	// bool column
+	bt := MustNewTable("b", Column{Name: "f", Type: TypeBool})
+	if _, err := bt.Insert(Row{jsondom.Number("1")}); !errors.Is(err, ErrType) {
+		t.Fatalf("bool type err = %v", err)
+	}
+}
+
+func TestPrimaryKey(t *testing.T) {
+	tab := poTable(t)
+	if err := tab.SetPrimaryKey("did"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(Row{jsondom.Number("1"), jsondom.String("{}")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(Row{jsondom.Number("1"), jsondom.String("{}")}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup err = %v", err)
+	}
+	rid, ok := tab.LookupPK(jsondom.Number("1"))
+	if !ok || rid != 0 {
+		t.Fatalf("LookupPK = %d, %v", rid, ok)
+	}
+	if _, ok := tab.LookupPK(jsondom.Number("9")); ok {
+		t.Fatal("missing PK found")
+	}
+	// setting a PK on populated table with duplicates fails
+	t2 := poTable(t)
+	t2.Insert(Row{jsondom.Number("1"), jsondom.String("{}")}) //nolint:errcheck
+	t2.Insert(Row{jsondom.Number("1"), jsondom.String("{}")}) //nolint:errcheck
+	if err := t2.SetPrimaryKey("did"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("retro PK err = %v", err)
+	}
+	if err := t2.SetPrimaryKey("nope"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("bad col err = %v", err)
+	}
+}
+
+func TestVirtualColumn(t *testing.T) {
+	tab := poTable(t)
+	err := tab.AddVirtualColumn(Column{
+		Name:     "did_x2",
+		Type:     TypeNumber,
+		ExprText: "did * 2",
+		Expr: func(row Row) (jsondom.Value, error) {
+			n := row[0].(jsondom.Number)
+			i, _ := n.Int64()
+			return jsondom.NumberFromInt(2 * i), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tab.Insert(Row{jsondom.Number("21"), jsondom.String("{}")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tab.Value(rid, "did_x2")
+	if err != nil || v.(jsondom.Number) != "42" {
+		t.Fatalf("virtual value = %v, %v", v, err)
+	}
+	// stored column via Value
+	v, err = tab.Value(rid, "did")
+	if err != nil || v.(jsondom.Number) != "21" {
+		t.Fatalf("stored value = %v, %v", v, err)
+	}
+	if _, err := tab.Value(rid, "nope"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("missing col err = %v", err)
+	}
+	if _, err := tab.Value(99, "did"); err == nil {
+		t.Fatal("row range err")
+	}
+	// duplicate name rejected
+	if err := tab.AddVirtualColumn(Column{Name: "did"}); err == nil {
+		t.Fatal("dup virtual col")
+	}
+	// virtual column without Expr yields NULL
+	if err := tab.AddVirtualColumn(Column{Name: "empty_vc", Type: TypeNumber}); err != nil {
+		t.Fatal(err)
+	}
+	v, err = tab.Value(rid, "empty_vc")
+	if err != nil || v.Kind() != jsondom.KindNull {
+		t.Fatalf("empty vc = %v, %v", v, err)
+	}
+}
+
+type recordingObserver struct {
+	rows []int
+	fail bool
+}
+
+func (r *recordingObserver) RowInserted(t *Table, rowID int, row Row) error {
+	if r.fail {
+		return errors.New("observer rejects")
+	}
+	r.rows = append(r.rows, rowID)
+	return nil
+}
+
+func TestObservers(t *testing.T) {
+	tab := poTable(t)
+	obs := &recordingObserver{}
+	tab.AddObserver(obs)
+	tab.Insert(Row{jsondom.Number("1"), jsondom.String("{}")}) //nolint:errcheck
+	tab.Insert(Row{jsondom.Number("2"), jsondom.String("{}")}) //nolint:errcheck
+	if len(obs.rows) != 2 || obs.rows[1] != 1 {
+		t.Fatalf("observed = %v", obs.rows)
+	}
+	// observer failure rolls the row back
+	obs.fail = true
+	if _, err := tab.Insert(Row{jsondom.Number("3"), jsondom.String("{}")}); err == nil {
+		t.Fatal("observer error should propagate")
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rollback failed: %d rows", tab.NumRows())
+	}
+}
+
+func TestScan(t *testing.T) {
+	tab := poTable(t)
+	for i := 0; i < 5; i++ {
+		tab.Insert(Row{jsondom.NumberFromInt(int64(i)), jsondom.String("{}")}) //nolint:errcheck
+	}
+	var seen []int
+	tab.Scan(func(rid int, row Row) bool {
+		seen = append(seen, rid)
+		return rid < 2 // stop early
+	})
+	if len(seen) != 3 {
+		t.Fatalf("scan early stop: %v", seen)
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	tab := poTable(t)
+	if tab.StorageBytes() != 0 {
+		t.Fatal("empty table bytes")
+	}
+	tab.Insert(Row{jsondom.Number("12"), jsondom.String(`{"a":1}`)}) //nolint:errcheck
+	if b := tab.StorageBytes(); b < 8 || b > 30 {
+		t.Fatalf("bytes = %d", b)
+	}
+	// index adds overhead
+	tab2 := poTable(t)
+	tab2.SetPrimaryKey("did")                                         //nolint:errcheck
+	tab2.Insert(Row{jsondom.Number("12"), jsondom.String(`{"a":1}`)}) //nolint:errcheck
+	if tab2.StorageBytes() <= tab.StorageBytes() {
+		t.Fatal("indexed table should report more bytes")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tab := poTable(t)
+	if err := c.Create(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create(tab); err == nil {
+		t.Fatal("dup table")
+	}
+	got, ok := c.Table("po")
+	if !ok || got != tab {
+		t.Fatal("lookup")
+	}
+	if _, ok := c.Table("zz"); ok {
+		t.Fatal("phantom table")
+	}
+	c.Create(MustNewTable("aaa")) //nolint:errcheck
+	names := c.Names()
+	if len(names) != 2 || names[0] != "aaa" || names[1] != "po" {
+		t.Fatalf("names = %v", names)
+	}
+	if !c.Drop("aaa") || c.Drop("aaa") {
+		t.Fatal("drop")
+	}
+}
+
+func TestColumnsIntrospection(t *testing.T) {
+	tab := poTable(t)
+	cols := tab.Columns()
+	if len(cols) != 2 || cols[0].Name != "did" || !cols[1].CheckJSON {
+		t.Fatalf("cols = %+v", cols)
+	}
+	c, ok := tab.Column("jdoc")
+	if !ok || c.Type != TypeVarchar || c.MaxLen != 4000 {
+		t.Fatalf("Column = %+v, %v", c, ok)
+	}
+	pos, ok := tab.ColumnPos("jdoc")
+	if !ok || pos != 1 {
+		t.Fatalf("pos = %d", pos)
+	}
+	if _, ok := tab.Column("zz"); ok {
+		t.Fatal("phantom column")
+	}
+	// stored column after virtual column is rejected
+	tab2 := MustNewTable("x", Column{Name: "a", Type: TypeNumber})
+	tab2.AddVirtualColumn(Column{Name: "v", Type: TypeNumber}) //nolint:errcheck
+	if err := tab2.addColumnLocked(Column{Name: "b", Type: TypeNumber}); err == nil {
+		t.Fatal("stored after virtual should fail")
+	}
+	if c.Type.String() != "varchar2" || TypeNumber.String() != "number" ||
+		TypeRaw.String() != "raw" || TypeBool.String() != "boolean" {
+		t.Fatal("type names")
+	}
+}

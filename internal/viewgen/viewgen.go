@@ -1,0 +1,360 @@
+// Package viewgen implements the schema-driven tooling of §3.3: it
+// turns a JSON DataGuide into relational access paths.
+//
+//   - AddVC (§3.3.1) adds one JSON_VALUE virtual column per singleton
+//     scalar path (one-to-one with the document).
+//   - CreateViewOnPath (§3.3.2) generates a De-normalized Master-Detail
+//     View (DMDV): a JSON_TABLE view whose NESTED PATH clauses un-nest
+//     every array with left-outer-join semantics for child hierarchies
+//     and union-join semantics for siblings (Table 8). A frequency
+//     threshold can exclude sparse/outlier fields from the view.
+//
+// Both generators emit SQL DDL text and execute it through the SQL
+// engine, exactly as the PL/SQL procedures in the paper do.
+package viewgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataguide"
+	"repro/internal/sqlengine"
+)
+
+// treeNode reassembles the DataGuide entries into a hierarchy.
+type treeNode struct {
+	steps    []string
+	isArray  bool
+	isObject bool
+	scalar   *dataguide.Entry // merged scalar entry at this path, if any
+	children map[string]*treeNode
+	order    []string
+}
+
+func newNode(steps []string) *treeNode {
+	return &treeNode{steps: steps, children: make(map[string]*treeNode)}
+}
+
+func buildTree(g *dataguide.Guide) *treeNode {
+	root := newNode(nil)
+	for _, e := range g.Entries() {
+		n := root
+		for _, s := range e.Steps {
+			c, ok := n.children[s]
+			if !ok {
+				c = newNode(append(append([]string{}, n.steps...), s))
+				n.children[s] = c
+				n.order = append(n.order, s)
+			}
+			n = c
+		}
+		switch e.Category {
+		case dataguide.CatArray:
+			n.isArray = true
+		case dataguide.CatObject:
+			n.isObject = true
+		case dataguide.CatScalar:
+			n.scalar = e
+		}
+	}
+	return root
+}
+
+// columnType renders the JSON_TABLE / JSON_VALUE type for a scalar
+// entry.
+func columnType(e *dataguide.Entry) string {
+	switch e.ScalarKind.String() {
+	case "number", "double":
+		return "number"
+	default:
+		n := e.MaxLen
+		if n < 4 {
+			n = 4
+		}
+		// round up so the view does not have to be regenerated for
+		// small growth
+		n = ((n + 7) / 8) * 8
+		return fmt.Sprintf("varchar2(%d)", n)
+	}
+}
+
+// namer produces unique, prefixed column names ("jdoc$price",
+// "jdoc$price_2", ...).
+type namer struct {
+	prefix string
+	used   map[string]int
+}
+
+func newNamer(prefix string) *namer {
+	return &namer{prefix: prefix, used: make(map[string]int)}
+}
+
+func (n *namer) name(field string) string {
+	base := n.prefix + "$" + strings.ToLower(field)
+	n.used[base]++
+	if n.used[base] == 1 {
+		return base
+	}
+	return fmt.Sprintf("%s_%d", base, n.used[base])
+}
+
+// AddVCResult describes one generated virtual column.
+type AddVCResult struct {
+	Column string
+	Path   string
+	DDL    string
+}
+
+// AddVC adds a JSON_VALUE virtual column for every singleton scalar
+// path in the DataGuide (paths not nested under any array), as in
+// Table 7. It returns the generated columns.
+func AddVC(e *sqlengine.Engine, table, jsonCol string, g *dataguide.Guide) ([]AddVCResult, error) {
+	nm := newNamer(strings.ToLower(jsonCol))
+	var out []AddVCResult
+	for _, entry := range g.LeafEntries() {
+		if entry.Many {
+			continue // only one-to-one scalars become virtual columns
+		}
+		col := nm.name(entry.Steps[len(entry.Steps)-1])
+		returning := "varchar2(" + fmt.Sprint(maxInt(entry.MaxLen, 4)) + ")"
+		if ct := columnType(entry); ct == "number" {
+			returning = "number"
+		}
+		ddl := fmt.Sprintf(`alter table %s add virtual column "%s" as json_value(%s, '%s' returning %s)`,
+			table, col, jsonCol, escapePath(entry.Path), returning)
+		if _, err := e.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("viewgen: AddVC %s: %w", entry.Path, err)
+		}
+		out = append(out, AddVCResult{Column: col, Path: entry.Path, DDL: ddl})
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// escapePath doubles single quotes for embedding in a SQL literal.
+func escapePath(p string) string { return strings.ReplaceAll(p, "'", "''") }
+
+// ColumnAnnotation customizes one generated column; §3.2.2 lets users
+// annotate the computed DataGuide — picking fields, renaming columns,
+// changing data type lengths — before generating views.
+type ColumnAnnotation struct {
+	// Skip drops the path from the view.
+	Skip bool
+	// ColumnName overrides the generated column name.
+	ColumnName string
+	// TypeName overrides the column type (e.g. "varchar2(64)").
+	TypeName string
+}
+
+// ViewOptions configures DMDV generation.
+type ViewOptions struct {
+	// RootPath selects the branch to expand; "$" expands the whole
+	// document.
+	RootPath string
+	// MinFrequencyPct excludes scalar columns whose path occurs in
+	// fewer than this percentage of documents (sparse-field
+	// elimination, §3.3.2).
+	MinFrequencyPct int
+	// KeyColumns are base-table columns prepended to the view's select
+	// list (e.g. the document id), as PO.DID in Table 8.
+	KeyColumns []string
+	// Annotations customize generated columns by DataGuide path
+	// ("$.purchaseOrder.id"): the user-annotated DataGuide of §3.2.2.
+	Annotations map[string]ColumnAnnotation
+}
+
+// CreateViewOnPath generates and executes a DMDV view definition. It
+// returns the DDL text.
+func CreateViewOnPath(e *sqlengine.Engine, viewName, table, jsonCol string, g *dataguide.Guide, opts ViewOptions) (string, error) {
+	if opts.RootPath == "" {
+		opts.RootPath = "$"
+	}
+	ddl, err := GenerateDMDV(viewName, table, jsonCol, g, opts)
+	if err != nil {
+		return "", err
+	}
+	if _, err := e.Exec(ddl); err != nil {
+		return ddl, fmt.Errorf("viewgen: executing generated view DDL: %w", err)
+	}
+	return ddl, nil
+}
+
+// GenerateDMDV produces the CREATE VIEW DDL without executing it.
+func GenerateDMDV(viewName, table, jsonCol string, g *dataguide.Guide, opts ViewOptions) (string, error) {
+	root := buildTree(g)
+	// navigate to the requested root path
+	base := root
+	var rowPattern string
+	if opts.RootPath == "" || opts.RootPath == "$" {
+		rowPattern = "$"
+	} else {
+		steps, err := parsePathSteps(opts.RootPath)
+		if err != nil {
+			return "", err
+		}
+		n := root
+		for _, s := range steps {
+			c, ok := n.children[s]
+			if !ok {
+				return "", fmt.Errorf("viewgen: path %q not present in DataGuide", opts.RootPath)
+			}
+			n = c
+		}
+		base = n
+		rowPattern = opts.RootPath
+		if n.isArray {
+			rowPattern += "[*]"
+		}
+	}
+
+	gen := &dmdvGen{
+		g:       g,
+		namer:   newNamer(strings.ToLower(jsonCol)),
+		minFreq: opts.MinFrequencyPct,
+		ann:     opts.Annotations,
+	}
+	body := gen.emit(base, base.steps, 2)
+	if strings.TrimSpace(body) == "" {
+		return "", fmt.Errorf("viewgen: no columns derivable at %q", opts.RootPath)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "create or replace view %s as\nselect ", viewName)
+	for _, k := range opts.KeyColumns {
+		fmt.Fprintf(&sb, "t.%s, ", k)
+	}
+	sb.WriteString("jt.*\nfrom ")
+	sb.WriteString(table)
+	sb.WriteString(" t, json_table(")
+	sb.WriteString(jsonCol)
+	fmt.Fprintf(&sb, ", '%s' columns (\n", escapePath(rowPattern))
+	sb.WriteString(body)
+	sb.WriteString("\n)) jt")
+	return sb.String(), nil
+}
+
+type dmdvGen struct {
+	g       *dataguide.Guide
+	namer   *namer
+	minFreq int
+	ann     map[string]ColumnAnnotation
+}
+
+// column renders one column spec, honoring annotations; ok=false means
+// the path is skipped.
+func (d *dmdvGen) column(pad string, defaultField string, e *dataguide.Entry, rel string) (string, bool) {
+	ann := d.ann[e.Path]
+	if ann.Skip {
+		return "", false
+	}
+	name := ann.ColumnName
+	if name == "" {
+		name = d.namer.name(defaultField)
+	}
+	typ := ann.TypeName
+	if typ == "" {
+		typ = columnType(e)
+	}
+	return fmt.Sprintf(`%s"%s" %s path '%s'`, pad, name, typ, escapePath(rel)), true
+}
+
+// emit renders the COLUMNS body for the subtree rooted at n, with
+// column paths relative to base. Objects are traversed inline; each
+// array child becomes a NESTED PATH clause (left outer join for the
+// chain, union join among siblings — the JSON_TABLE defaults, §3.3.2).
+func (d *dmdvGen) emit(n *treeNode, base []string, indent int) string {
+	var parts []string
+	pad := strings.Repeat(" ", indent)
+	// an array node whose elements are scalars projects the element
+	// itself
+	if n.isArray && n.scalar != nil && d.frequent(n.scalar) {
+		if spec, ok := d.column(pad, lastStep(n.steps), n.scalar, "$"); ok {
+			parts = append(parts, spec)
+		}
+	}
+	d.emitChildren(n, base, indent, &parts)
+	return strings.Join(parts, ",\n")
+}
+
+func (d *dmdvGen) emitChildren(n *treeNode, base []string, indent int, parts *[]string) {
+	pad := strings.Repeat(" ", indent)
+	for _, name := range n.order {
+		c := n.children[name]
+		rel := relPath(c.steps, base)
+		if c.scalar != nil && !c.isArray && d.frequent(c.scalar) {
+			if spec, ok := d.column(pad, name, c.scalar, rel); ok {
+				*parts = append(*parts, spec)
+			}
+		}
+		if c.isArray {
+			inner := d.emit(c, c.steps, indent+2)
+			if strings.TrimSpace(inner) != "" {
+				*parts = append(*parts,
+					fmt.Sprintf("%snested path '%s[*]' columns (\n%s\n%s)", pad, escapePath(rel), inner, pad))
+			}
+		}
+		if c.isObject {
+			d.emitChildren(c, base, indent, parts)
+		}
+	}
+}
+
+func (d *dmdvGen) frequent(e *dataguide.Entry) bool {
+	if d.minFreq <= 0 || d.g.DocCount() == 0 {
+		return true
+	}
+	return e.Frequency*100 >= d.minFreq*d.g.DocCount()
+}
+
+func lastStep(steps []string) string {
+	if len(steps) == 0 {
+		return "value"
+	}
+	return steps[len(steps)-1]
+}
+
+// relPath renders steps relative to a base prefix as a SQL/JSON path.
+func relPath(steps, base []string) string {
+	return dataguide.RenderPath(steps[len(base):])
+}
+
+// parsePathSteps splits a simple dotted path ($.a.b) into steps;
+// quoted steps are supported.
+func parsePathSteps(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "$") {
+		return nil, fmt.Errorf("viewgen: path must start with '$': %q", path)
+	}
+	rest := path[1:]
+	var steps []string
+	for len(rest) > 0 {
+		if rest[0] != '.' {
+			return nil, fmt.Errorf("viewgen: invalid path %q", path)
+		}
+		rest = rest[1:]
+		if len(rest) > 0 && rest[0] == '"' {
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("viewgen: unterminated quoted step in %q", path)
+			}
+			steps = append(steps, rest[1:1+end])
+			rest = rest[2+end:]
+			continue
+		}
+		i := 0
+		for i < len(rest) && rest[i] != '.' {
+			i++
+		}
+		if i == 0 {
+			return nil, fmt.Errorf("viewgen: empty step in %q", path)
+		}
+		steps = append(steps, rest[:i])
+		rest = rest[i:]
+	}
+	return steps, nil
+}

@@ -1,0 +1,273 @@
+package viewgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataguide"
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/sqlengine"
+)
+
+var poDocs = []string{
+	`{"purchaseOrder":{"id":1,"podate":"2014-09-08",
+		"items":[{"name":"phone","price":100,"quantity":2},
+		         {"name":"ipad","price":350.86,"quantity":3}]}}`,
+	`{"purchaseOrder":{"id":2,"podate":"2015-03-04","foreign_id":"CDEG35",
+		"items":[{"name":"TV","price":345.55,"quantity":1,
+		          "parts":[{"partName":"remoteCon","partQuantity":"1"}]}],
+		"discount_items":[{"dis_itemName":"bundle","dis_itemPrice":42}]}}`,
+}
+
+func setup(t *testing.T) (*sqlengine.Engine, *dataguide.Guide) {
+	t.Helper()
+	e := sqlengine.New()
+	if _, err := e.Exec(`create table po (did number, jdoc varchar2(4000) check (jdoc is json))`); err != nil {
+		t.Fatal(err)
+	}
+	g := dataguide.New()
+	for i, d := range poDocs {
+		dom := jsontext.MustParse(d)
+		g.Add(dom)
+		_, err := e.Exec(`insert into po values (?, ?)`,
+			jsondom.NumberFromInt(int64(i+1)),
+			jsondom.String(jsontext.SerializeString(dom)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, g
+}
+
+func TestAddVC(t *testing.T) {
+	e, g := setup(t)
+	results, err := AddVC(e, "po", "jdoc", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// singleton scalars: id, podate, foreign_id (Table 7)
+	if len(results) != 3 {
+		t.Fatalf("vc count = %d: %+v", len(results), results)
+	}
+	names := map[string]string{}
+	for _, r := range results {
+		names[r.Column] = r.Path
+	}
+	if names["jdoc$id"] != "$.purchaseOrder.id" {
+		t.Fatalf("id vc: %v", names)
+	}
+	if _, ok := names["jdoc$foreign_id"]; !ok {
+		t.Fatalf("foreign_id vc missing: %v", names)
+	}
+	// the VCs answer queries
+	r, err := e.Exec(`select "jdoc$podate" from po where "jdoc$id" = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].(jsondom.String) != "2015-03-04" {
+		t.Fatalf("vc query = %v", r.Rows)
+	}
+	// array-nested scalars (price) must NOT become VCs
+	if _, ok := names["jdoc$price"]; ok {
+		t.Fatal("array-nested field became a VC")
+	}
+}
+
+func TestGenerateDMDVShape(t *testing.T) {
+	_, g := setup(t)
+	ddl, err := GenerateDMDV("po_dmdv", "po", "jdoc", g, ViewOptions{RootPath: "$", KeyColumns: []string{"did"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"create or replace view po_dmdv",
+		"t.did",
+		"json_table(jdoc, '$' columns",
+		`"jdoc$id" number path '$.purchaseOrder.id'`,
+		"nested path '$.purchaseOrder.items[*]' columns",
+		"nested path '$.parts[*]' columns",
+		"nested path '$.purchaseOrder.discount_items[*]' columns",
+		`"jdoc$partname"`,
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	// parts nesting must be inside the items nesting (children are
+	// emitted in sorted path order, so discount_items precedes items)
+	itemsIdx := strings.Index(ddl, "'$.purchaseOrder.items[*]'")
+	partsIdx := strings.Index(ddl, "'$.parts[*]'")
+	if !(itemsIdx >= 0 && partsIdx > itemsIdx) {
+		t.Fatalf("parts not nested inside items:\n%s", ddl)
+	}
+}
+
+func TestCreateViewOnPathExecutesAndQueries(t *testing.T) {
+	e, g := setup(t)
+	ddl, err := CreateViewOnPath(e, "po_dmdv", "po", "jdoc", g, ViewOptions{KeyColumns: []string{"did"}})
+	if err != nil {
+		t.Fatalf("%v\nDDL:\n%s", err, ddl)
+	}
+	r, err := e.Exec(`select count(*) from po_dmdv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// doc1: 2 items; doc2: 1 item(1 part) union 1 discount_item = 2 rows
+	n, _ := r.Rows[0][0].(jsondom.Number).Int64()
+	if n != 4 {
+		t.Fatalf("dmdv rows = %d", n)
+	}
+	// master columns repeat; union join leaves other siblings NULL
+	r, err = e.Exec(`select count(*) from po_dmdv where "jdoc$dis_itemname" is not null and "jdoc$name" is null`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].(jsondom.Number) != "1" {
+		t.Fatalf("union join = %v", r.Rows)
+	}
+}
+
+func TestCreateViewOnSubPath(t *testing.T) {
+	e, g := setup(t)
+	ddl, err := CreateViewOnPath(e, "items_v", "po", "jdoc", g,
+		ViewOptions{RootPath: "$.purchaseOrder.items", KeyColumns: []string{"did"}})
+	if err != nil {
+		t.Fatalf("%v\nDDL:\n%s", err, ddl)
+	}
+	if !strings.Contains(ddl, "'$.purchaseOrder.items[*]'") {
+		t.Fatalf("row pattern wrong:\n%s", ddl)
+	}
+	r, err := e.Exec(`select count(*) from items_v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].(jsondom.Number) != "3" {
+		t.Fatalf("items rows = %v", r.Rows)
+	}
+	// unknown path errors
+	if _, err := GenerateDMDV("x", "po", "jdoc", g, ViewOptions{RootPath: "$.nope"}); err == nil {
+		t.Fatal("unknown path should fail")
+	}
+}
+
+func TestFrequencyThreshold(t *testing.T) {
+	// sparse field elimination (§3.3.2): fields under the threshold are
+	// not projected
+	g := dataguide.New()
+	for i := 0; i < 10; i++ {
+		o := jsondom.NewObject().Set("common", jsondom.NumberFromInt(int64(i)))
+		if i == 0 {
+			o.Set("rare", jsondom.String("x"))
+		}
+		g.Add(jsondom.NewObject().Set("d", o))
+	}
+	ddl, err := GenerateDMDV("v", "t", "jdoc", g, ViewOptions{MinFrequencyPct: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ddl, "rare") {
+		t.Fatalf("sparse field survived threshold:\n%s", ddl)
+	}
+	if !strings.Contains(ddl, "common") {
+		t.Fatalf("common field missing:\n%s", ddl)
+	}
+}
+
+func TestScalarArrayElements(t *testing.T) {
+	// arrays of scalars project the element itself via path '$'
+	e := sqlengine.New()
+	if _, err := e.Exec(`create table t (jdoc varchar2(4000))`); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"tags":["a","b","c"]}`
+	if _, err := e.Exec(`insert into t values (?)`, jsondom.String(doc)); err != nil {
+		t.Fatal(err)
+	}
+	g := dataguide.New()
+	g.Add(jsontext.MustParse(doc))
+	ddl, err := CreateViewOnPath(e, "tags_v", "t", "jdoc", g, ViewOptions{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, ddl)
+	}
+	r, err := e.Exec(`select * from tags_v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("scalar array rows = %v (ddl %s)", r.Rows, ddl)
+	}
+}
+
+func TestNameCollisions(t *testing.T) {
+	// the same field name at different paths gets suffixed
+	g := dataguide.New()
+	g.Add(jsontext.MustParse(`{"a":{"name":"x"},"b":{"name":"y"}}`))
+	ddl, err := GenerateDMDV("v", "t", "jdoc", g, ViewOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ddl, `"jdoc$name"`) || !strings.Contains(ddl, `"jdoc$name_2"`) {
+		t.Fatalf("collision handling:\n%s", ddl)
+	}
+}
+
+func TestParsePathSteps(t *testing.T) {
+	steps, err := parsePathSteps(`$.a."b c".d`)
+	if err != nil || len(steps) != 3 || steps[1] != "b c" {
+		t.Fatalf("steps = %v, %v", steps, err)
+	}
+	for _, bad := range []string{"a.b", "$a", "$..", `$."unterminated`} {
+		if _, err := parsePathSteps(bad); err == nil {
+			t.Errorf("parsePathSteps(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMixedCategoryPath(t *testing.T) {
+	// a path that is scalar in one doc and object in another: both
+	// facets are projected
+	g := dataguide.New()
+	g.Add(jsontext.MustParse(`{"v":1}`))
+	g.Add(jsontext.MustParse(`{"v":{"w":2}}`))
+	ddl, err := GenerateDMDV("v", "t", "jdoc", g, ViewOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ddl, `path '$.v'`) || !strings.Contains(ddl, `path '$.v.w'`) {
+		t.Fatalf("mixed category:\n%s", ddl)
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	// §3.2.2: users annotate the computed DataGuide — rename columns,
+	// override types, drop fields — before generating the view
+	e, g := setup(t)
+	ddl, err := CreateViewOnPath(e, "po_ann", "po", "jdoc", g, ViewOptions{
+		KeyColumns: []string{"did"},
+		Annotations: map[string]ColumnAnnotation{
+			"$.purchaseOrder.id":         {ColumnName: "po_id"},
+			"$.purchaseOrder.podate":     {TypeName: "varchar2(64)"},
+			"$.purchaseOrder.foreign_id": {Skip: true},
+		},
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, ddl)
+	}
+	if !strings.Contains(ddl, `"po_id" number path '$.purchaseOrder.id'`) {
+		t.Fatalf("rename missing:\n%s", ddl)
+	}
+	if !strings.Contains(ddl, `varchar2(64) path '$.purchaseOrder.podate'`) {
+		t.Fatalf("type override missing:\n%s", ddl)
+	}
+	if strings.Contains(ddl, "foreign_id") {
+		t.Fatalf("skipped path survived:\n%s", ddl)
+	}
+	r, err := e.Exec(`select po_id from po_ann where po_id = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("renamed column not queryable")
+	}
+}

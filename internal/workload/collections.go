@@ -1,0 +1,391 @@
+// Synthetic stand-ins for the paper's customer JSON collections
+// (Tables 10-12). Each generator is shaped to match the published
+// statistics: approximate document size band (Table 10), distinct-path
+// count, DMDV width and fan-out ratio (Table 12). TwitterMsgArchive
+// and SensorData are the two large-document collections whose heavy
+// structural repetition makes OSON much smaller than text (§6.1);
+// their default sizes here are scaled down from the paper's 5 MB/41 MB
+// to keep test wall-clock reasonable — the repetition *ratios* are
+// preserved.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/jsondom"
+)
+
+// Collection couples a named generator with its default document
+// count for size/statistics experiments.
+type Collection struct {
+	Name string
+	// Docs generates n documents with the given seed.
+	Docs func(seed int64, n int) []jsondom.Value
+	// DefaultCount is a sensible collection size for Tables 10-12.
+	DefaultCount int
+}
+
+// Collections returns the twelve collections of Tables 10-12 in paper
+// order.
+func Collections() []Collection {
+	return []Collection{
+		{Name: "workOrder", Docs: genN(GenWorkOrder), DefaultCount: 200},
+		{Name: "salesOrder", Docs: genN(GenSalesOrder), DefaultCount: 200},
+		{Name: "eventMessage", Docs: genN(GenEventMessage), DefaultCount: 200},
+		{Name: "purchaseOrder", Docs: func(seed int64, n int) []jsondom.Value { return PurchaseOrders(seed, n) }, DefaultCount: 200},
+		{Name: "bookOrder", Docs: genN(GenBookOrder), DefaultCount: 200},
+		{Name: "LoanNotes", Docs: genN(GenLoanNote), DefaultCount: 100},
+		{Name: "TwitterMsg", Docs: genN(GenTwitterMsg), DefaultCount: 100},
+		{Name: "AcquisionDoc", Docs: genN(GenAcquisitionDoc), DefaultCount: 100},
+		{Name: "NOBENCHDoc", Docs: NoBench, DefaultCount: 500},
+		{Name: "YCSBDoc", Docs: YCSB, DefaultCount: 200},
+		{Name: "TwitterMsgArchive", Docs: genN(GenTwitterMsgArchive), DefaultCount: 3},
+		{Name: "SensorData", Docs: genN(GenSensorData), DefaultCount: 2},
+	}
+}
+
+func genN(gen func(seed int64, i int) jsondom.Value) func(int64, int) []jsondom.Value {
+	return func(seed int64, n int) []jsondom.Value {
+		out := make([]jsondom.Value, n)
+		for i := range out {
+			out[i] = gen(seed, i)
+		}
+		return out
+	}
+}
+
+// GenWorkOrder: ~29 distinct paths, fan-out ~5.5 (steps array).
+func GenWorkOrder(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i)))
+	steps := jsondom.NewArray()
+	for k := 0; k < 4+r.Intn(4); k++ {
+		steps.Append(jsondom.NewObject().
+			Set("stepNo", num(int64(k+1))).
+			Set("action", str(sentence(r, 3))).
+			Set("technician", str(names[r.Intn(len(names))])).
+			Set("durationMin", num(int64(10+r.Intn(240)))).
+			Set("completed", jsondom.Bool(r.Intn(2) == 0)))
+	}
+	return jsondom.NewObject().Set("workOrder", jsondom.NewObject().
+		Set("woNumber", num(int64(i))).
+		Set("priority", str([]string{"low", "medium", "high"}[r.Intn(3)])).
+		Set("opened", str(dateString(r))).
+		Set("due", str(dateString(r))).
+		Set("site", str(word(r))).
+		Set("asset", jsondom.NewObject().
+			Set("assetId", str(fmt.Sprintf("AST-%06d", r.Intn(999999)))).
+			Set("model", str(word(r))).
+			Set("vendor", str(word(r)))).
+		Set("summary", str(sentence(r, 5))).
+		Set("cost", money(r)).
+		Set("steps", steps))
+}
+
+// GenSalesOrder: ~20 distinct paths, fan-out ~3.
+func GenSalesOrder(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i) + 1))
+	lines := jsondom.NewArray()
+	for k := 0; k < 2+r.Intn(3); k++ {
+		lines.Append(jsondom.NewObject().
+			Set("sku", str(fmt.Sprintf("SKU-%05d", r.Intn(99999)))).
+			Set("qty", num(int64(1+r.Intn(5)))).
+			Set("price", money(r)))
+	}
+	return jsondom.NewObject().Set("salesOrder", jsondom.NewObject().
+		Set("orderNo", num(int64(i))).
+		Set("customer", str(names[r.Intn(len(names))])).
+		Set("channel", str([]string{"web", "store", "phone"}[r.Intn(3)])).
+		Set("orderDate", str(dateString(r))).
+		Set("currency", str("USD")).
+		Set("shipping", jsondom.NewObject().
+			Set("method", str(word(r))).
+			Set("address", str(sentence(r, 3))).
+			Set("zip", str(fmt.Sprintf("%05d", r.Intn(99999))))).
+		Set("discount", money(r)).
+		Set("lines", lines))
+}
+
+// GenEventMessage: ~79 distinct paths, fan-out ~10 (events array),
+// deeper header/payload structure.
+func GenEventMessage(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i) + 2))
+	events := jsondom.NewArray()
+	for k := 0; k < 8+r.Intn(5); k++ {
+		events.Append(jsondom.NewObject().
+			Set("seq", num(int64(k))).
+			Set("kind", str(word(r))).
+			Set("ts", str(dateString(r))).
+			Set("detail", jsondom.NewObject().
+				Set("code", num(int64(r.Intn(500)))).
+				Set("message", str(sentence(r, 4))).
+				Set("severity", str([]string{"info", "warn", "error"}[r.Intn(3)]))))
+	}
+	hdr := jsondom.NewObject()
+	for _, f := range []string{"source", "destination", "protocol", "version",
+		"correlationId", "sessionId", "tenant", "region", "zone", "host"} {
+		hdr.Set(f, str(word(r)+fmt.Sprint(r.Intn(100))))
+	}
+	meta := jsondom.NewObject()
+	for _, f := range []string{"schemaRev", "producer", "contentType",
+		"encoding", "compression", "retention", "priority", "partition"} {
+		meta.Set(f, str(word(r)))
+	}
+	// payload with a handful of typed sub-objects widens the path count
+	payload := jsondom.NewObject().
+		Set("metrics", jsondom.NewObject().
+			Set("cpu", jsondom.NumberFromFloat(r.Float64()*100)).
+			Set("memory", jsondom.NumberFromFloat(r.Float64()*64)).
+			Set("disk", jsondom.NumberFromFloat(r.Float64()*1000)).
+			Set("network", jsondom.NumberFromFloat(r.Float64()*10))).
+		Set("labels", jsondom.NewObject().
+			Set("app", str(word(r))).
+			Set("team", str(word(r))).
+			Set("env", str([]string{"dev", "stage", "prod"}[r.Intn(3)]))).
+		Set("flags", jsondom.NewObject().
+			Set("replayed", jsondom.Bool(r.Intn(2) == 0)).
+			Set("sampled", jsondom.Bool(r.Intn(2) == 0)))
+	return jsondom.NewObject().Set("eventMessage", jsondom.NewObject().
+		Set("id", num(int64(i))).
+		Set("header", hdr).
+		Set("meta", meta).
+		Set("payload", payload).
+		Set("events", events))
+}
+
+// GenBookOrder: ~86 distinct paths, fan-out ~11.7 (books + reviews
+// arrays).
+func GenBookOrder(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i) + 3))
+	books := jsondom.NewArray()
+	for k := 0; k < 4+r.Intn(4); k++ {
+		reviews := jsondom.NewArray()
+		for m := 0; m < 1+r.Intn(2); m++ {
+			reviews.Append(jsondom.NewObject().
+				Set("reviewer", str(names[r.Intn(len(names))])).
+				Set("stars", num(int64(1+r.Intn(5)))).
+				Set("comment", str(sentence(r, 6))))
+		}
+		books.Append(jsondom.NewObject().
+			Set("isbn", str(fmt.Sprintf("978-%09d", r.Intn(999999999)))).
+			Set("title", str(sentence(r, 3))).
+			Set("author", jsondom.NewObject().
+				Set("first", str(word(r))).
+				Set("last", str(word(r))).
+				Set("country", str(word(r)))).
+			Set("price", money(r)).
+			Set("format", str([]string{"hardcover", "paperback", "ebook"}[r.Intn(3)])).
+			Set("reviews", reviews))
+	}
+	buyer := jsondom.NewObject()
+	for _, f := range []string{"name", "email", "street", "city", "state",
+		"zip", "country", "phone", "loyaltyTier"} {
+		buyer.Set(f, str(word(r)))
+	}
+	return jsondom.NewObject().Set("bookOrder", jsondom.NewObject().
+		Set("orderId", num(int64(i))).
+		Set("placed", str(dateString(r))).
+		Set("buyer", buyer).
+		Set("giftWrap", jsondom.Bool(r.Intn(4) == 0)).
+		Set("total", money(r)).
+		Set("books", books))
+}
+
+// GenLoanNote: ~153 distinct paths (very wide singleton structure),
+// fan-out ~3 (notes array).
+func GenLoanNote(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i) + 4))
+	loan := jsondom.NewObject().Set("loanId", num(int64(i)))
+	// wide groups of singleton fields
+	for _, grp := range []struct {
+		name   string
+		fields int
+	}{
+		{"borrower", 25}, {"coBorrower", 25}, {"property", 20},
+		{"terms", 25}, {"underwriting", 20}, {"servicing", 15},
+	} {
+		o := jsondom.NewObject()
+		for f := 0; f < grp.fields; f++ {
+			key := fmt.Sprintf("%s_f%02d", grp.name, f)
+			if f%3 == 0 {
+				o.Set(key, money(r))
+			} else {
+				o.Set(key, str(word(r)))
+			}
+		}
+		loan.Set(grp.name, o)
+	}
+	notes := jsondom.NewArray()
+	for k := 0; k < 2+r.Intn(3); k++ {
+		notes.Append(jsondom.NewObject().
+			Set("noteDate", str(dateString(r))).
+			Set("officer", str(names[r.Intn(len(names))])).
+			Set("category", str(word(r))).
+			Set("text", str(sentence(r, 10))))
+	}
+	loan.Set("notes", notes)
+	return jsondom.NewObject().Set("loanNote", loan)
+}
+
+// tweetObject builds one tweet-like object: a wide user sub-object and
+// entity structures; withRetweet nests one level of retweeted status
+// (TwitterMsg reaches ~362 distinct paths this way).
+func tweetObject(r *rand.Rand, i int, withRetweet bool) *jsondom.Object {
+	user := jsondom.NewObject()
+	for _, f := range []string{
+		"id_str", "name", "screen_name", "location", "description", "url",
+		"lang", "time_zone", "created_at", "profile_image_url",
+		"profile_background_color", "profile_text_color",
+		"profile_link_color", "profile_sidebar_fill_color",
+	} {
+		user.Set(f, str(word(r)+fmt.Sprint(r.Intn(1000))))
+	}
+	for _, f := range []string{
+		"followers_count", "friends_count", "listed_count",
+		"favourites_count", "statuses_count", "utc_offset",
+	} {
+		user.Set(f, num(r.Int63n(100000)))
+	}
+	for _, f := range []string{
+		"protected", "verified", "geo_enabled", "contributors_enabled",
+		"is_translator", "default_profile",
+	} {
+		user.Set(f, jsondom.Bool(r.Intn(2) == 0))
+	}
+	hashtags := jsondom.NewArray()
+	for k := 0; k < 1+r.Intn(3); k++ {
+		hashtags.Append(jsondom.NewObject().
+			Set("text", str(word(r))).
+			Set("indices", jsondom.NewArray(num(int64(r.Intn(50))), num(int64(50+r.Intn(50))))))
+	}
+	urls := jsondom.NewArray()
+	if r.Intn(2) == 0 {
+		urls.Append(jsondom.NewObject().
+			Set("url", str("https://t.co/"+word(r))).
+			Set("expanded_url", str("https://example.com/"+word(r))).
+			Set("display_url", str(word(r)+".com")))
+	}
+	tweet := jsondom.NewObject().
+		Set("id_str", str(fmt.Sprintf("%018d", i))).
+		Set("text", str(sentence(r, 8))).
+		Set("created_at", str(dateString(r))).
+		Set("source", str("<a href=\"https://example.com\">app</a>")).
+		Set("lang", str([]string{"en", "ja", "es", "de"}[r.Intn(4)])).
+		Set("retweet_count", num(r.Int63n(1000))).
+		Set("favorite_count", num(r.Int63n(1000))).
+		Set("truncated", jsondom.Bool(false)).
+		Set("favorited", jsondom.Bool(r.Intn(2) == 0)).
+		Set("retweeted", jsondom.Bool(r.Intn(2) == 0)).
+		Set("in_reply_to_status_id_str", jsondom.Null{}).
+		Set("in_reply_to_user_id_str", jsondom.Null{}).
+		Set("user", user).
+		Set("entities", jsondom.NewObject().
+			Set("hashtags", hashtags).
+			Set("urls", urls).
+			Set("user_mentions", jsondom.NewArray()))
+	if withRetweet {
+		tweet.Set("retweeted_status", tweetObject(r, i+1, false))
+	}
+	return tweet
+}
+
+// GenTwitterMsg: a single tweet with a nested retweeted status —
+// medium-size documents with many distinct paths but little
+// repetition (fan-out ~1.8).
+func GenTwitterMsg(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i) + 5))
+	return tweetObject(r, i, r.Intn(2) == 0)
+}
+
+// GenAcquisitionDoc: ~88 distinct paths with a large line array
+// (fan-out ~28).
+func GenAcquisitionDoc(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i) + 6))
+	lines := jsondom.NewArray()
+	for k := 0; k < 24+r.Intn(8); k++ {
+		lines.Append(jsondom.NewObject().
+			Set("lineNo", num(int64(k+1))).
+			Set("clin", str(fmt.Sprintf("CLIN-%04d", k))).
+			Set("description", str(sentence(r, 5))).
+			Set("naics", str(fmt.Sprintf("%06d", r.Intn(999999)))).
+			Set("amount", money(r)).
+			Set("fundingSource", str(word(r))))
+	}
+	parties := jsondom.NewObject()
+	for _, role := range []string{"contractor", "agency", "office"} {
+		p := jsondom.NewObject()
+		for _, f := range []string{"name", "duns", "address", "city",
+			"state", "zip", "poc", "phone"} {
+			p.Set(f, str(word(r)))
+		}
+		parties.Set(role, p)
+	}
+	return jsondom.NewObject().Set("acquisition", jsondom.NewObject().
+		Set("contractId", str(fmt.Sprintf("W%07d", i))).
+		Set("awarded", str(dateString(r))).
+		Set("vehicle", str(word(r))).
+		Set("setAside", str(word(r))).
+		Set("ceiling", money(r)).
+		Set("parties", parties).
+		Set("lines", lines))
+}
+
+// TwitterMsgArchiveTweets scales the archive document; the paper's
+// archive is ~5 MB with fan-out 5405.
+var TwitterMsgArchiveTweets = 400
+
+// GenTwitterMsgArchive: one large document holding an archive of
+// tweets; repeated structure dominates, so the OSON dictionary segment
+// amortizes to ~0% (Table 11).
+func GenTwitterMsgArchive(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i) + 7))
+	msgs := jsondom.NewArray()
+	for k := 0; k < TwitterMsgArchiveTweets; k++ {
+		msgs.Append(tweetObject(r, k, false))
+	}
+	return jsondom.NewObject().
+		Set("archiveId", num(int64(i))).
+		Set("exported", str(dateString(r))).
+		Set("messages", msgs)
+}
+
+// SensorReadings scales the sensor document; the paper's is ~41 MB
+// with fan-out 32100.
+var SensorReadings = 4000
+
+// GenSensorData: one large document of sensor readings with the
+// verbose field naming typical of sensor JSON exports; the navigation
+// segment dominates the OSON encoding (Table 11: 80% tree, 0.01%
+// dictionary) and the repeated names/values make OSON much smaller
+// than text (Table 10).
+func GenSensorData(seed int64, i int) jsondom.Value {
+	r := rand.New(rand.NewSource(seed + int64(i) + 8))
+	statuses := []jsondom.Value{str("ok"), str("ok"), str("ok"), str("drift"), str("recalibrated")}
+	readings := jsondom.NewArray()
+	for k := 0; k < SensorReadings; k++ {
+		readings.Append(jsondom.NewObject().
+			Set("timestampUtc", str(fmt.Sprintf("2014-05-%02dT%02d:%02d:%02d.000Z",
+				1+k/86400%28, k/3600%24, k/60%60, k%60))).
+			Set("temperatureCelsius", jsondom.NumberFromFloat(float64(int(200000+r.Float64()*100000))/10000)).
+			Set("humidityPercent", num(int64(30+r.Intn(40)))).
+			Set("batteryVolts", jsondom.NumberFromFloat(float64(330+r.Intn(50))/100)).
+			Set("signalQuality", num(int64(r.Intn(4)))).
+			Set("statusFlags", statuses[r.Intn(len(statuses))]))
+	}
+	sensor := jsondom.NewObject().
+		Set("sensorId", str(fmt.Sprintf("S-%05d", i))).
+		Set("model", str(word(r))).
+		Set("firmware", str("v2.3.1")).
+		Set("site", str(word(r))).
+		Set("lat", jsondom.NumberFromFloat(r.Float64()*180-90)).
+		Set("lon", jsondom.NumberFromFloat(r.Float64()*360-180)).
+		Set("unit", str("celsius"))
+	return jsondom.NewObject().
+		Set("sensor", sensor).
+		Set("calibration", jsondom.NewObject().
+			Set("offset", jsondom.NumberFromFloat(r.Float64())).
+			Set("scale", jsondom.NumberFromFloat(1+r.Float64()/100)).
+			Set("calibrated", str(dateString(r)))).
+		Set("readings", readings)
+}

@@ -1,0 +1,299 @@
+// Package workload generates the JSON document collections of the
+// paper's evaluation (§6): the purchaseOrder collection driving the
+// OLAP comparison (Figures 3-4, Table 13), the NOBENCH collection [6]
+// (Figures 5-9), YCSB documents [31], and synthetic stand-ins for the
+// customer data sets of Tables 10-12 (workOrder, salesOrder,
+// eventMessage, bookOrder, LoanNotes, TwitterMsg, AcquisionDoc,
+// TwitterMsgArchive, SensorData).
+//
+// The customer collections are proprietary; the generators here are
+// shaped to match the published statistics (document size bands of
+// Table 10, distinct-path counts, DMDV widths and fan-out ratios of
+// Table 12): small/medium documents with moderate repetition, plus two
+// large-document collections whose repetition is extreme. All
+// generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/jsondom"
+)
+
+var words = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango", "uniform",
+	"victor", "whiskey", "xray", "yankee", "zulu",
+}
+
+var names = []string{
+	"Alexis Bull", "Sarah Bell", "David Austin", "John Chen",
+	"Diana Lorentz", "Hermann Baer", "Shelli Baida", "Guy Himuro",
+	"Karen Colmenares", "Alexander Khoo",
+}
+
+var partDescriptions = []string{
+	"Ethernet Cable", "Laser Printer", "USB Keyboard", "LCD Monitor",
+	"Graphics Card", "SSD Drive", "Optical Mouse", "Docking Station",
+	"Power Adapter", "Memory Module", "Webcam", "Headset",
+}
+
+func word(r *rand.Rand) string { return words[r.Intn(len(words))] }
+
+func sentence(r *rand.Rand, n int) string {
+	s := word(r)
+	for i := 1; i < n; i++ {
+		s += " " + word(r)
+	}
+	return s
+}
+
+func dateString(r *rand.Rand) string {
+	return fmt.Sprintf("%04d-%02d-%02d", 2013+r.Intn(3), 1+r.Intn(12), 1+r.Intn(28))
+}
+
+func num(i int64) jsondom.Number  { return jsondom.NumberFromInt(i) }
+func str(s string) jsondom.String { return jsondom.String(s) }
+func money(r *rand.Rand) jsondom.Number {
+	return jsondom.NumberFromFloat(float64(r.Intn(100000)) / 100)
+}
+
+// ---------------------------------------------------------------------------
+// purchaseOrder (Figures 3-4, Table 13)
+
+// POItem is one line item of a purchase order.
+type POItem struct {
+	ItemNo      int64
+	PartNo      string
+	Description string
+	Quantity    int64
+	UnitPrice   float64
+}
+
+// PO is a purchase order in relational form; the REL storage mode of
+// §6.3 decomposes documents into these fields.
+type PO struct {
+	DID          int64
+	Reference    string
+	Requestor    string
+	CostCenter   string
+	Instructions string
+	PODate       string
+	Status       string
+	ShipToName   string
+	ShipToCity   string
+	ShipToZip    string
+	Total        float64
+	Items        []POItem
+}
+
+// GenPO generates the i-th purchase order deterministically from the
+// collection seed.
+func GenPO(seed int64, i int) *PO {
+	r := rand.New(rand.NewSource(seed + int64(i)))
+	nItems := 3 + r.Intn(5) // average 5 details per master (Table 12)
+	po := &PO{
+		DID:          int64(i),
+		Reference:    fmt.Sprintf("%s-%d-%d", word(r), 2014+r.Intn(2), i),
+		Requestor:    names[r.Intn(len(names))],
+		CostCenter:   fmt.Sprintf("A%d", 10+r.Intn(90)),
+		Instructions: sentence(r, 4),
+		PODate:       dateString(r),
+		Status:       []string{"open", "shipped", "billed"}[r.Intn(3)],
+		ShipToName:   names[r.Intn(len(names))],
+		ShipToCity:   word(r),
+		ShipToZip:    fmt.Sprintf("%05d", r.Intn(99999)),
+	}
+	for n := 0; n < nItems; n++ {
+		item := POItem{
+			ItemNo:      int64(n + 1),
+			PartNo:      fmt.Sprintf("%011d", r.Int63n(99999999999)),
+			Description: partDescriptions[r.Intn(len(partDescriptions))],
+			Quantity:    int64(1 + r.Intn(10)),
+			UnitPrice:   float64(r.Intn(80000)) / 100,
+		}
+		po.Total += float64(item.Quantity) * item.UnitPrice
+		po.Items = append(po.Items, item)
+	}
+	return po
+}
+
+// JSON renders the purchase order as a document (the JSON/BSON/OSON
+// storage modes of §6.3).
+func (po *PO) JSON() *jsondom.Object {
+	items := jsondom.NewArray()
+	for _, it := range po.Items {
+		items.Append(jsondom.NewObject().
+			Set("itemno", num(it.ItemNo)).
+			Set("partno", str(it.PartNo)).
+			Set("description", str(it.Description)).
+			Set("quantity", num(it.Quantity)).
+			Set("unitprice", jsondom.NumberFromFloat(it.UnitPrice)))
+	}
+	inner := jsondom.NewObject().
+		Set("id", num(po.DID)).
+		Set("reference", str(po.Reference)).
+		Set("requestor", str(po.Requestor)).
+		Set("costcenter", str(po.CostCenter)).
+		Set("instructions", str(po.Instructions)).
+		Set("podate", str(po.PODate)).
+		Set("status", str(po.Status)).
+		Set("shipto_name", str(po.ShipToName)).
+		Set("shipto_city", str(po.ShipToCity)).
+		Set("shipto_zip", str(po.ShipToZip)).
+		Set("total", jsondom.NumberFromFloat(po.Total)).
+		Set("items", items)
+	return jsondom.NewObject().Set("purchaseOrder", inner)
+}
+
+// PurchaseOrders generates n purchase-order documents.
+func PurchaseOrders(seed int64, n int) []jsondom.Value {
+	out := make([]jsondom.Value, n)
+	for i := range out {
+		out[i] = GenPO(seed, i).JSON()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// NOBENCH (Figures 5-9)
+
+// NoBenchSparseTotal is the number of distinct sparse field names; each
+// document carries NoBenchSparsePerDoc of them from one cluster, so a
+// collection covers all 1000 names (Table 12: 1011 distinct paths).
+const (
+	NoBenchSparseTotal   = 1000
+	NoBenchSparsePerDoc  = 10
+	noBenchSparseCluster = NoBenchSparseTotal / NoBenchSparsePerDoc
+)
+
+// GenNoBench generates the i-th NOBENCH document: common scalar
+// fields, two dynamically-typed fields, a nested array and object, and
+// 10 sparse fields from the document's cluster.
+func GenNoBench(seed int64, i int) *jsondom.Object {
+	r := rand.New(rand.NewSource(seed + int64(i)))
+	o := jsondom.NewObject().
+		Set("str1", str(fmt.Sprintf("GBRDC%07d", i))).
+		Set("str2", str(word(r))).
+		Set("num", num(int64(i))).
+		Set("bool", jsondom.Bool(i%2 == 0)).
+		Set("thousandth", num(int64(i%1000)))
+	// dyn1/dyn2 change type across documents (the heterogeneity Dremel
+	// cannot represent, §7)
+	if i%2 == 0 {
+		o.Set("dyn1", num(int64(i)))
+	} else {
+		o.Set("dyn1", str(fmt.Sprintf("%d", i)))
+	}
+	if i%3 == 0 {
+		o.Set("dyn2", num(int64(i%100)))
+	} else {
+		o.Set("dyn2", jsondom.Bool(i%3 == 1))
+	}
+	arr := jsondom.NewArray()
+	for k := 0; k < 3+r.Intn(3); k++ {
+		arr.Append(str(word(r)))
+	}
+	o.Set("nested_arr", arr)
+	o.Set("nested_obj", jsondom.NewObject().
+		Set("str", str(word(r))).
+		Set("num", num(r.Int63n(10000))))
+	cluster := i % noBenchSparseCluster
+	for k := 0; k < NoBenchSparsePerDoc; k++ {
+		field := fmt.Sprintf("sparse_%03d", cluster*NoBenchSparsePerDoc+k)
+		o.Set(field, str(word(r)))
+	}
+	return o
+}
+
+// NoBench generates n NOBENCH documents.
+func NoBench(seed int64, n int) []jsondom.Value {
+	out := make([]jsondom.Value, n)
+	for i := range out {
+		out[i] = GenNoBench(seed, i)
+	}
+	return out
+}
+
+// NoBenchIdentical generates n structurally identical documents (the
+// homogeneous insertion workload of Figures 7-8).
+func NoBenchIdentical(seed int64, n int) []jsondom.Value {
+	doc := GenNoBench(seed, 0)
+	out := make([]jsondom.Value, n)
+	for i := range out {
+		out[i] = doc
+	}
+	return out
+}
+
+// NoBenchHetero generates n documents where every document adds one
+// unique new field, so every insertion extends the DataGuide (the
+// heterogeneous workload of Figure 8).
+func NoBenchHetero(seed int64, n int) []jsondom.Value {
+	out := make([]jsondom.Value, n)
+	for i := range out {
+		doc := GenNoBench(seed, 0)
+		doc.Set(fmt.Sprintf("unique_field_%06d", i), num(int64(i)))
+		out[i] = doc
+	}
+	return out
+}
+
+// NoBenchQueries returns the SQL/JSON equivalents of the 11 NOBENCH
+// queries [6] over a table with JSON column jcol. Selective constants
+// are scaled to the collection size n.
+func NoBenchQueries(table, jcol string, n int) []string {
+	lo, hi := n/4, n/4+n/100+1 // ~1% selectivity range
+	return []string{
+		// Q1: field projection
+		fmt.Sprintf(`select json_value(%s, '$.str1'), json_value(%s, '$.num' returning number) from %s`, jcol, jcol, table),
+		// Q2: nested field projection
+		fmt.Sprintf(`select json_value(%s, '$.nested_obj.str'), json_value(%s, '$.nested_obj.num' returning number) from %s`, jcol, jcol, table),
+		// Q3: sparse fields from one cluster
+		fmt.Sprintf(`select json_value(%s, '$.sparse_110'), json_value(%s, '$.sparse_119') from %s where json_exists(%s, '$.sparse_110')`, jcol, jcol, table, jcol),
+		// Q4: sparse fields from different clusters
+		fmt.Sprintf(`select json_value(%s, '$.sparse_110'), json_value(%s, '$.sparse_220') from %s where json_exists(%s, '$.sparse_110') or json_exists(%s, '$.sparse_220')`, jcol, jcol, table, jcol, jcol),
+		// Q5: exact string match
+		fmt.Sprintf(`select count(*) from %s where json_value(%s, '$.str1') = 'GBRDC%07d'`, table, jcol, n/2),
+		// Q6: numeric range
+		fmt.Sprintf(`select json_value(%s, '$.num' returning number) from %s where json_value(%s, '$.num' returning number) between %d and %d`, jcol, table, jcol, lo, hi),
+		// Q7: dynamically typed range
+		fmt.Sprintf(`select json_value(%s, '$.dyn1' returning number) from %s where json_value(%s, '$.dyn1' returning number) between %d and %d`, jcol, table, jcol, lo, hi),
+		// Q8: array membership
+		fmt.Sprintf(`select count(*) from %s where json_exists(%s, '$.nested_arr[*]?(@ == "alpha")')`, table, jcol),
+		// Q9: sparse field equality
+		fmt.Sprintf(`select count(*) from %s where json_value(%s, '$.sparse_550') = 'bravo'`, table, jcol),
+		// Q10: grouped aggregation over a range
+		fmt.Sprintf(`select json_value(%s, '$.thousandth' returning number), count(*) from %s where json_value(%s, '$.num' returning number) between %d and %d group by json_value(%s, '$.thousandth' returning number)`, jcol, table, jcol, lo, lo+10*(hi-lo), jcol),
+		// Q11: equi-join on a nested field
+		fmt.Sprintf(`select count(*) from %s a join %s b on json_value(a.%s, '$.nested_obj.num' returning number) = json_value(b.%s, '$.num' returning number) where json_value(a.%s, '$.num' returning number) between %d and %d`, table, table, jcol, jcol, jcol, lo, hi),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// YCSB
+
+// GenYCSB generates the i-th YCSB document: ten flat 100-byte fields.
+func GenYCSB(seed int64, i int) *jsondom.Object {
+	r := rand.New(rand.NewSource(seed + int64(i)))
+	o := jsondom.NewObject()
+	for f := 0; f < 10; f++ {
+		buf := make([]byte, 100)
+		for k := range buf {
+			buf[k] = byte('a' + r.Intn(26))
+		}
+		o.Set(fmt.Sprintf("field%d", f), str(string(buf)))
+	}
+	return o
+}
+
+// YCSB generates n YCSB documents.
+func YCSB(seed int64, n int) []jsondom.Value {
+	out := make([]jsondom.Value, n)
+	for i := range out {
+		out[i] = GenYCSB(seed, i)
+	}
+	return out
+}

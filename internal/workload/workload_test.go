@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bson"
+	"repro/internal/dataguide"
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/oson"
+)
+
+func TestPODeterminism(t *testing.T) {
+	a, b := GenPO(1, 42), GenPO(1, 42)
+	if !jsondom.Equal(a.JSON(), b.JSON()) {
+		t.Fatal("GenPO not deterministic")
+	}
+	c := GenPO(2, 42)
+	if jsondom.Equal(a.JSON(), c.JSON()) {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestPOShape(t *testing.T) {
+	docs := PurchaseOrders(1, 50)
+	g := dataguide.New()
+	totalItems := 0
+	for i, d := range docs {
+		po := GenPO(1, i)
+		if po.DID != int64(i) {
+			t.Fatalf("DID = %d", po.DID)
+		}
+		if len(po.Items) < 3 || len(po.Items) > 7 {
+			t.Fatalf("item count = %d", len(po.Items))
+		}
+		totalItems += len(po.Items)
+		// total is consistent with items
+		sum := 0.0
+		for _, it := range po.Items {
+			sum += float64(it.Quantity) * it.UnitPrice
+		}
+		if diff := po.Total - sum; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("total mismatch: %v vs %v", po.Total, sum)
+		}
+		g.Add(d)
+	}
+	// fan-out ~5 (Table 12)
+	fan := float64(totalItems) / 50
+	if fan < 4 || fan > 6.5 {
+		t.Fatalf("fan-out = %v", fan)
+	}
+	// every doc has the same structure: single-instance dataguide
+	if g.Len() < 15 || g.Len() > 35 {
+		t.Fatalf("distinct paths = %d", g.Len())
+	}
+}
+
+func TestNoBenchShape(t *testing.T) {
+	docs := NoBench(1, 200)
+	g := dataguide.New()
+	for i, d := range docs {
+		o := d.(*jsondom.Object)
+		// common fields
+		for _, f := range []string{"str1", "str2", "num", "bool", "thousandth",
+			"dyn1", "dyn2", "nested_arr", "nested_obj"} {
+			if !o.Has(f) {
+				t.Fatalf("doc %d missing %s", i, f)
+			}
+		}
+		// exactly 10 sparse fields
+		sparse := 0
+		for _, f := range o.Fields() {
+			if strings.HasPrefix(f.Name, "sparse_") {
+				sparse++
+			}
+		}
+		if sparse != NoBenchSparsePerDoc {
+			t.Fatalf("doc %d sparse fields = %d", i, sparse)
+		}
+		g.Add(d)
+	}
+	// dyn1 changes type across documents
+	d0 := docs[0].(*jsondom.Object)
+	d1 := docs[1].(*jsondom.Object)
+	v0, _ := d0.Get("dyn1")
+	v1, _ := d1.Get("dyn1")
+	if v0.Kind() == v1.Kind() {
+		t.Fatal("dyn1 should vary in type")
+	}
+	// 200 docs cover 2 sparse clusters of 100 docs: all 1000 sparse
+	// names appear over a full pass of 100 clusters; with 200 docs we
+	// cover clusters 0..99 (i%100), i.e. all of them
+	if g.Len() < 1000 {
+		t.Fatalf("distinct paths = %d, want >= 1000", g.Len())
+	}
+}
+
+func TestNoBenchIdenticalAndHetero(t *testing.T) {
+	id := NoBenchIdentical(1, 5)
+	for _, d := range id[1:] {
+		if !jsondom.Equal(id[0], d) {
+			t.Fatal("identical docs differ")
+		}
+	}
+	het := NoBenchHetero(1, 5)
+	g := dataguide.New()
+	base := g.Len()
+	for i, d := range het {
+		added := g.Add(d)
+		if i > 0 && len(added) != 1 {
+			t.Fatalf("hetero doc %d added %d paths, want 1", i, len(added))
+		}
+	}
+	_ = base
+}
+
+func TestNoBenchQueries(t *testing.T) {
+	qs := NoBenchQueries("nobench", "jdoc", 1000)
+	if len(qs) != 11 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for i, q := range qs {
+		if !strings.Contains(q, "nobench") || !strings.Contains(q, "jdoc") {
+			t.Errorf("Q%d malformed: %s", i+1, q)
+		}
+	}
+	if !strings.Contains(qs[10], "join") {
+		t.Fatalf("Q11 should join: %s", qs[10])
+	}
+	if !strings.Contains(qs[9], "group by") {
+		t.Fatalf("Q10 should group: %s", qs[9])
+	}
+}
+
+func TestYCSBShape(t *testing.T) {
+	docs := YCSB(1, 10)
+	g := dataguide.New()
+	for _, d := range docs {
+		o := d.(*jsondom.Object)
+		if o.Len() != 10 {
+			t.Fatalf("fields = %d", o.Len())
+		}
+		v, _ := o.Get("field0")
+		if len(v.(jsondom.String)) != 100 {
+			t.Fatalf("field length = %d", len(v.(jsondom.String)))
+		}
+		g.Add(d)
+	}
+	if g.Len() != 10 {
+		t.Fatalf("distinct paths = %d, want 10 (Table 12)", g.Len())
+	}
+}
+
+// TestCollectionStatistics verifies Table 12's shape: path counts and
+// fan-out ratios are in the right bands per collection.
+func TestCollectionStatistics(t *testing.T) {
+	type band struct {
+		paths [2]int
+		fan   [2]float64
+	}
+	// loose bands around the paper's numbers
+	bands := map[string]band{
+		"workOrder":         {paths: [2]int{15, 45}, fan: [2]float64{3, 9}},
+		"salesOrder":        {paths: [2]int{12, 30}, fan: [2]float64{2, 5}},
+		"eventMessage":      {paths: [2]int{40, 110}, fan: [2]float64{7, 14}},
+		"purchaseOrder":     {paths: [2]int{15, 45}, fan: [2]float64{3, 7}},
+		"bookOrder":         {paths: [2]int{22, 120}, fan: [2]float64{7, 18}},
+		"LoanNotes":         {paths: [2]int{120, 190}, fan: [2]float64{2, 5}},
+		"TwitterMsg":        {paths: [2]int{60, 150}, fan: [2]float64{1, 4}},
+		"AcquisionDoc":      {paths: [2]int{40, 120}, fan: [2]float64{20, 36}},
+		"NOBENCHDoc":        {paths: [2]int{1000, 1060}, fan: [2]float64{1, 8}},
+		"YCSBDoc":           {paths: [2]int{10, 10}, fan: [2]float64{1, 1}},
+		"TwitterMsgArchive": {paths: [2]int{40, 160}, fan: [2]float64{300, 2500}},
+		"SensorData":        {paths: [2]int{10, 70}, fan: [2]float64{3000, 4500}},
+	}
+	for _, c := range Collections() {
+		b, ok := bands[c.Name]
+		if !ok {
+			t.Errorf("no band for %s", c.Name)
+			continue
+		}
+		n := c.DefaultCount
+		if n > 50 {
+			n = 50
+		}
+		if c.Name == "NOBENCHDoc" {
+			n = 120 // must cover all 100 sparse clusters
+		}
+		docs := c.Docs(7, n)
+		g := dataguide.New()
+		for _, d := range docs {
+			g.Add(d)
+		}
+		if g.Len() < b.paths[0] || g.Len() > b.paths[1] {
+			t.Errorf("%s: distinct paths = %d, want in %v", c.Name, g.Len(), b.paths)
+		}
+		fan := fanOut(g, len(docs))
+		if fan < b.fan[0] || fan > b.fan[1] {
+			t.Errorf("%s: fan-out = %.1f, want in %v", c.Name, fan, b.fan)
+		}
+	}
+}
+
+// fanOut estimates the DMDV fan-out: occurrences of the most repeated
+// leaf per document.
+func fanOut(g *dataguide.Guide, docs int) float64 {
+	max := 0
+	for _, e := range g.LeafEntries() {
+		if e.Occurrences > max {
+			max = e.Occurrences
+		}
+	}
+	return float64(max) / float64(docs)
+}
+
+// TestSizeStatistics verifies Table 10's shape: for large repetitive
+// documents OSON is much smaller than compact JSON text; for small
+// documents the formats are comparable.
+func TestSizeStatistics(t *testing.T) {
+	// small docs: within 2x of each other
+	po := GenPO(1, 0).JSON()
+	jText := len(jsontext.Serialize(po))
+	jOson := len(oson.MustEncode(po))
+	jBson := len(bson.MustEncode(po))
+	if jOson > 2*jText || jBson > 2*jText {
+		t.Fatalf("small doc sizes out of band: text=%d bson=%d oson=%d", jText, jBson, jOson)
+	}
+	// large repetitive doc: OSON must be substantially smaller than text
+	old := SensorReadings
+	SensorReadings = 2000
+	defer func() { SensorReadings = old }()
+	sd := GenSensorData(1, 0)
+	sText := len(jsontext.Serialize(sd))
+	sOson := len(oson.MustEncode(sd))
+	if float64(sOson) > 0.8*float64(sText) {
+		t.Fatalf("sensor doc: oson=%d not much smaller than text=%d", sOson, sText)
+	}
+}
+
+func BenchmarkGenPO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenPO(1, i)
+	}
+}
+
+func BenchmarkGenNoBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenNoBench(1, i)
+	}
+}
