@@ -1,0 +1,33 @@
+# Development targets. `make check` is the full pre-commit gate:
+# build, vet, tests, and the race detector over the concurrent scan
+# paths.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet fuzz check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over every fuzz target. Go refuses -fuzz with more
+# than one match per package, so targets are enumerated explicitly.
+fuzz:
+	$(GO) test -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/oson
+	$(GO) test -fuzz=FuzzEncodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/oson
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/jsontext
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/jsonpath
+	$(GO) test -fuzz=FuzzParseStatement -fuzztime=$(FUZZTIME) ./internal/sqlengine
+
+check: build vet test race

@@ -17,8 +17,11 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
 
@@ -76,7 +79,15 @@ func runSQL() {
 		pending.WriteString(line)
 		stmt := pending.String()
 		pending.Reset()
-		res, err := eng.Exec(stmt)
+		// Ctrl-C aborts the running statement (cooperative
+		// cancellation through the execution context), not the shell.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		res, err := eng.ExecContext(ctx, stmt)
+		stop()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "line %d: interrupted\n", lineNo)
+			continue
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "line %d: %v\n", lineNo, err)
 			os.Exit(1)

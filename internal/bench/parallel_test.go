@@ -1,0 +1,201 @@
+package bench
+
+// Parallel-scan ablation: the correctness half proves every Fig3 and
+// Fig5 query returns identical results with the parallel partitioned
+// scan on and off (across all storage and in-memory modes), and the
+// benchmark half measures the speedup on a large NOBENCH collection.
+
+import (
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/jsondom"
+)
+
+// TestAblationParallelScanFig3Correctness runs the nine Table 13
+// queries in every storage mode with the parallel scan forced off and
+// forced on (degree 4, no size threshold) and requires cell-identical
+// results. The ordered merge must reproduce the serial row order
+// exactly, so comparison is positional.
+func TestAblationParallelScanFig3Correctness(t *testing.T) {
+	for _, mode := range AllModes {
+		env, err := SetupOLAP(mode, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Eng.Planner.ParallelDegree = 4
+		env.Eng.Planner.ParallelMinRows = 1
+		for qi := 0; qi < len(env.Queries); qi++ {
+			env.Eng.Planner.DisableParallelScan = true
+			serial, err := env.Eng.Exec(env.Queries[qi], env.Params[qi]...)
+			if err != nil {
+				t.Fatalf("%s Q%d serial: %v", mode, qi+1, err)
+			}
+			env.Eng.Planner.DisableParallelScan = false
+			par, err := env.Eng.Exec(env.Queries[qi], env.Params[qi]...)
+			if err != nil {
+				t.Fatalf("%s Q%d parallel: %v", mode, qi+1, err)
+			}
+			if len(par.Rows) != len(serial.Rows) {
+				t.Fatalf("%s Q%d: %d parallel rows vs %d serial", mode, qi+1, len(par.Rows), len(serial.Rows))
+			}
+			for i := range serial.Rows {
+				for j := range serial.Rows[i] {
+					if !jsondom.Equal(serial.Rows[i][j], par.Rows[i][j]) {
+						t.Fatalf("%s Q%d row %d col %d: %v vs %v",
+							mode, qi+1, i, j, serial.Rows[i][j], par.Rows[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAblationParallelScanFig5Correctness does the same for the eleven
+// NOBENCH queries across the text, OSON-IMC, and VC-IMC modes.
+func TestAblationParallelScanFig5Correctness(t *testing.T) {
+	modes := []struct {
+		name   string
+		enable func(*NoBenchEnv) error
+	}{
+		{"TEXT", func(*NoBenchEnv) error { return nil }},
+		{"OSON-IMC", (*NoBenchEnv).EnableOSONIMC},
+		{"VC-IMC", (*NoBenchEnv).EnableVCIMC},
+	}
+	for _, m := range modes {
+		env, err := SetupNoBench(600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.enable(env); err != nil {
+			t.Fatal(err)
+		}
+		env.Eng.Planner.ParallelDegree = 4
+		env.Eng.Planner.ParallelMinRows = 1
+		for qi := 0; qi < len(env.Queries); qi++ {
+			env.Eng.Planner.DisableParallelScan = true
+			serial, err := env.Eng.Exec(env.Queries[qi])
+			if err != nil {
+				t.Fatalf("%s Q%d serial: %v", m.name, qi+1, err)
+			}
+			env.Eng.Planner.DisableParallelScan = false
+			par, err := env.Eng.Exec(env.Queries[qi])
+			if err != nil {
+				t.Fatalf("%s Q%d parallel: %v", m.name, qi+1, err)
+			}
+			if len(par.Rows) != len(serial.Rows) {
+				t.Fatalf("%s Q%d: %d parallel rows vs %d serial", m.name, qi+1, len(par.Rows), len(serial.Rows))
+			}
+			for i := range serial.Rows {
+				for j := range serial.Rows[i] {
+					if !jsondom.Equal(serial.Rows[i][j], par.Rows[i][j]) {
+						t.Fatalf("%s Q%d row %d col %d differs", m.name, qi+1, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// parallelScanQuery is a full-collection aggregation over a JSON path:
+// per-row work is heavy enough (document parse + path navigation) that
+// partitioned workers pay off.
+const parallelScanQuery = `select count(*), avg(json_value(jdoc, '$.num' returning number)) ` +
+	`from nobench where json_value(jdoc, '$.num' returning number) >= 0`
+
+func benchmarkParallelScan(b *testing.B, disable bool) {
+	env, err := SetupNoBench(10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.Eng.Planner.DisableParallelScan = disable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Eng.Exec(parallelScanQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParallelScanOn(b *testing.B)  { benchmarkParallelScan(b, false) }
+func BenchmarkAblationParallelScanOff(b *testing.B) { benchmarkParallelScan(b, true) }
+
+// TestParallelScanSpeedup asserts the >= 2x acceptance criterion on
+// hosts with at least four schedulable CPUs; on smaller hosts (CI
+// containers often pin one core) the parallel plan cannot physically
+// beat the serial one, so the assertion is skipped and only
+// equivalence (above) is enforced.
+func TestParallelScanSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d < 4: parallel speedup not measurable", runtime.GOMAXPROCS(0))
+	}
+	env, err := SetupNoBench(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(disable bool) time.Duration {
+		env.Eng.Planner.DisableParallelScan = disable
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if _, err := env.Eng.Exec(parallelScanQuery); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(true)
+	par := measure(false)
+	t.Logf("serial=%s parallel=%s speedup=%.2fx", serial, par, float64(serial)/float64(par))
+	if float64(serial) < 2*float64(par) {
+		t.Fatalf("parallel scan speedup %.2fx < 2x (serial %s, parallel %s)",
+			float64(serial)/float64(par), serial, par)
+	}
+}
+
+// TestExplainAnalyzeFig3 drives EXPLAIN ANALYZE through a Table 13
+// query and checks that the rendered operator tree carries non-zero
+// per-operator row counts and timings.
+func TestExplainAnalyzeFig3(t *testing.T) {
+	env, err := SetupOLAP(ModeOSON, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q9 takes no bind parameters: scan the whole DMDV view
+	r, err := env.Eng.Exec(`explain analyze ` + env.Queries[8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("plan too small: %v", r.Rows)
+	}
+	statRe := regexp.MustCompile(`rows=(\d+) batches=(\d+) time=([^)]+)\)`)
+	sawRows, sawTime := false, false
+	plan := ""
+	for _, row := range r.Rows {
+		line := string(row[0].(jsondom.String))
+		plan += line + "\n"
+		m := statRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if rows, _ := strconv.Atoi(m[1]); rows > 0 {
+			sawRows = true
+		}
+		if m[3] != "0s" {
+			sawTime = true
+		}
+	}
+	if !sawRows || !sawTime {
+		t.Fatalf("EXPLAIN ANALYZE missing non-zero rows/timings:\n%s", plan)
+	}
+}

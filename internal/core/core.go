@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -54,6 +55,18 @@ func (db *DB) Exec(sql string, params ...jsondom.Value) (*sqlengine.Result, erro
 // Query is Exec for queries; it exists for call-site readability.
 func (db *DB) Query(sql string, params ...jsondom.Value) (*sqlengine.Result, error) {
 	return db.eng.Exec(sql, params...)
+}
+
+// ExecContext runs one SQL statement under the caller's context:
+// long-running scans and aggregations observe cancellation and
+// timeouts cooperatively.
+func (db *DB) ExecContext(ctx context.Context, sql string, params ...jsondom.Value) (*sqlengine.Result, error) {
+	return db.eng.ExecContext(ctx, sql, params...)
+}
+
+// QueryContext is ExecContext for queries.
+func (db *DB) QueryContext(ctx context.Context, sql string, params ...jsondom.Value) (*sqlengine.Result, error) {
+	return db.eng.QueryContext(ctx, sql, params...)
 }
 
 // Collection is a JSON document collection backed by a relational

@@ -241,6 +241,27 @@ func (s *Store) Substitute(rowID int, col string) (jsondom.Value, bool) {
 	return nil, false
 }
 
+// Partitions splits the populated row range [0, len(osonDocs)) into at
+// most k contiguous [lo, hi) ranges for parallel consumers, mirroring
+// store.Table.Partitions.
+func (s *Store) Partitions(k int) [][2]int {
+	s.mu.RLock()
+	n := len(s.osonDocs)
+	s.mu.RUnlock()
+	if k < 1 {
+		k = 1
+	}
+	var parts [][2]int
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if hi > lo {
+			parts = append(parts, [2]int{lo, hi})
+		}
+	}
+	return parts
+}
+
 // CompileFilter builds a vectorized predicate over a populated column
 // vector: op is one of = != < <= > >= between (between takes two
 // operands). The returned function tests one row id against the vector

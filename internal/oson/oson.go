@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/decnum"
 	"repro/internal/jsondom"
@@ -1087,9 +1088,18 @@ type FieldRef struct {
 	Name string
 	H    uint32
 
-	lastDoc *Doc
-	lastID  FieldID
-	lastOK  bool
+	// last holds the look-back state as one immutable record behind an
+	// atomic pointer, so a FieldRef shared between concurrent scans
+	// (parallel scan workers, virtual-column closures) stays data-race
+	// free without a lock on the hot path.
+	last atomic.Pointer[lookback]
+}
+
+// lookback is the immutable per-document resolution cache record.
+type lookback struct {
+	doc *Doc
+	id  FieldID
+	ok  bool
 }
 
 // NewFieldRef compiles a field reference.
@@ -1099,26 +1109,27 @@ func NewFieldRef(name string) *FieldRef {
 
 // Resolve returns the field id of the referenced name in d.
 func (r *FieldRef) Resolve(d *Doc) (FieldID, bool) {
-	if r.lastDoc == d {
-		return r.lastID, r.lastOK
+	lb := r.last.Load()
+	if lb != nil && lb.doc == d {
+		return lb.id, lb.ok
 	}
 	// look-back: check whether the previous document's id is valid here.
 	// Shared-dictionary documents have globally stable ids, so the
 	// look-back always hits once the name has been seen (§7).
-	if r.lastDoc != nil && r.lastOK {
+	if lb != nil && lb.ok {
 		if d.shared != nil {
-			if n, err := d.shared.Name(r.lastID); err == nil && n == r.Name {
-				r.lastDoc = d
-				return r.lastID, true
+			if n, err := d.shared.Name(lb.id); err == nil && n == r.Name {
+				r.last.Store(&lookback{doc: d, id: lb.id, ok: true})
+				return lb.id, true
 			}
-		} else if int(r.lastID) < d.count && d.entryHash(int(r.lastID)) == r.H {
-			if n, err := d.FieldName(r.lastID); err == nil && n == r.Name {
-				r.lastDoc = d
-				return r.lastID, true
+		} else if int(lb.id) < d.count && d.entryHash(int(lb.id)) == r.H {
+			if n, err := d.FieldName(lb.id); err == nil && n == r.Name {
+				r.last.Store(&lookback{doc: d, id: lb.id, ok: true})
+				return lb.id, true
 			}
 		}
 	}
 	id, ok := d.LookupID(r.H, r.Name)
-	r.lastDoc, r.lastID, r.lastOK = d, id, ok
+	r.last.Store(&lookback{doc: d, id: id, ok: ok})
 	return id, ok
 }

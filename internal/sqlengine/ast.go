@@ -81,6 +81,16 @@ func (*JoinRef) isFrom()      {}
 
 func (*SelectStmt) isStmt() {}
 
+// ExplainStmt is EXPLAIN [ANALYZE] <select>: it renders the operator
+// tree; with ANALYZE the query also runs and each line carries the
+// operator's row count, Next-call count, and cumulative wall time.
+type ExplainStmt struct {
+	Analyze bool
+	Query   *SelectStmt
+}
+
+func (*ExplainStmt) isStmt() {}
+
 // CreateTableStmt is CREATE TABLE.
 type CreateTableStmt struct {
 	Name    string

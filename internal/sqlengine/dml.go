@@ -6,6 +6,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -13,12 +14,12 @@ import (
 	"repro/internal/store"
 )
 
-func (e *Engine) runDelete(t *DeleteStmt, params []jsondom.Value) (*Result, error) {
+func (e *Engine) runDelete(ctx context.Context, t *DeleteStmt, params []jsondom.Value) (*Result, error) {
 	tab, ok := e.cat.Table(strings.ToLower(t.Table))
 	if !ok {
 		return nil, fmt.Errorf("sql: no such table %q", t.Table)
 	}
-	ids, err := e.matchRows(tab, t.Where, params)
+	ids, err := e.matchRows(ctx, tab, t.Where, params)
 	if err != nil {
 		return nil, err
 	}
@@ -29,7 +30,7 @@ func (e *Engine) runDelete(t *DeleteStmt, params []jsondom.Value) (*Result, erro
 	return affected(len(ids)), nil
 }
 
-func (e *Engine) runUpdate(t *UpdateStmt, params []jsondom.Value) (*Result, error) {
+func (e *Engine) runUpdate(ctx context.Context, t *UpdateStmt, params []jsondom.Value) (*Result, error) {
 	tab, ok := e.cat.Table(strings.ToLower(t.Table))
 	if !ok {
 		return nil, fmt.Errorf("sql: no such table %q", t.Table)
@@ -50,17 +51,24 @@ func (e *Engine) runUpdate(t *UpdateStmt, params []jsondom.Value) (*Result, erro
 		}
 		targets[i] = pos
 	}
-	ids, err := e.matchRows(tab, t.Where, params)
+	ids, err := e.matchRows(ctx, tab, t.Where, params)
 	if err != nil {
 		return nil, err
 	}
 	env := &planEnv{params: params, aggCols: map[*FuncCall]int{}, winCols: map[*WindowFunc]int{}}
 	sch := tableSchema(tab, "")
-	ctx := env.bindCtx(sch)
+	ectx := env.bindCtx(sch)
 	for _, set := range t.Sets {
-		bindCols(set.Expr, sch, ctx.colIdx)
+		bindCols(set.Expr, sch, ectx.colIdx)
 	}
+	ticks := 0
 	for _, rid := range ids {
+		ticks++
+		if ticks%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		old, ok := tab.Get(rid)
 		if !ok {
 			continue
@@ -69,11 +77,11 @@ func (e *Engine) runUpdate(t *UpdateStmt, params []jsondom.Value) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
-		ctx.row = full
+		ectx.row = full
 		newRow := make(store.Row, stored)
 		copy(newRow, old)
 		for i, set := range t.Sets {
-			v, err := evalExpr(ctx, set.Expr)
+			v, err := evalExpr(ectx, set.Expr)
 			if err != nil {
 				return nil, err
 			}
@@ -88,29 +96,50 @@ func (e *Engine) runUpdate(t *UpdateStmt, params []jsondom.Value) (*Result, erro
 }
 
 // matchRows evaluates the WHERE predicate over every visible row
-// (virtual columns included) and returns matching row ids.
-func (e *Engine) matchRows(tab *store.Table, where Expr, params []jsondom.Value) ([]int, error) {
+// (virtual columns included) and returns matching row ids. The scan
+// checks ctx cooperatively every cancelCheckInterval rows.
+func (e *Engine) matchRows(ctx context.Context, tab *store.Table, where Expr, params []jsondom.Value) ([]int, error) {
 	cols := tab.Columns()
 	var ids []int
+	var evalErr error
+	ticks := 0
+	tick := func() bool {
+		ticks++
+		if ticks%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				evalErr = err
+				return false
+			}
+		}
+		return true
+	}
 	if where == nil {
 		tab.Scan(func(rid int, _ store.Row) bool {
+			if !tick() {
+				return false
+			}
 			ids = append(ids, rid)
 			return true
 		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
 		return ids, nil
 	}
 	env := &planEnv{params: params, aggCols: map[*FuncCall]int{}, winCols: map[*WindowFunc]int{}}
 	sch := tableSchema(tab, "")
-	ctx := env.bindCtx(sch, where)
-	var evalErr error
+	ectx := env.bindCtx(sch, where)
 	tab.Scan(func(rid int, row store.Row) bool {
+		if !tick() {
+			return false
+		}
 		full, err := materializeRow(tab, cols, row)
 		if err != nil {
 			evalErr = err
 			return false
 		}
-		ctx.row = full
-		v, err := evalExpr(ctx, where)
+		ectx.row = full
+		v, err := evalExpr(ectx, where)
 		if err != nil {
 			evalErr = err
 			return false

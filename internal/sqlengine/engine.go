@@ -4,6 +4,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -49,6 +50,22 @@ type PlannerOptions struct {
 	// DisableVectorFilter turns off columnar predicate pushdown over
 	// in-memory vectors (§5.2.1).
 	DisableVectorFilter bool
+	// DisableParallelScan turns off parallel partitioned scans (serial
+	// tableScan + filter instead of parallelScanOp).
+	DisableParallelScan bool
+	// ParallelDegree is the worker count for parallel scans; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	ParallelDegree int
+	// ParallelUnordered lets parallel scans interleave worker output
+	// instead of merging partitions in row-id order.
+	ParallelUnordered bool
+	// ParallelMinRows is the minimum table size for a parallel scan;
+	// <= 0 means the built-in default (defaultParallelMinRows).
+	ParallelMinRows int
+	// MemoryBudget caps the bytes pipeline-breaking operators (sort,
+	// hash-join build, group-by, window, cross-join) may buffer per
+	// query; <= 0 disables the accountant.
+	MemoryBudget int64
 }
 
 type viewDef struct {
@@ -121,27 +138,52 @@ func (e *Engine) MustExec(sql string, params ...jsondom.Value) *Result {
 	return r
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement without a deadline
+// (context.Background()).
 func (e *Engine) Exec(sql string, params ...jsondom.Value) (*Result, error) {
+	return e.ExecContext(context.Background(), sql, params...)
+}
+
+// Query is Exec under its read-oriented name.
+func (e *Engine) Query(sql string, params ...jsondom.Value) (*Result, error) {
+	return e.ExecContext(context.Background(), sql, params...)
+}
+
+// QueryContext runs one statement under the caller's context: scans
+// and pipeline breakers observe cancellation/timeout cooperatively and
+// return ctx.Err() promptly.
+func (e *Engine) QueryContext(ctx context.Context, sql string, params ...jsondom.Value) (*Result, error) {
+	return e.ExecContext(ctx, sql, params...)
+}
+
+// ExecContext parses and executes one SQL statement under ctx.
+func (e *Engine) ExecContext(ctx context.Context, sql string, params ...jsondom.Value) (*Result, error) {
 	stmt, err := ParseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecStmt(stmt, params...)
+	return e.ExecStmtContext(ctx, stmt, params...)
 }
 
 // ExecStmt executes a pre-parsed statement (loaders reuse parsed
 // INSERTs to avoid paying the parser per row).
 func (e *Engine) ExecStmt(stmt Statement, params ...jsondom.Value) (*Result, error) {
+	return e.ExecStmtContext(context.Background(), stmt, params...)
+}
+
+// ExecStmtContext executes a pre-parsed statement under ctx.
+func (e *Engine) ExecStmtContext(ctx context.Context, stmt Statement, params ...jsondom.Value) (*Result, error) {
 	switch t := stmt.(type) {
 	case *SelectStmt:
-		return e.runSelect(t, params)
+		return e.runSelect(ctx, t, params)
+	case *ExplainStmt:
+		return e.runExplain(ctx, t, params)
 	case *CreateTableStmt:
 		return &Result{}, e.createTable(t)
 	case *CreateViewStmt:
 		return &Result{}, e.createView(t)
 	case *InsertStmt:
-		return e.runInsert(t, params)
+		return e.runInsert(ctx, t, params)
 	case *CreateSearchIndexStmt:
 		return &Result{}, e.createSearchIndex(t)
 	case *AlterTableAddVCStmt:
@@ -149,9 +191,9 @@ func (e *Engine) ExecStmt(stmt Statement, params ...jsondom.Value) (*Result, err
 	case *DropStmt:
 		return &Result{}, e.drop(t)
 	case *DeleteStmt:
-		return e.runDelete(t, params)
+		return e.runDelete(ctx, t, params)
 	case *UpdateStmt:
-		return e.runUpdate(t, params)
+		return e.runUpdate(ctx, t, params)
 	}
 	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
 }
@@ -213,7 +255,7 @@ func (e *Engine) createView(t *CreateViewStmt) error {
 	return nil
 }
 
-func (e *Engine) runInsert(t *InsertStmt, params []jsondom.Value) (*Result, error) {
+func (e *Engine) runInsert(ctx context.Context, t *InsertStmt, params []jsondom.Value) (*Result, error) {
 	tab, ok := e.cat.Table(strings.ToLower(t.Table))
 	if !ok {
 		return nil, fmt.Errorf("sql: no such table %q", t.Table)
@@ -242,7 +284,14 @@ func (e *Engine) runInsert(t *InsertStmt, params []jsondom.Value) (*Result, erro
 	}
 	env := &planEnv{params: params, aggCols: map[*FuncCall]int{}, winCols: map[*WindowFunc]int{}}
 	n := 0
+	ticks := 0
 	for _, exprRow := range t.Rows {
+		ticks++
+		if ticks%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if len(exprRow) != len(target) {
 			return nil, fmt.Errorf("sql: INSERT value count %d != column count %d", len(exprRow), len(target))
 		}
@@ -405,19 +454,20 @@ func exprKey(e Expr) string {
 // ---------------------------------------------------------------------------
 // SELECT planning
 
-func (e *Engine) runSelect(stmt *SelectStmt, params []jsondom.Value) (*Result, error) {
+func (e *Engine) runSelect(ctx context.Context, stmt *SelectStmt, params []jsondom.Value) (*Result, error) {
 	env := &planEnv{params: params, aggCols: map[*FuncCall]int{}, winCols: map[*WindowFunc]int{}}
 	src, names, err := e.planSelectPushed(stmt, env, nil)
 	if err != nil {
 		return nil, err
 	}
-	if err := src.Open(); err != nil {
+	ec := newExecCtx(ctx, e.Planner.MemoryBudget)
+	if err := src.Open(ec); err != nil {
 		return nil, err
 	}
 	defer src.Close() //nolint:errcheck
 	res := &Result{Columns: names}
 	for {
-		row, ok, err := src.Next()
+		row, ok, err := src.Next(ec)
 		if err != nil {
 			return nil, err
 		}
@@ -504,8 +554,12 @@ func (e *Engine) planSelectPushed(stmt *SelectStmt, env *planEnv, pushed []Expr)
 		return nil, nil, fmt.Errorf("sql: empty FROM clause")
 	}
 
-	// 5. WHERE (residual after pushdown)
-	if where != nil {
+	// 5. WHERE (residual after pushdown). A bare scan over a large
+	// enough table upgrades to a parallel partitioned scan that absorbs
+	// the residual filter into its workers.
+	if par := e.parallelizeScan(src, where, env); par != nil {
+		src = par
+	} else if where != nil {
 		src = &filterOp{in: src, pred: where, env: env}
 	}
 

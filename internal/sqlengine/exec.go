@@ -2,6 +2,12 @@
 // source API the paper cites for JSON_TABLE ([9], §5.1), used here for
 // every operator.
 //
+// Every operator receives the query's *ExecCtx in Open and Next: the
+// context carries cooperative cancellation (checked every
+// cancelCheckInterval rows in scans and pipeline-breaker build loops),
+// the per-operator stats sinks EXPLAIN ANALYZE renders, and the memory
+// accountant pipeline breakers charge for materialized rows.
+//
 // Aggregate and window function results flow through the pipeline as
 // synthetic columns appended by groupAggOp/windowOp; expression
 // evaluation resolves the originating AST nodes to those columns via
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/dataguide"
 	"repro/internal/jsondom"
@@ -22,10 +29,19 @@ import (
 )
 
 type rowSource interface {
-	Open() error
-	Next() ([]jsondom.Value, bool, error)
+	Open(*ExecCtx) error
+	Next(*ExecCtx) ([]jsondom.Value, bool, error)
 	Close() error
 	Schema() Schema
+}
+
+// opNode is implemented by every operator so EXPLAIN can walk the
+// plan tree and render per-operator stats without wrapper nodes (which
+// would break the planner's type assertions on concrete operators).
+type opNode interface {
+	opName() string
+	opChildren() []rowSource
+	opStat() *OpStats
 }
 
 // planEnv is shared by all operators of one plan: bind parameters plus
@@ -101,11 +117,22 @@ type tableScan struct {
 	// index-driven scan from JSON search index postings).
 	rowIDs []int
 	idPos  int
+	// lo/hi restrict the scan to the row-id range [lo, hi) — the
+	// per-worker partition of a parallel scan. hi == 0 means the full
+	// table.
+	lo, hi int
 
 	samplePct float64
 	rng       *rand.Rand
 
+	// rows/tombs are the Open-time snapshot: one lock acquisition for
+	// the whole scan instead of a Table.Get RLock per row.
+	rows  []store.Row
+	tombs []bool
+
 	pos, maxID int
+	ticks      int
+	st         *OpStats
 }
 
 func newTableScan(tab *store.Table, alias string, needed map[string]bool, sub InMemorySource, samplePct float64) *tableScan {
@@ -118,10 +145,27 @@ func newTableScan(tab *store.Table, alias string, needed map[string]bool, sub In
 	return ts
 }
 
-func (s *tableScan) Open() error {
-	s.pos = 0
+// cloneForRange derives a worker scan restricted to [lo, hi). The
+// immutable plan state (schema, columns, IMC source, vector filters)
+// is shared; all iteration state is fresh.
+func (s *tableScan) cloneForRange(lo, hi int) *tableScan {
+	return &tableScan{
+		tab: s.tab, alias: s.alias, sch: s.sch, needVC: s.needVC,
+		cols: s.cols, sub: s.sub, vecFilters: s.vecFilters,
+		lo: lo, hi: hi,
+	}
+}
+
+func (s *tableScan) Open(ec *ExecCtx) error {
+	s.st = ec.statFor()
+	s.rows, s.tombs = s.tab.Snapshot()
+	s.pos = s.lo
 	s.idPos = 0
-	s.maxID = s.tab.MaxRowID()
+	s.ticks = 0
+	s.maxID = len(s.rows)
+	if s.hi > 0 && s.hi < s.maxID {
+		s.maxID = s.hi
+	}
 	if s.samplePct > 0 {
 		// deterministic sampling for reproducible experiments
 		s.rng = rand.New(rand.NewSource(42))
@@ -131,8 +175,19 @@ func (s *tableScan) Open() error {
 
 func (s *tableScan) Schema() Schema { return s.sch }
 
-func (s *tableScan) Next() ([]jsondom.Value, bool, error) {
+func (s *tableScan) deleted(rowID int) bool {
+	return rowID < len(s.tombs) && s.tombs[rowID]
+}
+
+func (s *tableScan) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if s.st != nil {
+		t0 := time.Now()
+		defer func() { s.st.observe(time.Since(t0), ok) }()
+	}
 	for {
+		if err := ec.tickErr(&s.ticks); err != nil {
+			return nil, false, err
+		}
 		var rowID int
 		var row store.Row
 		if s.rowIDs != nil {
@@ -141,22 +196,20 @@ func (s *tableScan) Next() ([]jsondom.Value, bool, error) {
 			}
 			rowID = s.rowIDs[s.idPos]
 			s.idPos++
-			var ok bool
-			row, ok = s.tab.Get(rowID)
-			if !ok {
+			if rowID < 0 || rowID >= len(s.rows) || s.deleted(rowID) {
 				continue
 			}
+			row = s.rows[rowID]
 		} else {
 			if s.pos >= s.maxID {
 				return nil, false, nil
 			}
 			rowID = s.pos
 			s.pos++
-			var ok bool
-			row, ok = s.tab.Get(rowID)
-			if !ok {
-				continue // deleted row
+			if s.deleted(rowID) {
+				continue
 			}
+			row = s.rows[rowID]
 		}
 		if s.rng != nil && s.rng.Float64()*100 >= s.samplePct {
 			continue
@@ -201,6 +254,22 @@ func (s *tableScan) passVecFilters(rowID int) bool {
 
 func (s *tableScan) Close() error { return nil }
 
+func (s *tableScan) opName() string {
+	name := fmt.Sprintf("TableScan(%s", s.tab.Name)
+	if s.rowIDs != nil {
+		name += " via-index"
+	}
+	if len(s.vecFilters) > 0 {
+		name += fmt.Sprintf(" vec-filters=%d", len(s.vecFilters))
+	}
+	if s.samplePct > 0 {
+		name += fmt.Sprintf(" sample=%.0f%%", s.samplePct)
+	}
+	return name + ")"
+}
+func (s *tableScan) opChildren() []rowSource { return nil }
+func (s *tableScan) opStat() *OpStats        { return s.st }
+
 // ---------------------------------------------------------------------------
 // filter / project / limit
 
@@ -209,18 +278,24 @@ type filterOp struct {
 	pred Expr
 	env  *planEnv
 	ctx  *evalCtx
+	st   *OpStats
 }
 
-func (f *filterOp) Open() error {
+func (f *filterOp) Open(ec *ExecCtx) error {
+	f.st = ec.statFor()
 	f.ctx = f.env.bindCtx(f.in.Schema(), f.pred)
-	return f.in.Open()
+	return f.in.Open(ec)
 }
 func (f *filterOp) Close() error   { return f.in.Close() }
 func (f *filterOp) Schema() Schema { return f.in.Schema() }
 
-func (f *filterOp) Next() ([]jsondom.Value, bool, error) {
+func (f *filterOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if f.st != nil {
+		t0 := time.Now()
+		defer func() { f.st.observe(time.Since(t0), ok) }()
+	}
 	for {
-		row, ok, err := f.in.Next()
+		row, ok, err := f.in.Next(ec)
 		if err != nil || !ok {
 			return nil, false, err
 		}
@@ -235,28 +310,38 @@ func (f *filterOp) Next() ([]jsondom.Value, bool, error) {
 	}
 }
 
+func (f *filterOp) opName() string          { return "Filter" }
+func (f *filterOp) opChildren() []rowSource { return []rowSource{f.in} }
+func (f *filterOp) opStat() *OpStats        { return f.st }
+
 type projectOp struct {
 	in    rowSource
 	exprs []Expr
 	sch   Schema
 	env   *planEnv
 	ctx   *evalCtx
+	st    *OpStats
 }
 
-func (p *projectOp) Open() error {
+func (p *projectOp) Open(ec *ExecCtx) error {
+	p.st = ec.statFor()
 	p.ctx = p.env.bindCtx(p.in.Schema(), p.exprs...)
-	return p.in.Open()
+	return p.in.Open(ec)
 }
 func (p *projectOp) Close() error   { return p.in.Close() }
 func (p *projectOp) Schema() Schema { return p.sch }
 
-func (p *projectOp) Next() ([]jsondom.Value, bool, error) {
-	row, ok, err := p.in.Next()
+func (p *projectOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if p.st != nil {
+		t0 := time.Now()
+		defer func() { p.st.observe(time.Since(t0), ok) }()
+	}
+	row, ok, err := p.in.Next(ec)
 	if err != nil || !ok {
 		return nil, false, err
 	}
 	p.ctx.row = row
-	out := make([]jsondom.Value, len(p.exprs))
+	out = make([]jsondom.Value, len(p.exprs))
 	for i, e := range p.exprs {
 		v, err := evalExpr(p.ctx, e)
 		if err != nil {
@@ -267,27 +352,65 @@ func (p *projectOp) Next() ([]jsondom.Value, bool, error) {
 	return out, true, nil
 }
 
+func (p *projectOp) opName() string          { return "Project" }
+func (p *projectOp) opChildren() []rowSource { return []rowSource{p.in} }
+func (p *projectOp) opStat() *OpStats        { return p.st }
+
 type limitOp struct {
 	in    rowSource
 	limit int
 	n     int
+	// inClosed: once the limit is reached the upstream is closed
+	// eagerly so scans (and parallel scan workers) stop doing work the
+	// query will never observe.
+	inClosed bool
+	st       *OpStats
 }
 
-func (l *limitOp) Open() error    { l.n = 0; return l.in.Open() }
-func (l *limitOp) Close() error   { return l.in.Close() }
+func (l *limitOp) Open(ec *ExecCtx) error {
+	l.st = ec.statFor()
+	l.n = 0
+	l.inClosed = false
+	return l.in.Open(ec)
+}
+
+func (l *limitOp) Close() error {
+	if l.inClosed {
+		return nil
+	}
+	l.inClosed = true
+	return l.in.Close()
+}
+
 func (l *limitOp) Schema() Schema { return l.in.Schema() }
 
-func (l *limitOp) Next() ([]jsondom.Value, bool, error) {
+func (l *limitOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if l.st != nil {
+		t0 := time.Now()
+		defer func() { l.st.observe(time.Since(t0), ok) }()
+	}
 	if l.n >= l.limit {
+		// early termination: release upstream resources now rather
+		// than when the whole plan is closed
+		if !l.inClosed {
+			l.inClosed = true
+			if err := l.in.Close(); err != nil {
+				return nil, false, err
+			}
+		}
 		return nil, false, nil
 	}
-	row, ok, err := l.in.Next()
+	row, ok, err := l.in.Next(ec)
 	if err != nil || !ok {
 		return nil, false, err
 	}
 	l.n++
 	return row, true, nil
 }
+
+func (l *limitOp) opName() string          { return fmt.Sprintf("Limit(%d)", l.limit) }
+func (l *limitOp) opChildren() []rowSource { return []rowSource{l.in} }
+func (l *limitOp) opStat() *OpStats        { return l.st }
 
 // ---------------------------------------------------------------------------
 // JSON_TABLE lateral apply
@@ -303,6 +426,7 @@ type jsonTableOp struct {
 	pi      int
 	done    bool
 	argCtx  *evalCtx
+	st      *OpStats
 	// preFilters are implied JSON_EXISTS path predicates; documents
 	// failing any of them are skipped before row expansion (§6.3).
 	preFilters []*pathengine.Compiled
@@ -319,7 +443,8 @@ func newJSONTableOp(left rowSource, ref *JSONTableRef, env *planEnv) *jsonTableO
 	return op
 }
 
-func (j *jsonTableOp) Open() error {
+func (j *jsonTableOp) Open(ec *ExecCtx) error {
+	j.st = ec.statFor()
 	j.pending, j.pi, j.done = nil, 0, false
 	j.leftRow = nil
 	var sch Schema
@@ -328,7 +453,7 @@ func (j *jsonTableOp) Open() error {
 	}
 	j.argCtx = j.env.bindCtx(sch, j.ref.Arg)
 	if j.left != nil {
-		return j.left.Open()
+		return j.left.Open(ec)
 	}
 	return nil
 }
@@ -342,7 +467,11 @@ func (j *jsonTableOp) Close() error {
 
 func (j *jsonTableOp) Schema() Schema { return j.sch }
 
-func (j *jsonTableOp) Next() ([]jsondom.Value, bool, error) {
+func (j *jsonTableOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if j.st != nil {
+		t0 := time.Now()
+		defer func() { j.st.observe(time.Since(t0), ok) }()
+	}
 	for {
 		if j.pi < len(j.pending) {
 			jt := j.pending[j.pi]
@@ -360,14 +489,14 @@ func (j *jsonTableOp) Next() ([]jsondom.Value, bool, error) {
 		}
 		if j.left == nil {
 			j.done = true
-			rows, err := j.expand(nil)
+			rows, err := j.expand(ec, nil)
 			if err != nil {
 				return nil, false, err
 			}
 			j.pending, j.pi = rows, 0
 			continue
 		}
-		row, ok, err := j.left.Next()
+		row, ok, err := j.left.Next(ec)
 		if err != nil {
 			return nil, false, err
 		}
@@ -376,7 +505,7 @@ func (j *jsonTableOp) Next() ([]jsondom.Value, bool, error) {
 			continue
 		}
 		j.leftRow = row
-		rows, err := j.expand(row)
+		rows, err := j.expand(ec, row)
 		if err != nil {
 			return nil, false, err
 		}
@@ -384,7 +513,7 @@ func (j *jsonTableOp) Next() ([]jsondom.Value, bool, error) {
 	}
 }
 
-func (j *jsonTableOp) expand(leftRow []jsondom.Value) ([][]jsondom.Value, error) {
+func (j *jsonTableOp) expand(ec *ExecCtx, leftRow []jsondom.Value) ([][]jsondom.Value, error) {
 	j.argCtx.row = leftRow
 	v, err := evalExpr(j.argCtx, j.ref.Arg)
 	if err != nil {
@@ -406,8 +535,23 @@ func (j *jsonTableOp) expand(leftRow []jsondom.Value) ([][]jsondom.Value, error)
 			return nil, nil // the residual WHERE would reject every row
 		}
 	}
-	return j.ref.Def.Expand(doc)
+	return j.ref.Def.ExpandContext(ec.Context(), doc)
 }
+
+func (j *jsonTableOp) opName() string {
+	name := fmt.Sprintf("JSONTable(%s", j.ref.Alias)
+	if len(j.preFilters) > 0 {
+		name += fmt.Sprintf(" prefilters=%d", len(j.preFilters))
+	}
+	return name + ")"
+}
+func (j *jsonTableOp) opChildren() []rowSource {
+	if j.left == nil {
+		return nil
+	}
+	return []rowSource{j.left}
+}
+func (j *jsonTableOp) opStat() *OpStats { return j.st }
 
 // ---------------------------------------------------------------------------
 // joins
@@ -422,6 +566,10 @@ type crossJoin struct {
 	leftRow   []jsondom.Value
 	ri        int
 	init      bool
+	ticks     int
+	memUsed   int64
+	ec        *ExecCtx
+	st        *OpStats
 }
 
 func newCrossJoin(l, r rowSource) *crossJoin {
@@ -429,15 +577,19 @@ func newCrossJoin(l, r rowSource) *crossJoin {
 		sch: append(append(Schema{}, l.Schema()...), r.Schema()...)}
 }
 
-func (c *crossJoin) Open() error {
+func (c *crossJoin) Open(ec *ExecCtx) error {
+	c.st = ec.statFor()
+	c.ec = ec
 	c.init, c.ri, c.leftRow, c.rightRows = false, 0, nil, nil
-	if err := c.left.Open(); err != nil {
+	if err := c.left.Open(ec); err != nil {
 		return err
 	}
-	return c.right.Open()
+	return c.right.Open(ec)
 }
 
 func (c *crossJoin) Close() error {
+	c.ec.release(c.memUsed)
+	c.memUsed = 0
 	if err := c.left.Close(); err != nil {
 		return err
 	}
@@ -446,23 +598,35 @@ func (c *crossJoin) Close() error {
 
 func (c *crossJoin) Schema() Schema { return c.sch }
 
-func (c *crossJoin) Next() ([]jsondom.Value, bool, error) {
+func (c *crossJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if c.st != nil {
+		t0 := time.Now()
+		defer func() { c.st.observe(time.Since(t0), ok) }()
+	}
 	if !c.init {
 		c.init = true
 		for {
-			row, ok, err := c.right.Next()
+			row, ok, err := c.right.Next(ec)
 			if err != nil {
 				return nil, false, err
 			}
 			if !ok {
 				break
 			}
+			n := rowBytes(row)
+			if err := ec.grow(n); err != nil {
+				return nil, false, err
+			}
+			c.memUsed += n
 			c.rightRows = append(c.rightRows, row)
 		}
 	}
 	for {
+		if err := ec.tickErr(&c.ticks); err != nil {
+			return nil, false, err
+		}
 		if c.leftRow == nil {
-			row, ok, err := c.left.Next()
+			row, ok, err := c.left.Next(ec)
 			if err != nil || !ok {
 				return nil, false, err
 			}
@@ -482,6 +646,10 @@ func (c *crossJoin) Next() ([]jsondom.Value, bool, error) {
 	}
 }
 
+func (c *crossJoin) opName() string          { return "CrossJoin" }
+func (c *crossJoin) opChildren() []rowSource { return []rowSource{c.left, c.right} }
+func (c *crossJoin) opStat() *OpStats        { return c.st }
+
 // hashJoin is an equi-join: build on the right input, probe with the
 // left (the plan the REL storage of §6.3 uses to join master and
 // detail).
@@ -498,6 +666,10 @@ type hashJoin struct {
 	matches [][]jsondom.Value
 	mi      int
 	init    bool
+	ticks   int
+	memUsed int64
+	ec      *ExecCtx
+	st      *OpStats
 
 	leftCtx, rightCtx, residCtx *evalCtx
 }
@@ -510,20 +682,24 @@ func newHashJoin(l, r rowSource, lk, rk []Expr, residual Expr, leftOuter bool, e
 	}
 }
 
-func (h *hashJoin) Open() error {
+func (h *hashJoin) Open(ec *ExecCtx) error {
+	h.st = ec.statFor()
+	h.ec = ec
 	h.init, h.table, h.leftRow, h.matches, h.mi = false, nil, nil, nil, 0
 	h.leftCtx = h.env.bindCtx(h.left.Schema(), h.leftKeys...)
 	h.rightCtx = h.env.bindCtx(h.right.Schema(), h.rightKeys...)
 	if h.residual != nil {
 		h.residCtx = h.env.bindCtx(h.sch, h.residual)
 	}
-	if err := h.left.Open(); err != nil {
+	if err := h.left.Open(ec); err != nil {
 		return err
 	}
-	return h.right.Open()
+	return h.right.Open(ec)
 }
 
 func (h *hashJoin) Close() error {
+	h.ec.release(h.memUsed)
+	h.memUsed = 0
 	if err := h.left.Close(); err != nil {
 		return err
 	}
@@ -548,12 +724,19 @@ func (h *hashJoin) keyOf(ctx *evalCtx, row []jsondom.Value, keys []Expr) (string
 	return k, nil
 }
 
-func (h *hashJoin) Next() ([]jsondom.Value, bool, error) {
+func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if h.st != nil {
+		t0 := time.Now()
+		defer func() { h.st.observe(time.Since(t0), ok) }()
+	}
 	if !h.init {
 		h.init = true
 		h.table = make(map[string][][]jsondom.Value)
 		for {
-			row, ok, err := h.right.Next()
+			if err := ec.tickErr(&h.ticks); err != nil {
+				return nil, false, err
+			}
+			row, ok, err := h.right.Next(ec)
 			if err != nil {
 				return nil, false, err
 			}
@@ -567,10 +750,18 @@ func (h *hashJoin) Next() ([]jsondom.Value, bool, error) {
 			if k == "" {
 				continue
 			}
+			n := rowBytes(row) + int64(len(k))
+			if err := ec.grow(n); err != nil {
+				return nil, false, err
+			}
+			h.memUsed += n
 			h.table[k] = append(h.table[k], row)
 		}
 	}
 	for {
+		if err := ec.tickErr(&h.ticks); err != nil {
+			return nil, false, err
+		}
 		if h.mi < len(h.matches) {
 			r := h.matches[h.mi]
 			h.mi++
@@ -589,7 +780,7 @@ func (h *hashJoin) Next() ([]jsondom.Value, bool, error) {
 			}
 			return out, true, nil
 		}
-		row, ok, err := h.left.Next()
+		row, ok, err := h.left.Next(ec)
 		if err != nil || !ok {
 			return nil, false, err
 		}
@@ -614,6 +805,15 @@ func (h *hashJoin) Next() ([]jsondom.Value, bool, error) {
 	}
 }
 
+func (h *hashJoin) opName() string {
+	if h.leftOuter {
+		return "HashJoin(left-outer)"
+	}
+	return "HashJoin"
+}
+func (h *hashJoin) opChildren() []rowSource { return []rowSource{h.left, h.right} }
+func (h *hashJoin) opStat() *OpStats        { return h.st }
+
 // ---------------------------------------------------------------------------
 // grouping and aggregation
 
@@ -630,9 +830,13 @@ type groupAggOp struct {
 	implicitGroup bool
 	sch           Schema
 
-	groups [][]jsondom.Value
-	gi     int
-	opened bool
+	groups  [][]jsondom.Value
+	gi      int
+	opened  bool
+	ticks   int
+	memUsed int64
+	ec      *ExecCtx
+	st      *OpStats
 }
 
 func newGroupAggOp(in rowSource, groupBy []Expr, aggs []*FuncCall, implicit bool, env *planEnv) *groupAggOp {
@@ -645,12 +849,18 @@ func newGroupAggOp(in rowSource, groupBy []Expr, aggs []*FuncCall, implicit bool
 	return g
 }
 
-func (g *groupAggOp) Open() error {
+func (g *groupAggOp) Open(ec *ExecCtx) error {
+	g.st = ec.statFor()
+	g.ec = ec
 	g.groups, g.gi, g.opened = nil, 0, false
-	return g.in.Open()
+	return g.in.Open(ec)
 }
 
-func (g *groupAggOp) Close() error   { return g.in.Close() }
+func (g *groupAggOp) Close() error {
+	g.ec.release(g.memUsed)
+	g.memUsed = 0
+	return g.in.Close()
+}
 func (g *groupAggOp) Schema() Schema { return g.sch }
 
 type groupState struct {
@@ -663,7 +873,7 @@ type aggState interface {
 	result() jsondom.Value
 }
 
-func (g *groupAggOp) build() error {
+func (g *groupAggOp) build(ec *ExecCtx) error {
 	index := make(map[string]*groupState)
 	var order []string
 	inSch := g.in.Schema()
@@ -673,7 +883,10 @@ func (g *groupAggOp) build() error {
 	}
 	ctx := g.env.bindCtx(inSch, bindExprs...)
 	for {
-		row, ok, err := g.in.Next()
+		if err := ec.tickErr(&g.ticks); err != nil {
+			return err
+		}
+		row, ok, err := g.in.Next(ec)
 		if err != nil {
 			return err
 		}
@@ -694,6 +907,13 @@ func (g *groupAggOp) build() error {
 			gs = &groupState{repr: row, states: g.newStates()}
 			index[key] = gs
 			order = append(order, key)
+			// only the per-group representative row is retained; the
+			// aggregate states are O(1) per group
+			n := rowBytes(row) + int64(len(key))
+			if err := ec.grow(n); err != nil {
+				return err
+			}
+			g.memUsed += n
 		}
 		for i, agg := range g.aggs {
 			var arg jsondom.Value = null
@@ -748,10 +968,14 @@ func (g *groupAggOp) newStates() []aggState {
 	return states
 }
 
-func (g *groupAggOp) Next() ([]jsondom.Value, bool, error) {
+func (g *groupAggOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if g.st != nil {
+		t0 := time.Now()
+		defer func() { g.st.observe(time.Since(t0), ok) }()
+	}
 	if !g.opened {
 		g.opened = true
-		if err := g.build(); err != nil {
+		if err := g.build(ec); err != nil {
 			return nil, false, err
 		}
 	}
@@ -762,6 +986,12 @@ func (g *groupAggOp) Next() ([]jsondom.Value, bool, error) {
 	g.gi++
 	return row, true, nil
 }
+
+func (g *groupAggOp) opName() string {
+	return fmt.Sprintf("GroupAgg(keys=%d aggs=%d)", len(g.groupBy), len(g.aggs))
+}
+func (g *groupAggOp) opChildren() []rowSource { return []rowSource{g.in} }
+func (g *groupAggOp) opStat() *OpStats        { return g.st }
 
 type countState struct {
 	star bool
@@ -890,9 +1120,13 @@ type windowOp struct {
 	env   *planEnv
 	sch   Schema
 
-	rows   [][]jsondom.Value
-	pos    int
-	opened bool
+	rows    [][]jsondom.Value
+	pos     int
+	opened  bool
+	ticks   int
+	memUsed int64
+	ec      *ExecCtx
+	st      *OpStats
 }
 
 func newWindowOp(in rowSource, funcs []*WindowFunc, env *planEnv) *windowOp {
@@ -905,25 +1139,39 @@ func newWindowOp(in rowSource, funcs []*WindowFunc, env *planEnv) *windowOp {
 	return w
 }
 
-func (w *windowOp) Open() error {
+func (w *windowOp) Open(ec *ExecCtx) error {
+	w.st = ec.statFor()
+	w.ec = ec
 	w.rows, w.pos, w.opened = nil, 0, false
-	return w.in.Open()
+	return w.in.Open(ec)
 }
 
-func (w *windowOp) Close() error   { return w.in.Close() }
+func (w *windowOp) Close() error {
+	w.ec.release(w.memUsed)
+	w.memUsed = 0
+	return w.in.Close()
+}
 func (w *windowOp) Schema() Schema { return w.sch }
 
-func (w *windowOp) build() error {
+func (w *windowOp) build(ec *ExecCtx) error {
 	inSch := w.in.Schema()
 	var base [][]jsondom.Value
 	for {
-		row, ok, err := w.in.Next()
+		if err := ec.tickErr(&w.ticks); err != nil {
+			return err
+		}
+		row, ok, err := w.in.Next(ec)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
+		n := rowBytes(row)
+		if err := ec.grow(n); err != nil {
+			return err
+		}
+		w.memUsed += n
 		base = append(base, row)
 	}
 	ext := make([][]jsondom.Value, len(base))
@@ -983,10 +1231,14 @@ func (w *windowOp) build() error {
 	return nil
 }
 
-func (w *windowOp) Next() ([]jsondom.Value, bool, error) {
+func (w *windowOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if w.st != nil {
+		t0 := time.Now()
+		defer func() { w.st.observe(time.Since(t0), ok) }()
+	}
 	if !w.opened {
 		w.opened = true
-		if err := w.build(); err != nil {
+		if err := w.build(ec); err != nil {
 			return nil, false, err
 		}
 	}
@@ -997,6 +1249,10 @@ func (w *windowOp) Next() ([]jsondom.Value, bool, error) {
 	w.pos++
 	return row, true, nil
 }
+
+func (w *windowOp) opName() string          { return fmt.Sprintf("Window(funcs=%d)", len(w.funcs)) }
+func (w *windowOp) opChildren() []rowSource { return []rowSource{w.in} }
+func (w *windowOp) opStat() *OpStats        { return w.st }
 
 // ---------------------------------------------------------------------------
 // sorting
@@ -1012,28 +1268,66 @@ type sortOp struct {
 	rows   [][]jsondom.Value
 	pos    int
 	opened bool
+	// inClosed: the input is closed as soon as materialization is
+	// complete — it has no more rows to give, and closing it early
+	// stops any parallel scan workers still queued behind it.
+	inClosed bool
+	ticks    int
+	memUsed  int64
+	ec       *ExecCtx
+	st       *OpStats
 }
 
-func (s *sortOp) Open() error {
-	s.rows, s.pos, s.opened = nil, 0, false
-	return s.in.Open()
+func (s *sortOp) Open(ec *ExecCtx) error {
+	s.st = ec.statFor()
+	s.ec = ec
+	s.rows, s.pos, s.opened, s.inClosed = nil, 0, false, false
+	return s.in.Open(ec)
 }
 
-func (s *sortOp) Close() error   { return s.in.Close() }
+func (s *sortOp) Close() error {
+	s.ec.release(s.memUsed)
+	s.memUsed = 0
+	if s.inClosed {
+		return nil
+	}
+	s.inClosed = true
+	return s.in.Close()
+}
+
 func (s *sortOp) Schema() Schema { return s.in.Schema() }
 
-func (s *sortOp) Next() ([]jsondom.Value, bool, error) {
+func (s *sortOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if s.st != nil {
+		t0 := time.Now()
+		defer func() { s.st.observe(time.Since(t0), ok) }()
+	}
 	if !s.opened {
 		s.opened = true
 		for {
-			row, ok, err := s.in.Next()
+			if err := ec.tickErr(&s.ticks); err != nil {
+				return nil, false, err
+			}
+			row, ok, err := s.in.Next(ec)
 			if err != nil {
 				return nil, false, err
 			}
 			if !ok {
 				break
 			}
+			n := rowBytes(row)
+			if err := ec.grow(n); err != nil {
+				return nil, false, err
+			}
+			s.memUsed += n
 			s.rows = append(s.rows, row)
+		}
+		// fully materialized: release the upstream immediately
+		if !s.inClosed {
+			s.inClosed = true
+			if err := s.in.Close(); err != nil {
+				return nil, false, err
+			}
 		}
 		inSch := s.in.Schema()
 		var itemExprs []Expr
@@ -1082,6 +1376,10 @@ func (s *sortOp) Next() ([]jsondom.Value, bool, error) {
 	s.pos++
 	return row, true, nil
 }
+
+func (s *sortOp) opName() string          { return fmt.Sprintf("Sort(keys=%d)", len(s.items)) }
+func (s *sortOp) opChildren() []rowSource { return []rowSource{s.in} }
+func (s *sortOp) opStat() *OpStats        { return s.st }
 
 // sortedIndexes sorts row indexes by ORDER BY items evaluated against
 // the rows; used by window functions.
@@ -1169,12 +1467,14 @@ func keyRender(v jsondom.Value) string {
 // aliasWrap renames the table qualifier of every column, exposing a
 // subquery or view under its alias.
 type aliasWrap struct {
-	in  rowSource
-	sch Schema
+	in    rowSource
+	alias string
+	sch   Schema
+	st    *OpStats
 }
 
 func newAliasWrap(in rowSource, alias string, names []string) *aliasWrap {
-	w := &aliasWrap{in: in}
+	w := &aliasWrap{in: in, alias: alias}
 	inSch := in.Schema()
 	for i := range inSch {
 		name := inSch[i].Name
@@ -1186,9 +1486,20 @@ func newAliasWrap(in rowSource, alias string, names []string) *aliasWrap {
 	return w
 }
 
-func (w *aliasWrap) Open() error    { return w.in.Open() }
+func (w *aliasWrap) Open(ec *ExecCtx) error {
+	w.st = ec.statFor()
+	return w.in.Open(ec)
+}
 func (w *aliasWrap) Close() error   { return w.in.Close() }
 func (w *aliasWrap) Schema() Schema { return w.sch }
-func (w *aliasWrap) Next() ([]jsondom.Value, bool, error) {
-	return w.in.Next()
+func (w *aliasWrap) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if w.st != nil {
+		t0 := time.Now()
+		defer func() { w.st.observe(time.Since(t0), ok) }()
+	}
+	return w.in.Next(ec)
 }
+
+func (w *aliasWrap) opName() string          { return fmt.Sprintf("Alias(%s)", w.alias) }
+func (w *aliasWrap) opChildren() []rowSource { return []rowSource{w.in} }
+func (w *aliasWrap) opStat() *OpStats        { return w.st }

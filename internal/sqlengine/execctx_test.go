@@ -1,0 +1,337 @@
+// Tests for the execution-context plumbing: cooperative
+// cancellation/timeout, goroutine hygiene of parallel scans, the
+// memory accountant, early termination, and EXPLAIN [ANALYZE].
+
+package sqlengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jsondom"
+	"repro/internal/store"
+)
+
+// newNumEngine builds an engine with a single-column numeric table of
+// n rows via the bulk-load fast path.
+func newNumEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	e := New()
+	mustExec(t, e, `create table nums (n number)`)
+	for i := 0; i < n; i++ {
+		if err := e.InsertRow("nums", store.Row{jsondom.NumberFromInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+func TestQueryContextCancelMidFlight(t *testing.T) {
+	e := newNumEngine(t, 3000)
+	// 3000x3000 cross join: far too much work to finish before the
+	// cancellation fires.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	var canceledAt time.Time
+	go func() {
+		_, err := e.QueryContext(ctx, `select count(*) from nums a, nums b where a.n + b.n = -1`)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	canceledAt = time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if d := time.Since(canceledAt); d > 100*time.Millisecond {
+			t.Fatalf("cancellation took %s (> 100ms)", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query did not observe cancellation")
+	}
+	// the engine stays consistent: the same catalog answers fresh
+	// queries normally after the aborted one
+	r := mustExec(t, e, `select count(*) from nums`)
+	if got := r.Rows[0][0].(jsondom.Number); got != "3000" {
+		t.Fatalf("post-cancel count = %s", got)
+	}
+}
+
+func TestQueryContextTimeout(t *testing.T) {
+	e := newNumEngine(t, 3000)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	_, err := e.QueryContext(ctx, `select count(*) from nums a, nums b where a.n * b.n = -1`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestDMLContextCancel(t *testing.T) {
+	e := newNumEngine(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecContext(ctx, `delete from nums where n >= 0`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("delete: want context.Canceled, got %v", err)
+	}
+	if _, err := e.ExecContext(ctx, `update nums set n = n + 1 where n >= 0`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("update: want context.Canceled, got %v", err)
+	}
+	// the aborted DML must not have touched any rows
+	r := mustExec(t, e, `select count(*) from nums`)
+	if got := r.Rows[0][0].(jsondom.Number); got != "2000" {
+		t.Fatalf("post-cancel count = %s", got)
+	}
+}
+
+func TestParallelScanEquivalence(t *testing.T) {
+	e := newNumEngine(t, 5000)
+	e.Planner.ParallelDegree = 4
+	e.Planner.ParallelMinRows = 1
+	q := `select n, n * 2 from nums where n > 100 and n < 4900 order by n desc limit 1000`
+	qs := []string{q, `select count(*), sum(n) from nums where n >= 2500`,
+		`select n from nums where n < 64`}
+	for _, sql := range qs {
+		e.Planner.DisableParallelScan = true
+		serial := mustExec(t, e, sql)
+		e.Planner.DisableParallelScan = false
+		par := mustExec(t, e, sql)
+		if len(par.Rows) != len(serial.Rows) {
+			t.Fatalf("%s: %d parallel rows vs %d serial", sql, len(par.Rows), len(serial.Rows))
+		}
+		for i := range serial.Rows {
+			for j := range serial.Rows[i] {
+				if !jsondom.Equal(serial.Rows[i][j], par.Rows[i][j]) {
+					t.Fatalf("%s: row %d col %d: %v vs %v", sql, i, j, serial.Rows[i][j], par.Rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelScanUnorderedMultiset(t *testing.T) {
+	e := newNumEngine(t, 5000)
+	e.Planner.ParallelDegree = 4
+	e.Planner.ParallelMinRows = 1
+	sql := `select n from nums where n >= 1000 and n < 4000`
+	e.Planner.DisableParallelScan = true
+	serial := mustExec(t, e, sql)
+	e.Planner.DisableParallelScan = false
+	e.Planner.ParallelUnordered = true
+	par := mustExec(t, e, sql)
+	if len(par.Rows) != len(serial.Rows) {
+		t.Fatalf("%d parallel rows vs %d serial", len(par.Rows), len(serial.Rows))
+	}
+	seen := make(map[string]int)
+	for _, r := range serial.Rows {
+		seen[string(r[0].(jsondom.Number))]++
+	}
+	for _, r := range par.Rows {
+		seen[string(r[0].(jsondom.Number))]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("multiset mismatch at %s: %+d", k, v)
+		}
+	}
+}
+
+func TestParallelScanNoGoroutineLeak(t *testing.T) {
+	e := newNumEngine(t, 5000)
+	e.Planner.ParallelDegree = 4
+	e.Planner.ParallelMinRows = 1
+	baseline := runtime.NumGoroutine()
+	// full drain, early termination via LIMIT, and cancellation: all
+	// three paths must stop every worker
+	mustExec(t, e, `select count(*) from nums where n >= 0`)
+	mustExec(t, e, `select n from nums where n >= 0 limit 3`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryContext(ctx, `select n from nums where n >= 0`); err == nil {
+		t.Fatal("cancelled parallel query should fail")
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestLimitClosesUpstreamEarly(t *testing.T) {
+	e := newNumEngine(t, 2000)
+	// LIMIT over a cross join: correctness of early close (double
+	// close must be safe, results exact)
+	r := mustExec(t, e, `select a.n from nums a, nums b limit 5`)
+	if len(r.Rows) != 5 {
+		t.Fatalf("limit rows = %d", len(r.Rows))
+	}
+	// LIMIT over ORDER BY: sortOp closes its input after materializing
+	r = mustExec(t, e, `select n from nums order by n desc limit 2`)
+	if len(r.Rows) != 2 || r.Rows[0][0].(jsondom.Number) != "1999" {
+		t.Fatalf("order/limit rows = %v", r.Rows)
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	e := newNumEngine(t, 1000)
+	e.Planner.MemoryBudget = 1024 // far below 1000 buffered rows
+	_, err := e.Exec(`select n from nums order by n`)
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("sort: want ErrMemoryBudget, got %v", err)
+	}
+	_, err = e.Exec(`select count(*) from nums group by n`)
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("group by: want ErrMemoryBudget, got %v", err)
+	}
+	// streaming plans stay under any budget
+	e.Planner.MemoryBudget = 64
+	r := mustExec(t, e, `select count(*) from nums where n >= 0`)
+	if got := r.Rows[0][0].(jsondom.Number); got != "1000" {
+		t.Fatalf("count under budget = %s", got)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e := newPOEngine(t)
+	r := mustExec(t, e, `explain select did from po where did > 1 order by did`)
+	plan := ""
+	for _, row := range r.Rows {
+		plan += string(row[0].(jsondom.String)) + "\n"
+	}
+	for _, want := range []string{"Project", "Sort", "Filter", "TableScan(po"} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	if strings.Contains(plan, "rows=") {
+		t.Fatalf("plain EXPLAIN should not carry stats:\n%s", plan)
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	e := newPOEngine(t)
+	r := mustExec(t, e, `explain analyze select did, json_value(jdoc, '$.purchaseOrder.id') from po`)
+	sawRows := false
+	for _, row := range r.Rows {
+		line := string(row[0].(jsondom.String))
+		if !strings.Contains(line, "rows=") || !strings.Contains(line, "time=") {
+			t.Fatalf("analyze line missing stats: %q", line)
+		}
+		if strings.Contains(line, "rows=3") {
+			sawRows = true
+		}
+	}
+	if !sawRows {
+		t.Fatalf("no operator reported 3 rows: %v", r.Rows)
+	}
+}
+
+func TestExplainAnalyzeParallel(t *testing.T) {
+	e := newNumEngine(t, 4000)
+	e.Planner.ParallelDegree = 4
+	e.Planner.ParallelMinRows = 1
+	r := mustExec(t, e, `explain analyze select count(*) from nums where n >= 2000`)
+	plan := ""
+	for _, row := range r.Rows {
+		plan += string(row[0].(jsondom.String)) + "\n"
+	}
+	if !strings.Contains(plan, "ParallelScan(nums degree=4 ordered filtered)") {
+		t.Fatalf("plan missing parallel scan:\n%s", plan)
+	}
+	if !strings.Contains(plan, "rows=2000") {
+		t.Fatalf("parallel scan rows-out missing:\n%s", plan)
+	}
+}
+
+func TestQueryIDsAdvance(t *testing.T) {
+	a := newExecCtx(context.Background(), 0)
+	b := newExecCtx(nil, 0)
+	if a.QueryID() == b.QueryID() {
+		t.Fatal("query ids must be unique")
+	}
+	if b.Context() == nil || b.Err() != nil {
+		t.Fatal("nil ctx must default to Background")
+	}
+}
+
+func TestTickErrInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec := newExecCtx(ctx, 0)
+	ticks := 0
+	var err error
+	n := 0
+	for ; err == nil && n < 10*cancelCheckInterval; n++ {
+		err = ec.tickErr(&ticks)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("tickErr never surfaced cancellation: %v", err)
+	}
+	if n > cancelCheckInterval {
+		t.Fatalf("cancellation after %d ticks (interval %d)", n, cancelCheckInterval)
+	}
+}
+
+func TestParallelDegreeRespectsPartitionCount(t *testing.T) {
+	e := newNumEngine(t, 10)
+	e.Planner.ParallelDegree = 64
+	e.Planner.ParallelMinRows = 1
+	// 64-way split of 10 rows yields 10 single-row partitions; results
+	// must still be exact and ordered
+	r := mustExec(t, e, `select n from nums where n != 5`)
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i, want := range []string{"0", "1", "2", "3", "4", "6", "7", "8", "9"} {
+		if got := r.Rows[i][0].(jsondom.Number); string(got) != want {
+			t.Fatalf("row %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestParallelScanSkipsDeletedRows(t *testing.T) {
+	e := newNumEngine(t, 2000)
+	mustExec(t, e, `delete from nums where n >= 500 and n < 1500`)
+	e.Planner.ParallelDegree = 4
+	e.Planner.ParallelMinRows = 1
+	r := mustExec(t, e, `select count(*) from nums where n >= 0`)
+	if got := r.Rows[0][0].(jsondom.Number); got != "1000" {
+		t.Fatalf("count after delete = %s", got)
+	}
+}
+
+func TestParallelScanConcurrentQueries(t *testing.T) {
+	e := newNumEngine(t, 5000)
+	e.Planner.ParallelDegree = 4
+	e.Planner.ParallelMinRows = 1
+	errc := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(k int) {
+			r, err := e.Query(fmt.Sprintf(`select count(*) from nums where n >= %d`, k*100))
+			if err == nil && string(r.Rows[0][0].(jsondom.Number)) != fmt.Sprint(5000-k*100) {
+				err = fmt.Errorf("count = %s", r.Rows[0][0].(jsondom.Number))
+			}
+			errc <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// EXPLAIN [ANALYZE]: renders the operator tree of a SELECT plan. With
+// ANALYZE the plan is opened and drained first under a stats-collecting
+// ExecCtx, so every line carries the operator's rows-out, Next-call
+// count, and cumulative wall time (children included, as is
+// conventional for EXPLAIN ANALYZE output).
+
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/jsondom"
+)
+
+func (e *Engine) runExplain(ctx context.Context, t *ExplainStmt, params []jsondom.Value) (*Result, error) {
+	env := &planEnv{params: params, aggCols: map[*FuncCall]int{}, winCols: map[*WindowFunc]int{}}
+	src, _, err := e.planSelectPushed(t.Query, env, nil)
+	if err != nil {
+		return nil, err
+	}
+	ec := newExecCtx(ctx, e.Planner.MemoryBudget)
+	if t.Analyze {
+		ec.collect = true
+		if err := src.Open(ec); err != nil {
+			return nil, err
+		}
+		for {
+			_, ok, err := src.Next(ec)
+			if err != nil {
+				src.Close() //nolint:errcheck
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+		if err := src.Close(); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range renderPlan(src, t.Analyze) {
+		res.Rows = append(res.Rows, []jsondom.Value{jsondom.String(line)})
+	}
+	return res, nil
+}
+
+// renderPlan walks the operator tree depth-first and formats one line
+// per operator, indented by depth.
+func renderPlan(src rowSource, analyze bool) []string {
+	var lines []string
+	var walk func(s rowSource, depth int)
+	walk = func(s rowSource, depth int) {
+		node, ok := s.(opNode)
+		if !ok {
+			lines = append(lines, strings.Repeat("  ", depth)+fmt.Sprintf("%T", s))
+			return
+		}
+		line := strings.Repeat("  ", depth) + node.opName()
+		if analyze {
+			if st := node.opStat(); st != nil {
+				line += fmt.Sprintf("  (rows=%d batches=%d time=%s)", st.Rows, st.Batches, st.Wall)
+			}
+		}
+		lines = append(lines, line)
+		for _, c := range node.opChildren() {
+			walk(c, depth+1)
+		}
+	}
+	walk(src, 0)
+	return lines
+}

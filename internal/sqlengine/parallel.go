@@ -1,0 +1,315 @@
+// Parallel partitioned scans. A parallelScanOp replaces the serial
+// tableScan (+ residual filter) when the planner judges the table
+// large enough: the row-id space is split into K contiguous
+// partitions, one worker goroutine scans each partition through a
+// clone of the scan, evaluates the residual WHERE locally, and sends
+// surviving rows over a bounded channel. The default ordered merge
+// drains the per-worker channels in partition order, reproducing the
+// serial row order exactly; the unordered merge (opt-in) interleaves
+// workers for lower latency when order is irrelevant.
+//
+// Workers share no mutable state: each owns its scan clone, its
+// residual-predicate clone (with freshly compiled JSON paths), its
+// evaluation context, and its cancellation tick counter.
+
+package sqlengine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/jsondom"
+	"repro/internal/pathengine"
+)
+
+// defaultParallelMinRows is the table size below which a parallel scan
+// is not worth the goroutine and channel overhead.
+const defaultParallelMinRows = 512
+
+// parChanCap bounds each worker's output channel, limiting the rows
+// buffered ahead of the consumer.
+const parChanCap = 64
+
+type parRow struct {
+	row []jsondom.Value
+	err error
+}
+
+type parallelScanOp struct {
+	template *tableScan
+	// filter is the residual WHERE absorbed into the workers (may be
+	// nil); each worker evaluates its own clone.
+	filter    Expr
+	env       *planEnv
+	degree    int
+	unordered bool
+
+	chans     []chan parRow // ordered merge: one channel per worker
+	out       chan parRow   // unordered merge: shared channel
+	cur       int
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	st        *OpStats
+}
+
+// parallelizeScan decides whether the FROM source plus residual WHERE
+// can run as a parallel partitioned scan; it returns nil when the
+// serial plan should be kept.
+func (e *Engine) parallelizeScan(src rowSource, where Expr, env *planEnv) rowSource {
+	if e.Planner.DisableParallelScan {
+		return nil
+	}
+	scan, ok := src.(*tableScan)
+	if !ok {
+		return nil
+	}
+	// index-driven scans read a sparse row-id list, and sampling
+	// depends on one deterministic RNG stream: both stay serial.
+	if scan.rowIDs != nil || scan.samplePct > 0 {
+		return nil
+	}
+	degree := e.Planner.ParallelDegree
+	if degree <= 0 {
+		degree = runtime.GOMAXPROCS(0)
+	}
+	if degree < 2 {
+		return nil
+	}
+	minRows := e.Planner.ParallelMinRows
+	if minRows <= 0 {
+		minRows = defaultParallelMinRows
+	}
+	if scan.tab.MaxRowID() < minRows {
+		return nil
+	}
+	return &parallelScanOp{
+		template: scan, filter: where, env: env,
+		degree: degree, unordered: e.Planner.ParallelUnordered,
+	}
+}
+
+func (p *parallelScanOp) Schema() Schema { return p.template.Schema() }
+
+func (p *parallelScanOp) Open(ec *ExecCtx) error {
+	p.st = ec.statFor()
+	p.stop = make(chan struct{})
+	p.closeOnce = sync.Once{}
+	p.chans, p.out, p.cur = nil, nil, 0
+	parts := p.template.tab.Partitions(p.degree)
+	if len(parts) == 0 {
+		return nil
+	}
+	if p.unordered {
+		p.out = make(chan parRow, parChanCap*len(parts))
+	} else {
+		p.chans = make([]chan parRow, len(parts))
+		for i := range p.chans {
+			p.chans[i] = make(chan parRow, parChanCap)
+		}
+	}
+	p.wg.Add(len(parts))
+	for i, part := range parts {
+		scan := p.template.cloneForRange(part[0], part[1])
+		var pred Expr
+		if p.filter != nil {
+			pred = cloneExprParallel(p.filter)
+		}
+		var ch chan parRow
+		if !p.unordered {
+			ch = p.chans[i]
+		}
+		go p.worker(ec, scan, pred, ch)
+	}
+	if p.unordered {
+		go func() {
+			p.wg.Wait()
+			close(p.out)
+		}()
+	}
+	return nil
+}
+
+// worker scans one partition. ch is the worker-owned channel under the
+// ordered merge (closed on exit); under the unordered merge ch is nil
+// and rows go to the shared p.out.
+func (p *parallelScanOp) worker(ec *ExecCtx, scan *tableScan, pred Expr, ch chan parRow) {
+	defer p.wg.Done()
+	out := ch
+	if out == nil {
+		out = p.out
+	} else {
+		defer close(ch)
+	}
+	if err := scan.Open(ec); err != nil {
+		p.send(out, parRow{err: err})
+		return
+	}
+	var ctx *evalCtx
+	if pred != nil {
+		ctx = p.env.bindCtx(scan.Schema(), pred)
+	}
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		row, ok, err := scan.Next(ec)
+		if err != nil {
+			p.send(out, parRow{err: err})
+			return
+		}
+		if !ok {
+			return
+		}
+		if pred != nil {
+			ctx.row = row
+			v, err := evalExpr(ctx, pred)
+			if err != nil {
+				p.send(out, parRow{err: err})
+				return
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		if !p.send(out, parRow{row: row}) {
+			return
+		}
+	}
+}
+
+// send delivers r unless the operator is being closed; a worker
+// blocked on a full channel unblocks through the stop case.
+func (p *parallelScanOp) send(ch chan parRow, r parRow) bool {
+	select {
+	case ch <- r:
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+func (p *parallelScanOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
+	if p.st != nil {
+		t0 := time.Now()
+		defer func() { p.st.observe(time.Since(t0), ok) }()
+	}
+	if p.unordered {
+		if p.out == nil {
+			return nil, false, nil
+		}
+		r, ok := <-p.out
+		if !ok {
+			return nil, false, nil
+		}
+		if r.err != nil {
+			return nil, false, r.err
+		}
+		return r.row, true, nil
+	}
+	for p.cur < len(p.chans) {
+		r, ok := <-p.chans[p.cur]
+		if !ok {
+			p.cur++
+			continue
+		}
+		if r.err != nil {
+			return nil, false, r.err
+		}
+		return r.row, true, nil
+	}
+	return nil, false, nil
+}
+
+// Close stops all workers and waits for them, so no goroutine outlives
+// the query — including workers blocked mid-send when the consumer
+// terminated early (LIMIT, error, cancellation).
+func (p *parallelScanOp) Close() error {
+	if p.stop != nil {
+		p.closeOnce.Do(func() { close(p.stop) })
+		p.wg.Wait()
+	}
+	return nil
+}
+
+func (p *parallelScanOp) opName() string {
+	merge := "ordered"
+	if p.unordered {
+		merge = "unordered"
+	}
+	name := fmt.Sprintf("ParallelScan(%s degree=%d %s", p.template.tab.Name, p.degree, merge)
+	if p.filter != nil {
+		name += " filtered"
+	}
+	if len(p.template.vecFilters) > 0 {
+		name += fmt.Sprintf(" vec-filters=%d", len(p.template.vecFilters))
+	}
+	return name + ")"
+}
+func (p *parallelScanOp) opChildren() []rowSource { return nil }
+func (p *parallelScanOp) opStat() *OpStats        { return p.st }
+
+// cloneExprParallel deep-clones a predicate for one scan worker.
+// Literal/ColRef/Param leaves are immutable during evaluation and stay
+// shared (per-worker colIdx maps are keyed on those pointers, so
+// sharing keeps binding cheap); compiled JSON path state is re-created
+// per worker so each worker owns its field-reference caches.
+func cloneExprParallel(e Expr) Expr {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case *Literal, *ColRef, *Param:
+		return e
+	case *BinOp:
+		return &BinOp{Op: t.Op, L: cloneExprParallel(t.L), R: cloneExprParallel(t.R)}
+	case *UnOp:
+		return &UnOp{Op: t.Op, X: cloneExprParallel(t.X)}
+	case *IsNullExpr:
+		return &IsNullExpr{X: cloneExprParallel(t.X), Not: t.Not}
+	case *InExpr:
+		list := make([]Expr, len(t.List))
+		for i, x := range t.List {
+			list[i] = cloneExprParallel(x)
+		}
+		return &InExpr{X: cloneExprParallel(t.X), List: list, Not: t.Not}
+	case *LikeExpr:
+		return &LikeExpr{X: cloneExprParallel(t.X), Pattern: cloneExprParallel(t.Pattern), Not: t.Not}
+	case *BetweenExpr:
+		return &BetweenExpr{X: cloneExprParallel(t.X), Lo: cloneExprParallel(t.Lo),
+			Hi: cloneExprParallel(t.Hi), Not: t.Not}
+	case *FuncCall:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = cloneExprParallel(a)
+		}
+		return &FuncCall{Name: t.Name, Args: args, Star: t.Star, Distinct: t.Distinct}
+	case *JSONValueExpr:
+		return &JSONValueExpr{Arg: cloneExprParallel(t.Arg), PathText: t.PathText,
+			Returning: t.Returning, Compiled: cloneCompiled(t.Compiled)}
+	case *JSONExistsExpr:
+		return &JSONExistsExpr{Arg: cloneExprParallel(t.Arg), PathText: t.PathText,
+			Compiled: cloneCompiled(t.Compiled)}
+	case *JSONQueryExpr:
+		return &JSONQueryExpr{Arg: cloneExprParallel(t.Arg), PathText: t.PathText,
+			Compiled: cloneCompiled(t.Compiled)}
+	case *JSONTextContainsExpr:
+		return &JSONTextContainsExpr{Arg: cloneExprParallel(t.Arg), PathText: t.PathText,
+			Keyword: t.Keyword, Compiled: cloneCompiled(t.Compiled)}
+	case *OSONExpr:
+		return &OSONExpr{Arg: cloneExprParallel(t.Arg)}
+	default:
+		// window functions never reach a scan-level residual filter
+		return e
+	}
+}
+
+func cloneCompiled(c *pathengine.Compiled) *pathengine.Compiled {
+	if c == nil {
+		return nil
+	}
+	return pathengine.Compile(c.Path)
+}

@@ -78,6 +78,8 @@ func (p *parser) parseStatement() (Statement, error) {
 	switch {
 	case p.atKw("select"):
 		return p.parseSelect()
+	case p.atKw("explain"):
+		return p.parseExplain()
 	case p.atKw("create"):
 		return p.parseCreate()
 	case p.atKw("insert"):
@@ -92,6 +94,19 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	}
 	return nil, p.errf("expected statement keyword")
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <select>.
+func (p *parser) parseExplain() (Statement, error) {
+	if err := p.expectKw("explain"); err != nil {
+		return nil, err
+	}
+	analyze := p.acceptKw("analyze")
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Analyze: analyze, Query: q}, nil
 }
 
 // ---------------------------------------------------------------------------

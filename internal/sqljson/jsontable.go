@@ -17,6 +17,8 @@
 package sqljson
 
 import (
+	"context"
+
 	"repro/internal/jsondom"
 	"repro/internal/oson"
 	"repro/internal/pathengine"
@@ -64,6 +66,16 @@ func flattenNested(n NestedPath) []TableColumn {
 		out = append(out, flattenNested(c)...)
 	}
 	return out
+}
+
+// ExpandContext is Expand with a cancellation point: the context is
+// checked once per document, a natural granularity since a single
+// document expands in microseconds while a scan visits millions.
+func (d *TableDef) ExpandContext(ctx context.Context, doc *Document) ([][]jsondom.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d.Expand(doc)
 }
 
 // Expand computes the relational rows JSON_TABLE produces for one

@@ -491,6 +491,37 @@ func (t *Table) Scan(fn func(rowID int, row Row) bool) {
 	}
 }
 
+// Snapshot returns the current row and tombstone slices under one lock
+// acquisition. Rows are append-only and tombstoning only flips bools,
+// so the slices are safe to iterate without further locking; a scan
+// built on a snapshot sees the table as of the call (the same
+// semantics Scan provides).
+func (t *Table) Snapshot() ([]Row, []bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows, t.tombstones
+}
+
+// Partitions splits the row-id space [0, MaxRowID()) into at most k
+// contiguous [lo, hi) ranges of near-equal size for parallel scans.
+// Empty ranges are omitted, so fewer than k partitions come back for
+// small tables.
+func (t *Table) Partitions(k int) [][2]int {
+	n := t.MaxRowID()
+	if k < 1 {
+		k = 1
+	}
+	var parts [][2]int
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if hi > lo {
+			parts = append(parts, [2]int{lo, hi})
+		}
+	}
+	return parts
+}
+
 // StorageBytes estimates on-disk storage: the sum of stored value
 // sizes (Figure 4's storage size comparison).
 func (t *Table) StorageBytes() int {
