@@ -1,11 +1,11 @@
 # Development targets. `make check` is the full pre-commit gate:
-# build, vet, tests, and the race detector over the concurrent scan
-# paths.
+# build, vet, tests, the race detector over the concurrent scan
+# paths, and the godoc lint.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz check
+.PHONY: all build test race vet fuzz doccheck check
 
 all: build
 
@@ -30,4 +30,9 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/jsonpath
 	$(GO) test -fuzz=FuzzParseStatement -fuzztime=$(FUZZTIME) ./internal/sqlengine
 
-check: build vet test race
+# Godoc lint: every exported identifier in internal/ and cmd/ needs a
+# doc comment, and every package a package comment.
+doccheck:
+	$(GO) run ./cmd/doccheck
+
+check: build vet test race doccheck

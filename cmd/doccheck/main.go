@@ -1,0 +1,188 @@
+// Command doccheck is the repository's godoc lint: it walks Go
+// packages and reports every exported identifier that lacks a doc
+// comment, plus every package missing a package comment. It exits
+// non-zero when anything is flagged, so `make doccheck` (wired into
+// `make check`) keeps the exported surface documented.
+//
+// Scope: package clauses, top-level exported functions, types, consts
+// and vars, and exported methods on exported receiver types. A doc
+// comment on a const/var/type group covers every spec in the group, as
+// is idiomatic for enum-style blocks. Test files and testdata/vendor
+// directories are skipped.
+//
+// Usage:
+//
+//	doccheck [dir ...]    (default: internal cmd)
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	var dirs []string
+	for _, root := range roots {
+		if err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			switch d.Name() {
+			case "testdata", "vendor":
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirs = append(dirs, path)
+			}
+			return nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(dirs)
+	problems := 0
+	for _, dir := range dirs {
+		problems += checkDir(dir)
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", problems)
+		os.Exit(1)
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses one package directory and reports undocumented
+// exported identifiers; returns the number of problems found.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	problems := 0
+	report := func(pos token.Pos, what string) {
+		fmt.Printf("%s: %s\n", fset.Position(pos), what)
+		problems++
+	}
+	for _, pkg := range pkgs {
+		pkgDocumented := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				pkgDocumented = true
+			}
+		}
+		if !pkgDocumented {
+			// anchor the report at the first file of the package
+			var first *ast.File
+			var firstName string
+			for name, f := range pkg.Files {
+				if first == nil || name < firstName {
+					first, firstName = f, name
+				}
+			}
+			report(first.Package, fmt.Sprintf("package %s has no package comment", pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				checkDecl(decl, report)
+			}
+		}
+	}
+	return problems
+}
+
+// checkDecl flags one top-level declaration's undocumented exported
+// names through the report callback.
+func checkDecl(decl ast.Decl, report func(token.Pos, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || hasDoc(d.Doc) {
+			return
+		}
+		if d.Recv != nil {
+			recv := receiverTypeName(d.Recv)
+			if !ast.IsExported(recv) {
+				return // method of an unexported type: not API surface
+			}
+			report(d.Pos(), fmt.Sprintf("exported method %s.%s has no doc comment", recv, d.Name.Name))
+			return
+		}
+		report(d.Pos(), fmt.Sprintf("exported function %s has no doc comment", d.Name.Name))
+	case *ast.GenDecl:
+		groupDoc := hasDoc(d.Doc)
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && !hasDoc(s.Doc) {
+					report(s.Pos(), fmt.Sprintf("exported type %s has no doc comment", s.Name.Name))
+				}
+			case *ast.ValueSpec:
+				if groupDoc || hasDoc(s.Doc) || hasDoc(s.Comment) {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						report(s.Pos(), fmt.Sprintf("exported %s %s has no doc comment", d.Tok, name.Name))
+					}
+				}
+			}
+		}
+	}
+}
+
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+// receiverTypeName extracts the bare type name of a method receiver,
+// unwrapping pointers and generic instantiations.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Optional debug HTTP endpoint for the SQL shell (-debug-addr). Serves
+// the default metrics registry as JSON at /debug/fsdmmetrics, the
+// standard expvar dump at /debug/vars (the registry snapshot is also
+// published there under the "fsdmmetrics" key), and the runtime
+// profiles at /debug/pprof/. Everything is stdlib; nothing is
+// registered unless the flag is set — the handlers live on the default
+// mux, but no listener exists without -debug-addr.
+
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func init() {
+	expvar.Publish("fsdmmetrics", expvar.Func(func() any {
+		return metrics.Default.Snapshot()
+	}))
+}
+
+// serveDebug blocks serving the debug endpoints on addr; run it in a
+// goroutine.
+func serveDebug(addr string) error {
+	http.HandleFunc("/debug/fsdmmetrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(metrics.Default.Snapshot()) //nolint:errcheck
+	})
+	srv := &http.Server{Addr: addr, ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}

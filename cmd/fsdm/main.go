@@ -1,6 +1,6 @@
 // Command fsdm is a small CLI for the FSDM library:
 //
-//	fsdm sql                    read SQL from stdin, one statement per
+//	fsdm sql [flags]            read SQL from stdin, one statement per
 //	                            line (lines may be continued with a
 //	                            trailing backslash), print results
 //	fsdm dataguide FILE...      print the DataGuide implied by JSON files
@@ -13,17 +13,29 @@
 //	insert into t values (1, '{"a":{"b":[1,2,3]}}');
 //	select json_query(jdoc, '$.a.b') from t;
 //	EOF
+//
+// Observability flags of the sql subcommand (docs/OBSERVABILITY.md):
+//
+//	-debug-addr addr            serve /debug/fsdmmetrics (JSON metrics),
+//	                            /debug/vars and /debug/pprof on addr
+//	-slow-query-log FILE        log statements at or above the threshold
+//	                            ("stderr" to log to standard error)
+//	-slow-query-threshold dur   slow-statement latency threshold
+//	                            (default 100ms)
 package main
 
 import (
 	"bufio"
 	"context"
 	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/bson"
 	"repro/internal/dataguide"
@@ -39,7 +51,7 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "sql":
-		runSQL()
+		runSQL(os.Args[2:])
 	case "dataguide":
 		runDataGuide(os.Args[2:])
 	case "encode":
@@ -50,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fsdm sql | fsdm dataguide FILE... | fsdm encode FILE...")
+	fmt.Fprintln(os.Stderr, "usage: fsdm sql [flags] | fsdm dataguide FILE... | fsdm encode FILE...")
 	os.Exit(2)
 }
 
@@ -59,8 +71,34 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runSQL() {
+func runSQL(args []string) {
+	fs := flag.NewFlagSet("fsdm sql", flag.ExitOnError)
+	debugAddr := fs.String("debug-addr", "", "serve /debug/fsdmmetrics, /debug/vars and /debug/pprof on this address")
+	slowLog := fs.String("slow-query-log", "", `write slow-query entries to this file ("stderr" for standard error)`)
+	slowThreshold := fs.Duration("slow-query-threshold", 100*time.Millisecond, "latency at or above which a statement is logged")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
 	eng := sqlengine.New()
+	if *slowLog != "" {
+		var w io.Writer = os.Stderr
+		if *slowLog != "stderr" {
+			f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close() //nolint:errcheck
+			w = f
+		}
+		eng.SetSlowQueryLog(w, *slowThreshold)
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := serveDebug(*debugAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "fsdm: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "fsdm: debug endpoint on http://%s/debug/fsdmmetrics\n", *debugAddr)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	var pending strings.Builder
@@ -84,7 +122,7 @@ func runSQL() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		res, err := eng.ExecContext(ctx, stmt)
 		stop()
-		if errors.Is(err, context.Canceled) {
+		if errors.Is(err, sqlengine.ErrQueryCancelled) {
 			fmt.Fprintf(os.Stderr, "line %d: interrupted\n", lineNo)
 			continue
 		}

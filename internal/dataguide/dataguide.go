@@ -34,6 +34,7 @@ const (
 	CatScalar
 )
 
+// String renders the category as its JSON type-family name.
 func (c Category) String() string {
 	switch c {
 	case CatObject:

@@ -109,6 +109,15 @@ func (s *Store) PopulateOSON(jsonCol string) error {
 	if encErr != nil {
 		return encErr
 	}
+	var bytes int64
+	for _, d := range docs {
+		if b, ok := d.(jsondom.Binary); ok {
+			bytes += int64(len(b))
+		}
+	}
+	mPopulations.Inc()
+	mPopRows.Add(int64(len(docs)))
+	mPopBytes.Add(bytes)
 	s.mu.Lock()
 	s.osonCol = jsonCol
 	s.osonDocs = docs
@@ -155,6 +164,15 @@ func (s *Store) PopulateOSONShared(jsonCol string) error {
 	if encErr != nil {
 		return encErr
 	}
+	var bytes int64
+	for _, d := range docs {
+		if sv, ok := d.(oson.SharedValue); ok {
+			bytes += int64(len(sv.Doc.Bytes()))
+		}
+	}
+	mPopulations.Inc()
+	mPopRows.Add(int64(len(docs)))
+	mPopBytes.Add(bytes + int64(dict.MemoryBytes()))
 	s.mu.Lock()
 	s.osonCol = jsonCol
 	s.osonDocs = docs
@@ -218,6 +236,9 @@ func (s *Store) PopulateVC(vcName string) error {
 	if evalErr != nil {
 		return evalErr
 	}
+	mPopulations.Inc()
+	mPopRows.Add(int64(vec.Len()))
+	mPopBytes.Add(int64(vec.MemoryBytes()))
 	s.mu.Lock()
 	s.vectors[vcName] = vec
 	s.mu.Unlock()

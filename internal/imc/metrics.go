@@ -1,0 +1,13 @@
+// IMC population observability: one counter bump per population
+// operation plus row/byte volume, accumulated locally during the scan
+// and flushed once per population.
+
+package imc
+
+import "repro/internal/metrics"
+
+var (
+	mPopulations = metrics.NewCounter("imc.populations", "population operations completed (OSON, shared OSON, or VC vector)")
+	mPopRows     = metrics.NewCounter("imc.rows_populated", "rows materialized into the in-memory store")
+	mPopBytes    = metrics.NewCounter("imc.bytes_populated", "in-memory bytes produced by populations")
+)

@@ -110,15 +110,32 @@ type Array struct {
 	Elems []Value
 }
 
-func (Null) Kind() Kind      { return KindNull }
-func (Bool) Kind() Kind      { return KindBool }
-func (Number) Kind() Kind    { return KindNumber }
-func (Double) Kind() Kind    { return KindDouble }
-func (String) Kind() Kind    { return KindString }
+// Kind implements Value.
+func (Null) Kind() Kind { return KindNull }
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// Kind implements Value.
+func (Number) Kind() Kind { return KindNumber }
+
+// Kind implements Value.
+func (Double) Kind() Kind { return KindDouble }
+
+// Kind implements Value.
+func (String) Kind() Kind { return KindString }
+
+// Kind implements Value.
 func (Timestamp) Kind() Kind { return KindTimestamp }
-func (Binary) Kind() Kind    { return KindBinary }
-func (*Object) Kind() Kind   { return KindObject }
-func (*Array) Kind() Kind    { return KindArray }
+
+// Kind implements Value.
+func (Binary) Kind() Kind { return KindBinary }
+
+// Kind implements Value.
+func (*Object) Kind() Kind { return KindObject }
+
+// Kind implements Value.
+func (*Array) Kind() Kind { return KindArray }
 
 // NewObject returns an empty object.
 func NewObject() *Object {

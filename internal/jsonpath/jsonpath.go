@@ -100,6 +100,7 @@ const (
 	OpHasSubstring
 )
 
+// String renders the operator in path-expression syntax.
 func (o CmpOp) String() string {
 	switch o {
 	case OpEq:
@@ -155,6 +156,7 @@ type ParseError struct {
 	Msg    string
 }
 
+// Error implements the error interface.
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("jsonpath: %s at offset %d in %q", e.Msg, e.Offset, e.Input)
 }

@@ -78,6 +78,7 @@ type SyntaxError struct {
 	Msg    string
 }
 
+// Error implements the error interface.
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("jsontext: syntax error at offset %d: %s", e.Offset, e.Msg)
 }

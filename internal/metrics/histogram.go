@@ -1,0 +1,116 @@
+// Log-scale histogram: fixed power-of-two buckets so recording is one
+// bits.Len64 plus one atomic add, with no configuration and no
+// allocation. Bucket i (i >= 1) covers the value range
+// [2^(i-1), 2^i - 1]; bucket 0 holds values <= 0. The scheme trades
+// resolution (every bucket spans a factor of two) for a hot-path cost
+// low enough that histograms never need sampling — but by convention
+// they are still observed per event (per query, per population), not
+// per row.
+
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count: one per possible bits.Len64
+// result (0..64), so every non-negative int64 has a bucket.
+const NumBuckets = 65
+
+// Histogram counts observations in power-of-two buckets and tracks
+// count, sum, and max. All fields are atomics; Observe is lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket: 0 for v <= 0, otherwise
+// bits.Len64(v), i.e. 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i
+// (2^i - 1), or 0 for bucket 0.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns an upper-bound estimate of the q-quantile
+// (0 < q <= 1): the upper bound of the bucket in which the q-th
+// observation falls. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			u := BucketUpper(i)
+			if m := h.max.Load(); u > m {
+				return m // never report beyond the observed max
+			}
+			return u
+		}
+	}
+	return h.max.Load()
+}
+
+// Sample reads the histogram into a HistSample (Name/Help left for the
+// registry to fill). Only non-empty buckets are materialized.
+func (h *Histogram) Sample() HistSample {
+	s := HistSample{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Le: BucketUpper(i), Count: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+// Package metrics is the engine-wide observability substrate: a
+// dependency-free registry of atomic counters, gauges, and log-scale
+// histograms, plus the per-query trace recorder the slow-query log
+// renders.
+//
+// Design constraints (ROADMAP north-star: hardware-speed hot paths
+// under heavy traffic):
+//
+//   - Instrument sites hold direct *Counter/*Gauge/*Histogram handles
+//     obtained once at package init; the registry map is never touched
+//     on a hot path.
+//   - Every mutation is a single atomic add (counters, gauges,
+//     histogram buckets). No locks, no allocation, no time.Now calls
+//     are hidden inside the types; callers decide when timing is worth
+//     paying for.
+//   - Histograms use fixed power-of-two buckets so Observe is an
+//     atomic add at an index computed with one bits.Len64 — they stay
+//     off per-row paths by convention (observe once per query, per
+//     population, per maintenance event).
+//
+// The default registry is exposed three ways by the layers above:
+// the SHOW METRICS statement in the SQL engine, the JSON
+// /debug/fsdmmetrics endpoint in cmd/fsdm, and docs/OBSERVABILITY.md
+// catalogs every metric name registered by the engine packages.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry holds named metrics. Registration is idempotent: asking for
+// an existing name returns the existing metric, so multiple packages
+// (or repeated test runs) can share a handle safely.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+// Default is the process-wide registry all engine packages register
+// into; SHOW METRICS and /debug/fsdmmetrics read it.
+var Default = NewRegistry()
+
+// NewCounter registers (or returns the existing) counter under name.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.help[name] = help
+	return c
+}
+
+// NewGauge registers (or returns the existing) gauge under name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.help[name] = help
+	return g
+}
+
+// NewHistogram registers (or returns the existing) histogram under
+// name.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.histograms[name] = h
+	r.help[name] = help
+	return h
+}
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewHistogram registers a histogram in the default registry.
+func NewHistogram(name, help string) *Histogram { return Default.NewHistogram(name, help) }
+
+// Sample is one scalar metric reading.
+type Sample struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"` // "counter" | "gauge"
+	Value int64  `json:"value"`
+	Help  string `json:"help,omitempty"`
+}
+
+// HistSample is one histogram reading: totals plus the non-empty
+// buckets, with upper-bound quantile estimates precomputed.
+type HistSample struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Max     int64         `json:"max"`
+	P50     int64         `json:"p50"`
+	P90     int64         `json:"p90"`
+	P99     int64         `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+	Help    string        `json:"help,omitempty"`
+}
+
+// BucketCount is one non-empty histogram bucket: Le is the inclusive
+// upper bound of the bucket's value range.
+type BucketCount struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot is a point-in-time reading of a whole registry. Readings
+// are taken metric by metric without a global lock, so concurrent
+// updates may land between reads — fine for monitoring.
+type Snapshot struct {
+	Samples    []Sample     `json:"samples"`
+	Histograms []HistSample `json:"histograms"`
+}
+
+// Snapshot reads every registered metric, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	var snap Snapshot
+	for name, c := range counters {
+		snap.Samples = append(snap.Samples, Sample{Name: name, Kind: "counter", Value: c.Value(), Help: help[name]})
+	}
+	for name, g := range gauges {
+		snap.Samples = append(snap.Samples, Sample{Name: name, Kind: "gauge", Value: g.Value(), Help: help[name]})
+	}
+	sort.Slice(snap.Samples, func(i, j int) bool { return snap.Samples[i].Name < snap.Samples[j].Name })
+	for name, h := range hists {
+		hs := h.Sample()
+		hs.Name = name
+		hs.Help = help[name]
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}

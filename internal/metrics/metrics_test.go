@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge, and one
+// histogram from many goroutines; run under -race this doubles as the
+// data-race proof for every atomic in the package.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test.counter", "")
+	g := r.NewGauge("test.gauge", "")
+	h := r.NewHistogram("test.hist", "")
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(seed + int64(i)%17)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var bucketTotal int64
+	for _, b := range h.Sample().Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != workers*perWorker {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, workers*perWorker)
+	}
+}
+
+// TestHistogramBucketBoundaries checks that values on either side of
+// every power-of-two boundary land in the right bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},               // [1,1]
+		{2, 2}, {3, 2},       // [2,3]
+		{4, 3}, {7, 3},       // [4,7]
+		{8, 4},               // [8,15]
+		{1023, 10},           // top of [512,1023]
+		{1024, 11},           // bottom of [1024,2047]
+		{1<<20 - 1, 20},      // top of bucket 20
+		{1 << 20, 21},        // bottom of bucket 21
+		{int64(1) << 62, 63}, // near the top of the range
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// BucketUpper is the inclusive top of each range: the boundary
+	// value 2^i lands in bucket i+1, whose upper bound is 2^(i+1)-1.
+	for i := 1; i < 62; i++ {
+		u := BucketUpper(i)
+		if bucketIndex(u) != i {
+			t.Errorf("BucketUpper(%d)=%d maps to bucket %d", i, u, bucketIndex(u))
+		}
+		if bucketIndex(u+1) != i+1 {
+			t.Errorf("BucketUpper(%d)+1=%d maps to bucket %d, want %d", i, u+1, bucketIndex(u+1), i+1)
+		}
+	}
+}
+
+func TestHistogramQuantilesAndMax(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %d, want 1000", h.Max())
+	}
+	if h.Sum() != 500500 {
+		t.Errorf("sum = %d, want 500500", h.Sum())
+	}
+	// p50 of 1..1000 is ~500; the log-bucket upper-bound estimate must
+	// bracket it within its factor-of-two bucket [512, 1023].
+	p50 := h.Quantile(0.5)
+	if p50 < 500 || p50 > 1023 {
+		t.Errorf("p50 = %d, want within [500,1023]", p50)
+	}
+	// quantiles are clamped to the observed max
+	if p99 := h.Quantile(0.99); p99 > 1000 {
+		t.Errorf("p99 = %d exceeds observed max", p99)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty quantile = %d, want 0", empty.Quantile(0.5))
+	}
+}
+
+func TestRegistryIdempotentAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x.c", "help text")
+	b := r.NewCounter("x.c", "other")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same handle")
+	}
+	a.Add(3)
+	r.NewGauge("x.g", "").Set(-7)
+	r.NewHistogram("x.h", "").Observe(5)
+
+	snap := r.Snapshot()
+	if len(snap.Samples) != 2 || len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot shape: %d samples, %d histograms", len(snap.Samples), len(snap.Histograms))
+	}
+	if snap.Samples[0].Name != "x.c" || snap.Samples[0].Value != 3 || snap.Samples[0].Help != "help text" {
+		t.Errorf("counter sample = %+v", snap.Samples[0])
+	}
+	if snap.Samples[1].Name != "x.g" || snap.Samples[1].Value != -7 {
+		t.Errorf("gauge sample = %+v", snap.Samples[1])
+	}
+	if snap.Histograms[0].Count != 1 || snap.Histograms[0].Sum != 5 {
+		t.Errorf("hist sample = %+v", snap.Histograms[0])
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot must be JSON-serializable: %v", err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.AddPhase("x", time.Second) // no-op, must not panic
+	nilTrace.Notef("y")
+	nilTrace.StartPhase("z")()
+	if nilTrace.String() != "" || nilTrace.Elapsed() != 0 {
+		t.Error("nil trace must render empty")
+	}
+
+	tr := NewTrace()
+	done := tr.StartPhase("parse")
+	done()
+	tr.AddPhase("exec", 2*time.Millisecond)
+	tr.Notef("rows=%d", 42)
+	phases := tr.Phases()
+	if len(phases) != 2 || phases[0].Name != "parse" || phases[1].Name != "exec" {
+		t.Fatalf("phases = %+v", phases)
+	}
+	s := tr.String()
+	for _, want := range []string{"parse=", "exec=2ms", "rows=42"} {
+		if !contains(s, want) {
+			t.Errorf("trace string %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+// Per-query trace recorder: a lightweight list of named phase
+// durations plus free-form notes, allocated only when tracing is
+// enabled (slow-query logging). Operators never see the trace — the
+// per-operator numbers come from the EXPLAIN ANALYZE stats sinks; the
+// trace covers the statement-level phases around them (parse, plan,
+// execute) so a slow-query log entry shows where a statement's time
+// went before the first row source opened.
+
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace records the phases of one statement execution. Methods are
+// safe for concurrent use, but the expected pattern is a single
+// goroutine recording phases in order. A nil *Trace is valid and every
+// method is a no-op, so call sites need no enabled-checks.
+type Trace struct {
+	start time.Time
+
+	mu     sync.Mutex
+	phases []Phase
+	notes  []string
+}
+
+// Phase is one named step of a trace with its duration.
+type Phase struct {
+	Name string
+	D    time.Duration
+}
+
+// NewTrace starts a trace clocked from now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// StartPhase begins a named phase; calling the returned func ends it
+// and records the duration.
+func (t *Trace) StartPhase(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { t.AddPhase(name, time.Since(t0)) }
+}
+
+// AddPhase records an already-measured phase.
+func (t *Trace) AddPhase(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.phases = append(t.phases, Phase{Name: name, D: d})
+	t.mu.Unlock()
+}
+
+// Notef appends a formatted annotation (row counts, plan choices).
+func (t *Trace) Notef(format string, args ...interface{}) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	t.mu.Unlock()
+}
+
+// Elapsed returns the time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Phases returns a copy of the recorded phases.
+func (t *Trace) Phases() []Phase {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Phase(nil), t.phases...)
+}
+
+// String renders the trace on one line: "parse=12µs plan=40µs
+// exec=3ms; note; note".
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	for i, p := range t.phases {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%s", p.Name, p.D)
+	}
+	for _, n := range t.notes {
+		sb.WriteString("; ")
+		sb.WriteString(n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,21 @@
+// OSON observability: codec volume counters and the look-back
+// resolution counters that show whether §4.2.1's single-row look-back
+// is paying off on a workload. All sites are per-document (never
+// per-field-per-row): the same-document fast path of FieldRef.Resolve
+// is deliberately uncounted.
+
+package oson
+
+import "repro/internal/metrics"
+
+var (
+	mEncodeDocs  = metrics.NewCounter("oson.encode.docs", "documents encoded to OSON")
+	mEncodeBytes = metrics.NewCounter("oson.encode.bytes", "total OSON bytes produced by encoding")
+	mDecodeDocs  = metrics.NewCounter("oson.decode.docs", "OSON buffers parsed into documents")
+	mDecodeBytes = metrics.NewCounter("oson.decode.bytes", "total OSON bytes parsed")
+	// Look-back outcomes when Resolve crosses a document boundary: a
+	// hit revalidates the previous document's field id with one probe,
+	// a miss falls back to the full hash + binary-search lookup.
+	mLookbackHits   = metrics.NewCounter("oson.fieldref.lookback_hits", "cross-document field-id look-back revalidations that succeeded")
+	mLookbackMisses = metrics.NewCounter("oson.fieldref.lookback_misses", "field-id resolutions that needed the full dictionary lookup")
+)

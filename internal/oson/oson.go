@@ -193,6 +193,8 @@ func Encode(v jsondom.Value) ([]byte, error) {
 	out = append(out, dict...)
 	out = append(out, enc.tree...)
 	out = append(out, enc.vals...)
+	mEncodeDocs.Inc()
+	mEncodeBytes.Add(int64(len(out)))
 	return out, nil
 }
 
@@ -557,6 +559,8 @@ func parseCommon(buf []byte) (*Doc, error) {
 		if int(rootOff) >= len(d.tree) {
 			return nil, fmt.Errorf("%w: root offset out of tree", ErrCorrupt)
 		}
+		mDecodeDocs.Inc()
+		mDecodeBytes.Add(int64(len(buf)))
 		return d, nil
 	}
 	dictSeg := buf[dictOff:treeOff]
@@ -573,6 +577,8 @@ func parseCommon(buf []byte) (*Doc, error) {
 	if int(rootOff) >= len(d.tree) {
 		return nil, fmt.Errorf("%w: root offset out of tree", ErrCorrupt)
 	}
+	mDecodeDocs.Inc()
+	mDecodeBytes.Add(int64(len(buf)))
 	return d, nil
 }
 
@@ -1119,16 +1125,19 @@ func (r *FieldRef) Resolve(d *Doc) (FieldID, bool) {
 	if lb != nil && lb.ok {
 		if d.shared != nil {
 			if n, err := d.shared.Name(lb.id); err == nil && n == r.Name {
+				mLookbackHits.Inc()
 				r.last.Store(&lookback{doc: d, id: lb.id, ok: true})
 				return lb.id, true
 			}
 		} else if int(lb.id) < d.count && d.entryHash(int(lb.id)) == r.H {
 			if n, err := d.FieldName(lb.id); err == nil && n == r.Name {
+				mLookbackHits.Inc()
 				r.last.Store(&lookback{doc: d, id: lb.id, ok: true})
 				return lb.id, true
 			}
 		}
 	}
+	mLookbackMisses.Inc()
 	id, ok := d.LookupID(r.H, r.Name)
 	r.last.Store(&lookback{doc: d, id: id, ok: ok})
 	return id, ok

@@ -129,6 +129,8 @@ func EncodeShared(v jsondom.Value, dict *SharedDict) ([]byte, error) {
 	out = appendU32(out, uint32(total))
 	out = append(out, enc.tree...)
 	out = append(out, enc.vals...)
+	mEncodeDocs.Inc()
+	mEncodeBytes.Add(int64(len(out)))
 	return out, nil
 }
 

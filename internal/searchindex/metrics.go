@@ -1,0 +1,15 @@
+// Search-index and DataGuide maintenance observability. Counters are
+// per document; the $DG update latency histogram is observed only when
+// a document actually reaches the DataGuide merge (fingerprint hits in
+// the DataGuide-only mode skip both the merge and the timer).
+
+package searchindex
+
+import "repro/internal/metrics"
+
+var (
+	mDocsIndexed = metrics.NewCounter("searchindex.docs_indexed", "documents processed by search-index maintenance")
+	mDGDocs      = metrics.NewCounter("dataguide.docs_merged", "documents merged into a DataGuide (fingerprint hits excluded)")
+	mDGPaths     = metrics.NewCounter("dataguide.paths_added", "new $DG rows (path, type) discovered")
+	mDGLatency   = metrics.NewHistogram("dataguide.update_latency_ns", "latency of one DataGuide merge, nanoseconds")
+)

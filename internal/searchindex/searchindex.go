@@ -13,6 +13,7 @@ package searchindex
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dataguide"
 	"repro/internal/jsondom"
@@ -154,18 +155,23 @@ func (ix *Index) addTextDataGuideOnly(text []byte) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ix.docCount++
+	mDocsIndexed.Inc()
 	if touched, ok := ix.fpEntries[fp]; ok {
 		ix.guide.BumpFrequency(touched)
 		return nil
 	}
+	t0 := time.Now()
 	added, touched, err := ix.guide.AddTextTracked(text)
 	if err != nil {
 		return err
 	}
+	mDGDocs.Inc()
+	mDGLatency.Observe(int64(time.Since(t0)))
 	ix.fpEntries[fp] = touched
 	for _, e := range added {
 		ix.dgRows = append(ix.dgRows, DGRow{Path: e.Path, Type: e.TypeString()})
 	}
+	mDGPaths.Add(int64(len(added)))
 	return nil
 }
 
@@ -174,11 +180,10 @@ func (ix *Index) AddDocument(docID int, dom jsondom.Value) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ix.docCount++
+	mDocsIndexed.Inc()
 	if !ix.postings {
 		if ix.dataGuide {
-			for _, e := range ix.guide.Add(dom) {
-				ix.dgRows = append(ix.dgRows, DGRow{Path: e.Path, Type: e.TypeString()})
-			}
+			ix.mergeGuide(dom)
 		}
 		return nil
 	}
@@ -187,11 +192,22 @@ func (ix *Index) AddDocument(docID int, dom jsondom.Value) error {
 	seenVal := make(map[string]bool)
 	indexNode(dom, "$", docID, ix, seenPaths, seenKw, seenVal)
 	if ix.dataGuide {
-		for _, e := range ix.guide.Add(dom) {
-			ix.dgRows = append(ix.dgRows, DGRow{Path: e.Path, Type: e.TypeString()})
-		}
+		ix.mergeGuide(dom)
 	}
 	return nil
+}
+
+// mergeGuide runs one timed DataGuide merge and appends the discovered
+// $DG rows. Caller holds ix.mu.
+func (ix *Index) mergeGuide(dom jsondom.Value) {
+	t0 := time.Now()
+	added := ix.guide.Add(dom)
+	mDGDocs.Inc()
+	mDGLatency.Observe(int64(time.Since(t0)))
+	for _, e := range added {
+		ix.dgRows = append(ix.dgRows, DGRow{Path: e.Path, Type: e.TypeString()})
+	}
+	mDGPaths.Add(int64(len(added)))
 }
 
 func indexNode(v jsondom.Value, path string, docID int, ix *Index, seenPaths, seenKw, seenVal map[string]bool) {

@@ -166,6 +166,11 @@ type DropStmt struct {
 	Name string
 }
 
+// ShowMetricsStmt is SHOW METRICS (alias: STATS): it reads every
+// counter, gauge, and histogram in the default metrics registry as
+// (metric, value) rows.
+type ShowMetricsStmt struct{}
+
 func (*CreateTableStmt) isStmt()       {}
 func (*CreateViewStmt) isStmt()        {}
 func (*InsertStmt) isStmt()            {}
@@ -174,6 +179,7 @@ func (*AlterTableAddVCStmt) isStmt()   {}
 func (*DropStmt) isStmt()              {}
 func (*DeleteStmt) isStmt()            {}
 func (*UpdateStmt) isStmt()            {}
+func (*ShowMetricsStmt) isStmt()       {}
 
 // ---------------------------------------------------------------------------
 // Expressions

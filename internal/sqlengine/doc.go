@@ -1,0 +1,12 @@
+// Package sqlengine implements the SQL layer of the reproduction: a
+// lexer, parser, and planner for the SQL/JSON subset the paper's
+// experiments use (Tables 8, 9, 13), and a row-source executor with
+// predicate pushdown, parallel table scans (§5.2.3), EXPLAIN [ANALYZE],
+// and per-query memory budgeting.
+//
+// The Engine is the public entry point: Exec/Query compile a statement
+// against a store.Catalog and run it. Observability hooks — counters
+// under sql.* in [repro/internal/metrics], the SHOW METRICS statement,
+// and an optional slow-query log — are documented in
+// docs/OBSERVABILITY.md.
+package sqlengine

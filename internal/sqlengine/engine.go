@@ -5,11 +5,14 @@ package sqlengine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/jsondom"
+	"repro/internal/metrics"
 	"repro/internal/searchindex"
 	"repro/internal/store"
 )
@@ -30,6 +33,9 @@ type Engine struct {
 	// column name, used to rewrite queries onto virtual columns
 	// (§5.2.1).
 	vcRewrites map[string]map[string]string
+	// slowLog, when non-nil, receives statements at or above its
+	// latency threshold (SetSlowQueryLog).
+	slowLog *slowQueryConfig
 
 	// Planner toggles individual optimizations off, for ablation
 	// studies and debugging; the zero value enables everything.
@@ -158,11 +164,12 @@ func (e *Engine) QueryContext(ctx context.Context, sql string, params ...jsondom
 
 // ExecContext parses and executes one SQL statement under ctx.
 func (e *Engine) ExecContext(ctx context.Context, sql string, params ...jsondom.Value) (*Result, error) {
+	t0 := time.Now()
 	stmt, err := ParseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecStmtContext(ctx, stmt, params...)
+	return e.execStmt(ctx, sql, time.Since(t0), stmt, params)
 }
 
 // ExecStmt executes a pre-parsed statement (loaders reuse parsed
@@ -173,29 +180,76 @@ func (e *Engine) ExecStmt(stmt Statement, params ...jsondom.Value) (*Result, err
 
 // ExecStmtContext executes a pre-parsed statement under ctx.
 func (e *Engine) ExecStmtContext(ctx context.Context, stmt Statement, params ...jsondom.Value) (*Result, error) {
+	return e.execStmt(ctx, "", 0, stmt, params)
+}
+
+// execStmt wraps statement dispatch with the always-on query metrics,
+// the typed cancellation error, and the slow-query log. parseD is the
+// parse time already spent on sqlText (zero for pre-parsed
+// statements); both are folded into the reported latency.
+func (e *Engine) execStmt(ctx context.Context, sqlText string, parseD time.Duration, stmt Statement, params []jsondom.Value) (*Result, error) {
+	mQueryStarted.Inc()
+	slow := e.slowQuery()
+	var tr *metrics.Trace
+	if slow != nil {
+		tr = metrics.NewTrace()
+		if parseD > 0 {
+			tr.AddPhase("parse", parseD)
+		}
+	}
+	start := time.Now()
+	res, plan, qid, err := e.dispatchStmt(ctx, stmt, params, slow != nil, tr)
+	elapsed := parseD + time.Since(start)
+	mQueryLatency.Observe(int64(elapsed))
+	switch {
+	case err == nil:
+		mQueryFinished.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		mQueryCancelled.Inc()
+		err = fmt.Errorf("%w: %w", ErrQueryCancelled, err)
+	default:
+		mQueryFailed.Inc()
+	}
+	if slow != nil && elapsed >= slow.threshold {
+		slow.logSlowQuery(sqlText, stmt, qid, elapsed, tr, plan)
+	}
+	return res, err
+}
+
+// dispatchStmt routes one statement to its executor. For SELECTs it
+// also returns the executed plan and query id so the slow-query log
+// can render the operator tree.
+func (e *Engine) dispatchStmt(ctx context.Context, stmt Statement, params []jsondom.Value, collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error) {
 	switch t := stmt.(type) {
 	case *SelectStmt:
-		return e.runSelect(ctx, t, params)
+		return e.runSelect(ctx, t, params, collect, tr)
 	case *ExplainStmt:
-		return e.runExplain(ctx, t, params)
+		res, err := e.runExplain(ctx, t, params)
+		return res, nil, 0, err
+	case *ShowMetricsStmt:
+		res, err := e.runShowMetrics()
+		return res, nil, 0, err
 	case *CreateTableStmt:
-		return &Result{}, e.createTable(t)
+		return &Result{}, nil, 0, e.createTable(t)
 	case *CreateViewStmt:
-		return &Result{}, e.createView(t)
+		return &Result{}, nil, 0, e.createView(t)
 	case *InsertStmt:
-		return e.runInsert(ctx, t, params)
+		res, err := e.runInsert(ctx, t, params)
+		return res, nil, 0, err
 	case *CreateSearchIndexStmt:
-		return &Result{}, e.createSearchIndex(t)
+		return &Result{}, nil, 0, e.createSearchIndex(t)
 	case *AlterTableAddVCStmt:
-		return &Result{}, e.addVirtualColumn(t)
+		return &Result{}, nil, 0, e.addVirtualColumn(t)
 	case *DropStmt:
-		return &Result{}, e.drop(t)
+		return &Result{}, nil, 0, e.drop(t)
 	case *DeleteStmt:
-		return e.runDelete(ctx, t, params)
+		res, err := e.runDelete(ctx, t, params)
+		return res, nil, 0, err
 	case *UpdateStmt:
-		return e.runUpdate(ctx, t, params)
+		res, err := e.runUpdate(ctx, t, params)
+		return res, nil, 0, err
 	}
-	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	return nil, nil, 0, fmt.Errorf("sql: unsupported statement %T", stmt)
 }
 
 // ---------------------------------------------------------------------------
@@ -454,25 +508,35 @@ func exprKey(e Expr) string {
 // ---------------------------------------------------------------------------
 // SELECT planning
 
-func (e *Engine) runSelect(ctx context.Context, stmt *SelectStmt, params []jsondom.Value) (*Result, error) {
+// runSelect plans and drains one SELECT. collect forces per-operator
+// stats collection (slow-query logging); the returned rowSource is the
+// closed plan tree, kept so the caller can render it, and the uint64
+// is the execution's query id.
+func (e *Engine) runSelect(ctx context.Context, stmt *SelectStmt, params []jsondom.Value, collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error) {
+	planDone := tr.StartPhase("plan")
 	env := &planEnv{params: params, aggCols: map[*FuncCall]int{}, winCols: map[*WindowFunc]int{}}
 	src, names, err := e.planSelectPushed(stmt, env, nil)
+	planDone()
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	ec := newExecCtx(ctx, e.Planner.MemoryBudget)
+	ec.collect = collect
+	execDone := tr.StartPhase("execute")
 	if err := src.Open(ec); err != nil {
-		return nil, err
+		return nil, src, ec.queryID, err
 	}
 	defer src.Close() //nolint:errcheck
 	res := &Result{Columns: names}
 	for {
 		row, ok, err := src.Next(ec)
 		if err != nil {
-			return nil, err
+			return nil, src, ec.queryID, err
 		}
 		if !ok {
-			return res, nil
+			execDone()
+			tr.Notef("rows=%d", len(res.Rows))
+			return res, src, ec.queryID, nil
 		}
 		res.Rows = append(res.Rows, row)
 	}

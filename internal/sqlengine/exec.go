@@ -132,7 +132,10 @@ type tableScan struct {
 
 	pos, maxID int
 	ticks      int
-	st         *OpStats
+	// rowsOut accumulates emitted rows operator-locally; Close flushes
+	// it to the shared sql.scan.rows counter in one atomic add.
+	rowsOut int64
+	st      *OpStats
 }
 
 func newTableScan(tab *store.Table, alias string, needed map[string]bool, sub InMemorySource, samplePct float64) *tableScan {
@@ -162,6 +165,7 @@ func (s *tableScan) Open(ec *ExecCtx) error {
 	s.pos = s.lo
 	s.idPos = 0
 	s.ticks = 0
+	s.rowsOut = 0
 	s.maxID = len(s.rows)
 	if s.hi > 0 && s.hi < s.maxID {
 		s.maxID = s.hi
@@ -239,6 +243,7 @@ func (s *tableScan) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 			}
 			out[i] = v
 		}
+		s.rowsOut++
 		return out, true, nil
 	}
 }
@@ -252,7 +257,13 @@ func (s *tableScan) passVecFilters(rowID int) bool {
 	return true
 }
 
-func (s *tableScan) Close() error { return nil }
+func (s *tableScan) Close() error {
+	if s.rowsOut > 0 {
+		mScanRows.Add(s.rowsOut)
+		s.rowsOut = 0
+	}
+	return nil
+}
 
 func (s *tableScan) opName() string {
 	name := fmt.Sprintf("TableScan(%s", s.tab.Name)

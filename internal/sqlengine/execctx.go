@@ -29,6 +29,12 @@ const cancelCheckInterval = 256
 // exceed PlannerOptions.MemoryBudget.
 var ErrMemoryBudget = errors.New("sql: query memory budget exceeded")
 
+// ErrQueryCancelled wraps any context cancellation or timeout observed
+// during statement execution, giving callers one sentinel to test
+// with; the original context.Canceled / context.DeadlineExceeded stays
+// reachable through errors.Is as well.
+var ErrQueryCancelled = errors.New("sql: query cancelled")
+
 // queryIDSeq issues process-wide query ids.
 var queryIDSeq atomic.Uint64
 
@@ -113,7 +119,9 @@ func (ec *ExecCtx) grow(n int64) error {
 	if ec.memBudget <= 0 {
 		return nil
 	}
+	mMemCharged.Add(n)
 	if ec.memUsed.Add(n) > ec.memBudget {
+		mMemDenied.Inc()
 		return fmt.Errorf("%w (budget %d bytes)", ErrMemoryBudget, ec.memBudget)
 	}
 	return nil

@@ -33,6 +33,8 @@ type SyntaxError struct {
 	Msg    string
 }
 
+// Error implements the error interface, quoting the source around the
+// offending offset.
 func (e *SyntaxError) Error() string {
 	start := e.Offset - 20
 	if start < 0 {

@@ -1,0 +1,120 @@
+// Engine observability: the always-on metrics the statement path and
+// the scan operators feed, the slow-query log, and the SHOW METRICS
+// statement that exposes the process-wide registry through SQL.
+//
+// Hot-path budget: per statement the engine pays two time.Now calls,
+// four counter increments, and one histogram observation; per scanned
+// row it pays a non-atomic operator-local increment that is flushed to
+// the shared counter once at operator Close. Per-operator wall-clock
+// timing (the EXPLAIN ANALYZE sinks) stays opt-in: it is enabled for
+// every statement only while a slow-query log is installed, so a slow
+// statement can be dumped with live operator stats.
+
+package sqlengine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/jsondom"
+	"repro/internal/metrics"
+)
+
+// Statement-path metrics (docs/OBSERVABILITY.md catalogs semantics).
+var (
+	mQueryStarted   = metrics.NewCounter("sql.query.started", "statements entering execution")
+	mQueryFinished  = metrics.NewCounter("sql.query.finished", "statements completed without error")
+	mQueryFailed    = metrics.NewCounter("sql.query.failed", "statements failed with a non-cancellation error")
+	mQueryCancelled = metrics.NewCounter("sql.query.cancelled", "statements aborted by context cancellation or timeout")
+	mQuerySlow      = metrics.NewCounter("sql.query.slow", "statements written to the slow-query log")
+	mQueryLatency   = metrics.NewHistogram("sql.query.latency_ns", "end-to-end statement latency, nanoseconds")
+)
+
+// Scan and memory-accounting metrics.
+var (
+	mScanRows       = metrics.NewCounter("sql.scan.rows", "rows emitted by table scans (before residual filters)")
+	mParScans       = metrics.NewCounter("sql.scan.parallel.fanout", "parallel partitioned scans started")
+	mParWorkers     = metrics.NewCounter("sql.scan.parallel.workers", "scan worker goroutines launched")
+	mParRows        = metrics.NewCounter("sql.scan.parallel.rows", "rows delivered by parallel scan workers (after worker-side filters)")
+	mParMergeStalls = metrics.NewCounter("sql.scan.parallel.merge_stalls", "merge-side waits on an empty worker channel")
+	mMemCharged     = metrics.NewCounter("sql.mem.bytes_charged", "bytes charged against query memory budgets")
+	mMemDenied      = metrics.NewCounter("sql.mem.denials", "allocations denied by the query memory budget")
+)
+
+// slowQueryConfig is the installed slow-query log; nil means disabled.
+type slowQueryConfig struct {
+	threshold time.Duration
+	mu        sync.Mutex // serializes multi-line entries from concurrent queries
+	w         io.Writer
+}
+
+// SetSlowQueryLog installs (or, with w == nil, removes) the engine's
+// slow-query log: any statement whose end-to-end latency reaches
+// threshold is written to w as a multi-line entry carrying the SQL
+// text, the phase trace, and — for SELECTs — the EXPLAIN ANALYZE
+// operator tree. While a log is installed, per-operator stats
+// collection is enabled for every statement (the same timers EXPLAIN
+// ANALYZE uses), which costs two clock reads per operator Next call.
+func (e *Engine) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w == nil {
+		e.slowLog = nil
+		return
+	}
+	e.slowLog = &slowQueryConfig{threshold: threshold, w: w}
+}
+
+// slowQuery returns the current slow-query config, or nil.
+func (e *Engine) slowQuery() *slowQueryConfig {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.slowLog
+}
+
+// logSlowQuery writes one slow-query entry. plan may be nil for
+// non-SELECT statements.
+func (cfg *slowQueryConfig) logSlowQuery(sqlText string, stmt Statement, queryID uint64, elapsed time.Duration, tr *metrics.Trace, plan rowSource) {
+	mQuerySlow.Inc()
+	if sqlText == "" {
+		sqlText = fmt.Sprintf("<pre-parsed %T>", stmt)
+	}
+	cfg.mu.Lock()
+	defer cfg.mu.Unlock()
+	fmt.Fprintf(cfg.w, "--- SLOW QUERY id=%d elapsed=%s threshold=%s\n", queryID, elapsed, cfg.threshold)
+	fmt.Fprintf(cfg.w, "sql: %s\n", sqlText)
+	if s := tr.String(); s != "" {
+		fmt.Fprintf(cfg.w, "trace: %s\n", s)
+	}
+	if plan != nil {
+		fmt.Fprintln(cfg.w, "plan:")
+		for _, line := range renderPlan(plan, true) {
+			fmt.Fprintf(cfg.w, "  %s\n", line)
+		}
+	}
+}
+
+// runShowMetrics executes SHOW METRICS / STATS: one row per counter
+// and gauge, plus count/sum/max/p50/p90/p99 rows per histogram, all
+// read live from the process-wide default registry.
+func (e *Engine) runShowMetrics() (*Result, error) {
+	snap := metrics.Default.Snapshot()
+	res := &Result{Columns: []string{"metric", "value"}}
+	add := func(name string, v int64) {
+		res.Rows = append(res.Rows, []jsondom.Value{jsondom.String(name), jsondom.NumberFromInt(v)})
+	}
+	for _, s := range snap.Samples {
+		add(s.Name, s.Value)
+	}
+	for _, h := range snap.Histograms {
+		add(h.Name+".count", h.Count)
+		add(h.Name+".sum", h.Sum)
+		add(h.Name+".max", h.Max)
+		add(h.Name+".p50", h.P50)
+		add(h.Name+".p90", h.P90)
+		add(h.Name+".p99", h.P99)
+	}
+	return res, nil
+}

@@ -102,6 +102,8 @@ func (p *parallelScanOp) Open(ec *ExecCtx) error {
 	if len(parts) == 0 {
 		return nil
 	}
+	mParScans.Inc()
+	mParWorkers.Add(int64(len(parts)))
 	if p.unordered {
 		p.out = make(chan parRow, parChanCap*len(parts))
 	} else {
@@ -137,6 +139,8 @@ func (p *parallelScanOp) Open(ec *ExecCtx) error {
 // and rows go to the shared p.out.
 func (p *parallelScanOp) worker(ec *ExecCtx, scan *tableScan, pred Expr, ch chan parRow) {
 	defer p.wg.Done()
+	var delivered int64
+	defer func() { mParRows.Add(delivered) }()
 	out := ch
 	if out == nil {
 		out = p.out
@@ -147,6 +151,7 @@ func (p *parallelScanOp) worker(ec *ExecCtx, scan *tableScan, pred Expr, ch chan
 		p.send(out, parRow{err: err})
 		return
 	}
+	defer scan.Close() //nolint:errcheck // flushes the scan's row count
 	var ctx *evalCtx
 	if pred != nil {
 		ctx = p.env.bindCtx(scan.Schema(), pred)
@@ -179,6 +184,7 @@ func (p *parallelScanOp) worker(ec *ExecCtx, scan *tableScan, pred Expr, ch chan
 		if !p.send(out, parRow{row: row}) {
 			return
 		}
+		delivered++
 	}
 }
 
@@ -202,7 +208,7 @@ func (p *parallelScanOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err er
 		if p.out == nil {
 			return nil, false, nil
 		}
-		r, ok := <-p.out
+		r, ok := recvCounted(p.out)
 		if !ok {
 			return nil, false, nil
 		}
@@ -212,7 +218,7 @@ func (p *parallelScanOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err er
 		return r.row, true, nil
 	}
 	for p.cur < len(p.chans) {
-		r, ok := <-p.chans[p.cur]
+		r, ok := recvCounted(p.chans[p.cur])
 		if !ok {
 			p.cur++
 			continue
@@ -223,6 +229,20 @@ func (p *parallelScanOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err er
 		return r.row, true, nil
 	}
 	return nil, false, nil
+}
+
+// recvCounted receives one merge input, counting a stall when the
+// channel is empty at the moment of the receive (the consumer is ahead
+// of the producers — the signal behind merge_stalls).
+func recvCounted(ch chan parRow) (parRow, bool) {
+	select {
+	case r, ok := <-ch:
+		return r, ok
+	default:
+	}
+	mParMergeStalls.Inc()
+	r, ok := <-ch
+	return r, ok
 }
 
 // Close stops all workers and waits for them, so no goroutine outlives

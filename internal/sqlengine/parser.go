@@ -92,8 +92,25 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.atKw("update"):
 		return p.parseUpdate()
+	case p.atKw("show"):
+		return p.parseShow()
+	case p.atKw("stats"):
+		p.next()
+		return &ShowMetricsStmt{}, nil
 	}
 	return nil, p.errf("expected statement keyword")
+}
+
+// parseShow parses SHOW METRICS (STATS is the short alias handled in
+// parseStatement).
+func (p *parser) parseShow() (Statement, error) {
+	if err := p.expectKw("show"); err != nil {
+		return nil, err
+	}
+	if !p.acceptKw("metrics") {
+		return nil, p.errf("expected METRICS after SHOW")
+	}
+	return &ShowMetricsStmt{}, nil
 }
 
 // parseExplain parses EXPLAIN [ANALYZE] <select>.

@@ -38,6 +38,7 @@ const (
 	EncDOM // already materialized
 )
 
+// String names the encoding as used in benchmark and EXPLAIN output.
 func (e Encoding) String() string {
 	switch e {
 	case EncText:

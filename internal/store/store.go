@@ -35,6 +35,7 @@ const (
 	TypeBool                      // BOOLEAN (for expression results)
 )
 
+// String renders the column type in DDL spelling.
 func (t ColumnType) String() string {
 	switch t {
 	case TypeNumber:
