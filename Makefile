@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz doccheck check
+.PHONY: all build test race vet fuzz doccheck bench-smoke bench-json check
 
 all: build
 
@@ -35,4 +35,14 @@ fuzz:
 doccheck:
 	$(GO) run ./cmd/doccheck
 
-check: build vet test race doccheck
+# One iteration of every benchmark: catches bit-rot in the benchmark
+# harnesses without paying for full measurement runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Benchmark run emitting the test2json machine-readable event stream
+# (one JSON object per line) for dashboards and regression tooling.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -json .
+
+check: build vet test race doccheck bench-smoke

@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bench"
@@ -127,6 +128,67 @@ func BenchmarkFig6NoBenchVCIMC(b *testing.B) {
 		}
 		return e.EnableVCIMC()
 	}, bench.Fig6Queries)
+}
+
+// BenchmarkFig5Prepared measures the OLTP fast path on the NOBENCH
+// point query Q5 (§6.4) in VC-IMC mode, where execution is cheap and
+// parse + plan dominate. Three variants: Prepare once and Run
+// repeatedly; plain Query with the constant varying per iteration
+// (served by the plan cache through literal auto-parameterization);
+// and plain Query with the plan cache disabled (a hard parse and plan
+// every time — the pre-cache behavior). The cached paths are expected
+// to win by >= 1.3x.
+func BenchmarkFig5Prepared(b *testing.B) {
+	const nDocs = 300 // below the parallel-scan threshold: serial point scans
+	setup := func(b *testing.B) *bench.NoBenchEnv {
+		b.Helper()
+		env, err := bench.SetupNoBench(nDocs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.EnableOSONIMC(); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.EnableVCIMC(); err != nil {
+			b.Fatal(err)
+		}
+		return env
+	}
+	pointQuery := func(i int) string {
+		return fmt.Sprintf(`select count(*) from nobench where json_value(jdoc, '$.str1') = 'GBRDC%07d'`, i%nDocs)
+	}
+	b.Run("prepared", func(b *testing.B) {
+		env := setup(b)
+		ps, err := env.Eng.Prepare(pointQuery(nDocs / 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ps.Query(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plancache", func(b *testing.B) {
+		env := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Eng.Query(pointQuery(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unprepared", func(b *testing.B) {
+		env := setup(b)
+		env.Eng.SetPlanCacheSize(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Eng.Query(pointQuery(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFig7Insert measures the three insertion modes (Figure 7).

@@ -22,6 +22,8 @@
 //	                            ("stderr" to log to standard error)
 //	-slow-query-threshold dur   slow-statement latency threshold
 //	                            (default 100ms)
+//	-plan-cache n               LRU plan cache capacity; 0 disables
+//	                            caching (every statement hard-parses)
 package main
 
 import (
@@ -76,9 +78,11 @@ func runSQL(args []string) {
 	debugAddr := fs.String("debug-addr", "", "serve /debug/fsdmmetrics, /debug/vars and /debug/pprof on this address")
 	slowLog := fs.String("slow-query-log", "", `write slow-query entries to this file ("stderr" for standard error)`)
 	slowThreshold := fs.Duration("slow-query-threshold", 100*time.Millisecond, "latency at or above which a statement is logged")
+	planCache := fs.Int("plan-cache", 128, "LRU plan cache capacity; 0 disables caching")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	eng := sqlengine.New()
+	eng.SetPlanCacheSize(*planCache)
 	if *slowLog != "" {
 		var w io.Writer = os.Stderr
 		if *slowLog != "stderr" {

@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/decnum"
@@ -137,6 +138,16 @@ type encoder struct {
 	// collections (sensor readings, archives) share leaf payloads,
 	// shrinking the leaf-scalar-value segment; decoding is unaffected.
 	valDedup map[string]int
+	// entryScratch is a stack-disciplined arena for writeNode's
+	// per-object (field id, child) sort buffers; see writeNode.
+	entryScratch []objEntry
+}
+
+// objEntry pairs a field id with its value for the per-object child
+// sort in writeNode.
+type objEntry struct {
+	id FieldID
+	v  jsondom.Value
 }
 
 type dictEntry struct {
@@ -144,10 +155,43 @@ type dictEntry struct {
 	name string
 }
 
+// encoderPool recycles encoder state — dictionary slices, tree/value
+// buffers, dedup maps, sort scratch — across Encode calls. Bulk loads
+// encode thousands of similar documents back to back, so the steady
+// state allocates nothing but the output buffer (which escapes to the
+// caller and cannot be pooled).
+var encoderPool = sync.Pool{New: func() any {
+	return &encoder{nameIDs: make(map[string]FieldID), valDedup: make(map[string]int)}
+}}
+
+func getEncoder(dict *SharedDict) *encoder {
+	enc := encoderPool.Get().(*encoder)
+	enc.sharedDict = dict
+	return enc
+}
+
+func putEncoder(enc *encoder) {
+	enc.names = enc.names[:0]
+	clear(enc.nameIDs)
+	enc.sharedDict = nil
+	enc.wt, enc.wv, enc.wf = 0, 0, 0
+	enc.tree = enc.tree[:0]
+	enc.vals = enc.vals[:0]
+	clear(enc.valDedup)
+	enc.entryScratch = enc.entryScratch[:0]
+	encoderPool.Put(enc)
+}
+
+// measurerPool recycles the width-fixpoint loop's dedup-tracking map.
+var measurerPool = sync.Pool{New: func() any {
+	return &measurer{seen: make(map[string]bool)}
+}}
+
 // Encode serializes a JSON DOM value to OSON bytes. Any kind may be the
 // root, matching the JSON data model.
 func Encode(v jsondom.Value) ([]byte, error) {
-	enc := &encoder{nameIDs: make(map[string]FieldID)}
+	enc := getEncoder(nil)
+	defer putEncoder(enc)
 	enc.collectNames(v)
 	enc.buildDict()
 
@@ -158,8 +202,9 @@ func Encode(v jsondom.Value) ([]byte, error) {
 	if len(enc.names) == 0 {
 		cf = 0
 	}
+	m := measurerPool.Get().(*measurer)
 	for {
-		m := &measurer{seen: make(map[string]bool)}
+		clear(m.seen)
 		treeSize, valSize := m.measure(v, widthOf(ct), widthOf(cv), widthOf(cf))
 		nct, ncv := classFor(treeSize), classFor(valSize)
 		if nct == ct && ncv == cv {
@@ -167,8 +212,8 @@ func Encode(v jsondom.Value) ([]byte, error) {
 		}
 		ct, cv = nct, ncv
 	}
+	measurerPool.Put(m)
 	enc.wt, enc.wv, enc.wf = widthOf(ct), widthOf(cv), widthOf(cf)
-	enc.valDedup = make(map[string]int)
 
 	rootOff, err := enc.writeNode(v)
 	if err != nil {
@@ -380,15 +425,16 @@ func (e *encoder) writeNode(v jsondom.Value) (NodeAddr, error) {
 	switch t := v.(type) {
 	case *jsondom.Object:
 		n := t.Len()
-		// children sorted by field id for binary search (§4.2.2)
-		type entry struct {
-			id FieldID
-			v  jsondom.Value
+		// children sorted by field id for binary search (§4.2.2). The
+		// sort buffer comes from the encoder's stack-disciplined arena:
+		// child recursion appends after base and truncates back, and if
+		// an append regrows the arena this frame's header keeps reading
+		// the fully written old backing array.
+		base := len(e.entryScratch)
+		for _, f := range t.Fields() {
+			e.entryScratch = append(e.entryScratch, objEntry{id: e.nameIDs[f.Name], v: f.Value})
 		}
-		entries := make([]entry, n)
-		for i, f := range t.Fields() {
-			entries[i] = entry{id: e.nameIDs[f.Name], v: f.Value}
-		}
+		entries := e.entryScratch[base : base+n]
 		sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
 
 		e.tree = append(e.tree, byte(nkObject<<6))
@@ -405,6 +451,7 @@ func (e *encoder) writeNode(v jsondom.Value) (NodeAddr, error) {
 			}
 			e.putUint(e.tree, offsAt+i*e.wt, e.wt, uint64(child))
 		}
+		e.entryScratch = e.entryScratch[:base]
 		return addr, nil
 	case *jsondom.Array:
 		n := t.Len()
@@ -532,8 +579,33 @@ func Parse(buf []byte) (*Doc, error) {
 	return parseCommon(buf)
 }
 
+// ParseInto is Parse reusing caller-owned decoder scratch: d is fully
+// reinitialized against buf, so a loop decoding many transient
+// documents (bulk validation, scans over out-of-line OSON columns) can
+// recycle one Doc instead of allocating one per document. The Doc must
+// not outlive the caller's exclusive use of it.
+func ParseInto(d *Doc, buf []byte) error {
+	if len(buf) < headerSize || string(buf[:4]) != Magic {
+		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	if buf[4]&flagSharedDict != 0 {
+		return fmt.Errorf("%w: set-encoded document requires ParseShared", ErrCorrupt)
+	}
+	*d = Doc{}
+	return parseCommonInto(d, buf)
+}
+
 // parseCommon validates framing shared by Parse and ParseShared.
 func parseCommon(buf []byte) (*Doc, error) {
+	d := &Doc{}
+	if err := parseCommonInto(d, buf); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseCommonInto fills d from buf, validating the framing.
+func parseCommonInto(d *Doc, buf []byte) error {
 	flags := buf[4]
 	dictOff := int(binary.LittleEndian.Uint32(buf[5:]))
 	treeOff := int(binary.LittleEndian.Uint32(buf[9:]))
@@ -542,44 +614,42 @@ func parseCommon(buf []byte) (*Doc, error) {
 	total := int(binary.LittleEndian.Uint32(buf[21:]))
 	if total != len(buf) || dictOff != headerSize ||
 		treeOff < dictOff || valOff < treeOff || valOff > total {
-		return nil, fmt.Errorf("%w: bad segment offsets", ErrCorrupt)
+		return fmt.Errorf("%w: bad segment offsets", ErrCorrupt)
 	}
-	d := &Doc{
-		buf:  buf,
-		tree: buf[treeOff:valOff],
-		vals: buf[valOff:],
-		wt:   widthOf(flags & 3),
-		wv:   widthOf(flags >> 2 & 3),
-		wf:   widthOf(flags >> 4 & 3),
-		root: NodeAddr(rootOff),
-	}
+	d.buf = buf
+	d.tree = buf[treeOff:valOff]
+	d.vals = buf[valOff:]
+	d.wt = widthOf(flags & 3)
+	d.wv = widthOf(flags >> 2 & 3)
+	d.wf = widthOf(flags >> 4 & 3)
+	d.root = NodeAddr(rootOff)
 	if flags&flagSharedDict != 0 {
 		// set-encoded document: no embedded dictionary segment; the
 		// caller binds the shared dictionary
 		if int(rootOff) >= len(d.tree) {
-			return nil, fmt.Errorf("%w: root offset out of tree", ErrCorrupt)
+			return fmt.Errorf("%w: root offset out of tree", ErrCorrupt)
 		}
 		mDecodeDocs.Inc()
 		mDecodeBytes.Add(int64(len(buf)))
-		return d, nil
+		return nil
 	}
 	dictSeg := buf[dictOff:treeOff]
 	if len(dictSeg) < 2 {
-		return nil, fmt.Errorf("%w: dictionary segment too short", ErrCorrupt)
+		return fmt.Errorf("%w: dictionary segment too short", ErrCorrupt)
 	}
 	d.count = int(binary.LittleEndian.Uint16(dictSeg))
 	entriesEnd := 2 + 8*d.count
 	if entriesEnd > len(dictSeg) {
-		return nil, fmt.Errorf("%w: dictionary entries overflow", ErrCorrupt)
+		return fmt.Errorf("%w: dictionary entries overflow", ErrCorrupt)
 	}
 	d.dict = dictSeg[2:entriesEnd]
 	d.heap = dictSeg[entriesEnd:]
 	if int(rootOff) >= len(d.tree) {
-		return nil, fmt.Errorf("%w: root offset out of tree", ErrCorrupt)
+		return fmt.Errorf("%w: root offset out of tree", ErrCorrupt)
 	}
 	mDecodeDocs.Inc()
 	mDecodeBytes.Add(int64(len(buf)))
-	return d, nil
+	return nil
 }
 
 // MustParse parses or panics; for fixtures.

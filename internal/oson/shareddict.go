@@ -92,13 +92,15 @@ func (d *SharedDict) MemoryBytes() int {
 // per-document dictionary segment is omitted and field ids reference
 // the dictionary, which is grown as needed.
 func EncodeShared(v jsondom.Value, dict *SharedDict) ([]byte, error) {
-	enc := &encoder{nameIDs: make(map[string]FieldID), sharedDict: dict}
+	enc := getEncoder(dict)
+	defer putEncoder(enc)
 	enc.collectNames(v)
 
 	ct, cv := byte(0), byte(0)
 	cf := classFor(dict.Len() - 1)
+	m := measurerPool.Get().(*measurer)
 	for {
-		m := &measurer{seen: make(map[string]bool)}
+		clear(m.seen)
 		treeSize, valSize := m.measure(v, widthOf(ct), widthOf(cv), widthOf(cf))
 		nct, ncv := classFor(treeSize), classFor(valSize)
 		if nct == ct && ncv == cv {
@@ -106,8 +108,8 @@ func EncodeShared(v jsondom.Value, dict *SharedDict) ([]byte, error) {
 		}
 		ct, cv = nct, ncv
 	}
+	measurerPool.Put(m)
 	enc.wt, enc.wv, enc.wf = widthOf(ct), widthOf(cv), widthOf(cf)
-	enc.valDedup = make(map[string]int)
 
 	rootOff, err := enc.writeNode(v)
 	if err != nil {

@@ -19,6 +19,8 @@ package pathengine
 import (
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/jsondom"
 	"repro/internal/jsonpath"
@@ -55,6 +57,14 @@ type CompiledField struct {
 }
 
 // Compiled is a path prepared for repeated evaluation.
+//
+// Immutability contract: once Compile returns, a Compiled is never
+// written again and may be shared freely — across goroutines, across
+// executions of a cached plan, and across plans via the CompileText
+// memo. The only mutable state reachable from it is each FieldRef's
+// look-back slot (§4.2.1), which is an atomic.Pointer and safe under
+// concurrent evaluation. Callers must not modify Path or any step
+// after compilation.
 type Compiled struct {
 	Path  *jsonpath.Path
 	steps []compiledStep
@@ -145,13 +155,44 @@ func MustCompile(text string) *Compiled {
 	return Compile(jsonpath.MustParse(text))
 }
 
-// CompileText parses and compiles a path.
+// compileMemo caches CompileText results process-wide: the same path
+// text recurs across every statement touching a collection, and a
+// Compiled is immutable (see the type's contract), so one instance
+// serves them all. Entries are counted approximately and the memo is
+// reset when it exceeds compileMemoMax, bounding memory under
+// adversarial path churn without locking the hit path.
+var (
+	compileMemo     atomic.Pointer[sync.Map] // path text -> *Compiled
+	compileMemoSize atomic.Int64             // approximate entry count
+)
+
+func init() { compileMemo.Store(&sync.Map{}) }
+
+// compileMemoMax bounds the memoized path count; a full memo is
+// discarded wholesale rather than evicted entry-wise (the count and
+// the swap are approximate, which only ever discards valid entries).
+const compileMemoMax = 4096
+
+// CompileText parses and compiles a path, memoizing successful
+// results by text.
 func CompileText(text string) (*Compiled, error) {
+	m := compileMemo.Load()
+	if c, ok := m.Load(text); ok {
+		return c.(*Compiled), nil
+	}
 	p, err := jsonpath.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	return Compile(p), nil
+	c := Compile(p)
+	if prev, loaded := m.LoadOrStore(text, c); loaded {
+		return prev.(*Compiled), nil
+	}
+	if compileMemoSize.Add(1) > compileMemoMax {
+		compileMemo.Store(&sync.Map{})
+		compileMemoSize.Store(0)
+	}
+	return c, nil
 }
 
 func compilePred(p jsonpath.Predicate) *compiledPred {

@@ -87,6 +87,9 @@ func (*SelectStmt) isStmt() {}
 type ExplainStmt struct {
 	Analyze bool
 	Query   *SelectStmt
+	// QueryText is the SELECT source text, kept so EXPLAIN can report
+	// whether the statement's normalized shape is in the plan cache.
+	QueryText string
 }
 
 func (*ExplainStmt) isStmt() {}
@@ -187,8 +190,16 @@ func (*ShowMetricsStmt) isStmt()       {}
 // Expr is a SQL scalar expression.
 type Expr interface{ isExpr() }
 
-// Literal is a constant.
-type Literal struct{ Val jsondom.Value }
+// Literal is a constant. Off is the byte offset of the source token
+// that produced it: >0 for number/string literals that literal
+// auto-parameterization may replace with a bind slot, -1 for keyword
+// literals (null/true/false), and 0 for synthesized literals that have
+// no source token. Offset 0 can never be a real literal because every
+// statement starts with a keyword.
+type Literal struct {
+	Val jsondom.Value
+	Off int
+}
 
 // ColRef references a column, optionally qualified by a table alias.
 type ColRef struct {

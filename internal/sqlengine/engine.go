@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jsondom"
@@ -36,9 +37,18 @@ type Engine struct {
 	// slowLog, when non-nil, receives statements at or above its
 	// latency threshold (SetSlowQueryLog).
 	slowLog *slowQueryConfig
+	// plans is the LRU plan cache behind Query/Exec; planGen is the
+	// plan generation, bumped by invalidatePlans on any change that
+	// could alter planning (DDL, IMC attach/detach, index/VC/view
+	// creation) so stale cached plans self-invalidate at lookup.
+	plans   *planCache
+	planGen atomic.Uint64
 
 	// Planner toggles individual optimizations off, for ablation
 	// studies and debugging; the zero value enables everything.
+	// Flipping a flag is observed by the plan cache: cached plans
+	// carry the option snapshot they were built under and are
+	// discarded on mismatch.
 	Planner PlannerOptions
 }
 
@@ -94,6 +104,7 @@ func New() *Engine {
 		tableIndexes: make(map[string][]*searchindex.Index),
 		imc:          make(map[string]InMemorySource),
 		vcRewrites:   make(map[string]map[string]string),
+		plans:        newPlanCache(defaultPlanCacheSize),
 	}
 }
 
@@ -104,15 +115,24 @@ func (e *Engine) Catalog() *store.Catalog { return e.cat }
 // the population step of §5.2.2 / §5.2.1.
 func (e *Engine) AttachIMC(table string, src InMemorySource) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.imc[strings.ToLower(table)] = src
+	e.mu.Unlock()
+	e.invalidatePlans()
 }
 
-// DetachIMC removes the in-memory source for a table.
+// DetachIMC removes the in-memory source for a table. Cached plans
+// bind the source at plan time, so an actual detach invalidates them;
+// detaching a table with no source attached (the DML paths call this
+// unconditionally) leaves the cache alone.
 func (e *Engine) DetachIMC(table string) {
+	key := strings.ToLower(table)
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.imc, strings.ToLower(table))
+	_, had := e.imc[key]
+	delete(e.imc, key)
+	e.mu.Unlock()
+	if had {
+		e.invalidatePlans()
+	}
 }
 
 // SearchIndex returns a search index by name.
@@ -163,7 +183,14 @@ func (e *Engine) QueryContext(ctx context.Context, sql string, params ...jsondom
 }
 
 // ExecContext parses and executes one SQL statement under ctx.
+// Cacheable SELECTs are served through the plan cache (execCached);
+// everything else — and every statement while the cache is disabled —
+// takes the parse-and-execute path.
 func (e *Engine) ExecContext(ctx context.Context, sql string, params ...jsondom.Value) (*Result, error) {
+	if res, handled, err := e.execCached(ctx, sql, params); handled {
+		return res, err
+	}
+	mHardParse.Inc()
 	t0 := time.Now()
 	stmt, err := ParseStatement(sql)
 	if err != nil {
@@ -188,6 +215,16 @@ func (e *Engine) ExecStmtContext(ctx context.Context, stmt Statement, params ...
 // parse time already spent on sqlText (zero for pre-parsed
 // statements); both are folded into the reported latency.
 func (e *Engine) execStmt(ctx context.Context, sqlText string, parseD time.Duration, stmt Statement, params []jsondom.Value) (*Result, error) {
+	return e.runWrapped(sqlText, parseD, stmt, func(collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error) {
+		return e.dispatchStmt(ctx, stmt, params, collect, tr)
+	})
+}
+
+// runWrapped applies the statement-path bookkeeping — query metrics,
+// typed cancellation error, slow-query log — around one execution
+// produced by run. stmt may be nil when sqlText is available for the
+// slow-query log.
+func (e *Engine) runWrapped(sqlText string, parseD time.Duration, stmt Statement, run func(collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error)) (*Result, error) {
 	mQueryStarted.Inc()
 	slow := e.slowQuery()
 	var tr *metrics.Trace
@@ -198,7 +235,7 @@ func (e *Engine) execStmt(ctx context.Context, sqlText string, parseD time.Durat
 		}
 	}
 	start := time.Now()
-	res, plan, qid, err := e.dispatchStmt(ctx, stmt, params, slow != nil, tr)
+	res, plan, qid, err := run(slow != nil, tr)
 	elapsed := parseD + time.Since(start)
 	mQueryLatency.Observe(int64(elapsed))
 	switch {
@@ -230,18 +267,18 @@ func (e *Engine) dispatchStmt(ctx context.Context, stmt Statement, params []json
 		res, err := e.runShowMetrics()
 		return res, nil, 0, err
 	case *CreateTableStmt:
-		return &Result{}, nil, 0, e.createTable(t)
+		return &Result{}, nil, 0, e.ddl(e.createTable(t))
 	case *CreateViewStmt:
-		return &Result{}, nil, 0, e.createView(t)
+		return &Result{}, nil, 0, e.ddl(e.createView(t))
 	case *InsertStmt:
 		res, err := e.runInsert(ctx, t, params)
 		return res, nil, 0, err
 	case *CreateSearchIndexStmt:
-		return &Result{}, nil, 0, e.createSearchIndex(t)
+		return &Result{}, nil, 0, e.ddl(e.createSearchIndex(t))
 	case *AlterTableAddVCStmt:
-		return &Result{}, nil, 0, e.addVirtualColumn(t)
+		return &Result{}, nil, 0, e.ddl(e.addVirtualColumn(t))
 	case *DropStmt:
-		return &Result{}, nil, 0, e.drop(t)
+		return &Result{}, nil, 0, e.ddl(e.drop(t))
 	case *DeleteStmt:
 		res, err := e.runDelete(ctx, t, params)
 		return res, nil, 0, err
@@ -250,6 +287,15 @@ func (e *Engine) dispatchStmt(ctx context.Context, stmt Statement, params []json
 		return res, nil, 0, err
 	}
 	return nil, nil, 0, fmt.Errorf("sql: unsupported statement %T", stmt)
+}
+
+// ddl passes a DDL executor's error through, invalidating cached
+// plans on success: any succeeded DDL may change how statements plan.
+func (e *Engine) ddl(err error) error {
+	if err == nil {
+		e.invalidatePlans()
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -520,6 +566,22 @@ func (e *Engine) runSelect(ctx context.Context, stmt *SelectStmt, params []jsond
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	return e.drainSource(ctx, src, names, collect, tr)
+}
+
+// runPlan executes one cached/prepared plan: a bind phase
+// instantiates a fresh operator tree against params, then the tree is
+// drained like any other SELECT.
+func (e *Engine) runPlan(ctx context.Context, plan *preparedPlan, params []jsondom.Value, collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error) {
+	bindDone := tr.StartPhase("bind")
+	src := plan.instantiate(params)
+	bindDone()
+	return e.drainSource(ctx, src, plan.names, collect, tr)
+}
+
+// drainSource opens src, materializes every row, and closes it,
+// timing the execute phase and recording the row count on tr.
+func (e *Engine) drainSource(ctx context.Context, src rowSource, names []string, collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error) {
 	ec := newExecCtx(ctx, e.Planner.MemoryBudget)
 	ec.collect = collect
 	execDone := tr.StartPhase("execute")
@@ -611,7 +673,7 @@ func (e *Engine) planSelectPushed(stmt *SelectStmt, env *planEnv, pushed []Expr)
 		// document before expansion (§6.3); the residual WHERE still
 		// applies, so this is purely an implied pre-filter.
 		if jtOp != nil && where != nil && !e.Planner.DisablePrefilter {
-			attachPrefilters(jtOp, where, env.params)
+			attachPrefilters(jtOp, where)
 		}
 	}
 	if src == nil {
@@ -727,15 +789,26 @@ func (e *Engine) tryVectorizedScan(stmt *SelectStmt, where Expr, env *planEnv, r
 		return nil, nil, false
 	}
 	var filters []func(int) bool
+	var specs []vecFilterSpec
 	var residual Expr
 	for _, c := range splitAnd(where) {
-		if f, ok := compileVecFilter(vfs, c, env.params); ok {
-			filters = append(filters, f)
-			continue
+		if spec, ok := recognizeVecFilter(c); ok {
+			if specHasParam(spec) {
+				// bind-dependent: compiled by the scan's Open with the
+				// execution's parameter values
+				specs = append(specs, spec)
+				continue
+			}
+			if vals, ok := spec.operandValues(nil); ok {
+				if f, ok := vfs.CompileFilter(spec.col, spec.op, vals); ok {
+					filters = append(filters, f)
+					continue
+				}
+			}
 		}
 		residual = andExpr(residual, c)
 	}
-	if len(filters) == 0 {
+	if len(filters)+len(specs) == 0 {
 		return nil, nil, false
 	}
 	alias := tr.Alias
@@ -746,56 +819,54 @@ func (e *Engine) tryVectorizedScan(stmt *SelectStmt, where Expr, env *planEnv, r
 	for _, c := range tab.Columns() {
 		needed[c.Name] = referenced[c.Name] || (hasStar && !c.Hidden)
 	}
-	scan := newTableScan(tab, alias, needed, sub, 0)
+	scan := newTableScan(tab, alias, needed, sub, 0, env)
 	scan.vecFilters = filters
+	scan.vecSpecs = specs
 	return scan, residual, true
 }
 
-// compileVecFilter recognizes `col op const` / `const op col` /
-// `col between const and const` shapes over vector-backed columns.
-func compileVecFilter(vfs VectorFilterSource, c Expr, params []jsondom.Value) (func(int) bool, bool) {
-	constVal := func(x Expr) (jsondom.Value, bool) {
-		switch t := x.(type) {
-		case *Literal:
-			return t.Val, true
-		case *Param:
-			if t.Index < len(params) {
-				return params[t.Index], true
-			}
+// recognizeVecFilter matches `col op const` / `const op col` /
+// `col between const and const` shapes (const = literal or bind
+// parameter) and returns them as a spec for vector compilation.
+func recognizeVecFilter(c Expr) (vecFilterSpec, bool) {
+	isConst := func(x Expr) bool {
+		switch x.(type) {
+		case *Literal, *Param:
+			return true
 		}
-		return nil, false
+		return false
 	}
 	switch t := c.(type) {
 	case *BinOp:
 		flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
 		if _, cmp := flip[t.Op]; !cmp {
-			return nil, false
+			return vecFilterSpec{}, false
 		}
-		if col, ok := t.L.(*ColRef); ok {
-			if v, ok := constVal(t.R); ok {
-				return vfs.CompileFilter(col.Name, t.Op, []jsondom.Value{v})
-			}
+		if col, ok := t.L.(*ColRef); ok && isConst(t.R) {
+			return vecFilterSpec{col: col.Name, op: t.Op, operands: []Expr{t.R}, orig: c}, true
 		}
-		if col, ok := t.R.(*ColRef); ok {
-			if v, ok := constVal(t.L); ok {
-				return vfs.CompileFilter(col.Name, flip[t.Op], []jsondom.Value{v})
-			}
+		if col, ok := t.R.(*ColRef); ok && isConst(t.L) {
+			return vecFilterSpec{col: col.Name, op: flip[t.Op], operands: []Expr{t.L}, orig: c}, true
 		}
 	case *BetweenExpr:
 		if t.Not {
-			return nil, false
+			return vecFilterSpec{}, false
 		}
 		col, ok := t.X.(*ColRef)
-		if !ok {
-			return nil, false
-		}
-		lo, ok1 := constVal(t.Lo)
-		hi, ok2 := constVal(t.Hi)
-		if ok1 && ok2 {
-			return vfs.CompileFilter(col.Name, "between", []jsondom.Value{lo, hi})
+		if ok && isConst(t.Lo) && isConst(t.Hi) {
+			return vecFilterSpec{col: col.Name, op: "between", operands: []Expr{t.Lo, t.Hi}, orig: c}, true
 		}
 	}
-	return nil, false
+	return vecFilterSpec{}, false
+}
+
+func specHasParam(spec vecFilterSpec) bool {
+	for _, x := range spec.operands {
+		if _, ok := x.(*Param); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // tryIndexScan accelerates `FROM table WHERE json_exists(col, '$...')`
@@ -824,28 +895,25 @@ func (e *Engine) tryIndexScan(stmt *SelectStmt, where Expr, env *planEnv, refere
 	if len(indexes) == 0 {
 		return nil, nil, false
 	}
-	var rowIDs []int
+	var getters []func() []int
 	var residual Expr
-	matched := false
 	for _, c := range splitAnd(where) {
 		switch t := c.(type) {
 		case *JSONExistsExpr:
-			if ids, ok := e.indexPathPostings(indexes, t); ok {
-				rowIDs = restrictIDs(rowIDs, ids, matched)
-				matched = true
+			if g, ok := e.indexPathPostings(indexes, t); ok {
+				getters = append(getters, g)
 				continue // the postings satisfy this conjunct exactly
 			}
 		case *JSONTextContainsExpr:
 			// keyword postings give document-level candidates; the
 			// conjunct stays as a residual filter for path scoping
-			if ids, ok := e.indexKeywordPostings(indexes, t); ok {
-				rowIDs = restrictIDs(rowIDs, ids, matched)
-				matched = true
+			if g, ok := e.indexKeywordPostings(indexes, t); ok {
+				getters = append(getters, g)
 			}
 		}
 		residual = andExpr(residual, c)
 	}
-	if !matched {
+	if len(getters) == 0 {
 		return nil, nil, false
 	}
 	alias := tr.Alias
@@ -859,11 +927,19 @@ func (e *Engine) tryIndexScan(stmt *SelectStmt, where Expr, env *planEnv, refere
 	e.mu.RLock()
 	sub := e.imc[name]
 	e.mu.RUnlock()
-	scan := newTableScan(tab, alias, needed, sub, 0)
-	if rowIDs == nil {
-		rowIDs = []int{}
+	scan := newTableScan(tab, alias, needed, sub, 0, env)
+	// postings are read at Open, per execution, so a cached plan picks
+	// up rows inserted after planning
+	scan.rowIDsFn = func() []int {
+		var rowIDs []int
+		for i, g := range getters {
+			rowIDs = restrictIDs(rowIDs, g(), i > 0)
+		}
+		if rowIDs == nil {
+			rowIDs = []int{}
+		}
+		return rowIDs
 	}
-	scan.rowIDs = rowIDs
 	return scan, residual, true
 }
 
@@ -886,9 +962,10 @@ func restrictIDs(cur, add []int, curValid bool) []int {
 	return out
 }
 
-// indexKeywordPostings resolves a JSON_TEXTCONTAINS conjunct to the
-// documents whose string leaves contain the keyword.
-func (e *Engine) indexKeywordPostings(indexes []*searchindex.Index, tc *JSONTextContainsExpr) ([]int, bool) {
+// indexKeywordPostings resolves a JSON_TEXTCONTAINS conjunct to a
+// getter over the documents whose string leaves contain the keyword;
+// the getter reads live postings when the scan opens.
+func (e *Engine) indexKeywordPostings(indexes []*searchindex.Index, tc *JSONTextContainsExpr) (func() []int, bool) {
 	arg, ok := tc.Arg.(*ColRef)
 	if !ok {
 		return nil, false
@@ -897,7 +974,8 @@ func (e *Engine) indexKeywordPostings(indexes []*searchindex.Index, tc *JSONText
 		if ix.Column != arg.Name || !ix.PostingsEnabled() {
 			continue
 		}
-		return ix.DocsWithKeyword(tc.Keyword), true
+		ix := ix
+		return func() []int { return ix.DocsWithKeyword(tc.Keyword) }, true
 	}
 	return nil, false
 }
@@ -905,7 +983,8 @@ func (e *Engine) indexKeywordPostings(indexes []*searchindex.Index, tc *JSONText
 // indexPathPostings resolves a JSON_EXISTS conjunct against the search
 // indexes of the table: the argument must be a bare column reference
 // carrying a postings-enabled index, and the path a pure field chain.
-func (e *Engine) indexPathPostings(indexes []*searchindex.Index, je *JSONExistsExpr) ([]int, bool) {
+// The returned getter reads live postings when the scan opens.
+func (e *Engine) indexPathPostings(indexes []*searchindex.Index, je *JSONExistsExpr) (func() []int, bool) {
 	arg, ok := je.Arg.(*ColRef)
 	if !ok {
 		return nil, false
@@ -922,7 +1001,8 @@ func (e *Engine) indexPathPostings(indexes []*searchindex.Index, je *JSONExistsE
 		for _, n := range names {
 			path += "." + n
 		}
-		return ix.DocsWithPath(path), true
+		ix := ix
+		return func() []int { return ix.DocsWithPath(path) }, true
 	}
 	return nil, false
 }
@@ -1210,7 +1290,7 @@ func (e *Engine) buildFrom(f FromItem, left rowSource, env *planEnv, referenced 
 			e.mu.RLock()
 			sub := e.imc[name]
 			e.mu.RUnlock()
-			return newTableScan(tab, alias, needed, sub, t.SamplePct), false, nil
+			return newTableScan(tab, alias, needed, sub, t.SamplePct, env), false, nil
 		}
 		e.mu.RLock()
 		vd, ok := e.views[name]

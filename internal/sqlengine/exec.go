@@ -101,6 +101,38 @@ type VectorFilterSource interface {
 // ---------------------------------------------------------------------------
 // table scan
 
+// vecFilterSpec is a vector predicate whose operand values are known
+// only at execution time (bind parameters): Open compiles it against
+// the vector source with the current bind values, and falls back to
+// evaluating the original conjunct per materialized row when the
+// vector compile declines (missing vector, operand type mismatch).
+type vecFilterSpec struct {
+	col, op  string
+	operands []Expr // Literal or Param leaves
+	orig     Expr   // the source conjunct, for the row-level fallback
+}
+
+// operandValues resolves the spec operands against the bind
+// parameters; ok=false defers the conjunct to the row-level fallback
+// (which reports missing-parameter errors with the usual message).
+func (v *vecFilterSpec) operandValues(env *planEnv) ([]jsondom.Value, bool) {
+	vals := make([]jsondom.Value, len(v.operands))
+	for i, x := range v.operands {
+		switch t := x.(type) {
+		case *Literal:
+			vals[i] = t.Val
+		case *Param:
+			if env == nil || t.Index >= len(env.params) {
+				return nil, false
+			}
+			vals[i] = env.params[t.Index]
+		default:
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
 type tableScan struct {
 	tab   *store.Table
 	alias string
@@ -111,12 +143,19 @@ type tableScan struct {
 	cols   []store.Column
 	sub    InMemorySource // IMC substitution, may be nil
 	// vecFilters are compiled columnar predicates; rows failing any of
-	// them are skipped before materialization (§5.2.1).
+	// them are skipped before materialization (§5.2.1). They close only
+	// over immutable vector data, so a cached plan shares them across
+	// executions and parallel workers.
 	vecFilters []func(rowID int) bool
-	// rowIDs, when non-nil, restricts the scan to these row ids (an
-	// index-driven scan from JSON search index postings).
-	rowIDs []int
-	idPos  int
+	// vecSpecs are parameter-dependent vector predicates, compiled at
+	// Open with the execution's bind values.
+	vecSpecs []vecFilterSpec
+	// rowIDsFn, when non-nil, resolves the restricted row-id list at
+	// Open (an index-driven scan over JSON search index postings); the
+	// postings are read per execution, so a cached plan sees rows
+	// inserted after it was planned.
+	rowIDsFn func() []int
+	env      *planEnv
 	// lo/hi restrict the scan to the row-id range [lo, hi) — the
 	// per-worker partition of a parallel scan. hi == 0 means the full
 	// table.
@@ -130,6 +169,12 @@ type tableScan struct {
 	rows  []store.Row
 	tombs []bool
 
+	rowIDs       []int // resolved by Open from rowIDsFn
+	idPos        int
+	vecRuntime   []func(rowID int) bool // vecSpecs compiled by Open
+	fallbackPred Expr
+	fallbackCtx  *evalCtx
+
 	pos, maxID int
 	ticks      int
 	// rowsOut accumulates emitted rows operator-locally; Close flushes
@@ -138,9 +183,9 @@ type tableScan struct {
 	st      *OpStats
 }
 
-func newTableScan(tab *store.Table, alias string, needed map[string]bool, sub InMemorySource, samplePct float64) *tableScan {
+func newTableScan(tab *store.Table, alias string, needed map[string]bool, sub InMemorySource, samplePct float64, env *planEnv) *tableScan {
 	cols := tab.Columns()
-	ts := &tableScan{tab: tab, alias: alias, cols: cols, sub: sub, samplePct: samplePct}
+	ts := &tableScan{tab: tab, alias: alias, cols: cols, sub: sub, samplePct: samplePct, env: env}
 	for _, c := range cols {
 		ts.sch = append(ts.sch, ColMeta{Table: alias, Name: c.Name, Hidden: c.Hidden})
 		ts.needVC = append(ts.needVC, needed == nil || needed[c.Name])
@@ -155,6 +200,7 @@ func (s *tableScan) cloneForRange(lo, hi int) *tableScan {
 	return &tableScan{
 		tab: s.tab, alias: s.alias, sch: s.sch, needVC: s.needVC,
 		cols: s.cols, sub: s.sub, vecFilters: s.vecFilters,
+		vecSpecs: s.vecSpecs, env: s.env,
 		lo: lo, hi: hi,
 	}
 }
@@ -173,6 +219,29 @@ func (s *tableScan) Open(ec *ExecCtx) error {
 	if s.samplePct > 0 {
 		// deterministic sampling for reproducible experiments
 		s.rng = rand.New(rand.NewSource(42))
+	}
+	s.rowIDs = nil
+	if s.rowIDsFn != nil {
+		s.rowIDs = s.rowIDsFn()
+	}
+	s.vecRuntime, s.fallbackPred, s.fallbackCtx = nil, nil, nil
+	if len(s.vecSpecs) > 0 {
+		vfs, _ := s.sub.(VectorFilterSource)
+		for i := range s.vecSpecs {
+			spec := &s.vecSpecs[i]
+			if vfs != nil {
+				if vals, ok := spec.operandValues(s.env); ok {
+					if f, ok := vfs.CompileFilter(spec.col, spec.op, vals); ok {
+						s.vecRuntime = append(s.vecRuntime, f)
+						continue
+					}
+				}
+			}
+			s.fallbackPred = andExpr(s.fallbackPred, spec.orig)
+		}
+		if s.fallbackPred != nil {
+			s.fallbackCtx = s.env.bindCtx(s.sch, s.fallbackPred)
+		}
 	}
 	return nil
 }
@@ -243,6 +312,16 @@ func (s *tableScan) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 			}
 			out[i] = v
 		}
+		if s.fallbackCtx != nil {
+			s.fallbackCtx.row = out
+			v, err := evalExpr(s.fallbackCtx, s.fallbackPred)
+			if err != nil {
+				return nil, false, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
 		s.rowsOut++
 		return out, true, nil
 	}
@@ -250,6 +329,11 @@ func (s *tableScan) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 
 func (s *tableScan) passVecFilters(rowID int) bool {
 	for _, f := range s.vecFilters {
+		if !f(rowID) {
+			return false
+		}
+	}
+	for _, f := range s.vecRuntime {
 		if !f(rowID) {
 			return false
 		}
@@ -267,11 +351,11 @@ func (s *tableScan) Close() error {
 
 func (s *tableScan) opName() string {
 	name := fmt.Sprintf("TableScan(%s", s.tab.Name)
-	if s.rowIDs != nil {
+	if s.rowIDsFn != nil {
 		name += " via-index"
 	}
-	if len(s.vecFilters) > 0 {
-		name += fmt.Sprintf(" vec-filters=%d", len(s.vecFilters))
+	if n := len(s.vecFilters) + len(s.vecSpecs); n > 0 {
+		name += fmt.Sprintf(" vec-filters=%d", n)
 	}
 	if s.samplePct > 0 {
 		name += fmt.Sprintf(" sample=%.0f%%", s.samplePct)
@@ -441,6 +525,11 @@ type jsonTableOp struct {
 	// preFilters are implied JSON_EXISTS path predicates; documents
 	// failing any of them are skipped before row expansion (§6.3).
 	preFilters []*pathengine.Compiled
+	// preSpecs are prefilter candidates that reference bind parameters:
+	// their constants are known only at execution time, so Open
+	// translates them with the current bind values into runFilters.
+	preSpecs   []Expr
+	runFilters []*pathengine.Compiled
 }
 
 func newJSONTableOp(left rowSource, ref *JSONTableRef, env *planEnv) *jsonTableOp {
@@ -458,6 +547,12 @@ func (j *jsonTableOp) Open(ec *ExecCtx) error {
 	j.st = ec.statFor()
 	j.pending, j.pi, j.done = nil, 0, false
 	j.leftRow = nil
+	j.runFilters = nil
+	for _, c := range j.preSpecs {
+		if pf, ok := translatePrefilter(j.ref, c, j.env.params); ok {
+			j.runFilters = append(j.runFilters, pf)
+		}
+	}
 	var sch Schema
 	if j.left != nil {
 		sch = j.left.Schema()
@@ -546,6 +641,15 @@ func (j *jsonTableOp) expand(ec *ExecCtx, leftRow []jsondom.Value) ([][]jsondom.
 			return nil, nil // the residual WHERE would reject every row
 		}
 	}
+	for _, pf := range j.runFilters {
+		ok, err := doc.Exists(pf)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
 	return j.ref.Def.ExpandContext(ec.Context(), doc)
 }
 
@@ -553,6 +657,9 @@ func (j *jsonTableOp) opName() string {
 	name := fmt.Sprintf("JSONTable(%s", j.ref.Alias)
 	if len(j.preFilters) > 0 {
 		name += fmt.Sprintf(" prefilters=%d", len(j.preFilters))
+	}
+	if len(j.preSpecs) > 0 {
+		name += fmt.Sprintf(" dyn-prefilters=%d", len(j.preSpecs))
 	}
 	return name + ")"
 }

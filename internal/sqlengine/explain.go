@@ -44,7 +44,38 @@ func (e *Engine) runExplain(ctx context.Context, t *ExplainStmt, params []jsondo
 	for _, line := range renderPlan(src, t.Analyze) {
 		res.Rows = append(res.Rows, []jsondom.Value{jsondom.String(line)})
 	}
+	if status := e.planCacheStatus(t.QueryText); status != "" {
+		res.Rows = append(res.Rows, []jsondom.Value{jsondom.String("plan cache: " + status)})
+	}
 	return res, nil
+}
+
+// planCacheStatus probes (without counters or recency updates) how
+// the plan cache would treat the explained query text: "hit" when a
+// valid cached plan exists, "stale" when a cached plan was
+// invalidated, "miss" when none is cached, "not cacheable" when the
+// text cannot be auto-parameterized, "disabled" when the cache is off.
+// An empty string means there is no query text to probe (EXPLAIN of a
+// programmatically built statement).
+func (e *Engine) planCacheStatus(queryText string) string {
+	if queryText == "" {
+		return ""
+	}
+	if e.plans.capacity() == 0 {
+		return "disabled"
+	}
+	key, _, isSelect, err := normalizeSQL(queryText)
+	if err != nil || !isSelect {
+		return "not cacheable"
+	}
+	ent := e.plans.peek(key)
+	switch {
+	case ent == nil:
+		return "miss"
+	case ent.gen != e.planGen.Load() || ent.opts != e.plannerSnapshot():
+		return "stale"
+	}
+	return "hit"
 }
 
 // renderPlan walks the operator tree depth-first and formats one line

@@ -32,6 +32,19 @@ var (
 	mQueryLatency   = metrics.NewHistogram("sql.query.latency_ns", "end-to-end statement latency, nanoseconds")
 )
 
+// Plan-cache and parse metrics. A hard parse is a full ParseStatement
+// call on the execution path (Exec/Query miss, Prepare, replan after
+// invalidation); a soft parse is an execution served from an already
+// compiled plan.
+var (
+	mPlanCacheHits          = metrics.NewCounter("sql.plancache.hits", "statements served from the plan cache")
+	mPlanCacheMisses        = metrics.NewCounter("sql.plancache.misses", "cacheable statements that required a hard parse and plan")
+	mPlanCacheEvictions     = metrics.NewCounter("sql.plancache.evictions", "plans evicted by the LRU capacity bound")
+	mPlanCacheInvalidations = metrics.NewCounter("sql.plancache.invalidations", "generation bumps that invalidated all cached plans (DDL, IMC attach/detach, planner changes)")
+	mSoftParse              = metrics.NewCounter("sql.parse.soft", "executions that reused a compiled plan without parsing")
+	mHardParse              = metrics.NewCounter("sql.parse.hard", "full SQL parses on the execution path")
+)
+
 // Scan and memory-accounting metrics.
 var (
 	mScanRows       = metrics.NewCounter("sql.scan.rows", "rows emitted by table scans (before residual filters)")

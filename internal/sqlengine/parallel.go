@@ -9,8 +9,10 @@
 // workers for lower latency when order is irrelevant.
 //
 // Workers share no mutable state: each owns its scan clone, its
-// residual-predicate clone (with freshly compiled JSON paths), its
-// evaluation context, and its cancellation tick counter.
+// evaluation context, and its cancellation tick counter. The residual
+// predicate expression itself is shared — its leaves are immutable
+// during evaluation and compiled JSON paths (pathengine.Compiled) are
+// race-safe by contract.
 
 package sqlengine
 
@@ -21,7 +23,6 @@ import (
 	"time"
 
 	"repro/internal/jsondom"
-	"repro/internal/pathengine"
 )
 
 // defaultParallelMinRows is the table size below which a parallel scan
@@ -68,7 +69,7 @@ func (e *Engine) parallelizeScan(src rowSource, where Expr, env *planEnv) rowSou
 	}
 	// index-driven scans read a sparse row-id list, and sampling
 	// depends on one deterministic RNG stream: both stay serial.
-	if scan.rowIDs != nil || scan.samplePct > 0 {
+	if scan.rowIDsFn != nil || scan.samplePct > 0 {
 		return nil
 	}
 	degree := e.Planner.ParallelDegree
@@ -115,15 +116,15 @@ func (p *parallelScanOp) Open(ec *ExecCtx) error {
 	p.wg.Add(len(parts))
 	for i, part := range parts {
 		scan := p.template.cloneForRange(part[0], part[1])
-		var pred Expr
-		if p.filter != nil {
-			pred = cloneExprParallel(p.filter)
-		}
 		var ch chan parRow
 		if !p.unordered {
 			ch = p.chans[i]
 		}
-		go p.worker(ec, scan, pred, ch)
+		// workers share the residual filter expression: its leaves are
+		// immutable during evaluation and compiled JSON path state
+		// (pathengine.Compiled) is race-safe by contract, so each worker
+		// only needs its own evalCtx, built in worker()
+		go p.worker(ec, scan, p.filter, ch)
 	}
 	if p.unordered {
 		go func() {
@@ -272,64 +273,3 @@ func (p *parallelScanOp) opName() string {
 }
 func (p *parallelScanOp) opChildren() []rowSource { return nil }
 func (p *parallelScanOp) opStat() *OpStats        { return p.st }
-
-// cloneExprParallel deep-clones a predicate for one scan worker.
-// Literal/ColRef/Param leaves are immutable during evaluation and stay
-// shared (per-worker colIdx maps are keyed on those pointers, so
-// sharing keeps binding cheap); compiled JSON path state is re-created
-// per worker so each worker owns its field-reference caches.
-func cloneExprParallel(e Expr) Expr {
-	switch t := e.(type) {
-	case nil:
-		return nil
-	case *Literal, *ColRef, *Param:
-		return e
-	case *BinOp:
-		return &BinOp{Op: t.Op, L: cloneExprParallel(t.L), R: cloneExprParallel(t.R)}
-	case *UnOp:
-		return &UnOp{Op: t.Op, X: cloneExprParallel(t.X)}
-	case *IsNullExpr:
-		return &IsNullExpr{X: cloneExprParallel(t.X), Not: t.Not}
-	case *InExpr:
-		list := make([]Expr, len(t.List))
-		for i, x := range t.List {
-			list[i] = cloneExprParallel(x)
-		}
-		return &InExpr{X: cloneExprParallel(t.X), List: list, Not: t.Not}
-	case *LikeExpr:
-		return &LikeExpr{X: cloneExprParallel(t.X), Pattern: cloneExprParallel(t.Pattern), Not: t.Not}
-	case *BetweenExpr:
-		return &BetweenExpr{X: cloneExprParallel(t.X), Lo: cloneExprParallel(t.Lo),
-			Hi: cloneExprParallel(t.Hi), Not: t.Not}
-	case *FuncCall:
-		args := make([]Expr, len(t.Args))
-		for i, a := range t.Args {
-			args[i] = cloneExprParallel(a)
-		}
-		return &FuncCall{Name: t.Name, Args: args, Star: t.Star, Distinct: t.Distinct}
-	case *JSONValueExpr:
-		return &JSONValueExpr{Arg: cloneExprParallel(t.Arg), PathText: t.PathText,
-			Returning: t.Returning, Compiled: cloneCompiled(t.Compiled)}
-	case *JSONExistsExpr:
-		return &JSONExistsExpr{Arg: cloneExprParallel(t.Arg), PathText: t.PathText,
-			Compiled: cloneCompiled(t.Compiled)}
-	case *JSONQueryExpr:
-		return &JSONQueryExpr{Arg: cloneExprParallel(t.Arg), PathText: t.PathText,
-			Compiled: cloneCompiled(t.Compiled)}
-	case *JSONTextContainsExpr:
-		return &JSONTextContainsExpr{Arg: cloneExprParallel(t.Arg), PathText: t.PathText,
-			Keyword: t.Keyword, Compiled: cloneCompiled(t.Compiled)}
-	case *OSONExpr:
-		return &OSONExpr{Arg: cloneExprParallel(t.Arg)}
-	default:
-		// window functions never reach a scan-level residual filter
-		return e
-	}
-}
-
-func cloneCompiled(c *pathengine.Compiled) *pathengine.Compiled {
-	if c == nil {
-		return nil
-	}
-	return pathengine.Compile(c.Path)
-}

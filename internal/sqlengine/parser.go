@@ -119,11 +119,12 @@ func (p *parser) parseExplain() (Statement, error) {
 		return nil, err
 	}
 	analyze := p.acceptKw("analyze")
+	queryText := p.sql[p.cur().pos:]
 	q, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
-	return &ExplainStmt{Analyze: analyze, Query: q}, nil
+	return &ExplainStmt{Analyze: analyze, Query: q, QueryText: queryText}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -1102,10 +1103,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if err != nil {
 			return nil, p.errf("bad number literal")
 		}
-		return &Literal{Val: n}, nil
+		return &Literal{Val: n, Off: t.pos}, nil
 	case tkString:
 		p.next()
-		return &Literal{Val: jsondom.String(t.text)}, nil
+		return &Literal{Val: jsondom.String(t.text), Off: t.pos}, nil
 	case tkParam:
 		p.next()
 		p.params++
@@ -1116,13 +1117,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 		switch t.text {
 		case "null":
 			p.next()
-			return &Literal{Val: jsondom.Null{}}, nil
+			return &Literal{Val: jsondom.Null{}, Off: -1}, nil
 		case "true":
 			p.next()
-			return &Literal{Val: jsondom.Bool(true)}, nil
+			return &Literal{Val: jsondom.Bool(true), Off: -1}, nil
 		case "false":
 			p.next()
-			return &Literal{Val: jsondom.Bool(false)}, nil
+			return &Literal{Val: jsondom.Bool(false), Off: -1}, nil
 		case "json_value":
 			return p.parseJSONValue()
 		case "json_exists":

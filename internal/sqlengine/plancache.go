@@ -1,0 +1,312 @@
+// The LRU plan cache behind the OLTP fast path: plain Query/Exec
+// calls look their normalized SQL up here and, on a hit, skip the
+// parser and planner entirely — the cached preparedPlan is
+// instantiated with the execution's parameter values (user binds plus
+// auto-parameterized literals) and drained. Entries carry the
+// planner-option snapshot and the engine's plan generation at build
+// time; a generation bump (DDL, IMC attach/detach) or an option flip
+// makes the entry self-invalidate at its next lookup.
+
+package sqlengine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/jsondom"
+	"repro/internal/metrics"
+)
+
+// defaultPlanCacheSize is the plan cache capacity a new engine starts
+// with.
+const defaultPlanCacheSize = 128
+
+// planEntry is one cached, immutable compiled statement plus the
+// binding recipe that maps an execution's literals onto the plan's
+// parameter slots.
+type planEntry struct {
+	key  string
+	plan *preparedPlan
+	gen  uint64         // engine plan generation at build time
+	opts PlannerOptions // planner-option snapshot at build time
+	// litParam maps the i-th number/string token to its bind slot, or
+	// -1 for tokens whose text is baked into the plan (fixed).
+	litParam []int
+	// fixed holds, in order, the texts of the baked literal tokens; a
+	// lookup whose tokens differ here cannot reuse the plan.
+	fixed []string
+	// nUser is the user-supplied parameter count the plan was built
+	// for; nSlots is nUser plus the auto-parameterized literal count.
+	nUser, nSlots int
+}
+
+// bindLits assembles the execution parameter vector: the caller's
+// values in slots [0,nUser) and the lookup's literal tokens converted
+// into the slots recorded at build time. It reports false when the
+// token stream does not fit the entry (fixed-text mismatch).
+func (ent *planEntry) bindLits(user []jsondom.Value, lits []token) ([]jsondom.Value, bool) {
+	if len(lits) != len(ent.litParam) {
+		return nil, false
+	}
+	exec := make([]jsondom.Value, ent.nSlots)
+	copy(exec, user)
+	fi := 0
+	for i, t := range lits {
+		slot := ent.litParam[i]
+		if slot < 0 {
+			if fi >= len(ent.fixed) || ent.fixed[fi] != t.text {
+				return nil, false
+			}
+			fi++
+			continue
+		}
+		v, err := litValue(t)
+		if err != nil {
+			return nil, false
+		}
+		exec[slot] = v
+	}
+	return exec, true
+}
+
+// planCache is a mutex-guarded LRU of planEntry keyed by normalized
+// SQL. All methods are safe for concurrent use.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recently used; values are *planEntry
+	byKey map[string]*list.Element
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &planCache{cap: capacity, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, promoting it to most recently used.
+func (c *planCache) get(key string) *planEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry)
+}
+
+// peek returns the entry for key without touching recency (EXPLAIN's
+// cache-status probe).
+func (c *planCache) peek(key string) *planEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		return el.Value.(*planEntry)
+	}
+	return nil
+}
+
+// put inserts or replaces the entry for ent.key, evicting from the
+// cold end when over capacity.
+func (c *planCache) put(ent *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap == 0 {
+		return
+	}
+	if el, ok := c.byKey[ent.key]; ok {
+		el.Value = ent
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[ent.key] = c.lru.PushFront(ent)
+	for c.lru.Len() > c.cap {
+		c.evictBackLocked()
+	}
+}
+
+// remove drops the entry for key if present.
+func (c *planCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		delete(c.byKey, key)
+		c.lru.Remove(el)
+	}
+}
+
+func (c *planCache) evictBackLocked() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	delete(c.byKey, el.Value.(*planEntry).key)
+	c.lru.Remove(el)
+	mPlanCacheEvictions.Inc()
+}
+
+// setCapacity resizes the cache, evicting cold entries as needed;
+// n <= 0 disables caching and purges everything.
+func (c *planCache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.cap = n
+	for c.lru.Len() > c.cap {
+		c.evictBackLocked()
+	}
+}
+
+func (c *planCache) capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// SetPlanCacheSize resizes the engine's plan cache; n <= 0 disables
+// plan caching entirely (every statement hard-parses, the pre-cache
+// behavior — used by ablation benchmarks).
+func (e *Engine) SetPlanCacheSize(n int) {
+	e.plans.setCapacity(n)
+}
+
+// PlanCacheLen reports how many plans are currently cached.
+func (e *Engine) PlanCacheLen() int {
+	return e.plans.len()
+}
+
+// invalidatePlans bumps the plan generation, making every cached plan
+// (and every PreparedStmt's compiled plan) stale at its next use.
+// Called on any catalog or planner-visible change: DDL, view changes,
+// search-index creation, virtual columns, IMC attach/detach.
+func (e *Engine) invalidatePlans() {
+	e.planGen.Add(1)
+	mPlanCacheInvalidations.Inc()
+}
+
+// plannerSnapshot copies the engine's planner options; PlannerOptions
+// is a comparable struct, so the copy doubles as the cache validity
+// check against later flag flips.
+func (e *Engine) plannerSnapshot() PlannerOptions {
+	return e.Planner
+}
+
+// buildEntry compiles sel (which buildEntry rewrites in place) into a
+// cache entry: parameterizable literals become bind slots numbered
+// after the user parameters, in source-token order; the rest have
+// their texts recorded as fixed.
+func (e *Engine) buildEntry(key string, sel *SelectStmt, lits []token, nUser int, gen uint64, opts PlannerOptions) (*planEntry, error) {
+	byOff := collectParamLiterals(sel)
+	ent := &planEntry{key: key, gen: gen, opts: opts, nUser: nUser}
+	slot := nUser
+	assign := make(map[int]int, len(byOff))
+	for _, t := range lits {
+		if _, ok := byOff[t.pos]; ok {
+			ent.litParam = append(ent.litParam, slot)
+			assign[t.pos] = slot
+			slot++
+		} else {
+			ent.litParam = append(ent.litParam, -1)
+			ent.fixed = append(ent.fixed, t.text)
+		}
+	}
+	ent.nSlots = slot
+	if len(assign) > 0 {
+		rewriteSelect(sel, func(x Expr) Expr {
+			if l, ok := x.(*Literal); ok && l.Off > 0 {
+				if s, ok := assign[l.Off]; ok {
+					return &Param{Index: s}
+				}
+			}
+			return x
+		})
+	}
+	plan, err := e.planSelectStmt(sel)
+	if err != nil {
+		return nil, err
+	}
+	ent.plan = plan
+	return ent, nil
+}
+
+// execCached is the plan-cache fast path for Query/Exec: if sql is a
+// cacheable SELECT it is served through the cache (counting a hit or
+// a miss-and-build) and handled is true; otherwise handled is false
+// and the caller takes the ordinary parse-and-execute path.
+func (e *Engine) execCached(ctx context.Context, sql string, params []jsondom.Value) (res *Result, handled bool, err error) {
+	if e.plans.capacity() == 0 {
+		return nil, false, nil
+	}
+	key, lits, isSelect, nerr := normalizeSQL(sql)
+	if nerr != nil || !isSelect {
+		return nil, false, nil
+	}
+	gen := e.planGen.Load()
+	opts := e.plannerSnapshot()
+	if ent := e.plans.get(key); ent != nil {
+		if ent.gen != gen || ent.opts != opts {
+			e.plans.remove(key)
+		} else if ent.nUser != len(params) {
+			// parameter-count drift: let the uncached path produce the
+			// engine's usual missing/extra-parameter semantics
+			return nil, false, nil
+		} else if exec, ok := ent.bindLits(params, lits); ok {
+			mPlanCacheHits.Inc()
+			mSoftParse.Inc()
+			res, err := e.runWrapped(sql, 0, nil, func(collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error) {
+				return e.runPlan(ctx, ent.plan, exec, collect, tr)
+			})
+			return res, true, err
+		}
+	}
+	// miss: hard-parse, compile, cache, then execute through the new
+	// entry so the first execution also runs the shared plan.
+	mPlanCacheMisses.Inc()
+	mHardParse.Inc()
+	t0 := time.Now()
+	stmt, perr := ParseStatement(sql)
+	if perr != nil {
+		return nil, true, perr
+	}
+	parseD := time.Since(t0)
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		// normalization and the parser disagree on the statement kind;
+		// defer to the parser
+		res, err := e.execStmt(ctx, sql, parseD, stmt, params)
+		return res, true, err
+	}
+	ent, berr := e.buildEntry(key, sel, lits, len(params), gen, opts)
+	if berr != nil {
+		// planning failed; re-parse so the ordinary path reports the
+		// error with its usual metrics accounting
+		stmt2, perr2 := ParseStatement(sql)
+		if perr2 != nil {
+			return nil, true, perr2
+		}
+		res, err := e.execStmt(ctx, sql, parseD, stmt2, params)
+		return res, true, err
+	}
+	e.plans.put(ent)
+	exec, ok := ent.bindLits(params, lits)
+	if !ok {
+		// cannot happen: the entry was built from these very tokens
+		return nil, false, nil
+	}
+	res, err = e.runWrapped(sql, parseD, nil, func(collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error) {
+		return e.runPlan(ctx, ent.plan, exec, collect, tr)
+	})
+	return res, true, err
+}

@@ -21,13 +21,80 @@ import (
 )
 
 // attachPrefilters inspects the WHERE conjuncts and attaches every
-// translatable one to the JSON_TABLE operator.
-func attachPrefilters(op *jsonTableOp, where Expr, params []jsondom.Value) {
+// translatable one to the JSON_TABLE operator. Constant-only conjuncts
+// compile here, once per plan; conjuncts that reference bind
+// parameters are kept as specs and translated by the operator's Open
+// with each execution's values, so a cached plan never bakes stale
+// parameter constants into an implied filter.
+func attachPrefilters(op *jsonTableOp, where Expr) {
 	for _, c := range splitAnd(where) {
-		if pf, ok := translatePrefilter(op.ref, c, params); ok {
+		if exprHasParam(c) {
+			op.preSpecs = append(op.preSpecs, c)
+			continue
+		}
+		if pf, ok := translatePrefilter(op.ref, c, nil); ok {
 			op.preFilters = append(op.preFilters, pf)
 		}
 	}
+}
+
+// exprHasParam reports whether the expression references a bind
+// parameter anywhere.
+func exprHasParam(e Expr) bool {
+	found := false
+	var walk func(Expr)
+	walk = func(x Expr) {
+		if found {
+			return
+		}
+		switch t := x.(type) {
+		case nil:
+		case *Param:
+			found = true
+		case *BinOp:
+			walk(t.L)
+			walk(t.R)
+		case *UnOp:
+			walk(t.X)
+		case *IsNullExpr:
+			walk(t.X)
+		case *InExpr:
+			walk(t.X)
+			for _, a := range t.List {
+				walk(a)
+			}
+		case *LikeExpr:
+			walk(t.X)
+			walk(t.Pattern)
+		case *BetweenExpr:
+			walk(t.X)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *FuncCall:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *WindowFunc:
+			for _, a := range t.Args {
+				walk(a)
+			}
+			for _, o := range t.OrderBy {
+				walk(o.Expr)
+			}
+		case *JSONValueExpr:
+			walk(t.Arg)
+		case *JSONExistsExpr:
+			walk(t.Arg)
+		case *JSONQueryExpr:
+			walk(t.Arg)
+		case *JSONTextContainsExpr:
+			walk(t.Arg)
+		case *OSONExpr:
+			walk(t.Arg)
+		}
+	}
+	walk(e)
+	return found
 }
 
 // translatePrefilter converts one conjunct into a compiled path, or

@@ -1,0 +1,200 @@
+// Prepared statements: parse once, plan once, execute many times.
+// A PreparedStmt owns its compiled plan outside the LRU plan cache,
+// so it can never be evicted by other traffic; it still observes the
+// engine's plan generation and planner-option snapshot, replanning
+// transparently after DDL, IMC changes, or planner flag flips.
+
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/jsondom"
+	"repro/internal/metrics"
+)
+
+// StmtKind classifies a parsed statement for the Query/Exec
+// statement-kind validation on prepared statements.
+type StmtKind int
+
+// Statement kinds, in rough read-to-write order.
+const (
+	// KindSelect is a SELECT query.
+	KindSelect StmtKind = iota
+	// KindExplain is EXPLAIN [ANALYZE].
+	KindExplain
+	// KindShow is SHOW METRICS.
+	KindShow
+	// KindDDL covers catalog changes: CREATE/ALTER/DROP.
+	KindDDL
+	// KindDML covers data changes: INSERT/UPDATE/DELETE.
+	KindDML
+)
+
+// String names the kind for error messages.
+func (k StmtKind) String() string {
+	switch k {
+	case KindSelect:
+		return "select"
+	case KindExplain:
+		return "explain"
+	case KindShow:
+		return "show"
+	case KindDDL:
+		return "ddl"
+	case KindDML:
+		return "dml"
+	}
+	return "unknown"
+}
+
+// kindOf classifies a parsed statement.
+func kindOf(stmt Statement) StmtKind {
+	switch stmt.(type) {
+	case *SelectStmt:
+		return KindSelect
+	case *ExplainStmt:
+		return KindExplain
+	case *ShowMetricsStmt:
+		return KindShow
+	case *InsertStmt, *DeleteStmt, *UpdateStmt:
+		return KindDML
+	default:
+		return KindDDL
+	}
+}
+
+// PreparedStmt is a statement parsed (and, for SELECTs, planned)
+// ahead of execution. It is safe for concurrent use: executions
+// instantiate fresh runtime state from the shared immutable plan.
+type PreparedStmt struct {
+	e       *Engine
+	sqlText string
+	kind    StmtKind
+
+	mu   sync.Mutex
+	stmt Statement     // non-SELECT statements, re-dispatched per Run
+	plan *preparedPlan // SELECT statements
+	gen  uint64
+	opts PlannerOptions
+}
+
+// Prepare parses sql and, for a SELECT, compiles it into a reusable
+// plan. The returned statement executes without re-parsing until a
+// catalog or planner change forces a transparent replan.
+func (e *Engine) Prepare(sql string) (*PreparedStmt, error) {
+	mHardParse.Inc()
+	stmt, err := ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PreparedStmt{e: e, sqlText: sql, kind: kindOf(stmt), stmt: stmt}
+	if sel, ok := stmt.(*SelectStmt); ok {
+		// snapshot the generation before planning: a DDL racing the
+		// plan build leaves a stale snapshot, forcing a replan rather
+		// than serving a possibly stale plan
+		ps.gen = e.planGen.Load()
+		ps.opts = e.plannerSnapshot()
+		plan, err := e.planSelectStmt(sel)
+		if err != nil {
+			return nil, err
+		}
+		ps.plan = plan
+		ps.stmt = nil // the AST now belongs to the plan
+	}
+	return ps, nil
+}
+
+// Kind reports the prepared statement's classification.
+func (ps *PreparedStmt) Kind() StmtKind { return ps.kind }
+
+// SQL returns the statement's source text.
+func (ps *PreparedStmt) SQL() string { return ps.sqlText }
+
+// currentPlan returns the compiled plan, replanning from the stored
+// SQL text when the engine's plan generation or planner options moved
+// since the plan was built.
+func (ps *PreparedStmt) currentPlan() (*preparedPlan, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	gen := ps.e.planGen.Load()
+	opts := ps.e.plannerSnapshot()
+	if ps.plan != nil && ps.gen == gen && ps.opts == opts {
+		return ps.plan, nil
+	}
+	// replan from source: the old plan's AST was rewritten in place by
+	// planning (VC rewrites, pushdown substitution) and must not be
+	// planned twice
+	mHardParse.Inc()
+	stmt, err := ParseStatement(ps.sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: prepared statement changed kind on reparse")
+	}
+	ps.gen, ps.opts = gen, opts
+	plan, err := ps.e.planSelectStmt(sel)
+	if err != nil {
+		return nil, err
+	}
+	ps.plan = plan
+	return plan, nil
+}
+
+// Run executes the statement with the given parameters, whatever its
+// kind (context.Background()).
+func (ps *PreparedStmt) Run(params ...jsondom.Value) (*Result, error) {
+	return ps.RunContext(context.Background(), params...)
+}
+
+// RunContext executes the statement under ctx. SELECTs skip the
+// parser and planner entirely (a soft parse); other statements
+// re-dispatch their parsed AST.
+func (ps *PreparedStmt) RunContext(ctx context.Context, params ...jsondom.Value) (*Result, error) {
+	if ps.kind != KindSelect {
+		return ps.e.execStmt(ctx, ps.sqlText, 0, ps.stmt, params)
+	}
+	plan, err := ps.currentPlan()
+	if err != nil {
+		return nil, err
+	}
+	mSoftParse.Inc()
+	return ps.e.runWrapped(ps.sqlText, 0, nil, func(collect bool, tr *metrics.Trace) (*Result, rowSource, uint64, error) {
+		return ps.e.runPlan(ctx, plan, params, collect, tr)
+	})
+}
+
+// Query executes a read statement (SELECT, EXPLAIN, SHOW); preparing
+// DML or DDL and running it through Query is an error, mirroring
+// Exec's refusal of reads.
+func (ps *PreparedStmt) Query(params ...jsondom.Value) (*Result, error) {
+	return ps.QueryContext(context.Background(), params...)
+}
+
+// QueryContext is Query under the caller's context.
+func (ps *PreparedStmt) QueryContext(ctx context.Context, params ...jsondom.Value) (*Result, error) {
+	switch ps.kind {
+	case KindSelect, KindExplain, KindShow:
+		return ps.RunContext(ctx, params...)
+	}
+	return nil, fmt.Errorf("sql: prepared %s statement cannot be run with Query (use Exec)", ps.kind)
+}
+
+// Exec executes a write statement (DML or DDL); running a prepared
+// read through Exec is an error, mirroring Query's refusal of writes.
+func (ps *PreparedStmt) Exec(params ...jsondom.Value) (*Result, error) {
+	return ps.ExecContext(context.Background(), params...)
+}
+
+// ExecContext is Exec under the caller's context.
+func (ps *PreparedStmt) ExecContext(ctx context.Context, params ...jsondom.Value) (*Result, error) {
+	switch ps.kind {
+	case KindDML, KindDDL:
+		return ps.RunContext(ctx, params...)
+	}
+	return nil, fmt.Errorf("sql: prepared %s statement cannot be run with Exec (use Query)", ps.kind)
+}
