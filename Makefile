@@ -17,6 +17,7 @@ test:
 
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/imc
 
 vet:
 	$(GO) vet ./...
@@ -42,7 +43,11 @@ bench-smoke:
 
 # Benchmark run emitting the test2json machine-readable event stream
 # (one JSON object per line) for dashboards and regression tooling.
+# The Fig3/Fig5/Fig6 query benchmarks — the ones the scan and plan
+# work moves — are also captured to BENCH_PR4.json as the repo's perf
+# trajectory baseline.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -json .
+	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR4.json
+	$(GO) test -run '^$$' -bench 'Table|Fig[4789]' -benchmem -json .
 
 check: build vet test race doccheck bench-smoke

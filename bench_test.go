@@ -130,6 +130,46 @@ func BenchmarkFig6NoBenchVCIMC(b *testing.B) {
 	}, bench.Fig6Queries)
 }
 
+// BenchmarkFig6Vectorized compares the batch-vectorized IMC scan path
+// (selection bitmaps + zone-map pruning, the default) against the
+// row-at-a-time vector-filter path, per Fig. 6 query, at a scale where
+// the ~1%-selectivity ranges land in one of the vectors' sixteen chunks
+// and zone maps skip the rest. The scan-bound queries (Q6, Q7) isolate
+// the scan speedup; Q10 and Q11 are dominated by grouping and the
+// hash join, so their ratios bound the end-to-end effect.
+func BenchmarkFig6Vectorized(b *testing.B) {
+	const nDocs = 16384
+	for _, qi := range bench.Fig6Queries {
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{
+			{"vectorized", false},
+			{"row-at-a-time", true},
+		} {
+			b.Run(fmt.Sprintf("Q%d/%s", qi+1, mode.name), func(b *testing.B) {
+				env, err := bench.SetupNoBench(nDocs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := env.EnableOSONIMC(); err != nil {
+					b.Fatal(err)
+				}
+				if err := env.EnableVCIMC(); err != nil {
+					b.Fatal(err)
+				}
+				env.Eng.Planner.DisableVectorizedScan = mode.disable
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := env.RunQuery(qi); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig5Prepared measures the OLTP fast path on the NOBENCH
 // point query Q5 (§6.4) in VC-IMC mode, where execution is cheap and
 // parse + plan dominate. Three variants: Prepare once and Run

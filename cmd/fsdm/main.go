@@ -24,6 +24,10 @@
 //	                            (default 100ms)
 //	-plan-cache n               LRU plan cache capacity; 0 disables
 //	                            caching (every statement hard-parses)
+//	-imc-vectorized             batch-vectorized IMC scans (selection
+//	                            bitmaps + zone-map pruning); default
+//	                            true, false keeps the row-at-a-time
+//	                            vector filter path
 package main
 
 import (
@@ -79,10 +83,12 @@ func runSQL(args []string) {
 	slowLog := fs.String("slow-query-log", "", `write slow-query entries to this file ("stderr" for standard error)`)
 	slowThreshold := fs.Duration("slow-query-threshold", 100*time.Millisecond, "latency at or above which a statement is logged")
 	planCache := fs.Int("plan-cache", 128, "LRU plan cache capacity; 0 disables caching")
+	imcVectorized := fs.Bool("imc-vectorized", true, "batch-vectorized IMC scans (selection bitmaps + zone-map pruning); false keeps the row-at-a-time vector filters")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	eng := sqlengine.New()
 	eng.SetPlanCacheSize(*planCache)
+	eng.Planner.DisableVectorizedScan = !*imcVectorized
 	if *slowLog != "" {
 		var w io.Writer = os.Stderr
 		if *slowLog != "stderr" {

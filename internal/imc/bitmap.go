@@ -1,0 +1,126 @@
+// Selection bitmaps: the batch-at-a-time filter representation of the
+// vectorized scan pipeline. A Bitmap holds one bit per row of a vector
+// chunk; predicate kernels AND their matches into it word-at-a-time,
+// so combining conjuncts costs one uint64 operation per 64 rows and
+// the scan materializes only rows whose bit survived every kernel.
+
+package imc
+
+import "math/bits"
+
+// Bitmap is a fixed-length selection bitmap over the rows of one
+// vector chunk. Bit i corresponds to chunk-local row i.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns a bitmap of n bits, all set.
+func NewBitmap(n int) *Bitmap {
+	b := &Bitmap{}
+	b.Reset(n)
+	return b
+}
+
+// Reset resizes the bitmap to n bits and sets every bit, the identity
+// for AND-combining predicate kernels. The backing array is reused
+// when capacity allows, so a scan resets one bitmap per chunk without
+// allocating.
+func (b *Bitmap) Reset(n int) {
+	nw := (n + 63) / 64
+	if cap(b.words) < nw {
+		b.words = make([]uint64, nw)
+	}
+	b.words = b.words[:nw]
+	b.n = n
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := n & 63; tail != 0 && nw > 0 {
+		b.words[nw-1] = (uint64(1) << uint(tail)) - 1
+	}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Words exposes the backing words for kernels that build match masks
+// 64 rows at a time. Bit i of word i/64 is chunk-local row i; bits at
+// or beyond Len are always zero.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) {
+	if i >= 0 && i < b.n {
+		b.words[i>>6] |= 1 << uint(i&63)
+	}
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	if i >= 0 && i < b.n {
+		b.words[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// ClearAll zeroes every bit.
+func (b *Bitmap) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// And intersects o into b. Lengths must match; extra bits in either
+// operand are ignored.
+func (b *Bitmap) And(o *Bitmap) {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] &= o.words[i]
+	}
+	for i := n; i < len(b.words); i++ {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// NextSet returns the position of the first set bit at or after i, or
+// -1 when none remains. Scans use it to jump directly between
+// surviving rows without testing cleared bits one by one.
+func (b *Bitmap) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i >> 6
+	w := b.words[wi] >> uint(i&63)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi<<6 + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}

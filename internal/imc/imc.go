@@ -39,42 +39,6 @@ type Store struct {
 	vectors map[string]*Vector
 }
 
-// Vector is a typed in-memory column: numbers or strings with a null
-// bitmap, the columnar format suitable for tight predicate loops.
-type Vector struct {
-	IsNumber bool
-	Nums     []float64
-	Strs     []string
-	Nulls    []bool
-}
-
-// Len returns the number of entries.
-func (v *Vector) Len() int { return len(v.Nulls) }
-
-// Value returns the i-th entry as a SQL value.
-func (v *Vector) Value(i int) jsondom.Value {
-	if i < 0 || i >= len(v.Nulls) || v.Nulls[i] {
-		return jsondom.Null{}
-	}
-	if v.IsNumber {
-		return jsondom.NumberFromFloat(v.Nums[i])
-	}
-	return jsondom.String(v.Strs[i])
-}
-
-// MemoryBytes estimates the vector's in-memory footprint.
-func (v *Vector) MemoryBytes() int {
-	n := len(v.Nulls)
-	if v.IsNumber {
-		return 8*n + n
-	}
-	total := n
-	for _, s := range v.Strs {
-		total += len(s) + 16
-	}
-	return total
-}
-
 // NewStore creates an empty in-memory store for a table.
 func NewStore(tab *store.Table) *Store {
 	return &Store{tab: tab, vectors: make(map[string]*Vector)}
@@ -182,16 +146,15 @@ func (s *Store) PopulateOSONShared(jsonCol string) error {
 }
 
 // PopulateVC evaluates the named virtual column for every row into a
-// typed vector (§5.2.1). The vector type is inferred from the first
-// non-null value.
+// typed vector (§5.2.1): chunked, zone-mapped, and — for string
+// columns — dictionary-encoded (see vector.go). The vector type is
+// inferred from the first non-null value.
 func (s *Store) PopulateVC(vcName string) error {
 	col, ok := s.tab.Column(vcName)
 	if !ok || !col.Virtual || col.Expr == nil {
 		return fmt.Errorf("imc: %q is not a virtual column of %q", vcName, s.tab.Name)
 	}
-	n := s.tab.NumRows()
-	vec := &Vector{Nulls: make([]bool, 0, n)}
-	typed := false
+	b := newVectorBuilder(s.tab.NumRows())
 	var evalErr error
 	s.tab.Scan(func(rid int, row store.Row) bool {
 		v, err := col.Expr(row)
@@ -199,49 +162,26 @@ func (s *Store) PopulateVC(vcName string) error {
 			evalErr = fmt.Errorf("imc: row %d: %w", rid, err)
 			return false
 		}
-		if v == nil || v.Kind() == jsondom.KindNull {
-			vec.Nulls = append(vec.Nulls, true)
-			vec.Nums = append(vec.Nums, 0)
-			vec.Strs = append(vec.Strs, "")
-			return true
-		}
-		if !typed {
-			typed = true
-			vec.IsNumber = v.Kind() == jsondom.KindNumber || v.Kind() == jsondom.KindDouble
-		}
-		vec.Nulls = append(vec.Nulls, false)
-		if vec.IsNumber {
-			switch t := v.(type) {
-			case jsondom.Number:
-				vec.Nums = append(vec.Nums, t.Float64())
-			case jsondom.Double:
-				vec.Nums = append(vec.Nums, float64(t))
-			default:
-				// type drift after inference: store as null
-				vec.Nulls[len(vec.Nulls)-1] = true
-				vec.Nums = append(vec.Nums, 0)
-			}
-			vec.Strs = append(vec.Strs, "")
-			return true
-		}
-		vec.Nums = append(vec.Nums, 0)
-		if t, ok := v.(jsondom.String); ok {
-			vec.Strs = append(vec.Strs, string(t))
-		} else {
-			vec.Nulls[len(vec.Nulls)-1] = true
-			vec.Strs = append(vec.Strs, "")
-		}
+		b.add(v)
 		return true
 	})
 	if evalErr != nil {
 		return evalErr
 	}
+	vec := b.build()
 	mPopulations.Inc()
 	mPopRows.Add(int64(vec.Len()))
 	mPopBytes.Add(int64(vec.MemoryBytes()))
 	s.mu.Lock()
+	old := s.vectors[vcName]
 	s.vectors[vcName] = vec
 	s.mu.Unlock()
+	if old != nil {
+		gBytesDict.Add(-int64(old.DictBytes()))
+		gBytesCodes.Add(-int64(old.CodesBytes()))
+	}
+	gBytesDict.Add(int64(vec.DictBytes()))
+	gBytesCodes.Add(int64(vec.CodesBytes()))
 	return nil
 }
 
@@ -362,39 +302,33 @@ func numberFilter(vec *Vector, op string, args []float64) (func(int) bool, bool)
 	return nil, false
 }
 
+// stringFilter evaluates string predicates in dictionary-code space:
+// the predicate is translated once against the sorted dictionary
+// (stringCodePlan) and each per-row test compares the row's 4-byte
+// code, never the string payload.
 func stringFilter(vec *Vector, op string, args []string) (func(int) bool, bool) {
-	test := func(cmp func(string) bool) func(int) bool {
+	plan, ok := stringCodePlan(vec.dict, op, args)
+	if !ok {
+		return nil, false
+	}
+	test := func(cmp func(uint32) bool) func(int) bool {
 		return func(i int) bool {
 			if i < 0 || i >= len(vec.Nulls) || vec.Nulls[i] {
 				return false
 			}
-			return cmp(vec.Strs[i])
+			return cmp(vec.codes[i])
 		}
 	}
-	switch {
-	case op == "=" && len(args) == 1:
-		a := args[0]
-		return test(func(v string) bool { return v == a }), true
-	case op == "!=" && len(args) == 1:
-		a := args[0]
-		return test(func(v string) bool { return v != a }), true
-	case op == "<" && len(args) == 1:
-		a := args[0]
-		return test(func(v string) bool { return v < a }), true
-	case op == "<=" && len(args) == 1:
-		a := args[0]
-		return test(func(v string) bool { return v <= a }), true
-	case op == ">" && len(args) == 1:
-		a := args[0]
-		return test(func(v string) bool { return v > a }), true
-	case op == ">=" && len(args) == 1:
-		a := args[0]
-		return test(func(v string) bool { return v >= a }), true
-	case op == "between" && len(args) == 2:
-		lo, hi := args[0], args[1]
-		return test(func(v string) bool { return v >= lo && v <= hi }), true
+	switch plan.kind {
+	case planEmpty:
+		return func(int) bool { return false }, true
+	case planNotEqual:
+		ne := plan.ne
+		return test(func(c uint32) bool { return c != ne }), true
+	default:
+		lo, hi := plan.lo, plan.hi
+		return test(func(c uint32) bool { return c >= lo && c <= hi }), true
 	}
-	return nil, false
 }
 
 // Vector returns a populated vector by column name.

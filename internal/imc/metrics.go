@@ -10,4 +10,11 @@ var (
 	mPopulations = metrics.NewCounter("imc.populations", "population operations completed (OSON, shared OSON, or VC vector)")
 	mPopRows     = metrics.NewCounter("imc.rows_populated", "rows materialized into the in-memory store")
 	mPopBytes    = metrics.NewCounter("imc.bytes_populated", "in-memory bytes produced by populations")
+
+	// The dictionary/codes split of the string-vector footprint: the
+	// dictionary holds each distinct string once, the codes array holds
+	// the 4-byte per-row indexes. Gauges, adjusted when a vector is
+	// (re)populated.
+	gBytesDict  = metrics.NewGauge("imc.bytes.dict", "bytes held by string-vector dictionaries (distinct values, counted once)")
+	gBytesCodes = metrics.NewGauge("imc.bytes.codes", "bytes held by string-vector code arrays (4 bytes per row)")
 )

@@ -1,0 +1,506 @@
+// Batch-vectorized column vectors (§5.2.1, after MonetDB/X100-style
+// batch-at-a-time execution). A Vector is stored as fixed-size chunks
+// of ChunkSize rows, each summarized by a ZoneMap; string vectors are
+// dictionary-encoded against a sorted dictionary so comparison
+// predicates translate once into code space and the inner loop
+// compares integers. Predicates compile to BatchKernels that fill a
+// selection Bitmap one chunk at a time in a tight branch-light loop,
+// letting the engine AND conjuncts together and skip zone-map-pruned
+// chunks before a single row is materialized.
+
+package imc
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/jsondom"
+)
+
+// ChunkSize is the number of rows per vector chunk: the unit of zone
+// map granularity, selection bitmaps, and parallel scan partitioning.
+// 1024 rows keeps a chunk's working set (8 KiB of float64s plus a
+// 128-byte bitmap) inside L1 while amortizing per-chunk bookkeeping.
+const ChunkSize = 1024
+
+// Vector is a typed in-memory column stored in ChunkSize-row chunks.
+// Numeric vectors hold float64 values; string vectors are
+// dictionary-encoded: Str(i) is dict[codes[i]], with the dictionary
+// sorted so that code order is string order. Nulls is the null bitmap;
+// null rows carry a zero value/code that must not be interpreted.
+type Vector struct {
+	// IsNumber selects the numeric representation; otherwise the
+	// vector is a dictionary-encoded string column.
+	IsNumber bool
+	// Nums holds the numeric values (numeric vectors only).
+	Nums []float64
+	// Nulls marks null rows; len(Nulls) is the vector length.
+	Nulls []bool
+
+	dict  []string // sorted unique non-null strings
+	codes []uint32 // per-row index into dict
+	zones []ZoneMap
+}
+
+// Len returns the number of entries.
+func (v *Vector) Len() int { return len(v.Nulls) }
+
+// Str returns the decoded string at row i (string vectors only; the
+// result for null rows is unspecified).
+func (v *Vector) Str(i int) string { return v.dict[v.codes[i]] }
+
+// Dict returns the sorted string dictionary (string vectors only).
+func (v *Vector) Dict() []string { return v.dict }
+
+// Value returns the i-th entry as a SQL value.
+func (v *Vector) Value(i int) jsondom.Value {
+	if i < 0 || i >= len(v.Nulls) || v.Nulls[i] {
+		return jsondom.Null{}
+	}
+	if v.IsNumber {
+		return jsondom.NumberFromFloat(v.Nums[i])
+	}
+	return jsondom.String(v.dict[v.codes[i]])
+}
+
+// DictBytes reports the memory held by the string dictionary: the
+// distinct string payloads plus one 16-byte header each. Zero for
+// numeric vectors.
+func (v *Vector) DictBytes() int {
+	total := 0
+	for _, s := range v.dict {
+		total += len(s) + 16
+	}
+	return total
+}
+
+// CodesBytes reports the memory held by the per-row dictionary codes
+// (4 bytes per row). Zero for numeric vectors.
+func (v *Vector) CodesBytes() int { return 4 * len(v.codes) }
+
+// MemoryBytes reports the vector's in-memory footprint. String
+// payloads are counted once through the dictionary — repeated values
+// share a single dictionary entry — plus the 4-byte code per row, the
+// null bitmap, and the zone maps.
+func (v *Vector) MemoryBytes() int {
+	total := len(v.Nulls) + len(v.zones)*int(zoneMapBytes)
+	if v.IsNumber {
+		return total + 8*len(v.Nums)
+	}
+	return total + v.DictBytes() + v.CodesBytes()
+}
+
+// zoneMapBytes is the accounted size of one ZoneMap.
+const zoneMapBytes = 8 + 8 + 4 + 4 + 8 + 8
+
+// vectorBuilder accumulates virtual-column evaluation results row by
+// row during population and finalizes them into a chunked,
+// dictionary-encoded Vector. Type is inferred from the first non-null
+// value; later values of a different type degrade to null, matching
+// the row-level JSON_VALUE comparison semantics.
+type vectorBuilder struct {
+	typed    bool
+	isNumber bool
+	nums     []float64
+	strs     []string
+	nulls    []bool
+}
+
+func newVectorBuilder(capacity int) *vectorBuilder {
+	return &vectorBuilder{nulls: make([]bool, 0, capacity)}
+}
+
+func (b *vectorBuilder) addNull() {
+	b.nulls = append(b.nulls, true)
+	b.nums = append(b.nums, 0)
+	b.strs = append(b.strs, "")
+}
+
+func (b *vectorBuilder) add(v jsondom.Value) {
+	if v == nil || v.Kind() == jsondom.KindNull {
+		b.addNull()
+		return
+	}
+	if !b.typed {
+		b.typed = true
+		b.isNumber = v.Kind() == jsondom.KindNumber || v.Kind() == jsondom.KindDouble
+	}
+	if b.isNumber {
+		switch t := v.(type) {
+		case jsondom.Number:
+			b.nums = append(b.nums, t.Float64())
+		case jsondom.Double:
+			b.nums = append(b.nums, float64(t))
+		default:
+			// type drift after inference: store as null
+			b.addNull()
+			return
+		}
+		b.nulls = append(b.nulls, false)
+		b.strs = append(b.strs, "")
+		return
+	}
+	t, ok := v.(jsondom.String)
+	if !ok {
+		b.addNull()
+		return
+	}
+	b.nulls = append(b.nulls, false)
+	b.strs = append(b.strs, string(t))
+	b.nums = append(b.nums, 0)
+}
+
+// build dictionary-encodes string vectors, drops the representation
+// the vector's type does not use, and computes the per-chunk zone
+// maps.
+func (b *vectorBuilder) build() *Vector {
+	vec := &Vector{IsNumber: b.isNumber, Nulls: b.nulls}
+	if b.isNumber {
+		vec.Nums = b.nums
+		vec.buildZones()
+		return vec
+	}
+	uniq := make(map[string]struct{}, len(b.strs))
+	for i, s := range b.strs {
+		if !b.nulls[i] {
+			uniq[s] = struct{}{}
+		}
+	}
+	vec.dict = make([]string, 0, len(uniq))
+	for s := range uniq {
+		vec.dict = append(vec.dict, s)
+	}
+	sort.Strings(vec.dict)
+	code := make(map[string]uint32, len(vec.dict))
+	for i, s := range vec.dict {
+		code[s] = uint32(i)
+	}
+	vec.codes = make([]uint32, len(b.strs))
+	for i, s := range b.strs {
+		if !b.nulls[i] {
+			vec.codes[i] = code[s]
+		}
+	}
+	vec.buildZones()
+	return vec
+}
+
+// BatchKernel is a compiled vector predicate operating one chunk at a
+// time. Prune reports from the chunk's zone map alone that no row can
+// match (the scan then skips the chunk entirely); And intersects the
+// chunk's matches into sel, where bit i is chunk-local row i (global
+// row chunk*ChunkSize+i) and sel.Len() is the number of rows the
+// caller is scanning in the chunk. Rows at or beyond the vector's
+// length never match, mirroring the row-at-a-time CompileFilter
+// contract.
+type BatchKernel struct {
+	// Prune reports that the chunk cannot contain a matching row.
+	Prune func(chunk int) bool
+	// And intersects the chunk's matching rows into sel.
+	And func(chunk int, sel *Bitmap)
+}
+
+// CompileBatchFilter builds a batch predicate kernel over a populated
+// column vector: op is one of = != < <= > >= between (between takes
+// two operands). It implements the engine's BatchFilterSource
+// contract; compilation declines (ok=false) exactly where the
+// row-at-a-time CompileFilter does — unknown column, unsupported op,
+// or operand/vector type mismatch — so the planner can fall back.
+func (s *Store) CompileBatchFilter(col, op string, operands []jsondom.Value) (BatchKernel, bool) {
+	s.mu.RLock()
+	vec, ok := s.vectors[col]
+	s.mu.RUnlock()
+	if !ok {
+		return BatchKernel{}, false
+	}
+	if vec.IsNumber {
+		nums := make([]float64, len(operands))
+		for i, o := range operands {
+			f, ok := numericOperand(o)
+			if !ok {
+				return BatchKernel{}, false
+			}
+			nums[i] = f
+		}
+		return numberBatchKernel(vec, op, nums)
+	}
+	strs := make([]string, len(operands))
+	for i, o := range operands {
+		sv, ok := o.(jsondom.String)
+		if !ok {
+			return BatchKernel{}, false
+		}
+		strs[i] = string(sv)
+	}
+	plan, ok := stringCodePlan(vec.dict, op, strs)
+	if !ok {
+		return BatchKernel{}, false
+	}
+	return stringBatchKernel(vec, plan), true
+}
+
+// numberBatchKernel compiles a numeric predicate. Every op except !=
+// reduces to one inclusive interval [lo, hi] — strict bounds are
+// tightened to the adjacent representable float — so the inner loop
+// is a two-comparison range test and the zone map prune is a
+// two-comparison interval overlap check.
+func numberBatchKernel(vec *Vector, op string, args []float64) (BatchKernel, bool) {
+	lo, hi := math.Inf(-1), math.Inf(1)
+	switch {
+	case op == "=" && len(args) == 1:
+		lo, hi = args[0], args[0]
+	case op == "<" && len(args) == 1:
+		hi = math.Nextafter(args[0], math.Inf(-1))
+	case op == "<=" && len(args) == 1:
+		hi = args[0]
+	case op == ">" && len(args) == 1:
+		lo = math.Nextafter(args[0], math.Inf(1))
+	case op == ">=" && len(args) == 1:
+		lo = args[0]
+	case op == "between" && len(args) == 2:
+		lo, hi = args[0], args[1]
+	case op == "!=" && len(args) == 1:
+		a := args[0]
+		return BatchKernel{
+			Prune: func(chunk int) bool {
+				z, ok := vec.Zone(chunk)
+				if !ok || z.AllNull() {
+					return true
+				}
+				return z.MinNum == a && z.MaxNum == a
+			},
+			And: func(chunk int, sel *Bitmap) {
+				nums, nulls, words, limit := vec.numChunk(chunk, sel)
+				var w uint64
+				wi := 0
+				for i := 0; i < limit; i++ {
+					if !nulls[i] && nums[i] != a {
+						w |= 1 << uint(i&63)
+					}
+					if i&63 == 63 {
+						words[wi] &= w
+						wi++
+						w = 0
+					}
+				}
+				finishChunk(words, w, wi, limit)
+			},
+		}, true
+	default:
+		return BatchKernel{}, false
+	}
+	if lo > hi {
+		// statically empty interval (e.g. BETWEEN with reversed bounds):
+		// no row can match, so every chunk prunes
+		return BatchKernel{
+			Prune: func(int) bool { return true },
+			And:   func(_ int, sel *Bitmap) { sel.ClearAll() },
+		}, true
+	}
+	return BatchKernel{
+		Prune: func(chunk int) bool {
+			z, ok := vec.Zone(chunk)
+			if !ok || z.AllNull() {
+				return true
+			}
+			return z.MaxNum < lo || z.MinNum > hi
+		},
+		And: func(chunk int, sel *Bitmap) {
+			nums, nulls, words, limit := vec.numChunk(chunk, sel)
+			var w uint64
+			wi := 0
+			for i := 0; i < limit; i++ {
+				if !nulls[i] {
+					v := nums[i]
+					if v >= lo && v <= hi {
+						w |= 1 << uint(i&63)
+					}
+				}
+				if i&63 == 63 {
+					words[wi] &= w
+					wi++
+					w = 0
+				}
+			}
+			finishChunk(words, w, wi, limit)
+		},
+	}, true
+}
+
+// numChunk slices out the chunk's values, nulls, and selection words
+// for a numeric kernel's inner loop. limit is the number of rows to
+// test: the lesser of the selection length and the rows the vector
+// actually holds past the chunk base (zero when the chunk lies wholly
+// beyond the vector, in which case the selection is already cleared).
+func (v *Vector) numChunk(chunk int, sel *Bitmap) (nums []float64, nulls []bool, words []uint64, limit int) {
+	base := chunk * ChunkSize
+	limit = sel.Len()
+	if avail := len(v.Nulls) - base; avail < limit {
+		limit = avail
+	}
+	if limit <= 0 {
+		sel.ClearAll()
+		return nil, nil, sel.Words(), 0
+	}
+	return v.Nums[base : base+limit], v.Nulls[base : base+limit], sel.Words(), limit
+}
+
+// codeChunk is numChunk for dictionary-code kernels.
+func (v *Vector) codeChunk(chunk int, sel *Bitmap) (codes []uint32, nulls []bool, words []uint64, limit int) {
+	base := chunk * ChunkSize
+	limit = sel.Len()
+	if avail := len(v.Nulls) - base; avail < limit {
+		limit = avail
+	}
+	if limit <= 0 {
+		sel.ClearAll()
+		return nil, nil, sel.Words(), 0
+	}
+	return v.codes[base : base+limit], v.Nulls[base : base+limit], sel.Words(), limit
+}
+
+// finishChunk flushes a kernel's trailing partial match word and
+// clears the selection words for rows beyond the vector, which never
+// match.
+func finishChunk(words []uint64, w uint64, wi, limit int) {
+	if limit&63 != 0 {
+		words[wi] &= w
+		wi++
+	}
+	for ; wi < len(words); wi++ {
+		words[wi] = 0
+	}
+}
+
+// codePlan is a string predicate translated into dictionary-code
+// space: because the dictionary is sorted, every supported comparison
+// reduces to an inclusive code interval, a not-equal against one
+// code, or a statically empty match set.
+type codePlan struct {
+	kind   codePlanKind
+	lo, hi uint32 // planRange: match codes in [lo, hi]
+	ne     uint32 // planNotEqual: match codes != ne
+}
+
+type codePlanKind int
+
+const (
+	planEmpty    codePlanKind = iota // no row can match
+	planRange                        // codes in [lo, hi]
+	planNotEqual                     // codes != ne
+)
+
+// stringCodePlan translates op over args into code space against a
+// sorted dictionary. ok is false for unsupported ops/arities; an
+// operand absent from the dictionary still yields a valid plan (its
+// insertion point bounds the matching code range).
+func stringCodePlan(dict []string, op string, args []string) (codePlan, bool) {
+	n := uint32(len(dict))
+	// lower(a) is the first code >= a; upper(a) is the first code > a.
+	lower := func(a string) uint32 { return uint32(sort.SearchStrings(dict, a)) }
+	upper := func(a string) uint32 {
+		i := sort.SearchStrings(dict, a)
+		if i < len(dict) && dict[i] == a {
+			i++
+		}
+		return uint32(i)
+	}
+	rangePlan := func(lo, hi uint32) (codePlan, bool) {
+		// hi is exclusive here; an empty or inverted interval matches nothing.
+		if lo >= hi {
+			return codePlan{kind: planEmpty}, true
+		}
+		return codePlan{kind: planRange, lo: lo, hi: hi - 1}, true
+	}
+	switch {
+	case op == "=" && len(args) == 1:
+		return rangePlan(lower(args[0]), upper(args[0]))
+	case op == "!=" && len(args) == 1:
+		i := sort.SearchStrings(dict, args[0])
+		if i < len(dict) && dict[i] == args[0] {
+			return codePlan{kind: planNotEqual, ne: uint32(i)}, true
+		}
+		// operand not in dictionary: every non-null row differs
+		return rangePlan(0, n)
+	case op == "<" && len(args) == 1:
+		return rangePlan(0, lower(args[0]))
+	case op == "<=" && len(args) == 1:
+		return rangePlan(0, upper(args[0]))
+	case op == ">" && len(args) == 1:
+		return rangePlan(upper(args[0]), n)
+	case op == ">=" && len(args) == 1:
+		return rangePlan(lower(args[0]), n)
+	case op == "between" && len(args) == 2:
+		return rangePlan(lower(args[0]), upper(args[1]))
+	}
+	return codePlan{}, false
+}
+
+// stringBatchKernel compiles a code plan into a kernel whose inner
+// loop compares 4-byte integer codes — never the string payloads.
+func stringBatchKernel(vec *Vector, plan codePlan) BatchKernel {
+	switch plan.kind {
+	case planEmpty:
+		return BatchKernel{
+			Prune: func(int) bool { return true },
+			And:   func(_ int, sel *Bitmap) { sel.ClearAll() },
+		}
+	case planNotEqual:
+		ne := plan.ne
+		return BatchKernel{
+			Prune: func(chunk int) bool {
+				z, ok := vec.Zone(chunk)
+				if !ok || z.AllNull() {
+					return true
+				}
+				return z.MinCode == ne && z.MaxCode == ne
+			},
+			And: func(chunk int, sel *Bitmap) {
+				codes, nulls, words, limit := vec.codeChunk(chunk, sel)
+				var w uint64
+				wi := 0
+				for i := 0; i < limit; i++ {
+					if !nulls[i] && codes[i] != ne {
+						w |= 1 << uint(i&63)
+					}
+					if i&63 == 63 {
+						words[wi] &= w
+						wi++
+						w = 0
+					}
+				}
+				finishChunk(words, w, wi, limit)
+			},
+		}
+	default:
+		lo, hi := plan.lo, plan.hi
+		return BatchKernel{
+			Prune: func(chunk int) bool {
+				z, ok := vec.Zone(chunk)
+				if !ok || z.AllNull() {
+					return true
+				}
+				return z.MaxCode < lo || z.MinCode > hi
+			},
+			And: func(chunk int, sel *Bitmap) {
+				codes, nulls, words, limit := vec.codeChunk(chunk, sel)
+				var w uint64
+				wi := 0
+				for i := 0; i < limit; i++ {
+					if !nulls[i] {
+						c := codes[i]
+						if c >= lo && c <= hi {
+							w |= 1 << uint(i&63)
+						}
+					}
+					if i&63 == 63 {
+						words[wi] &= w
+						wi++
+						w = 0
+					}
+				}
+				finishChunk(words, w, wi, limit)
+			},
+		}
+	}
+}

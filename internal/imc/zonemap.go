@@ -1,0 +1,80 @@
+// Zone maps: per-chunk data-skipping statistics in the style of
+// Oracle DBIM's storage-index pruning and the small materialized
+// aggregates of Moerkotte (VLDB 1998). Every vector chunk carries the
+// min/max of its non-null values (in code space for dictionary-encoded
+// strings) plus a null count, so a predicate kernel can discard a
+// whole chunk with two comparisons before its inner loop ever runs.
+
+package imc
+
+// ZoneMap summarizes one ChunkSize-row chunk of a Vector for data
+// skipping. Min/Max cover only the non-null rows; when AllNull
+// reports true they are meaningless and must not be consulted.
+type ZoneMap struct {
+	// MinNum and MaxNum bound the non-null values of a numeric chunk.
+	MinNum, MaxNum float64
+	// MinCode and MaxCode bound the non-null dictionary codes of a
+	// string chunk. The dictionary is sorted, so code order is string
+	// order and range predicates prune directly in code space.
+	MinCode, MaxCode uint32
+	// Rows is the number of rows in the chunk (ChunkSize except for
+	// the trailing chunk); Nulls counts the null rows among them.
+	Rows, Nulls int
+}
+
+// AllNull reports whether every row of the chunk is null, in which
+// case no SQL comparison predicate can match and the chunk is always
+// prunable.
+func (z ZoneMap) AllNull() bool { return z.Nulls == z.Rows }
+
+// buildZones computes the per-chunk zone maps for a finalized vector.
+func (v *Vector) buildZones() {
+	n := v.Len()
+	v.zones = make([]ZoneMap, 0, (n+ChunkSize-1)/ChunkSize)
+	for lo := 0; lo < n; lo += ChunkSize {
+		hi := lo + ChunkSize
+		if hi > n {
+			hi = n
+		}
+		z := ZoneMap{Rows: hi - lo}
+		first := true
+		for i := lo; i < hi; i++ {
+			if v.Nulls[i] {
+				z.Nulls++
+				continue
+			}
+			if v.IsNumber {
+				x := v.Nums[i]
+				if first || x < z.MinNum {
+					z.MinNum = x
+				}
+				if first || x > z.MaxNum {
+					z.MaxNum = x
+				}
+			} else {
+				c := v.codes[i]
+				if first || c < z.MinCode {
+					z.MinCode = c
+				}
+				if first || c > z.MaxCode {
+					z.MaxCode = c
+				}
+			}
+			first = false
+		}
+		v.zones = append(v.zones, z)
+	}
+}
+
+// NumChunks returns the number of ChunkSize-row chunks in the vector.
+func (v *Vector) NumChunks() int { return len(v.zones) }
+
+// Zone returns the zone map for chunk c; ok is false when c is beyond
+// the vector (rows past the vector never match a vector predicate, so
+// such chunks are unconditionally prunable).
+func (v *Vector) Zone(c int) (z ZoneMap, ok bool) {
+	if c < 0 || c >= len(v.zones) {
+		return ZoneMap{}, false
+	}
+	return v.zones[c], true
+}

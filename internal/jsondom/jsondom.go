@@ -262,6 +262,12 @@ func NumberFromFloat(f float64) Number {
 	if math.IsNaN(f) || math.IsInf(f, 0) {
 		panic("jsondom: NaN/Inf has no JSON number representation")
 	}
+	// Integral fast path: for these magnitudes the canonical form is the
+	// plain digit string, and FormatInt avoids the shortest-float search.
+	// Excludes -0, whose canonical float form keeps the sign.
+	if f == math.Trunc(f) && f >= -1e15 && f <= 1e15 && !(f == 0 && math.Signbit(f)) {
+		return Number(strconv.FormatInt(int64(f), 10))
+	}
 	s := strconv.FormatFloat(f, 'g', -1, 64)
 	// FormatFloat emits exponents like "e+07"; canonicalize them
 	if strings.ContainsRune(s, 'e') {

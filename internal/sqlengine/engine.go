@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/imc"
 	"repro/internal/jsondom"
 	"repro/internal/metrics"
 	"repro/internal/searchindex"
@@ -66,6 +67,11 @@ type PlannerOptions struct {
 	// DisableVectorFilter turns off columnar predicate pushdown over
 	// in-memory vectors (§5.2.1).
 	DisableVectorFilter bool
+	// DisableVectorizedScan keeps vector predicates on the row-at-a-time
+	// closure path instead of the batch pipeline (chunk kernels +
+	// selection bitmaps + zone-map pruning) — the ablation switch for
+	// measuring what batching itself buys.
+	DisableVectorizedScan bool
 	// DisableParallelScan turns off parallel partitioned scans (serial
 	// tableScan + filter instead of parallelScanOp).
 	DisableParallelScan bool
@@ -788,6 +794,14 @@ func (e *Engine) tryVectorizedScan(stmt *SelectStmt, where Expr, env *planEnv, r
 	if !ok {
 		return nil, nil, false
 	}
+	// batch pipeline: constant predicates compile to chunk kernels at
+	// plan time; bind-dependent specs batch-compile at Open. Shapes the
+	// batch compiler declines fall back to per-row closures, then to
+	// the residual filter — same ladder as the row path.
+	bfs, _ := sub.(BatchFilterSource)
+	useBatch := bfs != nil && !e.Planner.DisableVectorizedScan
+	var kernels []imc.BatchKernel
+	var kernelLabels []string
 	var filters []func(int) bool
 	var specs []vecFilterSpec
 	var residual Expr
@@ -800,6 +814,13 @@ func (e *Engine) tryVectorizedScan(stmt *SelectStmt, where Expr, env *planEnv, r
 				continue
 			}
 			if vals, ok := spec.operandValues(nil); ok {
+				if useBatch {
+					if k, ok := bfs.CompileBatchFilter(spec.col, spec.op, vals); ok {
+						kernels = append(kernels, k)
+						kernelLabels = append(kernelLabels, spec.col+" "+spec.op)
+						continue
+					}
+				}
 				if f, ok := vfs.CompileFilter(spec.col, spec.op, vals); ok {
 					filters = append(filters, f)
 					continue
@@ -808,7 +829,7 @@ func (e *Engine) tryVectorizedScan(stmt *SelectStmt, where Expr, env *planEnv, r
 		}
 		residual = andExpr(residual, c)
 	}
-	if len(filters)+len(specs) == 0 {
+	if len(kernels)+len(filters)+len(specs) == 0 {
 		return nil, nil, false
 	}
 	alias := tr.Alias
@@ -822,6 +843,12 @@ func (e *Engine) tryVectorizedScan(stmt *SelectStmt, where Expr, env *planEnv, r
 	scan := newTableScan(tab, alias, needed, sub, 0, env)
 	scan.vecFilters = filters
 	scan.vecSpecs = specs
+	if useBatch {
+		scan.batchMode = true
+		scan.batchKernels = kernels
+		scan.batchLabels = kernelLabels
+		scan.bsrc = bfs
+	}
 	return scan, residual, true
 }
 

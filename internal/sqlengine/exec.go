@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/dataguide"
+	"repro/internal/imc"
 	"repro/internal/jsondom"
 	"repro/internal/pathengine"
 	"repro/internal/sqljson"
@@ -42,6 +43,13 @@ type opNode interface {
 	opName() string
 	opChildren() []rowSource
 	opStat() *OpStats
+}
+
+// opExtraNode is an optional opNode extension: operators with
+// per-predicate runtime detail (the batch scan's chunk pruning and
+// selectivity) return extra indented lines for EXPLAIN ANALYZE.
+type opExtraNode interface {
+	opExtraLines() []string
 }
 
 // planEnv is shared by all operators of one plan: bind parameters plus
@@ -98,6 +106,19 @@ type VectorFilterSource interface {
 	CompileFilter(col, op string, operands []jsondom.Value) (func(rowID int) bool, bool)
 }
 
+// BatchFilterSource is the batch-at-a-time extension of
+// VectorFilterSource: predicates compile to chunk kernels that fill a
+// selection bitmap over imc.ChunkSize rows at once, with per-chunk
+// zone-map pruning. A source implementing it switches the scan from
+// per-row closure calls to the vectorized batch loop; CompileFilter
+// remains the fallback for shapes the batch compiler declines.
+type BatchFilterSource interface {
+	VectorFilterSource
+	// CompileBatchFilter returns a chunk kernel for (col op operands);
+	// ok=false declines exactly where CompileFilter does.
+	CompileBatchFilter(col, op string, operands []jsondom.Value) (imc.BatchKernel, bool)
+}
+
 // ---------------------------------------------------------------------------
 // table scan
 
@@ -150,6 +171,16 @@ type tableScan struct {
 	// vecSpecs are parameter-dependent vector predicates, compiled at
 	// Open with the execution's bind values.
 	vecSpecs []vecFilterSpec
+	// batchMode switches the scan to chunk-at-a-time iteration:
+	// batchKernels (plan-time compiled constant predicates) plus any
+	// vecSpecs that batch-compile at Open fill a selection bitmap per
+	// imc.ChunkSize chunk, with zone-map-pruned chunks skipped whole.
+	// bsrc is the batch compiler (the same object as sub); batchLabels
+	// name the plan-time kernels ("col op") for EXPLAIN ANALYZE.
+	batchMode    bool
+	batchKernels []imc.BatchKernel
+	batchLabels  []string
+	bsrc         BatchFilterSource
 	// rowIDsFn, when non-nil, resolves the restricted row-id list at
 	// Open (an index-driven scan over JSON search index postings); the
 	// postings are read per execution, so a cached plan sees rows
@@ -174,6 +205,25 @@ type tableScan struct {
 	vecRuntime   []func(rowID int) bool // vecSpecs compiled by Open
 	fallbackPred Expr
 	fallbackCtx  *evalCtx
+
+	// batch iteration state (set up by Open when batchMode):
+	// batchActive is true once at least one kernel compiled; batchRun
+	// is the execution's kernel list (plan-time + Open-compiled), sel
+	// the reusable per-chunk selection bitmap.
+	batchActive bool
+	batchRun    []imc.BatchKernel
+	runLabels   []string
+	sel         *imc.Bitmap
+	selActive   bool
+	selPos      int
+	chunkLo     int
+	nextChunkLo int
+	// chunksSeen/chunksPruned/selRows accumulate operator-locally and
+	// are flushed to the imc.scan.* counters at Close; the stat*
+	// mirrors survive the flush for EXPLAIN ANALYZE rendering.
+	chunksSeen, chunksPruned, selRows   int64
+	statChunks, statPruned, statSelRows int64
+	kernelStats                         []batchKernelStat // collect mode only
 
 	pos, maxID int
 	ticks      int
@@ -201,8 +251,19 @@ func (s *tableScan) cloneForRange(lo, hi int) *tableScan {
 		tab: s.tab, alias: s.alias, sch: s.sch, needVC: s.needVC,
 		cols: s.cols, sub: s.sub, vecFilters: s.vecFilters,
 		vecSpecs: s.vecSpecs, env: s.env,
+		batchMode: s.batchMode, batchKernels: s.batchKernels,
+		batchLabels: s.batchLabels, bsrc: s.bsrc,
 		lo: lo, hi: hi,
 	}
+}
+
+// batchKernelStat tracks one kernel's pruning and selectivity for
+// EXPLAIN ANALYZE (collect mode only): chunks/pruned count the chunks
+// the kernel's zone-map check saw and discarded; in/out count the
+// selection bits entering and surviving its And.
+type batchKernelStat struct {
+	chunks, pruned int64
+	in, out        int64
 }
 
 func (s *tableScan) Open(ec *ExecCtx) error {
@@ -225,12 +286,27 @@ func (s *tableScan) Open(ec *ExecCtx) error {
 		s.rowIDs = s.rowIDsFn()
 	}
 	s.vecRuntime, s.fallbackPred, s.fallbackCtx = nil, nil, nil
+	s.batchRun, s.runLabels, s.batchActive = nil, nil, false
+	if s.batchMode {
+		s.batchRun = make([]imc.BatchKernel, 0, len(s.batchKernels)+len(s.vecSpecs))
+		s.batchRun = append(s.batchRun, s.batchKernels...)
+		s.runLabels = append(make([]string, 0, cap(s.batchRun)), s.batchLabels...)
+	}
 	if len(s.vecSpecs) > 0 {
 		vfs, _ := s.sub.(VectorFilterSource)
 		for i := range s.vecSpecs {
 			spec := &s.vecSpecs[i]
-			if vfs != nil {
-				if vals, ok := spec.operandValues(s.env); ok {
+			if vals, ok := spec.operandValues(s.env); ok {
+				// bind values are in hand: prefer a batch kernel, then a
+				// per-row vector closure, then the row-level fallback
+				if s.batchMode && s.bsrc != nil {
+					if k, ok := s.bsrc.CompileBatchFilter(spec.col, spec.op, vals); ok {
+						s.batchRun = append(s.batchRun, k)
+						s.runLabels = append(s.runLabels, spec.col+" "+spec.op)
+						continue
+					}
+				}
+				if vfs != nil {
 					if f, ok := vfs.CompileFilter(spec.col, spec.op, vals); ok {
 						s.vecRuntime = append(s.vecRuntime, f)
 						continue
@@ -241,6 +317,23 @@ func (s *tableScan) Open(ec *ExecCtx) error {
 		}
 		if s.fallbackPred != nil {
 			s.fallbackCtx = s.env.bindCtx(s.sch, s.fallbackPred)
+		}
+	}
+	// batch iteration needs at least one kernel and full-range row-id
+	// iteration (index-driven and sampled scans stay row-at-a-time)
+	s.batchActive = s.batchMode && len(s.batchRun) > 0 && s.rowIDs == nil && s.rng == nil
+	s.chunksSeen, s.chunksPruned, s.selRows = 0, 0, 0
+	s.statChunks, s.statPruned, s.statSelRows = 0, 0, 0
+	s.kernelStats = nil
+	s.selActive = false
+	if s.batchActive {
+		s.sel = imc.NewBitmap(imc.ChunkSize)
+		// start at the chunk containing lo; bits before lo are skipped
+		// during the drain (parallel partitions are chunk-aligned, so in
+		// practice lo is a chunk boundary)
+		s.nextChunkLo = s.lo - s.lo%imc.ChunkSize
+		if s.st != nil {
+			s.kernelStats = make([]batchKernelStat, len(s.batchRun))
 		}
 	}
 	return nil
@@ -256,6 +349,9 @@ func (s *tableScan) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 	if s.st != nil {
 		t0 := time.Now()
 		defer func() { s.st.observe(time.Since(t0), ok) }()
+	}
+	if s.batchActive {
+		return s.nextBatch(ec)
 	}
 	for {
 		if err := ec.tickErr(&s.ticks); err != nil {
@@ -290,40 +386,152 @@ func (s *tableScan) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 		if !s.passVecFilters(rowID) {
 			continue
 		}
-		out := make([]jsondom.Value, len(s.cols))
-		for i, c := range s.cols {
-			if s.sub != nil {
-				if v, ok := s.sub.Substitute(rowID, c.Name); ok {
-					out[i] = v
-					continue
-				}
-			}
-			if !c.Virtual {
-				out[i] = row[i]
-				continue
-			}
-			if !s.needVC[i] || c.Expr == nil {
-				out[i] = null
-				continue
-			}
-			v, err := c.Expr(row)
-			if err != nil {
-				return nil, false, err
-			}
-			out[i] = v
+		out, match, err := s.materialize(rowID, row)
+		if err != nil {
+			return nil, false, err
 		}
-		if s.fallbackCtx != nil {
-			s.fallbackCtx.row = out
-			v, err := evalExpr(s.fallbackCtx, s.fallbackPred)
-			if err != nil {
-				return nil, false, err
-			}
-			if !truthy(v) {
-				continue
-			}
+		if !match {
+			continue
 		}
 		s.rowsOut++
 		return out, true, nil
+	}
+}
+
+// materialize builds the output row for rowID — IMC substitution,
+// stored values, referenced virtual columns — and applies the
+// row-level fallback predicate; match=false rejects the row.
+func (s *tableScan) materialize(rowID int, row store.Row) (out []jsondom.Value, match bool, err error) {
+	out = make([]jsondom.Value, len(s.cols))
+	for i, c := range s.cols {
+		// unreferenced columns are never read downstream: skip the
+		// in-memory substitution (and its per-column decode) entirely
+		if !s.needVC[i] {
+			if c.Virtual {
+				out[i] = null
+			} else {
+				out[i] = row[i]
+			}
+			continue
+		}
+		if s.sub != nil {
+			if v, ok := s.sub.Substitute(rowID, c.Name); ok {
+				out[i] = v
+				continue
+			}
+		}
+		if !c.Virtual {
+			out[i] = row[i]
+			continue
+		}
+		if c.Expr == nil {
+			out[i] = null
+			continue
+		}
+		v, err := c.Expr(row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	if s.fallbackCtx != nil {
+		s.fallbackCtx.row = out
+		v, err := evalExpr(s.fallbackCtx, s.fallbackPred)
+		if err != nil {
+			return nil, false, err
+		}
+		if !truthy(v) {
+			return nil, false, nil
+		}
+	}
+	return out, true, nil
+}
+
+// nextBatch is the chunk-at-a-time scan loop: per chunk, every kernel
+// gets a zone-map veto (a pruned chunk costs two comparisons total),
+// then the selection bitmap is reset to all-ones and each kernel ANDs
+// its matches in; the surviving bits are drained through NextSet and
+// only those rows are materialized. Cancellation is checked once per
+// chunk.
+func (s *tableScan) nextBatch(ec *ExecCtx) ([]jsondom.Value, bool, error) {
+	for {
+		for s.selActive {
+			i := s.sel.NextSet(s.selPos)
+			if i < 0 {
+				s.selActive = false
+				break
+			}
+			s.selPos = i + 1
+			rowID := s.chunkLo + i
+			// bits below the partition floor (an unaligned lo) are not ours
+			if rowID < s.lo || s.deleted(rowID) {
+				continue
+			}
+			// residual per-row vector closures (specs that batch-declined
+			// but row-compiled)
+			if !s.passVecFilters(rowID) {
+				continue
+			}
+			out, match, err := s.materialize(rowID, s.rows[rowID])
+			if err != nil {
+				return nil, false, err
+			}
+			if !match {
+				continue
+			}
+			s.rowsOut++
+			return out, true, nil
+		}
+		if s.nextChunkLo >= s.maxID {
+			return nil, false, nil
+		}
+		if err := ec.tickErr(&s.ticks); err != nil {
+			return nil, false, err
+		}
+		clo := s.nextChunkLo
+		chunk := clo / imc.ChunkSize
+		chi := clo + imc.ChunkSize
+		if chi > s.maxID {
+			chi = s.maxID
+		}
+		s.nextChunkLo = clo + imc.ChunkSize
+		s.chunksSeen++
+		pruned := false
+		for ki := range s.batchRun {
+			if s.kernelStats != nil {
+				s.kernelStats[ki].chunks++
+			}
+			if s.batchRun[ki].Prune(chunk) {
+				if s.kernelStats != nil {
+					s.kernelStats[ki].pruned++
+				}
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			s.chunksPruned++
+			continue
+		}
+		s.sel.Reset(chi - clo)
+		if s.kernelStats != nil {
+			in := int64(chi - clo)
+			for ki := range s.batchRun {
+				s.batchRun[ki].And(chunk, s.sel)
+				outBits := int64(s.sel.Count())
+				s.kernelStats[ki].in += in
+				s.kernelStats[ki].out += outBits
+				in = outBits
+			}
+		} else {
+			for ki := range s.batchRun {
+				s.batchRun[ki].And(chunk, s.sel)
+			}
+		}
+		s.selRows += int64(s.sel.Count())
+		s.chunkLo = clo
+		s.selPos = 0
+		s.selActive = true
 	}
 }
 
@@ -346,6 +554,16 @@ func (s *tableScan) Close() error {
 		mScanRows.Add(s.rowsOut)
 		s.rowsOut = 0
 	}
+	if s.chunksSeen > 0 {
+		mIMCScanChunks.Add(s.chunksSeen)
+		mIMCScanPruned.Add(s.chunksPruned)
+		mIMCScanSelRows.Add(s.selRows)
+		// keep display mirrors: EXPLAIN ANALYZE renders after Close
+		s.statChunks += s.chunksSeen
+		s.statPruned += s.chunksPruned
+		s.statSelRows += s.selRows
+		s.chunksSeen, s.chunksPruned, s.selRows = 0, 0, 0
+	}
 	return nil
 }
 
@@ -354,7 +572,10 @@ func (s *tableScan) opName() string {
 	if s.rowIDsFn != nil {
 		name += " via-index"
 	}
-	if n := len(s.vecFilters) + len(s.vecSpecs); n > 0 {
+	if s.batchMode {
+		name += " batch"
+	}
+	if n := len(s.vecFilters) + len(s.vecSpecs) + len(s.batchKernels); n > 0 {
 		name += fmt.Sprintf(" vec-filters=%d", n)
 	}
 	if s.samplePct > 0 {
@@ -364,6 +585,34 @@ func (s *tableScan) opName() string {
 }
 func (s *tableScan) opChildren() []rowSource { return nil }
 func (s *tableScan) opStat() *OpStats        { return s.st }
+
+// opExtraLines reports the batch scan's chunk accounting for EXPLAIN
+// ANALYZE: one summary line plus, in collect mode, one line per
+// vector predicate with its chunk pruning and bit selectivity.
+func (s *tableScan) opExtraLines() []string {
+	if s.statChunks == 0 {
+		return nil
+	}
+	lines := []string{fmt.Sprintf("vec-batch: chunks=%d pruned=%d selected=%d",
+		s.statChunks, s.statPruned, s.statSelRows)}
+	for ki, ks := range s.kernelStats {
+		label := "?"
+		if ki < len(s.runLabels) {
+			label = s.runLabels[ki]
+		}
+		lines = append(lines, fmt.Sprintf("vec[%s]: chunks=%d pruned=%d selectivity=%s",
+			label, ks.chunks, ks.pruned, pctOf(ks.out, ks.in)))
+	}
+	return lines
+}
+
+// pctOf formats out/in as a percentage; "-" when nothing flowed in.
+func pctOf(out, in int64) string {
+	if in <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(out)/float64(in))
+}
 
 // ---------------------------------------------------------------------------
 // filter / project / limit

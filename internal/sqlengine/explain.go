@@ -96,6 +96,13 @@ func renderPlan(src rowSource, analyze bool) []string {
 			}
 		}
 		lines = append(lines, line)
+		if analyze {
+			if xn, ok := s.(opExtraNode); ok {
+				for _, extra := range xn.opExtraLines() {
+					lines = append(lines, strings.Repeat("  ", depth+1)+extra)
+				}
+			}
+		}
 		for _, c := range node.opChildren() {
 			walk(c, depth+1)
 		}

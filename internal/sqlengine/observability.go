@@ -56,6 +56,14 @@ var (
 	mMemDenied      = metrics.NewCounter("sql.mem.denials", "allocations denied by the query memory budget")
 )
 
+// Batch-vectorized IMC scan metrics, flushed operator-locally at scan
+// Close like sql.scan.rows.
+var (
+	mIMCScanChunks  = metrics.NewCounter("imc.scan.chunks", "vector chunks considered by batch scans")
+	mIMCScanPruned  = metrics.NewCounter("imc.scan.chunks_pruned", "vector chunks skipped whole by zone-map pruning")
+	mIMCScanSelRows = metrics.NewCounter("imc.scan.rows_selected", "rows surviving the selection bitmap in batch scans")
+)
+
 // slowQueryConfig is the installed slow-query log; nil means disabled.
 type slowQueryConfig struct {
 	threshold time.Duration

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/imc"
 	"repro/internal/jsondom"
 )
 
@@ -54,6 +55,10 @@ type parallelScanOp struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	st        *OpStats
+	// workers are the per-partition scan clones of the last Open, kept
+	// so EXPLAIN ANALYZE can aggregate their batch chunk stats (read
+	// only after Close has joined the worker goroutines).
+	workers []*tableScan
 }
 
 // parallelizeScan decides whether the FROM source plus residual WHERE
@@ -94,12 +99,42 @@ func (e *Engine) parallelizeScan(src rowSource, where Expr, env *planEnv) rowSou
 
 func (p *parallelScanOp) Schema() Schema { return p.template.Schema() }
 
+// partitions computes the worker row-id ranges. For a batch-mode
+// template they are aligned to imc.ChunkSize boundaries so no chunk is
+// split between workers — every worker's lo lands on a chunk start and
+// its kernels, zone maps, and selection bitmaps line up with the
+// vector's chunk grid. Otherwise the table's default equal split.
+func (p *parallelScanOp) partitions() [][2]int {
+	if !p.template.batchMode {
+		return p.template.tab.Partitions(p.degree)
+	}
+	n := p.template.tab.MaxRowID()
+	chunks := (n + imc.ChunkSize - 1) / imc.ChunkSize
+	k := p.degree
+	if k > chunks {
+		k = chunks
+	}
+	var parts [][2]int
+	for i := 0; i < k; i++ {
+		lo := i * chunks / k * imc.ChunkSize
+		hi := (i + 1) * chunks / k * imc.ChunkSize
+		if hi > n {
+			hi = n
+		}
+		if hi > lo {
+			parts = append(parts, [2]int{lo, hi})
+		}
+	}
+	return parts
+}
+
 func (p *parallelScanOp) Open(ec *ExecCtx) error {
 	p.st = ec.statFor()
 	p.stop = make(chan struct{})
 	p.closeOnce = sync.Once{}
 	p.chans, p.out, p.cur = nil, nil, 0
-	parts := p.template.tab.Partitions(p.degree)
+	p.workers = nil
+	parts := p.partitions()
 	if len(parts) == 0 {
 		return nil
 	}
@@ -116,6 +151,7 @@ func (p *parallelScanOp) Open(ec *ExecCtx) error {
 	p.wg.Add(len(parts))
 	for i, part := range parts {
 		scan := p.template.cloneForRange(part[0], part[1])
+		p.workers = append(p.workers, scan)
 		var ch chan parRow
 		if !p.unordered {
 			ch = p.chans[i]
@@ -266,10 +302,54 @@ func (p *parallelScanOp) opName() string {
 	if p.filter != nil {
 		name += " filtered"
 	}
-	if len(p.template.vecFilters) > 0 {
-		name += fmt.Sprintf(" vec-filters=%d", len(p.template.vecFilters))
+	if p.template.batchMode {
+		name += " batch"
+	}
+	if n := len(p.template.vecFilters) + len(p.template.vecSpecs) + len(p.template.batchKernels); n > 0 {
+		name += fmt.Sprintf(" vec-filters=%d", n)
 	}
 	return name + ")"
 }
 func (p *parallelScanOp) opChildren() []rowSource { return nil }
 func (p *parallelScanOp) opStat() *OpStats        { return p.st }
+
+// opExtraLines aggregates the workers' batch chunk stats for EXPLAIN
+// ANALYZE. Safe only after Close: the workers have been joined, so
+// their counters are quiescent.
+func (p *parallelScanOp) opExtraLines() []string {
+	var chunks, pruned, selected int64
+	var kstats []batchKernelStat
+	var labels []string
+	for _, w := range p.workers {
+		chunks += w.statChunks
+		pruned += w.statPruned
+		selected += w.statSelRows
+		if len(w.kernelStats) > 0 {
+			if kstats == nil {
+				kstats = make([]batchKernelStat, len(w.kernelStats))
+				labels = w.runLabels
+			}
+			for i := range w.kernelStats {
+				if i < len(kstats) {
+					kstats[i].chunks += w.kernelStats[i].chunks
+					kstats[i].pruned += w.kernelStats[i].pruned
+					kstats[i].in += w.kernelStats[i].in
+					kstats[i].out += w.kernelStats[i].out
+				}
+			}
+		}
+	}
+	if chunks == 0 {
+		return nil
+	}
+	lines := []string{fmt.Sprintf("vec-batch: chunks=%d pruned=%d selected=%d", chunks, pruned, selected)}
+	for i, ks := range kstats {
+		label := "?"
+		if i < len(labels) {
+			label = labels[i]
+		}
+		lines = append(lines, fmt.Sprintf("vec[%s]: chunks=%d pruned=%d selectivity=%s",
+			label, ks.chunks, ks.pruned, pctOf(ks.out, ks.in)))
+	}
+	return lines
+}

@@ -70,6 +70,8 @@ func (s *tableScan) clonePlan(env *planEnv) rowSource {
 		tab: s.tab, alias: s.alias, sch: s.sch, needVC: s.needVC,
 		cols: s.cols, sub: s.sub, vecFilters: s.vecFilters,
 		vecSpecs: s.vecSpecs, rowIDsFn: s.rowIDsFn,
+		batchMode: s.batchMode, batchKernels: s.batchKernels,
+		batchLabels: s.batchLabels, bsrc: s.bsrc,
 		lo: s.lo, hi: s.hi, samplePct: s.samplePct, env: env,
 	}
 }

@@ -1,0 +1,206 @@
+package sqlengine
+
+// End-to-end tests for the batch-vectorized IMC scan path: differential
+// agreement between the batch plan, the row-at-a-time vector plan, and
+// the unoptimized plan; EXPLAIN ANALYZE chunk statistics; and the
+// imc.scan.* / imc.bytes.* metrics.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/imc"
+	"repro/internal/jsondom"
+)
+
+// newBatchEngine loads enough docs to span several imc.ChunkSize chunks
+// with a number VC and a string VC. The second chunk (rows 1024..2047)
+// has no "n" member at all, so the number vector carries an all-null
+// chunk that zone maps can skip wholesale.
+func newBatchEngine(t *testing.T) *Engine {
+	t.Helper()
+	n := 2*imc.ChunkSize + 552 // 2600: three chunks, partial trailing chunk
+	e := New()
+	mustExec(t, e, `create table t (did number, jdoc varchar2(0) check (jdoc is json))`)
+	ins, err := e.Prepare(`insert into t values (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf(`{"n":%d,"s":"w%03d"}`, i, i%7)
+		if i >= imc.ChunkSize && i < 2*imc.ChunkSize {
+			doc = fmt.Sprintf(`{"s":"w%03d"}`, i%7) // null stretch for vn
+		}
+		if _, err := ins.Exec(jsondom.NumberFromInt(int64(i)), jsondom.String(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(t, e, `alter table t add virtual column vn as json_value(jdoc, '$.n' returning number)`)
+	mustExec(t, e, `alter table t add virtual column vs as json_value(jdoc, '$.s')`)
+	tab, _ := e.Catalog().Table("t")
+	mem := imc.NewStore(tab)
+	if err := mem.PopulateVC("vn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.PopulateVC("vs"); err != nil {
+		t.Fatal(err)
+	}
+	e.AttachIMC("t", mem)
+	return e
+}
+
+// TestVectorizedBatchDifferential runs the same query set under the
+// batch-vectorized plan, the row-at-a-time vector plan, and the fully
+// unoptimized plan, and requires identical result sets from all three —
+// including NULL-stretch semantics, reversed BETWEEN bounds, operands
+// absent from the dictionary, and a type-mismatched residual.
+func TestVectorizedBatchDifferential(t *testing.T) {
+	e := newBatchEngine(t)
+	queries := []struct {
+		sql    string
+		params []jsondom.Value
+		want   int // -1: only cross-mode agreement is checked
+	}{
+		{sql: `select did from t where vn = 7`, want: 1},
+		{sql: `select did from t where vn between 100 and 199`, want: 100},
+		// reversed bounds match nothing in every plan
+		{sql: `select did from t where vn between 199 and 100`, want: 0},
+		{sql: `select did from t where vn >= 2500`, want: 100},
+		// the all-null stretch (rows 1024..2047) never matches
+		{sql: `select did from t where vn < 1100`, want: 1024},
+		{sql: `select did from t where vn != 0`, want: -1},
+		{sql: `select did from t where vs = 'w003'`, want: -1},
+		{sql: `select did from t where vs between 'w002' and 'w004'`, want: -1},
+		// operand absent from the dictionary: empty code range
+		{sql: `select did from t where vs = 'nosuchword'`, want: 0},
+		{sql: `select did from t where vs > 'w900'`, want: 0},
+		// type mismatch declines the kernel and stays a residual
+		{sql: `select did from t where vn = 'x'`, want: -1},
+		// pushable conjunct + residual conjunct
+		{sql: `select did from t where vn between 2048 and 2105 and mod(did, 2) = 0`, want: 29},
+		// bind parameters resolve at Open, after kernel compilation
+		{sql: `select did from t where vn between ? and ?`,
+			params: []jsondom.Value{jsondom.Number("300"), jsondom.Number("310")}, want: 11},
+	}
+	type mode struct {
+		label string
+		set   func(*Engine)
+	}
+	modes := []mode{
+		{"batch", func(e *Engine) {}},
+		{"row-vec", func(e *Engine) { e.Planner.DisableVectorizedScan = true }},
+		{"unoptimized", func(e *Engine) {
+			e.Planner.DisableVectorizedScan = true
+			e.Planner.DisableVectorFilter = true
+			e.Planner.DisableVCRewrite = true
+		}},
+	}
+	results := make([][]string, len(modes))
+	for mi, m := range modes {
+		e.Planner = PlannerOptions{}
+		m.set(e)
+		for _, q := range queries {
+			r := mustExec(t, e, q.sql, q.params...)
+			if q.want >= 0 && len(r.Rows) != q.want {
+				t.Errorf("%s %s: got %d rows, want %d", m.label, q.sql, len(r.Rows), q.want)
+			}
+			results[mi] = append(results[mi], fmt.Sprint(r.Rows))
+		}
+	}
+	for mi := 1; mi < len(modes); mi++ {
+		for qi := range queries {
+			if results[0][qi] != results[mi][qi] {
+				t.Errorf("%s: %s diverges from batch plan", modes[mi].label, queries[qi].sql)
+			}
+		}
+	}
+}
+
+// TestVectorizedBatchPrepared proves a cached plan compiled before any
+// parameter exists still builds its kernels at Open from the bound
+// values, and that re-running with different parameters rebinds.
+func TestVectorizedBatchPrepared(t *testing.T) {
+	e := newBatchEngine(t)
+	ps, err := e.Prepare(`select count(*) from t where vn between ? and ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		lo, hi int64
+		want   string
+	}{
+		{100, 199, "100"},
+		{199, 100, "0"}, // reversed bounds bound at Open
+		{2500, 9999, "100"},
+	}
+	for _, c := range cases {
+		r, err := ps.Run(jsondom.NumberFromInt(c.lo), jsondom.NumberFromInt(c.hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(r.Rows[0][0].(jsondom.Number)); got != c.want {
+			t.Errorf("between %d and %d: count = %s, want %s", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestVectorizedExplainAnalyze checks that an analyzed batch scan
+// reports its chunk statistics: total chunks, zone-map prunes, and the
+// per-kernel selectivity lines.
+func TestVectorizedExplainAnalyze(t *testing.T) {
+	e := newBatchEngine(t)
+	r := mustExec(t, e, `explain analyze select did from t where vn between 2048 and 2105`)
+	plan := ""
+	for _, row := range r.Rows {
+		plan += string(row[0].(jsondom.String)) + "\n"
+	}
+	if !strings.Contains(plan, " batch") {
+		t.Fatalf("plan does not use the batch scan:\n%s", plan)
+	}
+	if !strings.Contains(plan, "vec-batch: chunks=") || !strings.Contains(plan, "pruned=") {
+		t.Fatalf("missing vec-batch summary line:\n%s", plan)
+	}
+	if !strings.Contains(plan, "vec[vn between]:") || !strings.Contains(plan, "selectivity=") {
+		t.Fatalf("missing per-kernel selectivity line:\n%s", plan)
+	}
+	// chunks 0 (max 1023) and 1 (all null) are both zone-pruned
+	if strings.Contains(plan, "pruned=0") {
+		t.Fatalf("expected zone-map prunes for a third-chunk range:\n%s", plan)
+	}
+}
+
+// TestVectorizedScanMetrics checks the scan counters and the dictionary
+// byte accounting through SHOW METRICS.
+func TestVectorizedScanMetrics(t *testing.T) {
+	e := newBatchEngine(t)
+	before := mustExec(t, e, `show metrics`)
+	chunks0, _ := metricValue(t, before, "imc.scan.chunks")
+	pruned0, _ := metricValue(t, before, "imc.scan.chunks_pruned")
+	sel0, _ := metricValue(t, before, "imc.scan.rows_selected")
+
+	r := mustExec(t, e, `select count(*) from t where vn between 2048 and 2105`)
+	if got := string(r.Rows[0][0].(jsondom.Number)); got != "58" {
+		t.Fatalf("count = %s", got)
+	}
+
+	after := mustExec(t, e, `show metrics`)
+	chunks1, ok := metricValue(t, after, "imc.scan.chunks")
+	if !ok || chunks1 <= chunks0 {
+		t.Fatalf("imc.scan.chunks did not advance: %d -> %d", chunks0, chunks1)
+	}
+	pruned1, _ := metricValue(t, after, "imc.scan.chunks_pruned")
+	if pruned1 < pruned0+2 {
+		t.Fatalf("imc.scan.chunks_pruned advanced only %d -> %d, want +2 or more", pruned0, pruned1)
+	}
+	sel1, _ := metricValue(t, after, "imc.scan.rows_selected")
+	if sel1 < sel0+58 {
+		t.Fatalf("imc.scan.rows_selected advanced only %d -> %d, want +58 or more", sel0, sel1)
+	}
+	if dict, ok := metricValue(t, after, "imc.bytes.dict"); !ok || dict <= 0 {
+		t.Fatalf("imc.bytes.dict = %d, ok=%v", dict, ok)
+	}
+	if codes, ok := metricValue(t, after, "imc.bytes.codes"); !ok || codes <= 0 {
+		t.Fatalf("imc.bytes.codes = %d, ok=%v", codes, ok)
+	}
+}
