@@ -1,0 +1,218 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects the
+// parsed and type-checked files of one package through a Pass and
+// reports Diagnostics. The build environment is fully offline, so the
+// upstream module cannot be vendored; this package keeps the same
+// conceptual shape (Analyzer / Pass / Diagnostic, an analysistest
+// subpackage, a multichecker driver in cmd/fsdmvet) on nothing but
+// go/ast, go/parser and go/types, which is all the project's five
+// invariant checkers need.
+//
+// Suppression: a diagnostic is dropped when the flagged line — or the
+// line directly above it — carries a comment of the form
+//
+//	//fsdmvet:ignore <analyzer> <reason>
+//
+// naming the reporting analyzer. The reason is mandatory: a directive
+// without one is inert, and the driver reports it as malformed so
+// suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker: a name (used in output
+// and in fsdmvet:ignore directives), a one-paragraph doc string, and
+// the Run function applied to every package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives; by convention a single lowercase word.
+	Name string
+	// Doc documents the invariant the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding: a position inside the package being
+// analyzed and a human-readable message.
+type Diagnostic struct {
+	// Pos locates the finding in the Pass's FileSet.
+	Pos token.Pos
+	// Message states the violated invariant.
+	Message string
+}
+
+// Pass carries the inputs of one analyzer applied to one package and
+// collects its diagnostics.
+type Pass struct {
+	// Analyzer is the checker this pass belongs to.
+	Analyzer *Analyzer
+	// Fset maps positions of every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type-checker results for the package's syntax.
+	TypesInfo *types.Info
+
+	// shared is per-analyzer state that survives across packages of
+	// one suite run (see Pass.Shared).
+	shared map[string]any
+	// diags collects raw findings before suppression filtering.
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos. Suppression directives are
+// applied later by the driver, so analyzers report unconditionally.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Shared returns a mutable map owned by this analyzer for the whole
+// suite run (all packages), enabling cross-package invariants such as
+// metriccheck's registered-exactly-once rule. analysistest resets it
+// between fixture runs.
+func (p *Pass) Shared() map[string]any { return p.shared }
+
+// Finding is one post-suppression diagnostic with its position
+// resolved, ready for printing or test comparison.
+type Finding struct {
+	// Analyzer is the name of the checker that fired.
+	Analyzer string
+	// Pos is the resolved file position of the finding.
+	Pos token.Position
+	// Message states the violated invariant.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// ignoreDirective is one parsed fsdmvet:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "fsdmvet:ignore"
+
+// ignoreIndex maps file name → line → directives on that line.
+type ignoreIndex map[string]map[int][]ignoreDirective
+
+// buildIgnoreIndex scans the files' comments for fsdmvet:ignore
+// directives. Malformed directives (missing analyzer or reason) are
+// returned separately so the driver can surface them.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Finding) {
+	idx := ignoreIndex{}
+	var malformed []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				pos := fset.Position(c.Pos())
+				parts := strings.SplitN(rest, " ", 2)
+				if len(parts) < 2 || strings.TrimSpace(parts[1]) == "" {
+					malformed = append(malformed, Finding{
+						Analyzer: "fsdmvet",
+						Pos:      pos,
+						Message:  "malformed fsdmvet:ignore: want //fsdmvet:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				d := ignoreDirective{analyzer: parts[0], reason: strings.TrimSpace(parts[1]), pos: pos}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]ignoreDirective{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return idx, malformed
+}
+
+// suppressed reports whether a diagnostic from analyzer at pos is
+// covered by a directive on its line or the line above.
+func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package, filters suppressed
+// diagnostics, and returns the surviving findings sorted by position.
+// Malformed suppression directives are themselves reported, once per
+// package. Shared analyzer state spans the whole call, so
+// cross-package rules see every package of the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	shared := make(map[*Analyzer]map[string]any, len(analyzers))
+	for _, a := range analyzers {
+		shared[a] = map[string]any{}
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		idx, malformed := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		out = append(out, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				shared:    shared[a],
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if idx.suppressed(a.Name, pos) {
+					continue
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over fixture packages and
+// compares its findings against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest
+// on the standard library alone.
+//
+// Fixtures live in a GOPATH-style tree: Run(t, dir, a, "pkg") loads
+// dir/src/pkg. A line that should be flagged carries a trailing
+// comment of the form
+//
+//	// want "regexp"
+//
+// (several quoted regexps when several diagnostics land on one line).
+// The test fails if a want goes unmatched or a diagnostic arrives
+// unannounced. fsdmvet:ignore suppression is applied before matching,
+// so fixtures can also assert that suppressed findings stay silent.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the expectation comment of a fixture line.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one "want" on one fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies analyzer a to every named fixture package under
+// dir/src and reports mismatches between diagnostics and // want
+// expectations through t. It returns the surviving findings so tests
+// can make extra assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) []analysis.Finding {
+	t.Helper()
+	loader := analysis.NewSrcLoader(filepath.Join(dir, "src"))
+	var pkgs []*analysis.Package
+	for _, p := range pkgPaths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, pkgs)
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return findings
+}
+
+// claim marks the first unmatched expectation on the finding's line
+// whose regexp matches the message.
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment in the fixture packages.
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, pat := range splitQuoted(t, pos.String(), m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted strings ("a" "b" ...).
+func splitQuoted(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: want expectations must be quoted strings, got %q", at, s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want string: %s", at, s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", at, s[:end+1], err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: empty want expectation", at)
+	}
+	return out
+}
+
+// Fprint is a tiny helper kept for debugging fixture failures: it
+// renders findings one per line.
+func Fprint(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,244 @@
+// Package loading for the analysis driver: parse and type-check the
+// packages of this module (or of a GOPATH-style fixture tree) using
+// only the standard library. Imports inside the module resolve
+// recursively from disk; standard-library imports fall back to the
+// go/importer source importer, which type-checks $GOROOT/src directly
+// — no export data, no network, no golang.org/x/tools.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the analyzer inputs
+// plus enough identity for diagnostics.
+type Package struct {
+	// ImportPath is the package's import path ("repro/internal/imc",
+	// or the directory-relative path for fixture trees).
+	ImportPath string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset is the loader-wide file set (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's recorded facts for Files.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages on demand, memoizing by
+// import path so shared dependencies are checked once.
+type Loader struct {
+	// Fset is shared by every file the loader touches.
+	Fset *token.FileSet
+
+	root    string // module root (or fixture src root)
+	modpath string // module path; "" for fixture trees
+	pkgs    map[string]*Package
+	std     types.Importer
+}
+
+// NewModuleLoader returns a loader rooted at the module directory
+// root, reading the module path from root/go.mod.
+func NewModuleLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modpath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modpath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modpath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	return newLoader(root, modpath), nil
+}
+
+// NewSrcLoader returns a loader for a GOPATH-style source tree (used
+// by analysistest fixtures): import path "a/b" resolves to
+// srcRoot/a/b, and anything not present there falls back to the
+// standard library.
+func NewSrcLoader(srcRoot string) *Loader {
+	return newLoader(srcRoot, "")
+}
+
+func newLoader(root, modpath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modpath: modpath,
+		pkgs:    map[string]*Package{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// dirFor maps an import path to a directory inside the loader's tree,
+// or "" when the path belongs to the standard library.
+func (l *Loader) dirFor(importPath string) string {
+	switch {
+	case l.modpath == "":
+		dir := filepath.Join(l.root, filepath.FromSlash(importPath))
+		if hasGoSources(dir) {
+			return dir
+		}
+		return ""
+	case importPath == l.modpath:
+		return l.root
+	case strings.HasPrefix(importPath, l.modpath+"/"):
+		return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(importPath, l.modpath+"/")))
+	default:
+		return ""
+	}
+}
+
+// Import implements types.Importer, letting the type checker resolve
+// module-internal imports through the loader and everything else
+// through the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package at importPath (memoized).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	dir := l.dirFor(importPath)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: %s is not inside the loaded tree", importPath)
+	}
+	return l.load(importPath, dir)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: %s: no Go sources in %s", importPath, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// LoadTree loads every package under the loader's root, skipping
+// testdata, hidden directories, and directories without non-test Go
+// sources. Packages come back sorted by import path.
+func (l *Loader) LoadTree() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoSources(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		importPath := l.modpath
+		if rel != "." {
+			if l.modpath != "" {
+				importPath = l.modpath + "/" + filepath.ToSlash(rel)
+			} else {
+				importPath = filepath.ToSlash(rel)
+			}
+		}
+		paths = append(paths, importPath)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walking %s: %w", l.root, err)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// hasGoSources reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoSources(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
