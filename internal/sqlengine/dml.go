@@ -23,7 +23,14 @@ func (e *Engine) runDelete(ctx context.Context, t *DeleteStmt, params []jsondom.
 	if err != nil {
 		return nil, err
 	}
+	ticks := 0
 	for _, rid := range ids {
+		ticks++
+		if ticks%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tab.Delete(rid)
 	}
 	e.DetachIMC(tab.Name)

@@ -618,11 +618,12 @@ func pctOf(out, in int64) string {
 // filter / project / limit
 
 type filterOp struct {
-	in   rowSource
-	pred Expr
-	env  *planEnv
-	ctx  *evalCtx
-	st   *OpStats
+	in    rowSource
+	pred  Expr
+	env   *planEnv
+	ctx   *evalCtx
+	st    *OpStats
+	ticks int
 }
 
 func (f *filterOp) Open(ec *ExecCtx) error {
@@ -639,6 +640,11 @@ func (f *filterOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 		defer func() { f.st.observe(time.Since(t0), ok) }()
 	}
 	for {
+		// a selective predicate over a non-ticking child can spin
+		// unboundedly between emitted rows, so the filter ticks too
+		if err := ec.tickErr(&f.ticks); err != nil {
+			return nil, false, err
+		}
 		row, ok, err := f.in.Next(ec)
 		if err != nil || !ok {
 			return nil, false, err
@@ -771,6 +777,7 @@ type jsonTableOp struct {
 	done    bool
 	argCtx  *evalCtx
 	st      *OpStats
+	ticks   int
 	// preFilters are implied JSON_EXISTS path predicates; documents
 	// failing any of them are skipped before row expansion (§6.3).
 	preFilters []*pathengine.Compiled
@@ -828,6 +835,11 @@ func (j *jsonTableOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error
 		defer func() { j.st.observe(time.Since(t0), ok) }()
 	}
 	for {
+		// document expansion can reject every pending row of many
+		// successive outer rows; stay cancellable across them
+		if err := ec.tickErr(&j.ticks); err != nil {
+			return nil, false, err
+		}
 		if j.pi < len(j.pending) {
 			jt := j.pending[j.pi]
 			j.pi++
@@ -973,6 +985,9 @@ func (c *crossJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 	if !c.init {
 		c.init = true
 		for {
+			if err := ec.tickErr(&c.ticks); err != nil {
+				return nil, false, err
+			}
 			row, ok, err := c.right.Next(ec)
 			if err != nil {
 				return nil, false, err

@@ -26,7 +26,12 @@ func (e *Engine) runExplain(ctx context.Context, t *ExplainStmt, params []jsondo
 		if err := src.Open(ec); err != nil {
 			return nil, err
 		}
+		ticks := 0
 		for {
+			if err := ec.tickErr(&ticks); err != nil {
+				src.Close() //nolint:errcheck
+				return nil, err
+			}
 			_, ok, err := src.Next(ec)
 			if err != nil {
 				src.Close() //nolint:errcheck

@@ -193,11 +193,18 @@ func (p *parallelScanOp) worker(ec *ExecCtx, scan *tableScan, pred Expr, ch chan
 	if pred != nil {
 		ctx = p.env.bindCtx(scan.Schema(), pred)
 	}
+	ticks := 0
 	for {
 		select {
 		case <-p.stop:
 			return
 		default:
+		}
+		// each worker owns its tick counter (execctx.go): the shared
+		// ExecCtx is only read, keeping workers race-free
+		if err := ec.tickErr(&ticks); err != nil {
+			p.send(out, parRow{err: err})
+			return
 		}
 		row, ok, err := scan.Next(ec)
 		if err != nil {
