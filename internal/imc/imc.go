@@ -83,9 +83,9 @@ func (s *Store) PopulateOSON(jsonCol string) error {
 	mPopRows.Add(int64(len(docs)))
 	mPopBytes.Add(bytes)
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.osonCol = jsonCol
 	s.osonDocs = docs
-	s.mu.Unlock()
 	return nil
 }
 
@@ -138,10 +138,10 @@ func (s *Store) PopulateOSONShared(jsonCol string) error {
 	mPopRows.Add(int64(len(docs)))
 	mPopBytes.Add(bytes + int64(dict.MemoryBytes()))
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.osonCol = jsonCol
 	s.osonDocs = docs
 	s.sharedDict = dict
-	s.mu.Unlock()
 	return nil
 }
 
@@ -173,9 +173,9 @@ func (s *Store) PopulateVC(vcName string) error {
 	mPopRows.Add(int64(vec.Len()))
 	mPopBytes.Add(int64(vec.MemoryBytes()))
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	old := s.vectors[vcName]
 	s.vectors[vcName] = vec
-	s.mu.Unlock()
 	if old != nil {
 		gBytesDict.Add(-int64(old.DictBytes()))
 		gBytesCodes.Add(-int64(old.CodesBytes()))
@@ -183,6 +183,23 @@ func (s *Store) PopulateVC(vcName string) error {
 	gBytesDict.Add(int64(vec.DictBytes()))
 	gBytesCodes.Add(int64(vec.CodesBytes()))
 	return nil
+}
+
+// vector returns the populated vector for a column under the read
+// lock; compilation of kernels and filters happens outside it.
+func (s *Store) vector(col string) (*Vector, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vec, ok := s.vectors[col]
+	return vec, ok
+}
+
+// numPopulated returns the number of rows materialized by the OSON
+// populations.
+func (s *Store) numPopulated() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.osonDocs)
 }
 
 // Substitute implements sqlengine.InMemorySource.
@@ -206,9 +223,7 @@ func (s *Store) Substitute(rowID int, col string) (jsondom.Value, bool) {
 // most k contiguous [lo, hi) ranges for parallel consumers, mirroring
 // store.Table.Partitions.
 func (s *Store) Partitions(k int) [][2]int {
-	s.mu.RLock()
-	n := len(s.osonDocs)
-	s.mu.RUnlock()
+	n := s.numPopulated()
 	if k < 1 {
 		k = 1
 	}
@@ -229,9 +244,7 @@ func (s *Store) Partitions(k int) [][2]int {
 // without materializing the row — the columnar predicate evaluation
 // that gives VC-IMC its edge over per-document navigation (§5.2.1).
 func (s *Store) CompileFilter(col, op string, operands []jsondom.Value) (func(rowID int) bool, bool) {
-	s.mu.RLock()
-	vec, ok := s.vectors[col]
-	s.mu.RUnlock()
+	vec, ok := s.vector(col)
 	if !ok {
 		return nil, false
 	}

@@ -207,9 +207,7 @@ type BatchKernel struct {
 // row-at-a-time CompileFilter does — unknown column, unsupported op,
 // or operand/vector type mismatch — so the planner can fall back.
 func (s *Store) CompileBatchFilter(col, op string, operands []jsondom.Value) (BatchKernel, bool) {
-	s.mu.RLock()
-	vec, ok := s.vectors[col]
-	s.mu.RUnlock()
+	vec, ok := s.vector(col)
 	if !ok {
 		return BatchKernel{}, false
 	}

@@ -54,8 +54,8 @@ func (t *Trace) AddPhase(name string, d time.Duration) {
 		return
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.phases = append(t.phases, Phase{Name: name, D: d})
-	t.mu.Unlock()
 }
 
 // Notef appends a formatted annotation (row counts, plan choices).
@@ -64,8 +64,8 @@ func (t *Trace) Notef(format string, args ...interface{}) {
 		return
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.notes = append(t.notes, fmt.Sprintf(format, args...))
-	t.mu.Unlock()
 }
 
 // Elapsed returns the time since the trace started.

@@ -120,9 +120,7 @@ func (e *Engine) Catalog() *store.Catalog { return e.cat }
 // AttachIMC installs an in-memory substitution source for a table,
 // the population step of §5.2.2 / §5.2.1.
 func (e *Engine) AttachIMC(table string, src InMemorySource) {
-	e.mu.Lock()
-	e.imc[strings.ToLower(table)] = src
-	e.mu.Unlock()
+	e.setIMC(strings.ToLower(table), src)
 	e.invalidatePlans()
 }
 
@@ -131,14 +129,97 @@ func (e *Engine) AttachIMC(table string, src InMemorySource) {
 // detaching a table with no source attached (the DML paths call this
 // unconditionally) leaves the cache alone.
 func (e *Engine) DetachIMC(table string) {
-	key := strings.ToLower(table)
-	e.mu.Lock()
-	_, had := e.imc[key]
-	delete(e.imc, key)
-	e.mu.Unlock()
-	if had {
+	if e.removeIMC(strings.ToLower(table)) {
 		e.invalidatePlans()
 	}
+}
+
+// Locked accessors for the engine's mutable catalog maps. Every read
+// or write of e.imc / e.views / e.indexes / e.tableIndexes /
+// e.vcRewrites goes through one of these so the critical section is a
+// deferred-unlock one-liner (the lockcheck invariant) and the callers
+// — planning, DDL, rewrite — never hold e.mu across real work.
+
+// setIMC publishes the in-memory source for a (lowercased) table name.
+func (e *Engine) setIMC(name string, src InMemorySource) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.imc[name] = src
+}
+
+// removeIMC detaches a table's in-memory source, reporting whether one
+// was attached.
+func (e *Engine) removeIMC(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, had := e.imc[name]
+	delete(e.imc, name)
+	return had
+}
+
+// imcSource returns the in-memory source attached to a table, nil if
+// none.
+func (e *Engine) imcSource(name string) InMemorySource {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.imc[name]
+}
+
+// view returns the named view's definition.
+func (e *Engine) view(name string) (*viewDef, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	vd, ok := e.views[name]
+	return vd, ok
+}
+
+// setView installs or replaces a view definition.
+func (e *Engine) setView(name string, vd *viewDef) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.views[name] = vd
+}
+
+// indexDefined reports whether a search index name is taken.
+func (e *Engine) indexDefined(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, dup := e.indexes[name]
+	return dup
+}
+
+// registerIndex publishes a built search index under its name and
+// table.
+func (e *Engine) registerIndex(name, table string, ix *searchindex.Index) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.indexes[name] = ix
+	e.tableIndexes[table] = append(e.tableIndexes[table], ix)
+}
+
+// indexesFor returns the search indexes observing a table.
+func (e *Engine) indexesFor(table string) []*searchindex.Index {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tableIndexes[table]
+}
+
+// addVCRewrite records expression-to-virtual-column rewrite for a
+// table (§5.2.1 query rewriting).
+func (e *Engine) addVCRewrite(table, exprKey, column string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.vcRewrites[table] == nil {
+		e.vcRewrites[table] = make(map[string]string)
+	}
+	e.vcRewrites[table][exprKey] = column
+}
+
+// vcRewritesFor returns a table's expression rewrites (nil when none).
+func (e *Engine) vcRewritesFor(table string) map[string]string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.vcRewrites[table]
 }
 
 // SearchIndex returns a search index by name.
@@ -343,9 +424,7 @@ func (e *Engine) createTable(t *CreateTableStmt) error {
 
 func (e *Engine) createView(t *CreateViewStmt) error {
 	name := strings.ToLower(t.Name)
-	e.mu.Lock()
-	_, exists := e.views[name]
-	e.mu.Unlock()
+	_, exists := e.view(name)
 	if exists && !t.Replace {
 		return fmt.Errorf("sql: view %q already exists", t.Name)
 	}
@@ -355,9 +434,7 @@ func (e *Engine) createView(t *CreateViewStmt) error {
 	if err != nil {
 		return fmt.Errorf("sql: invalid view %q: %w", t.Name, err)
 	}
-	e.mu.Lock()
-	e.views[name] = &viewDef{stmt: t.Query, names: names}
-	e.mu.Unlock()
+	e.setView(name, &viewDef{stmt: t.Query, names: names})
 	return nil
 }
 
@@ -430,12 +507,9 @@ func (e *Engine) createSearchIndex(t *CreateSearchIndexStmt) error {
 		return fmt.Errorf("sql: no such column %q in %q", t.Column, t.Table)
 	}
 	name := strings.ToLower(t.Name)
-	e.mu.Lock()
-	if _, dup := e.indexes[name]; dup {
-		e.mu.Unlock()
+	if e.indexDefined(name) {
 		return fmt.Errorf("sql: index %q already exists", t.Name)
 	}
-	e.mu.Unlock()
 	var ix *searchindex.Index
 	if t.DataGuideOnly {
 		ix = searchindex.NewDataGuideOnly(name, tab.Name, t.Column)
@@ -455,10 +529,7 @@ func (e *Engine) createSearchIndex(t *CreateSearchIndexStmt) error {
 		return indexErr
 	}
 	tab.AddObserver(ix)
-	e.mu.Lock()
-	e.indexes[name] = ix
-	e.tableIndexes[tab.Name] = append(e.tableIndexes[tab.Name], ix)
-	e.mu.Unlock()
+	e.registerIndex(name, tab.Name, ix)
 	return nil
 }
 
@@ -500,12 +571,7 @@ func (e *Engine) addVirtualColumn(t *AlterTableAddVCStmt) error {
 		return err
 	}
 	if key != "" {
-		e.mu.Lock()
-		if e.vcRewrites[tab.Name] == nil {
-			e.vcRewrites[tab.Name] = make(map[string]string)
-		}
-		e.vcRewrites[tab.Name][key] = t.Column
-		e.mu.Unlock()
+		e.addVCRewrite(tab.Name, key, t.Column)
 	}
 	return nil
 }
@@ -596,7 +662,13 @@ func (e *Engine) drainSource(ctx context.Context, src rowSource, names []string,
 	}
 	defer src.Close() //nolint:errcheck
 	res := &Result{Columns: names}
+	ticks := 0
 	for {
+		// defense in depth: the source's own scan/build loops tick, but
+		// the drain must stay responsive even over non-ticking sources
+		if err := ec.tickErr(&ticks); err != nil {
+			return nil, src, ec.queryID, err
+		}
 		row, ok, err := src.Next(ec)
 		if err != nil {
 			return nil, src, ec.queryID, err
@@ -787,9 +859,7 @@ func (e *Engine) tryVectorizedScan(stmt *SelectStmt, where Expr, env *planEnv, r
 	if !ok {
 		return nil, nil, false
 	}
-	e.mu.RLock()
-	sub := e.imc[name]
-	e.mu.RUnlock()
+	sub := e.imcSource(name)
 	vfs, ok := sub.(VectorFilterSource)
 	if !ok {
 		return nil, nil, false
@@ -916,9 +986,7 @@ func (e *Engine) tryIndexScan(stmt *SelectStmt, where Expr, env *planEnv, refere
 	if !ok {
 		return nil, nil, false
 	}
-	e.mu.RLock()
-	indexes := e.tableIndexes[name]
-	e.mu.RUnlock()
+	indexes := e.indexesFor(name)
 	if len(indexes) == 0 {
 		return nil, nil, false
 	}
@@ -951,10 +1019,7 @@ func (e *Engine) tryIndexScan(stmt *SelectStmt, where Expr, env *planEnv, refere
 	for _, col := range tab.Columns() {
 		needed[col.Name] = referenced[col.Name] || (hasStar && !col.Hidden)
 	}
-	e.mu.RLock()
-	sub := e.imc[name]
-	e.mu.RUnlock()
-	scan := newTableScan(tab, alias, needed, sub, 0, env)
+	scan := newTableScan(tab, alias, needed, e.imcSource(name), 0, env)
 	// postings are read at Open, per execution, so a cached plan picks
 	// up rows inserted after planning
 	scan.rowIDsFn = func() []int {
@@ -1174,9 +1239,7 @@ func (e *Engine) tryViewPushdown(stmt *SelectStmt, where Expr, env *planEnv) (ro
 	if _, isTable := e.cat.Table(name); isTable {
 		return nil, nil, false, nil
 	}
-	e.mu.RLock()
-	vd, isView := e.views[name]
-	e.mu.RUnlock()
+	vd, isView := e.view(name)
 	if !isView {
 		return nil, nil, false, nil
 	}
@@ -1314,14 +1377,9 @@ func (e *Engine) buildFrom(f FromItem, left rowSource, env *planEnv, referenced 
 			for _, c := range tab.Columns() {
 				needed[c.Name] = referenced[c.Name] || (hasStar && !c.Hidden)
 			}
-			e.mu.RLock()
-			sub := e.imc[name]
-			e.mu.RUnlock()
-			return newTableScan(tab, alias, needed, sub, t.SamplePct, env), false, nil
+			return newTableScan(tab, alias, needed, e.imcSource(name), t.SamplePct, env), false, nil
 		}
-		e.mu.RLock()
-		vd, ok := e.views[name]
-		e.mu.RUnlock()
+		vd, ok := e.view(name)
 		if !ok {
 			return nil, false, fmt.Errorf("sql: no such table or view %q", t.Name)
 		}
@@ -1619,9 +1677,7 @@ func (e *Engine) applyVCRewrites(stmt *SelectStmt) {
 		switch t := f.(type) {
 		case *TableRef:
 			name := strings.ToLower(t.Name)
-			e.mu.RLock()
-			rewrites := e.vcRewrites[name]
-			e.mu.RUnlock()
+			rewrites := e.vcRewritesFor(name)
 			if len(rewrites) == 0 {
 				return
 			}

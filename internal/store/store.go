@@ -266,7 +266,7 @@ func (t *Table) Insert(row Row) (int, error) {
 			break
 		}
 	}
-	t.mu.Lock() // re-acquire for the deferred Unlock
+	t.mu.Lock() //fsdmvet:ignore lockcheck re-acquire for the function-entry deferred Unlock after the observer window
 	if obsErr != nil {
 		t.rows = t.rows[:rid]
 		t.live--
@@ -450,22 +450,29 @@ func (t *Table) LookupPK(v jsondom.Value) (int, bool) {
 	return rid, ok
 }
 
+// valueParts resolves the column and row behind Value under the read
+// lock; the (possibly expensive) virtual-column evaluation runs
+// outside it.
+func (t *Table) valueParts(rowID int, col string) (Column, Row, int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, ok := t.colIndex[col]
+	if !ok {
+		return Column{}, nil, 0, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, col)
+	}
+	if rowID < 0 || rowID >= len(t.rows) {
+		return Column{}, nil, 0, fmt.Errorf("store: row %d out of range in %s", rowID, t.Name)
+	}
+	return t.columns[i], t.rows[rowID], i, nil
+}
+
 // Value returns the value of the named column for a row, computing
 // virtual columns on demand.
 func (t *Table) Value(rowID int, col string) (jsondom.Value, error) {
-	t.mu.RLock()
-	i, ok := t.colIndex[col]
-	if !ok {
-		t.mu.RUnlock()
-		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, col)
+	c, row, i, err := t.valueParts(rowID, col)
+	if err != nil {
+		return nil, err
 	}
-	c := t.columns[i]
-	if rowID < 0 || rowID >= len(t.rows) {
-		t.mu.RUnlock()
-		return nil, fmt.Errorf("store: row %d out of range in %s", rowID, t.Name)
-	}
-	row := t.rows[rowID]
-	t.mu.RUnlock()
 	if !c.Virtual {
 		return row[i], nil
 	}
@@ -478,10 +485,7 @@ func (t *Table) Value(rowID int, col string) (jsondom.Value, error) {
 // Scan invokes fn for every row id/stored row in insertion order,
 // stopping early if fn returns false.
 func (t *Table) Scan(fn func(rowID int, row Row) bool) {
-	t.mu.RLock()
-	rows := t.rows
-	tombs := t.tombstones
-	t.mu.RUnlock()
+	rows, tombs := t.Snapshot()
 	for i, r := range rows {
 		if i < len(tombs) && tombs[i] {
 			continue
