@@ -975,7 +975,7 @@ func (d *Doc) Scalar(a NodeAddr) (jsondom.Value, error) {
 	case stNumber:
 		str, err := decnum.Decode(payload)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		return jsondom.Number(str), nil
 	case stDouble:
