@@ -1,0 +1,12 @@
+package fsdmvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestCancelCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/cancel", fsdmvet.CancelCheck, "cancel")
+}

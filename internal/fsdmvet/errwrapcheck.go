@@ -1,0 +1,123 @@
+// errwrapcheck: error-chain preservation across the engine boundary.
+// PR 2 made sql: errors testable — ErrQueryCancelled wraps the
+// context error, ErrMemoryBudget is a sentinel, and callers branch
+// with errors.Is. Formatting an error value with %v or %s flattens it
+// to text and severs that chain; building throwaway errors.New values
+// inside sqlengine functions produces errors nothing can test for.
+// The analyzer enforces the two mechanical halves of the contract.
+
+package fsdmvet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ErrWrapCheck flags fmt.Errorf calls that format an error value with
+// a flattening verb (%v, %s, %q) instead of %w, and — inside package
+// sqlengine only — errors.New calls in function bodies, which should
+// be package-level sentinels (or wraps of one) so callers can use
+// errors.Is across the API boundary.
+var ErrWrapCheck = &analysis.Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "errors are wrapped with %w or typed sentinels, never flattened through %v/%s",
+	Run:  runErrWrapCheck,
+}
+
+func runErrWrapCheck(pass *analysis.Pass) error {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, ok := callee(pass.TypesInfo, call).(*types.Func); ok && fn.Pkg() != nil {
+					switch {
+					case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+						checkErrorfCall(pass, errIface, call)
+					case fn.Pkg().Path() == "errors" && fn.Name() == "New" && pass.Pkg.Name() == "sqlengine":
+						pass.Reportf(call.Pos(), "errors.New inside a sqlengine function: declare a package-level sentinel (or wrap one with %%w) so callers can errors.Is it")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkErrorfCall pairs the constant format string's verbs with the
+// call's variadic arguments and reports error-typed arguments
+// formatted with a flattening verb.
+func checkErrorfCall(pass *analysis.Pass, errIface *types.Interface, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb != 'v' && verb != 's' && verb != 'q' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		if types.Implements(atv.Type, errIface) || types.Implements(types.NewPointer(atv.Type), errIface) {
+			pass.Reportf(arg.Pos(), "error value flattened with %%%c: use %%w (or a typed sentinel) so the chain survives errors.Is/As", verb)
+		}
+	}
+}
+
+// formatVerbs returns the verb rune consuming each successive
+// argument of a printf-style format string. Width/precision stars
+// are represented by a '*' entry since they also consume an
+// argument; %% consumes none.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision — stars consume an argument each
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' || c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue // literal percent
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs
+}

@@ -1,0 +1,13 @@
+package fsdmvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestErrWrapCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/errwrap", fsdmvet.ErrWrapCheck,
+		"sqlengine", "other")
+}

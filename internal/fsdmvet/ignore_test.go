@@ -1,0 +1,57 @@
+package fsdmvet_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/fsdmvet"
+)
+
+// TestIgnoreDirectives drives the suppression machinery end to end on
+// the ignoredemo fixture: well-formed directives (same line or line
+// above) silence the named analyzer, a directive naming a different
+// analyzer does not, and a reason-less directive is inert and itself
+// reported as malformed.
+func TestIgnoreDirectives(t *testing.T) {
+	loader := analysis.NewSrcLoader("testdata/ignore/src")
+	pkg, err := loader.Load("ignoredemo")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{fsdmvet.LockCheck})
+	if err != nil {
+		t.Fatalf("running lockcheck: %v", err)
+	}
+	var malformed, manual int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "fsdmvet" && strings.Contains(f.Message, "malformed fsdmvet:ignore"):
+			malformed++
+		case f.Analyzer == "lockcheck" && strings.Contains(f.Message, "released manually"):
+			manual++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	// One reason-less directive (Bare), and two surviving lockcheck
+	// reports: Bare (its directive is inert) and WrongAnalyzer (the
+	// directive names metriccheck). Annotated and AnnotatedAbove are
+	// suppressed.
+	if malformed != 1 {
+		t.Errorf("malformed directives reported = %d, want 1\n%s", malformed, dump(findings))
+	}
+	if manual != 2 {
+		t.Errorf("surviving lockcheck findings = %d, want 2\n%s", manual, dump(findings))
+	}
+}
+
+// dump renders findings for failure messages.
+func dump(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,13 @@
+package fsdmvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestImmutCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/immut", fsdmvet.ImmutCheck,
+		"pathengine", "imc", "sqlengine", "immutuser")
+}

@@ -1,0 +1,166 @@
+// lockcheck: lock/unlock discipline. The engine's shared structures
+// (store tables, IMC stores, search indexes, the plan cache, the
+// metrics registry) all use sync.Mutex/RWMutex with the deferred
+// unlock idiom; a manual unlock on an early-return path is how a
+// reader goroutine ends up parked forever under a leaked write lock.
+// The analyzer requires every Lock/RLock to be paired with a deferred
+// unlock in the same enclosing block, and forces the rare deliberate
+// manual-unlock patterns (lock hand-off around observer callbacks,
+// two-phase snapshot copies) to carry an explicit, reasoned
+// suppression so reviewers see them.
+
+package fsdmvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// LockCheck flags sync Lock()/RLock() calls that are not followed by
+// a matching deferred Unlock()/RUnlock() on the same receiver within
+// the same block. A lock whose unlock is manual (somewhere later in
+// the function) is reported with a message asking for an explicit
+// //fsdmvet:ignore lockcheck <reason>; a lock with no unlock at all
+// in the function is reported as leaked.
+var LockCheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "every Lock/RLock pairs with a same-block deferred unlock or an annotated manual unlock",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkStmtList(pass, body, body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStmtList checks each Lock/RLock in one statement list and
+// recurses into nested lists (block statements, case and comm clause
+// bodies), excluding nested function literals, which get their own
+// pass.
+func checkStmtList(pass *analysis.Pass, fn *ast.BlockStmt, list []ast.Stmt) {
+	for i, st := range list {
+		if recv, rlock, ok := lockStmt(pass.TypesInfo, st); ok {
+			checkLockSite(pass, fn, list[i:], recv, rlock)
+		}
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch b := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				checkStmtList(pass, fn, b.List)
+				return false
+			case *ast.CaseClause:
+				checkStmtList(pass, fn, b.Body)
+				return false
+			case *ast.CommClause:
+				checkStmtList(pass, fn, b.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkLockSite validates one Lock/RLock at rest[0]; rest holds the
+// remainder of its statement list.
+func checkLockSite(pass *analysis.Pass, fn *ast.BlockStmt, rest []ast.Stmt, recv string, rlock bool) {
+	lockPos := rest[0].Pos()
+	for _, st := range rest[1:] {
+		if d, ok := st.(*ast.DeferStmt); ok {
+			if r, isR, isUnlock := unlockCall(pass.TypesInfo, d.Call); isUnlock && r == recv && isR == rlock {
+				return
+			}
+		}
+	}
+	verb, unlockName := "Lock", "Unlock"
+	if rlock {
+		verb, unlockName = "RLock", "RUnlock"
+	}
+	// No same-block defer: distinguish a deliberate manual unlock
+	// from a leak.
+	manual := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if manual || n == nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() > lockPos {
+			if r, isR, isUnlock := unlockCall(pass.TypesInfo, call); isUnlock && r == recv && isR == rlock {
+				manual = true
+				return false
+			}
+		}
+		return true
+	})
+	if manual {
+		pass.Reportf(lockPos, "%s.%s() released manually: add `defer %s.%s()` in the same block, or annotate with //fsdmvet:ignore lockcheck <reason>", recv, verb, recv, unlockName)
+		return
+	}
+	pass.Reportf(lockPos, "%s.%s() is never released in this function (missing defer %s.%s())", recv, verb, recv, unlockName)
+}
+
+// lockStmt matches a statement of the form recv.Lock() / recv.RLock()
+// where the method comes from package sync, returning the rendered
+// receiver and whether it is a read lock.
+func lockStmt(info *types.Info, st ast.Stmt) (recv string, rlock bool, ok bool) {
+	es, isExpr := st.(*ast.ExprStmt)
+	if !isExpr {
+		return "", false, false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel := selectorCall(call)
+	if sel == nil || !isSyncMethod(info, call) {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return types.ExprString(sel.X), false, true
+	case "RLock":
+		return types.ExprString(sel.X), true, true
+	}
+	return "", false, false
+}
+
+// unlockCall matches recv.Unlock() / recv.RUnlock() from package
+// sync, returning the rendered receiver and whether it is the
+// read-side release.
+func unlockCall(info *types.Info, call *ast.CallExpr) (recv string, rlock bool, ok bool) {
+	sel := selectorCall(call)
+	if sel == nil || !isSyncMethod(info, call) {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Unlock":
+		return types.ExprString(sel.X), false, true
+	case "RUnlock":
+		return types.ExprString(sel.X), true, true
+	}
+	return "", false, false
+}
+
+// isSyncMethod reports whether the call resolves to a method defined
+// in package sync (Mutex, RWMutex, and friends).
+func isSyncMethod(info *types.Info, call *ast.CallExpr) bool {
+	obj, ok := callee(info, call).(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -1,0 +1,12 @@
+package fsdmvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/lock", fsdmvet.LockCheck, "locks")
+}

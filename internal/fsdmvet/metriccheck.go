@@ -1,0 +1,101 @@
+// metriccheck: the metric-name namespace. docs/OBSERVABILITY.md
+// catalogs every metric by its registered name; SHOW METRICS and the
+// /debug/fsdmmetrics endpoint expose them verbatim. That only works
+// when names are compile-time constants (greppable, catalogable),
+// follow one naming grammar, and are registered from exactly one call
+// site — a second registration silently aliases the first through the
+// registry's idempotency and skews both counts.
+
+package fsdmvet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// metricNameRE is the pkg.noun.verb grammar: two or more dot-joined
+// snake_case segments, each starting with a letter, no leading,
+// trailing, or doubled underscores.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*(\.[a-z][a-z0-9]*(_[a-z0-9]+)*)+$`)
+
+// metricRegistrars are the metrics-package constructors whose first
+// argument is a registered metric name.
+var metricRegistrars = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+}
+
+// MetricCheck flags metrics.NewCounter/NewGauge/NewHistogram calls
+// whose name argument is not a compile-time string constant, does not
+// match the pkg.noun.verb snake_case namespace, or repeats a name
+// already registered elsewhere in the run (cross-package: the
+// registered-exactly-once rule spans the whole fsdmvet invocation).
+var MetricCheck = &analysis.Analyzer{
+	Name: "metriccheck",
+	Doc:  "metric names are constant, namespaced pkg.noun.verb snake_case, registered once",
+	Run:  runMetricCheck,
+}
+
+func runMetricCheck(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel := selectorCall(call)
+			if sel == nil || !metricRegistrars[sel.Sel.Name] || len(call.Args) < 1 {
+				return true
+			}
+			obj, ok := callee(pass.TypesInfo, call).(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Name() != "metrics" {
+				return true
+			}
+			checkMetricName(pass, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMetricName validates one name argument and records it in the
+// run-wide registry of seen names.
+func checkMetricName(pass *analysis.Pass, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name must be a compile-time string constant (found %s)", exprKind(arg))
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric name %q does not match the pkg.noun.verb snake_case namespace (%s)", name, metricNameRE)
+		return
+	}
+	seen := pass.Shared()
+	if prev, dup := seen[name]; dup {
+		pass.Reportf(arg.Pos(), "metric name %q already registered at %s (names are registered exactly once)", name, prev.(token.Position))
+		return
+	}
+	seen[name] = pass.Fset.Position(arg.Pos())
+}
+
+// exprKind names the argument's syntactic shape for the diagnostic.
+func exprKind(e ast.Expr) string {
+	switch unparen(e).(type) {
+	case *ast.BasicLit:
+		return "literal"
+	case *ast.Ident:
+		return "non-constant identifier"
+	case *ast.BinaryExpr:
+		return "string concatenation of non-constants"
+	case *ast.CallExpr:
+		return "function call"
+	}
+	return "non-constant expression"
+}

@@ -1,0 +1,14 @@
+package fsdmvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestMetricCheck(t *testing.T) {
+	// app before app2: the cross-package duplicate in app2 must see
+	// app's registration through the run-wide shared state.
+	analysistest.Run(t, "testdata/metric", fsdmvet.MetricCheck, "app", "app2")
+}

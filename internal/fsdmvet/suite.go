@@ -1,0 +1,46 @@
+// Suite driver: load the whole module and run every analyzer, shared
+// by cmd/fsdmvet and the self-check test.
+
+package fsdmvet
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+)
+
+// RunSuite loads every package of the module rooted at root (or only
+// the packages named by importPaths when non-empty), runs the full
+// analyzer suite, writes findings one per line to w, and returns how
+// many findings were printed.
+func RunSuite(root string, importPaths []string, w io.Writer) (int, error) {
+	loader, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	var pkgs []*analysis.Package
+	if len(importPaths) == 0 {
+		pkgs, err = loader.LoadTree()
+	} else {
+		for _, p := range importPaths {
+			pkg, lerr := loader.Load(p)
+			if lerr != nil {
+				err = lerr
+				break
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	findings, err := analysis.Run(pkgs, Analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+	return len(findings), nil
+}

@@ -1,0 +1,25 @@
+package fsdmvet_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fsdmvet"
+)
+
+// TestSuiteCleanTree runs the full analyzer suite over the real
+// module, mirroring `make lint`: the tree must stay finding-free (any
+// deliberate exception carries an fsdmvet:ignore annotation).
+func TestSuiteCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	var out strings.Builder
+	n, err := fsdmvet.RunSuite("../..", nil, &out)
+	if err != nil {
+		t.Fatalf("suite failed to run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("suite reported %d finding(s) on the tree:\n%s", n, out.String())
+	}
+}

@@ -1,0 +1,124 @@
+// Package cancel exercises cancelcheck: unbounded row loops inside
+// context-aware functions must tick the query context.
+package cancel
+
+import "context"
+
+// ExecCtx stands in for the engine's execution context; cancelcheck
+// matches the type by name, so the stub works like the real thing.
+type ExecCtx struct{}
+
+// tickErr mirrors the real cooperative-cancellation helper.
+func (e *ExecCtx) tickErr(ticks *int) error { return nil }
+
+// Err mirrors the inline ticks%interval==0 check target.
+func (e *ExecCtx) Err() error { return nil }
+
+// source is a row source: Next pulls one row under an ExecCtx.
+type source struct{ n int }
+
+// Next returns the next row id, or an error when drained.
+func (s *source) Next(ec *ExecCtx) (int, error) { return s.n, nil }
+
+// Table mimics the store table's DML surface.
+type Table struct{}
+
+// Delete tombstones one row.
+func (t *Table) Delete(id int) {}
+
+// drainBad pulls a child source forever without ever ticking.
+func drainBad(ec *ExecCtx, src *source) {
+	for { // want "pulls a child row source"
+		if _, err := src.Next(ec); err != nil {
+			return
+		}
+	}
+}
+
+// drainGood is the same loop with the tickErr discipline.
+func drainGood(ec *ExecCtx, src *source) {
+	ticks := 0
+	for {
+		if err := ec.tickErr(&ticks); err != nil {
+			return
+		}
+		if _, err := src.Next(ec); err != nil {
+			return
+		}
+	}
+}
+
+// deleteBad sweeps per-row DML without observing ctx.
+func deleteBad(ctx context.Context, t *Table, ids []int) {
+	for _, id := range ids { // want "per-row store DML"
+		t.Delete(id)
+	}
+}
+
+// deleteGood routes every iteration through a tick closure.
+func deleteGood(ctx context.Context, t *Table, ids []int) {
+	ticks := 0
+	tick := func() bool {
+		ticks++
+		return ctx.Err() == nil
+	}
+	for _, id := range ids {
+		if !tick() {
+			return
+		}
+		t.Delete(id)
+	}
+}
+
+// looper is a row source whose Next spins on an internal condition.
+type looper struct{ n int }
+
+// Next has a condition-less for{} — unbounded by construction.
+func (l *looper) Next(ec *ExecCtx) (int, error) {
+	for { // want "unbounded for"
+		if l.n > 0 {
+			return l.n, nil
+		}
+		l.n++
+	}
+}
+
+// ticker is the compliant variant of looper.
+type ticker struct{ n int }
+
+// Next checks the context on every spin.
+func (t *ticker) Next(ec *ExecCtx) (int, error) {
+	for {
+		if err := ec.Err(); err != nil {
+			return 0, err
+		}
+		if t.n > 0 {
+			return t.n, nil
+		}
+		t.n++
+	}
+}
+
+// noCtx cannot see a query context, so cancelcheck leaves it alone.
+func noCtx(src *source) int {
+	var ec *ExecCtx
+	total := 0
+	for i := 0; i < 3; i++ {
+		v, err := src.Next(ec)
+		if err != nil {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+// boundedOK iterates a fixed slice without pulls or DML — no tick
+// needed even though ctx is in scope.
+func boundedOK(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

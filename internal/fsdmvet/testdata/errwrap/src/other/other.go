@@ -1,0 +1,16 @@
+// Package other shows the errors.New ban is scoped to sqlengine;
+// everywhere else ad-hoc errors are allowed (the %w rule still holds).
+package other
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fresh is legal outside sqlengine.
+func Fresh() error { return errors.New("other: fine") }
+
+// Flatten is still flagged outside sqlengine.
+func Flatten(err error) error {
+	return fmt.Errorf("other: %v", err) // want "flattened with %v"
+}

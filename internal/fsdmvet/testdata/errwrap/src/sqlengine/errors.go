@@ -1,0 +1,59 @@
+// Package sqlengine stubs the engine for errwrapcheck: flattening
+// verbs over error values are flagged everywhere, and the errors.New
+// ban applies inside this package specifically.
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is a legal package-level sentinel.
+var ErrBudget = errors.New("sql: memory budget exceeded")
+
+// Wrap shows the legal %w shape next to the flagged %v shape.
+func Wrap(err error, table string) error {
+	if err != nil {
+		return fmt.Errorf("sql: scanning %s: %w", table, err)
+	}
+	return fmt.Errorf("sql: scanning %s: %v", table, err) // want "flattened with %v"
+}
+
+// Describe flattens through %s and %q.
+func Describe(err error) error {
+	a := fmt.Errorf("wrap: %s", err) // want "flattened with %s"
+	_ = a
+	return fmt.Errorf("wrap: %q", err) // want "flattened with %q"
+}
+
+// Pad exercises the star-consumes-an-argument accounting: the %v
+// pairs with err even though %*d consumed two arguments first.
+func Pad(err error, n int) error {
+	return fmt.Errorf("sql: %*d rows: %v", n, 7, err) // want "flattened with %v"
+}
+
+// WrapBoth chains two errors with %w — legal since Go 1.20.
+func WrapBoth(a, b error) error {
+	return fmt.Errorf("sql: %w while handling %w", a, b)
+}
+
+// NonError formats plain values with %v — legal.
+func NonError(table string, rows int) error {
+	return fmt.Errorf("sql: %s has %v rows", table, rows)
+}
+
+// parseError implements error through a pointer receiver.
+type parseError struct{ msg string }
+
+// Error satisfies the error interface.
+func (e *parseError) Error() string { return e.msg }
+
+// WrapTyped flags concrete error types too, not just the interface.
+func WrapTyped(e *parseError) error {
+	return fmt.Errorf("parse: %v", e) // want "flattened with %v"
+}
+
+// Fresh builds a throwaway error inside a sqlengine function.
+func Fresh() error {
+	return errors.New("sql: oops") // want "package-level sentinel"
+}

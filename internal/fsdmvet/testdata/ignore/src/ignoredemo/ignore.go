@@ -1,0 +1,43 @@
+// Package ignoredemo exercises the fsdmvet:ignore directive itself:
+// same-line and line-above suppression, the wrong-analyzer miss, and
+// the malformed reason-less form (inert and itself reported). This
+// fixture carries no want comments — ignore_test.go asserts on the
+// raw findings.
+package ignoredemo
+
+import "sync"
+
+var mu sync.Mutex
+
+// Annotated is suppressed by a same-line directive.
+func Annotated() {
+	mu.Lock() //fsdmvet:ignore lockcheck deliberate manual release for the test
+	work()
+	mu.Unlock()
+}
+
+// AnnotatedAbove is suppressed by a directive on the preceding line.
+func AnnotatedAbove() {
+	//fsdmvet:ignore lockcheck deliberate manual release for the test
+	mu.Lock()
+	work()
+	mu.Unlock()
+}
+
+// Bare carries a reason-less directive: it suppresses nothing and is
+// reported as malformed.
+func Bare() {
+	//fsdmvet:ignore lockcheck
+	mu.Lock()
+	work()
+	mu.Unlock()
+}
+
+// WrongAnalyzer names a different analyzer, so lockcheck still fires.
+func WrongAnalyzer() {
+	mu.Lock() //fsdmvet:ignore metriccheck wrong analyzer named on purpose
+	work()
+	mu.Unlock()
+}
+
+func work() {}

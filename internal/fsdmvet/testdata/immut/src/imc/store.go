@@ -1,0 +1,8 @@
+// Post-construction writes to BatchKernel from any file but
+// vector.go are flagged.
+package imc
+
+// retarget mutates a published kernel outside vector.go.
+func retarget(k *BatchKernel) {
+	k.Op = "ne" // want "immutable after construction"
+}

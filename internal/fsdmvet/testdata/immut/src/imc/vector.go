@@ -1,0 +1,19 @@
+// Package imc stubs the batch-kernel objects; vector.go is the
+// constructor file where writes are legal.
+package imc
+
+// BatchKernel is a compiled batch-filter kernel shared by scan
+// workers.
+type BatchKernel struct {
+	// Op is the comparison operator.
+	Op string
+	// Cols are the operand column positions.
+	Cols []int
+}
+
+// NewKernel builds a kernel inside its constructor file.
+func NewKernel(op string) *BatchKernel {
+	k := &BatchKernel{}
+	k.Op = op
+	return k
+}

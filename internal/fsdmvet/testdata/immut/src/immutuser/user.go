@@ -1,0 +1,13 @@
+// Package immutuser writes to a protected type from another package
+// entirely — the cross-package half of the immutability contract.
+package immutuser
+
+import "pathengine"
+
+// Retune mutates an imported Compiled.
+func Retune(c *pathengine.Compiled) {
+	c.Cost = 9 // want "immutable after construction"
+}
+
+// Inspect reads are always legal.
+func Inspect(c *pathengine.Compiled) int { return c.Cost }

@@ -1,0 +1,25 @@
+// Same package, different file: writes here are post-construction
+// mutations and must be flagged.
+package pathengine
+
+// Grow mutates a published Compiled outside the constructor file.
+func Grow(c *Compiled) {
+	c.Cost++         // want "immutable after construction"
+	c.Steps = nil    // want "immutable after construction"
+	c.Steps[0] = "x" // want "element write into"
+}
+
+// CopyTweak writes a local value copy — legal.
+func CopyTweak(c Compiled) int {
+	c.Cost = 0
+	return c.Cost
+}
+
+// CopyElem writes through a value copy's slice, which still mutates
+// the shared backing array.
+func CopyElem(c Compiled) {
+	c.Steps[0] = "x" // want "element write into"
+}
+
+// Read only reads — always legal.
+func Read(c *Compiled) int { return c.Cost }

@@ -1,0 +1,19 @@
+// Package pathengine stubs the memoized compiled-path objects; this
+// file is the constructor file where writes are legal.
+package pathengine
+
+// Compiled is the shared, memoized compiled-path program.
+type Compiled struct {
+	// Steps is the compiled step sequence.
+	Steps []string
+	// Cost is the planner's cost estimate.
+	Cost int
+}
+
+// New builds a Compiled; constructor-file writes are allowed.
+func New(steps []string) *Compiled {
+	c := &Compiled{}
+	c.Steps = steps
+	c.Cost = len(steps)
+	return c
+}

@@ -1,0 +1,11 @@
+// Writes to preparedPlan fields outside plan.go are flagged.
+package sqlengine
+
+// reuse mutates a cached template outside the constructor file.
+func reuse(p *preparedPlan) {
+	p.sql = "altered" // want "immutable after construction"
+	p.binds[0] = 1    // want "element write into"
+}
+
+// use keeps newPreparedPlan referenced.
+func use() *preparedPlan { return newPreparedPlan("SELECT 1") }

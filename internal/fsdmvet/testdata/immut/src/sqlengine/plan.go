@@ -1,0 +1,16 @@
+// Package sqlengine stubs the prepared-plan cache; plan.go is the
+// constructor file where writes are legal.
+package sqlengine
+
+// preparedPlan is a cached plan template instantiated concurrently.
+type preparedPlan struct {
+	sql   string
+	binds []int
+}
+
+// newPreparedPlan builds the template inside its constructor file.
+func newPreparedPlan(sql string) *preparedPlan {
+	p := &preparedPlan{}
+	p.sql = sql
+	return p
+}

@@ -1,0 +1,102 @@
+// Package locks exercises lockcheck's pairing rules: deferred
+// releases pass, manual releases and leaks are flagged, and the
+// check descends into case bodies and function literals.
+package locks
+
+import "sync"
+
+// Guard wraps mutex-protected state.
+type Guard struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Good uses the deferred-unlock idiom.
+func (g *Guard) Good() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// ReadGood pairs RLock with a deferred RUnlock.
+func (g *Guard) ReadGood() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+// Manual releases by hand without an annotation.
+func (g *Guard) Manual() {
+	g.mu.Lock() // want "released manually"
+	g.n++
+	g.mu.Unlock()
+}
+
+// Leak never releases at all.
+func (g *Guard) Leak() {
+	g.mu.Lock() // want "never released"
+	g.n++
+}
+
+// Mismatch defers the write-side release for a read lock, which does
+// not pair.
+func (g *Guard) Mismatch() {
+	g.rw.RLock() // want "never released"
+	defer g.rw.Unlock()
+	g.n++
+}
+
+// CaseLock locks inside switch cases: the first pairs in its own
+// case body, the second leaks.
+func (g *Guard) CaseLock(mode int) {
+	switch mode {
+	case 0:
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.n++
+	case 1:
+		g.mu.Lock() // want "never released"
+		g.n++
+	}
+}
+
+// SelectLock pairs inside a comm clause.
+func (g *Guard) SelectLock(ch chan int) {
+	select {
+	case <-ch:
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.n++
+	default:
+	}
+}
+
+// LitLeak leaks inside a function literal, which gets its own pass.
+func LitLeak(g *Guard) func() {
+	return func() {
+		g.mu.Lock() // want "never released"
+		g.n++
+	}
+}
+
+// Handoff is a deliberate manual release carrying the required
+// annotation — suppressed, so no want here.
+func (g *Guard) Handoff(observe func(int)) {
+	g.mu.Lock() //fsdmvet:ignore lockcheck lock hand-off around the observer callback
+	n := g.n
+	g.mu.Unlock()
+	observe(n)
+}
+
+// NotSync is a same-named method on a non-sync type; lockcheck only
+// cares about package sync.
+type NotSync struct{}
+
+// Lock is not sync.Mutex.Lock.
+func (NotSync) Lock() {}
+
+// UseNotSync must stay silent.
+func UseNotSync(n NotSync) {
+	n.Lock()
+}

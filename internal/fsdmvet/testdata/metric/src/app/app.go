@@ -1,0 +1,27 @@
+// Package app registers metrics in every legal and illegal shape.
+package app
+
+import "metrics"
+
+// rowsRead uses a literal constant name — legal.
+var rowsRead = metrics.NewCounter("app.rows.read", "rows read by scans")
+
+// queriesName is a named constant — still compile-time, still legal.
+const queriesName = "app.queries.run"
+
+// queriesRun registers through the named constant.
+var queriesRun = metrics.NewGauge(queriesName, "queries in flight")
+
+// register exercises the flagged shapes.
+func register(name string) {
+	metrics.NewCounter(name, "dynamic name")                // want "compile-time string constant"
+	metrics.NewCounter("App.Rows", "bad case")              // want "does not match"
+	metrics.NewGauge("app", "single segment")               // want "does not match"
+	metrics.NewHistogram("app.rows.read", "duplicate name") // want "already registered"
+}
+
+// other is a non-registrar call whose string argument is ignored.
+func other() { use("Whatever Goes") }
+
+// use swallows its argument.
+func use(s string) {}

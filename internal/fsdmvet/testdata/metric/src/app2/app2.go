@@ -1,0 +1,11 @@
+// Package app2 re-registers a name that app already owns: the
+// registered-exactly-once rule spans packages within one run.
+package app2
+
+import "metrics"
+
+// dup collides with app's "app.rows.read" registration.
+var dup = metrics.NewCounter("app.rows.read", "cross-package duplicate") // want "already registered"
+
+// fresh is this package's own name — legal.
+var fresh = metrics.NewCounter("app2.rows.read", "distinct name")
