@@ -1,11 +1,11 @@
 # Development targets. `make check` is the full pre-commit gate:
-# build, vet, tests, the race detector over the concurrent scan
-# paths, and the godoc lint.
+# build, vet, the fsdmvet invariant checkers, tests, the race
+# detector over the concurrent scan paths, and the godoc lint.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz doccheck bench-smoke bench-json check
+.PHONY: all build test race vet lint fuzz doccheck bench-smoke bench-json check
 
 all: build
 
@@ -21,6 +21,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariant checkers (cancelcheck, immutcheck,
+# metriccheck, lockcheck, errwrapcheck) over every module package.
+# See docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/fsdmvet
 
 # Short fuzz pass over every fuzz target. Go refuses -fuzz with more
 # than one match per package, so targets are enumerated explicitly.
@@ -50,4 +56,4 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR4.json
 	$(GO) test -run '^$$' -bench 'Table|Fig[4789]' -benchmem -json .
 
-check: build vet test race doccheck bench-smoke
+check: build vet lint test race doccheck bench-smoke
