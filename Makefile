@@ -49,11 +49,12 @@ bench-smoke:
 
 # Benchmark run emitting the test2json machine-readable event stream
 # (one JSON object per line) for dashboards and regression tooling.
-# The Fig3/Fig5/Fig6 query benchmarks — the ones the scan and plan
-# work moves — are also captured to BENCH_PR4.json as the repo's perf
-# trajectory baseline.
+# The Fig3/Fig5/Fig6 query benchmarks — the ones the scan, plan, and
+# batch-spine work moves — are captured to BENCH_PR6.json as the
+# repo's current perf trajectory checkpoint (BENCH_PR4.json is the
+# previous one; compare the two for the batch-execution delta).
 bench-json:
-	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR4.json
+	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR6.json
 	$(GO) test -run '^$$' -bench 'Table|Fig[4789]' -benchmem -json .
 
 check: build vet lint test race doccheck bench-smoke

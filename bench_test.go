@@ -170,6 +170,50 @@ func BenchmarkFig6Vectorized(b *testing.B) {
 	}
 }
 
+// BenchmarkFig6GroupedAgg isolates the code-space grouped-aggregation
+// fast path on Fig. 6's Q10 shape: group on the low-cardinality
+// $.thousandth key, aggregate over $.num. Both arms run serially
+// (the fast path is a serial-scan specialization) over the same
+// VC-backed vectors; "batch" hashes float-bits words straight off the
+// number vector, "row-at-a-time" evaluates and hashes jsondom keys
+// per row. Expected >= 2x.
+func BenchmarkFig6GroupedAgg(b *testing.B) {
+	const nDocs = 16384
+	const query = `select jdoc$thousandth, count(*), sum(jdoc$num), min(jdoc$num), max(jdoc$num) from nobench group by jdoc$thousandth`
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"batch", false},
+		{"row-at-a-time", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			env, err := bench.SetupNoBench(nDocs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := env.EnableOSONIMC(); err != nil {
+				b.Fatal(err)
+			}
+			if err := env.EnableVCIMC(); err != nil {
+				b.Fatal(err)
+			}
+			if err := env.AddVC("jdoc$thousandth",
+				`alter table nobench add virtual column jdoc$thousandth as json_value(jdoc, '$.thousandth' returning number)`); err != nil {
+				b.Fatal(err)
+			}
+			env.Eng.Planner.DisableParallelScan = true
+			env.Eng.Planner.DisableBatchExec = mode.disable
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.Eng.Exec(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig5Prepared measures the OLTP fast path on the NOBENCH
 // point query Q5 (§6.4) in VC-IMC mode, where execution is cheap and
 // parse + plan dominate. Three variants: Prepare once and Run

@@ -28,6 +28,10 @@
 //	                            bitmaps + zone-map pruning); default
 //	                            true, false keeps the row-at-a-time
 //	                            vector filter path
+//	-batch-exec                 batch execution spine (pooled row
+//	                            batches + code-space agg/join fast
+//	                            paths); default true, false keeps
+//	                            row-at-a-time operators
 package main
 
 import (
@@ -84,11 +88,13 @@ func runSQL(args []string) {
 	slowThreshold := fs.Duration("slow-query-threshold", 100*time.Millisecond, "latency at or above which a statement is logged")
 	planCache := fs.Int("plan-cache", 128, "LRU plan cache capacity; 0 disables caching")
 	imcVectorized := fs.Bool("imc-vectorized", true, "batch-vectorized IMC scans (selection bitmaps + zone-map pruning); false keeps the row-at-a-time vector filters")
+	batchExec := fs.Bool("batch-exec", true, "batch execution spine (pooled row batches through filter/project/limit, code-space aggregation and join fast paths); false keeps row-at-a-time operators")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	eng := sqlengine.New()
 	eng.SetPlanCacheSize(*planCache)
 	eng.Planner.DisableVectorizedScan = !*imcVectorized
+	eng.Planner.DisableBatchExec = !*batchExec
 	if *slowLog != "" {
 		var w io.Writer = os.Stderr
 		if *slowLog != "stderr" {

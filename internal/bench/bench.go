@@ -501,6 +501,24 @@ func (e *NoBenchEnv) EnableVCIMC() error {
 	return nil
 }
 
+// AddVC adds one extra virtual column (beyond §6.4's three) and
+// populates its column vector, for benchmarks that need a
+// vector-backed key the standard VC-IMC set does not cover.
+func (e *NoBenchEnv) AddVC(name, ddl string) error {
+	if _, err := e.Eng.Exec(ddl); err != nil {
+		return err
+	}
+	tab, _ := e.Eng.Catalog().Table("nobench")
+	if e.mem == nil {
+		e.mem = imc.NewStore(tab)
+	}
+	if err := e.mem.PopulateVC(name); err != nil {
+		return err
+	}
+	e.Eng.AttachIMC("nobench", e.mem)
+	return nil
+}
+
 // RunQuery executes NOBENCH query qi (0-based) once.
 func (e *NoBenchEnv) RunQuery(qi int) (time.Duration, int, error) {
 	start := time.Now()

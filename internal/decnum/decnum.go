@@ -121,6 +121,9 @@ func EncodeFloat(f float64) ([]byte, error) {
 }
 
 // Decode converts an encoding back to a canonical decimal string.
+// Decoding sits on the OSON scalar hot path, so every intermediate
+// (mantissa digits, decimal expansion) lives in stack buffers: the only
+// heap allocation is the returned string itself.
 func Decode(b []byte) (string, error) {
 	if len(b) == 0 {
 		return "", ErrCorrupt
@@ -133,14 +136,19 @@ func Decode(b []byte) (string, error) {
 	}
 	var neg bool
 	var e100 int
-	var mant []byte
+	var mant [maxMantissa]byte
+	var nm int
 	if b[0] > zeroByte { // positive
 		e100 = int(b[0]) - 0xC1
+		if len(b)-1 > maxMantissa {
+			return "", ErrCorrupt
+		}
 		for _, d := range b[1:] {
 			if d < 1 || d > 100 {
 				return "", ErrCorrupt
 			}
-			mant = append(mant, d-1)
+			mant[nm] = d - 1
+			nm++
 		}
 	} else {
 		neg = true
@@ -150,7 +158,7 @@ func Decode(b []byte) (string, error) {
 			return "", ErrCorrupt
 		}
 		body = body[:len(body)-1]
-		if len(body) == 0 {
+		if len(body) == 0 || len(body) > maxMantissa {
 			return "", ErrCorrupt
 		}
 		for _, d := range body {
@@ -158,67 +166,77 @@ func Decode(b []byte) (string, error) {
 			if v < 0 || v > 99 {
 				return "", ErrCorrupt
 			}
-			mant = append(mant, byte(v))
+			mant[nm] = byte(v)
+			nm++
 		}
 	}
-	if len(mant) == 0 || len(mant) > maxMantissa {
+	if nm == 0 {
 		return "", ErrCorrupt
 	}
 	// Normalization invariant from the encoder: the first and last
 	// base-100 digits are nonzero.
-	if mant[0] == 0 || mant[len(mant)-1] == 0 {
+	if mant[0] == 0 || mant[nm-1] == 0 {
 		return "", ErrCorrupt
 	}
 	// value = 0.M1M2... * 100^(e100+1) in base 100
-	var sb strings.Builder
-	for _, d := range mant {
-		sb.WriteByte('0' + d/10)
-		sb.WriteByte('0' + d%10)
+	var digits [2 * maxMantissa]byte
+	for i := 0; i < nm; i++ {
+		digits[2*i] = '0' + mant[i]/10
+		digits[2*i+1] = '0' + mant[i]%10
 	}
-	digits := sb.String()
 	p := 2 * (e100 + 1) // decimal digits left of the point
-	return assemble(neg, digits, p), nil
+	return assemble(neg, digits[:2*nm], p), nil
 }
 
 // assemble renders sign/digits/point-position as a canonical decimal
-// string (plain form preferred, scientific beyond sensible widths).
-func assemble(neg bool, digits string, p int) string {
-	digits = strings.TrimRight(digits, "0")
+// string (plain form preferred, scientific beyond sensible widths),
+// composing into one stack buffer so the string conversion is the
+// single allocation.
+func assemble(neg bool, digits []byte, p int) string {
+	for len(digits) > 0 && digits[len(digits)-1] == '0' {
+		digits = digits[:len(digits)-1]
+	}
 	lead := 0
 	for lead < len(digits) && digits[lead] == '0' {
 		lead++
 	}
 	digits = digits[lead:]
 	p -= lead
-	if digits == "" {
+	if len(digits) == 0 {
 		return "0"
 	}
-	var b strings.Builder
+	// worst case: sign + "0." + 5 zeros + 40 digits + "e-123"
+	var buf [56]byte
+	out := buf[:0]
 	if neg {
-		b.WriteByte('-')
+		out = append(out, '-')
 	}
 	switch {
 	case p >= len(digits) && p <= 21:
-		b.WriteString(digits)
-		b.WriteString(strings.Repeat("0", p-len(digits)))
-	case p > 0 && p < len(digits):
-		b.WriteString(digits[:p])
-		b.WriteByte('.')
-		b.WriteString(digits[p:])
-	case p <= 0 && p > -6:
-		b.WriteString("0.")
-		b.WriteString(strings.Repeat("0", -p))
-		b.WriteString(digits)
-	default:
-		b.WriteString(digits[:1])
-		if len(digits) > 1 {
-			b.WriteByte('.')
-			b.WriteString(digits[1:])
+		out = append(out, digits...)
+		for i := len(digits); i < p; i++ {
+			out = append(out, '0')
 		}
-		b.WriteByte('e')
-		b.WriteString(strconv.Itoa(p - 1))
+	case p > 0 && p < len(digits):
+		out = append(out, digits[:p]...)
+		out = append(out, '.')
+		out = append(out, digits[p:]...)
+	case p <= 0 && p > -6:
+		out = append(out, '0', '.')
+		for i := 0; i < -p; i++ {
+			out = append(out, '0')
+		}
+		out = append(out, digits...)
+	default:
+		out = append(out, digits[0])
+		if len(digits) > 1 {
+			out = append(out, '.')
+			out = append(out, digits[1:]...)
+		}
+		out = append(out, 'e')
+		out = strconv.AppendInt(out, int64(p-1), 10)
 	}
-	return b.String()
+	return string(out)
 }
 
 // Compare orders two encodings numerically without decoding.

@@ -23,6 +23,12 @@ var immutProtected = map[string]string{
 	"pathengine.Compiled":    "pathengine.go",
 	"sqlengine.preparedPlan": "plan.go",
 	"imc.BatchKernel":        "vector.go",
+	// Batch headers are pooled and handed across operators (and, in
+	// parallel plans, across goroutines): confining every rows-slice
+	// mutation to the batch spine file is what makes the recycling
+	// protocol auditable.
+	"sqlengine.Batch":       "exec_batch.go",
+	"sqlengine.aggFastSpec": "exec_batch.go",
 }
 
 // ImmutCheck flags writes to fields of the engine's shared-immutable

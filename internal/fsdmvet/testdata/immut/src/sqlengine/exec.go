@@ -9,3 +9,29 @@ func reuse(p *preparedPlan) {
 
 // use keeps newPreparedPlan referenced.
 func use() *preparedPlan { return newPreparedPlan("SELECT 1") }
+
+// recycle mutates a pooled batch header outside the spine file.
+func recycle(b *Batch) {
+	b.rows = b.rows[:0]     // want "immutable after construction"
+	b.rows[0] = []int{1}    // want "element write into"
+}
+
+// retarget redirects a fast-path spec outside the spine file.
+func retarget(sp *aggFastSpec) {
+	sp.vec = nil // want "immutable after construction"
+}
+
+// drain reads batch state — always legal.
+func drain(b *Batch) int {
+	n := 0
+	for _, r := range b.rows {
+		n += len(r)
+	}
+	b.add(nil)
+	b.reset()
+	_ = newAggFastSpec(1)
+	var local aggFastSpec
+	local.kind = 2 // value-copy write stays legal
+	_ = local
+	return n
+}

@@ -1,0 +1,57 @@
+// Per-row vector accessors for batch consumers above the scan. The
+// batch execution spine (sqlengine) aggregates and joins directly over
+// vector storage — hashing uint32 dictionary codes instead of decoded
+// strings, float64 bits instead of boxed numbers — so the accessors
+// here expose exactly the encoded representation, never a jsondom
+// value. All of them are read-only over the immutable vector data and
+// therefore safe under concurrent scans.
+
+package imc
+
+// CodeAt returns the dictionary code at row i of a string vector and
+// whether the row is non-null. Callers must only use the code when
+// ok is true; null rows carry a zero code that must not be
+// interpreted. ok is false for out-of-range rows, null rows, and
+// numeric vectors.
+func (v *Vector) CodeAt(i int) (code uint32, ok bool) {
+	if v.IsNumber || i < 0 || i >= len(v.Nulls) || v.Nulls[i] {
+		return 0, false
+	}
+	return v.codes[i], true
+}
+
+// NumAt returns the numeric value at row i of a numeric vector and
+// whether the row is non-null. ok is false for out-of-range rows,
+// null rows, and string vectors.
+func (v *Vector) NumAt(i int) (num float64, ok bool) {
+	if !v.IsNumber || i < 0 || i >= len(v.Nulls) || v.Nulls[i] {
+		return 0, false
+	}
+	return v.Nums[i], true
+}
+
+// NullAt reports whether row i is null (out-of-range rows count as
+// null, mirroring Value's behavior).
+func (v *Vector) NullAt(i int) bool {
+	return i < 0 || i >= len(v.Nulls) || v.Nulls[i]
+}
+
+// SameDict reports whether two string vectors share the identical
+// dictionary backing array, which makes their codes directly
+// comparable: a join can then probe on uint32 codes without ever
+// touching the string payloads. Identity (not equality) is required —
+// two equal dictionaries built independently still order codes the
+// same way, but identity is the cheap sufficient check and the only
+// one that holds by construction (a vector populated once and scanned
+// from both join sides).
+func (v *Vector) SameDict(o *Vector) bool {
+	if v.IsNumber || o.IsNumber || len(v.dict) == 0 || len(v.dict) != len(o.dict) {
+		return false
+	}
+	return &v.dict[0] == &o.dict[0]
+}
+
+// DictStr returns the dictionary string for a code (string vectors
+// only; the code must come from CodeAt on this vector or one sharing
+// its dictionary).
+func (v *Vector) DictStr(code uint32) string { return v.dict[code] }

@@ -31,10 +31,26 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unsafe"
+
 	"repro/internal/decnum"
 	"repro/internal/jsondom"
 	"repro/internal/jsontext"
 )
+
+// zstr reinterprets a slice of a document's backing buffer as a string
+// without copying. Safe because parsed OSON buffers are immutable for
+// the life of the Doc (the package-level contract: callers hand Parse a
+// buffer and never write it again — table storage keeps encoded
+// documents immutable), and because strings produced this way never
+// outlive the buffer they alias: they flow into jsondom values whose
+// retention is bounded by the storage row's.
+func zstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
 
 // Magic identifies OSON buffers produced by this encoder.
 const Magic = "OSN1"
@@ -693,7 +709,8 @@ func (d *Doc) FieldName(id FieldID) (string, error) {
 	if nameOff+2+n > len(d.heap) {
 		return "", fmt.Errorf("%w: name overflows heap", ErrCorrupt)
 	}
-	return string(d.heap[nameOff+2 : nameOff+2+n]), nil
+	// zero-copy: the name aliases the immutable dictionary heap
+	return zstr(d.heap[nameOff+2 : nameOff+2+n]), nil
 }
 
 // entryHash returns the hash stored for dictionary entry i.
@@ -983,7 +1000,8 @@ func (d *Doc) Scalar(a NodeAddr) (jsondom.Value, error) {
 	case stTimestamp:
 		return jsondom.Timestamp(int64(binary.LittleEndian.Uint64(payload))), nil
 	case stString:
-		return jsondom.String(payload), nil
+		// zero-copy: the string aliases the immutable value segment
+		return jsondom.String(zstr(payload)), nil
 	case stBinary:
 		return jsondom.Binary(append([]byte(nil), payload...)), nil
 	}
@@ -1191,18 +1209,20 @@ func (r *FieldRef) Resolve(d *Doc) (FieldID, bool) {
 	}
 	// look-back: check whether the previous document's id is valid here.
 	// Shared-dictionary documents have globally stable ids, so the
-	// look-back always hits once the name has been seen (§7).
+	// look-back always hits once the name has been seen (§7). A hit
+	// deliberately does NOT refresh the stored lookback: a scan visits
+	// each document once, so storing per document would allocate one
+	// lookback per row for nothing — revalidating the old entry is a
+	// hash compare plus a zero-copy name compare.
 	if lb != nil && lb.ok {
 		if d.shared != nil {
 			if n, err := d.shared.Name(lb.id); err == nil && n == r.Name {
 				mLookbackHits.Inc()
-				r.last.Store(&lookback{doc: d, id: lb.id, ok: true})
 				return lb.id, true
 			}
 		} else if int(lb.id) < d.count && d.entryHash(int(lb.id)) == r.H {
 			if n, err := d.FieldName(lb.id); err == nil && n == r.Name {
 				mLookbackHits.Inc()
-				r.last.Store(&lookback{doc: d, id: lb.id, ok: true})
 				return lb.id, true
 			}
 		}

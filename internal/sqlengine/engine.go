@@ -84,6 +84,12 @@ type PlannerOptions struct {
 	// ParallelMinRows is the minimum table size for a parallel scan;
 	// <= 0 means the built-in default (defaultParallelMinRows).
 	ParallelMinRows int
+	// DisableBatchExec keeps operators above the scan on row-at-a-time
+	// Next pulls instead of the batch spine (pooled batches flowing up
+	// the plan, code-space aggregation and join probing) — the ablation
+	// switch for measuring what batch execution buys beyond the
+	// vectorized scan itself.
+	DisableBatchExec bool
 	// MemoryBudget caps the bytes pipeline-breaking operators (sort,
 	// hash-join build, group-by, window, cross-join) may buffer per
 	// query; <= 0 disables the accountant.
@@ -662,6 +668,29 @@ func (e *Engine) drainSource(ctx context.Context, src rowSource, names []string,
 	}
 	defer src.Close() //nolint:errcheck
 	res := &Result{Columns: names}
+	// batch drain: pull whole batches from a batch-ready root. The rows
+	// inside are arena-carved and safe to retain in the Result; only the
+	// batch headers cycle through the pool.
+	if b := batchInput(src); b != nil {
+		ticks := 0
+		for {
+			if err := ec.tickErr(&ticks); err != nil {
+				return nil, src, ec.queryID, err
+			}
+			batch, err := b.NextBatch(ec, 0)
+			if err != nil {
+				return nil, src, ec.queryID, err
+			}
+			if batch == nil {
+				execDone()
+				tr.Notef("rows=%d", len(res.Rows))
+				return res, src, ec.queryID, nil
+			}
+			for i := 0; i < batch.Len(); i++ {
+				res.Rows = append(res.Rows, batch.Row(i))
+			}
+		}
+	}
 	ticks := 0
 	for {
 		// defense in depth: the source's own scan/build loops tick, but
@@ -838,7 +867,47 @@ func (e *Engine) planSelectPushed(stmt *SelectStmt, env *planEnv, pushed []Expr)
 	if stmt.Limit >= 0 {
 		src = &limitOp{in: src, limit: stmt.Limit}
 	}
+
+	// 11. batch execution: flag every batch-capable operator so pooled
+	// row batches flow up the plan (and the code-space fast paths may
+	// engage). A plan-time property — the plan cache keys on the
+	// planner-option snapshot, so cached plans never leak the flag
+	// across option changes.
+	if !e.Planner.DisableBatchExec {
+		enableBatchExec(src)
+	}
 	return src, names, nil
+}
+
+// enableBatchExec walks a finished plan tree and turns on batch
+// delivery for every operator that supports it. Idempotent, so nested
+// planning (views, subqueries) flagging a subtree twice is harmless.
+func enableBatchExec(src rowSource) {
+	switch t := src.(type) {
+	case *tableScan:
+		t.batchOut = true
+	case *parallelScanOp:
+		t.template.batchOut = true
+	case *filterOp:
+		t.batch = true
+	case *projectOp:
+		t.batch = true
+	case *limitOp:
+		t.batch = true
+	case *sortOp:
+		t.batch = true
+	case *windowOp:
+		t.batch = true
+	case *groupAggOp:
+		t.batch = true
+	case *hashJoin:
+		t.batch = true
+	}
+	if n, ok := src.(opNode); ok {
+		for _, c := range n.opChildren() {
+			enableBatchExec(c)
+		}
+	}
 }
 
 // tryVectorizedScan handles the single-table case with an attached

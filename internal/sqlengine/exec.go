@@ -231,6 +231,14 @@ type tableScan struct {
 	// it to the shared sql.scan.rows counter in one atomic add.
 	rowsOut int64
 	st      *OpStats
+
+	// batchOut switches the scan's parent-facing contract to batch
+	// delivery (NextBatch); orthogonal to batchMode, which gates the
+	// kernel-driven chunk iteration. arena carves the output rows, out
+	// is the pooled batch recycled on the next NextBatch call.
+	batchOut bool
+	arena    rowArena
+	out      *Batch
 }
 
 func newTableScan(tab *store.Table, alias string, needed map[string]bool, sub InMemorySource, samplePct float64, env *planEnv) *tableScan {
@@ -252,7 +260,7 @@ func (s *tableScan) cloneForRange(lo, hi int) *tableScan {
 		cols: s.cols, sub: s.sub, vecFilters: s.vecFilters,
 		vecSpecs: s.vecSpecs, env: s.env,
 		batchMode: s.batchMode, batchKernels: s.batchKernels,
-		batchLabels: s.batchLabels, bsrc: s.bsrc,
+		batchLabels: s.batchLabels, bsrc: s.bsrc, batchOut: s.batchOut,
 		lo: lo, hi: hi,
 	}
 }
@@ -350,8 +358,14 @@ func (s *tableScan) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 		t0 := time.Now()
 		defer func() { s.st.observe(time.Since(t0), ok) }()
 	}
+	return s.next1(ec)
+}
+
+// next1 is the row step shared by Next and NextBatch: the stats
+// wrappers differ, the iteration does not.
+func (s *tableScan) next1(ec *ExecCtx) ([]jsondom.Value, bool, error) {
 	if s.batchActive {
-		return s.nextBatch(ec)
+		return s.nextBatchRow(ec)
 	}
 	for {
 		if err := ec.tickErr(&s.ticks); err != nil {
@@ -402,7 +416,7 @@ func (s *tableScan) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 // stored values, referenced virtual columns — and applies the
 // row-level fallback predicate; match=false rejects the row.
 func (s *tableScan) materialize(rowID int, row store.Row) (out []jsondom.Value, match bool, err error) {
-	out = make([]jsondom.Value, len(s.cols))
+	out = s.arena.alloc(len(s.cols))
 	for i, c := range s.cols {
 		// unreferenced columns are never read downstream: skip the
 		// in-memory substitution (and its per-column decode) entirely
@@ -447,46 +461,42 @@ func (s *tableScan) materialize(rowID int, row store.Row) (out []jsondom.Value, 
 	return out, true, nil
 }
 
-// nextBatch is the chunk-at-a-time scan loop: per chunk, every kernel
-// gets a zone-map veto (a pruned chunk costs two comparisons total),
-// then the selection bitmap is reset to all-ones and each kernel ANDs
-// its matches in; the surviving bits are drained through NextSet and
-// only those rows are materialized. Cancellation is checked once per
-// chunk.
-func (s *tableScan) nextBatch(ec *ExecCtx) ([]jsondom.Value, bool, error) {
+// nextBatchRow is the chunk-at-a-time scan loop: nextSelID drains the
+// selection bitmap (advancing chunks with zone-map pruning as needed)
+// and only the surviving rows are materialized. The selection position
+// persists across calls, so a consumer that stops early — a satisfied
+// LIMIT budget — resumes mid-chunk without re-materializing anything.
+func (s *tableScan) nextBatchRow(ec *ExecCtx) ([]jsondom.Value, bool, error) {
 	for {
-		for s.selActive {
-			i := s.sel.NextSet(s.selPos)
-			if i < 0 {
-				s.selActive = false
-				break
-			}
-			s.selPos = i + 1
-			rowID := s.chunkLo + i
-			// bits below the partition floor (an unaligned lo) are not ours
-			if rowID < s.lo || s.deleted(rowID) {
-				continue
-			}
-			// residual per-row vector closures (specs that batch-declined
-			// but row-compiled)
-			if !s.passVecFilters(rowID) {
-				continue
-			}
-			out, match, err := s.materialize(rowID, s.rows[rowID])
-			if err != nil {
-				return nil, false, err
-			}
-			if !match {
-				continue
-			}
-			s.rowsOut++
-			return out, true, nil
+		rowID, more, err := s.nextSelID(ec)
+		if err != nil || !more {
+			return nil, false, err
 		}
+		out, match, err := s.materialize(rowID, s.rows[rowID])
+		if err != nil {
+			return nil, false, err
+		}
+		if !match {
+			continue
+		}
+		s.rowsOut++
+		return out, true, nil
+	}
+}
+
+// advanceChunk moves the batch iteration to the next chunk with
+// surviving rows: per chunk, every kernel gets a zone-map veto (a
+// pruned chunk costs two comparisons total), then the selection bitmap
+// is reset to all-ones and each kernel ANDs its matches in. Returns
+// false at the end of the scan range. Cancellation is checked once per
+// chunk.
+func (s *tableScan) advanceChunk(ec *ExecCtx) (bool, error) {
+	for {
 		if s.nextChunkLo >= s.maxID {
-			return nil, false, nil
+			return false, nil
 		}
 		if err := ec.tickErr(&s.ticks); err != nil {
-			return nil, false, err
+			return false, err
 		}
 		clo := s.nextChunkLo
 		chunk := clo / imc.ChunkSize
@@ -532,6 +542,7 @@ func (s *tableScan) nextBatch(ec *ExecCtx) ([]jsondom.Value, bool, error) {
 		s.chunkLo = clo
 		s.selPos = 0
 		s.selActive = true
+		return true, nil
 	}
 }
 
@@ -550,6 +561,8 @@ func (s *tableScan) passVecFilters(rowID int) bool {
 }
 
 func (s *tableScan) Close() error {
+	putBatch(s.out)
+	s.out = nil
 	if s.rowsOut > 0 {
 		mScanRows.Add(s.rowsOut)
 		s.rowsOut = 0
@@ -624,14 +637,28 @@ type filterOp struct {
 	ctx   *evalCtx
 	st    *OpStats
 	ticks int
+	// batch enables batch pass-through (plan-time flag); bin is the
+	// input's batch face when it actually batches this execution, out
+	// the filter's pooled survivor batch.
+	batch bool
+	bin   batchSource
+	out   *Batch
 }
 
 func (f *filterOp) Open(ec *ExecCtx) error {
 	f.st = ec.statFor()
 	f.ctx = f.env.bindCtx(f.in.Schema(), f.pred)
+	f.bin = nil
+	if f.batch {
+		f.bin = batchInput(f.in)
+	}
 	return f.in.Open(ec)
 }
-func (f *filterOp) Close() error   { return f.in.Close() }
+func (f *filterOp) Close() error {
+	putBatch(f.out)
+	f.out = nil
+	return f.in.Close()
+}
 func (f *filterOp) Schema() Schema { return f.in.Schema() }
 
 func (f *filterOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
@@ -671,14 +698,28 @@ type projectOp struct {
 	env   *planEnv
 	ctx   *evalCtx
 	st    *OpStats
+	// batch enables 1:1 batch projection; output rows are arena-carved
+	// so consumers may retain them without a copy.
+	batch bool
+	bin   batchSource
+	out   *Batch
+	arena rowArena
 }
 
 func (p *projectOp) Open(ec *ExecCtx) error {
 	p.st = ec.statFor()
 	p.ctx = p.env.bindCtx(p.in.Schema(), p.exprs...)
+	p.bin = nil
+	if p.batch {
+		p.bin = batchInput(p.in)
+	}
 	return p.in.Open(ec)
 }
-func (p *projectOp) Close() error   { return p.in.Close() }
+func (p *projectOp) Close() error {
+	putBatch(p.out)
+	p.out = nil
+	return p.in.Close()
+}
 func (p *projectOp) Schema() Schema { return p.sch }
 
 func (p *projectOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
@@ -691,7 +732,7 @@ func (p *projectOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) 
 		return nil, false, err
 	}
 	p.ctx.row = row
-	out = make([]jsondom.Value, len(p.exprs))
+	out = p.arena.alloc(len(p.exprs))
 	for i, e := range p.exprs {
 		v, err := evalExpr(p.ctx, e)
 		if err != nil {
@@ -715,12 +756,21 @@ type limitOp struct {
 	// query will never observe.
 	inClosed bool
 	st       *OpStats
+	// batch threads the remaining-row budget into the input's batch
+	// materialization, so a batch scan below stops mid-chunk instead of
+	// materializing a whole final chunk the limit then discards.
+	batch bool
+	bin   batchSource
 }
 
 func (l *limitOp) Open(ec *ExecCtx) error {
 	l.st = ec.statFor()
 	l.n = 0
 	l.inClosed = false
+	l.bin = nil
+	if l.batch {
+		l.bin = batchInput(l.in)
+	}
 	return l.in.Open(ec)
 }
 
@@ -786,6 +836,8 @@ type jsonTableOp struct {
 	// translates them with the current bind values into runFilters.
 	preSpecs   []Expr
 	runFilters []*pathengine.Compiled
+	// arena carves the merged left+expanded output rows.
+	arena rowArena
 }
 
 func newJSONTableOp(left rowSource, ref *JSONTableRef, env *planEnv) *jsonTableOp {
@@ -846,9 +898,9 @@ func (j *jsonTableOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error
 			if j.left == nil {
 				return jt, true, nil
 			}
-			out := make([]jsondom.Value, 0, len(j.leftRow)+len(jt))
-			out = append(out, j.leftRow...)
-			out = append(out, jt...)
+			out := j.arena.alloc(len(j.leftRow) + len(jt))
+			copy(out, j.leftRow)
+			copy(out[len(j.leftRow):], jt)
 			return out, true, nil
 		}
 		if j.done {
@@ -1054,6 +1106,13 @@ type hashJoin struct {
 	st      *OpStats
 
 	leftCtx, rightCtx, residCtx *evalCtx
+
+	// batch enables batch-at-a-time build/probe pulls and, when both
+	// inputs qualify, the code-space fast path (fast != nil after init).
+	batch    bool
+	fast     *joinFast
+	leftNext rowNextFunc
+	arena    rowArena
 }
 
 func newHashJoin(l, r rowSource, lk, rk []Expr, residual Expr, leftOuter bool, env *planEnv) *hashJoin {
@@ -1068,6 +1127,8 @@ func (h *hashJoin) Open(ec *ExecCtx) error {
 	h.st = ec.statFor()
 	h.ec = ec
 	h.init, h.table, h.leftRow, h.matches, h.mi = false, nil, nil, nil, 0
+	h.fast = nil
+	h.leftNext = nil
 	h.leftCtx = h.env.bindCtx(h.left.Schema(), h.leftKeys...)
 	h.rightCtx = h.env.bindCtx(h.right.Schema(), h.rightKeys...)
 	if h.residual != nil {
@@ -1113,32 +1174,22 @@ func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 	}
 	if !h.init {
 		h.init = true
-		h.table = make(map[string][][]jsondom.Value)
-		for {
-			if err := ec.tickErr(&h.ticks); err != nil {
-				return nil, false, err
+		if h.batch {
+			if jf := newJoinFast(h); jf != nil {
+				h.fast = jf
+				if err := jf.build(ec); err != nil {
+					return nil, false, err
+				}
 			}
-			row, ok, err := h.right.Next(ec)
-			if err != nil {
-				return nil, false, err
-			}
-			if !ok {
-				break
-			}
-			k, err := h.keyOf(h.rightCtx, row, h.rightKeys)
-			if err != nil {
-				return nil, false, err
-			}
-			if k == "" {
-				continue
-			}
-			n := rowBytes(row) + int64(len(k))
-			if err := ec.grow(n); err != nil {
-				return nil, false, err
-			}
-			h.memUsed += n
-			h.table[k] = append(h.table[k], row)
 		}
+		if h.fast == nil {
+			if err := h.buildGeneric(ec); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	if h.fast != nil {
+		return h.fast.next(ec)
 	}
 	for {
 		if err := ec.tickErr(&h.ticks); err != nil {
@@ -1162,7 +1213,7 @@ func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 			}
 			return out, true, nil
 		}
-		row, ok, err := h.left.Next(ec)
+		row, ok, err := h.leftNext(ec)
 		if err != nil || !ok {
 			return nil, false, err
 		}
@@ -1187,6 +1238,39 @@ func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 	}
 }
 
+// buildGeneric materializes the right input into the rendered-key hash
+// table, pulling in batches when the input supports it.
+func (h *hashJoin) buildGeneric(ec *ExecCtx) error {
+	h.leftNext = batchNextFunc(h.left, h.batch)
+	rightNext := batchNextFunc(h.right, h.batch)
+	h.table = make(map[string][][]jsondom.Value)
+	for {
+		if err := ec.tickErr(&h.ticks); err != nil {
+			return err
+		}
+		row, ok, err := rightNext(ec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		k, err := h.keyOf(h.rightCtx, row, h.rightKeys)
+		if err != nil {
+			return err
+		}
+		if k == "" {
+			continue
+		}
+		n := rowBytes(row) + int64(len(k))
+		if err := ec.grow(n); err != nil {
+			return err
+		}
+		h.memUsed += n
+		h.table[k] = append(h.table[k], row)
+	}
+}
+
 func (h *hashJoin) opName() string {
 	if h.leftOuter {
 		return "HashJoin(left-outer)"
@@ -1195,6 +1279,15 @@ func (h *hashJoin) opName() string {
 }
 func (h *hashJoin) opChildren() []rowSource { return []rowSource{h.left, h.right} }
 func (h *hashJoin) opStat() *OpStats        { return h.st }
+
+// opExtraLines reports the code-space probe statistics when the fast
+// path ran.
+func (h *hashJoin) opExtraLines() []string {
+	if h.fast == nil {
+		return nil
+	}
+	return []string{h.fast.stat()}
+}
 
 // ---------------------------------------------------------------------------
 // grouping and aggregation
@@ -1219,6 +1312,11 @@ type groupAggOp struct {
 	memUsed int64
 	ec      *ExecCtx
 	st      *OpStats
+
+	// batch enables batch-at-a-time input pulls and the code-space fast
+	// path; fastStat is its EXPLAIN ANALYZE line when it ran.
+	batch    bool
+	fastStat string
 }
 
 func newGroupAggOp(in rowSource, groupBy []Expr, aggs []*FuncCall, implicit bool, env *planEnv) *groupAggOp {
@@ -1235,6 +1333,7 @@ func (g *groupAggOp) Open(ec *ExecCtx) error {
 	g.st = ec.statFor()
 	g.ec = ec
 	g.groups, g.gi, g.opened = nil, 0, false
+	g.fastStat = ""
 	return g.in.Open(ec)
 }
 
@@ -1256,6 +1355,14 @@ type aggState interface {
 }
 
 func (g *groupAggOp) build(ec *ExecCtx) error {
+	if g.batch {
+		// code-space aggregation when the plan shape qualifies; falls
+		// through to the generic build (over batches) otherwise
+		if ok, err := g.buildFast(ec); ok || err != nil {
+			return err
+		}
+	}
+	next := batchNextFunc(g.in, g.batch)
 	index := make(map[string]*groupState)
 	var order []string
 	inSch := g.in.Schema()
@@ -1268,7 +1375,7 @@ func (g *groupAggOp) build(ec *ExecCtx) error {
 		if err := ec.tickErr(&g.ticks); err != nil {
 			return err
 		}
-		row, ok, err := g.in.Next(ec)
+		row, ok, err := next(ec)
 		if err != nil {
 			return err
 		}
@@ -1374,6 +1481,15 @@ func (g *groupAggOp) opName() string {
 }
 func (g *groupAggOp) opChildren() []rowSource { return []rowSource{g.in} }
 func (g *groupAggOp) opStat() *OpStats        { return g.st }
+
+// opExtraLines reports the code-space aggregation statistics when the
+// fast path ran.
+func (g *groupAggOp) opExtraLines() []string {
+	if g.fastStat == "" {
+		return nil
+	}
+	return []string{g.fastStat}
+}
 
 type countState struct {
 	star bool
@@ -1509,6 +1625,8 @@ type windowOp struct {
 	memUsed int64
 	ec      *ExecCtx
 	st      *OpStats
+	// batch enables batch-at-a-time materialization of the input.
+	batch bool
 }
 
 func newWindowOp(in rowSource, funcs []*WindowFunc, env *planEnv) *windowOp {
@@ -1537,12 +1655,13 @@ func (w *windowOp) Schema() Schema { return w.sch }
 
 func (w *windowOp) build(ec *ExecCtx) error {
 	inSch := w.in.Schema()
+	next := batchNextFunc(w.in, w.batch)
 	var base [][]jsondom.Value
 	for {
 		if err := ec.tickErr(&w.ticks); err != nil {
 			return err
 		}
-		row, ok, err := w.in.Next(ec)
+		row, ok, err := next(ec)
 		if err != nil {
 			return err
 		}
@@ -1658,6 +1777,8 @@ type sortOp struct {
 	memUsed  int64
 	ec       *ExecCtx
 	st       *OpStats
+	// batch enables batch-at-a-time materialization of the input.
+	batch bool
 }
 
 func (s *sortOp) Open(ec *ExecCtx) error {
@@ -1686,11 +1807,12 @@ func (s *sortOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 	}
 	if !s.opened {
 		s.opened = true
+		next := batchNextFunc(s.in, s.batch)
 		for {
 			if err := ec.tickErr(&s.ticks); err != nil {
 				return nil, false, err
 			}
-			row, ok, err := s.in.Next(ec)
+			row, ok, err := next(ec)
 			if err != nil {
 				return nil, false, err
 			}
@@ -1853,6 +1975,9 @@ type aliasWrap struct {
 	alias string
 	sch   Schema
 	st    *OpStats
+	// bin is the input's batch face; the wrap passes batches through
+	// untouched (only the schema differs).
+	bin batchSource
 }
 
 func newAliasWrap(in rowSource, alias string, names []string) *aliasWrap {
@@ -1870,6 +1995,7 @@ func newAliasWrap(in rowSource, alias string, names []string) *aliasWrap {
 
 func (w *aliasWrap) Open(ec *ExecCtx) error {
 	w.st = ec.statFor()
+	w.bin = batchInput(w.in)
 	return w.in.Open(ec)
 }
 func (w *aliasWrap) Close() error   { return w.in.Close() }

@@ -61,6 +61,17 @@ func (s *OpStats) observe(d time.Duration, gotRow bool) {
 	}
 }
 
+// observeBatch records one NextBatch call delivering n rows (n == 0
+// for the end-of-input call). Safe on a nil receiver.
+func (s *OpStats) observeBatch(d time.Duration, n int) {
+	if s == nil {
+		return
+	}
+	s.Wall += d
+	s.Batches++
+	s.Rows += int64(n)
+}
+
 // ExecCtx is the execution context shared by all operators of one
 // running query. It is created per statement execution and may be
 // read concurrently by parallel scan workers; all mutable state is

@@ -64,6 +64,24 @@ var (
 	mIMCScanSelRows = metrics.NewCounter("imc.scan.rows_selected", "rows surviving the selection bitmap in batch scans")
 )
 
+// Batch execution spine metrics: batch production is counted once per
+// batch (1/batchSize of the row rate), so these are direct atomic adds
+// rather than Close-flushed accumulators.
+var (
+	mBatchBatches     = metrics.NewCounter("sql.batch.batches", "row batches produced by batch-mode table scans")
+	mBatchRows        = metrics.NewCounter("sql.batch.rows", "rows delivered inside scan-produced batches")
+	mBatchAdaptedRows = metrics.NewCounter("sql.batch.adapted_rows", "rows bridged through the row-to-batch adapter (input could not batch natively)")
+	mAggFastRows      = metrics.NewCounter("sql.batch.agg_rows", "rows aggregated by the code-space grouped-aggregation fast path")
+)
+
+// Dictionary-code join probe metrics (the hash-join fast path that
+// builds and probes on uint32 dictionary codes / float64 bits instead
+// of rendered keys).
+var (
+	mDictProbeBuilds = metrics.NewCounter("imc.dictprobe.builds", "hash-join builds executed in code space")
+	mDictProbeRows   = metrics.NewCounter("imc.dictprobe.rows", "probe-side rows matched through code-space lookup")
+)
+
 // slowQueryConfig is the installed slow-query log; nil means disabled.
 type slowQueryConfig struct {
 	threshold time.Duration

@@ -34,8 +34,15 @@ const defaultParallelMinRows = 512
 // buffered ahead of the consumer.
 const parChanCap = 64
 
+// parBatchChanCap bounds the channels when workers deliver whole
+// batches: the same cap would buffer batchSize times more rows.
+const parBatchChanCap = 4
+
 type parRow struct {
 	row []jsondom.Value
+	// b carries a whole batch when the template scan runs in batch
+	// delivery mode (batchOut); ownership transfers to the consumer.
+	b   *Batch
 	err error
 }
 
@@ -59,6 +66,12 @@ type parallelScanOp struct {
 	// so EXPLAIN ANALYZE can aggregate their batch chunk stats (read
 	// only after Close has joined the worker goroutines).
 	workers []*tableScan
+	// held is the batch most recently received from a worker, owned by
+	// the merge side: Next drains it row by row, NextBatch hands it to
+	// the consumer and recycles it on the following call.
+	held    *Batch
+	heldPos int
+	ticks   int
 }
 
 // parallelizeScan decides whether the FROM source plus residual WHERE
@@ -134,18 +147,23 @@ func (p *parallelScanOp) Open(ec *ExecCtx) error {
 	p.closeOnce = sync.Once{}
 	p.chans, p.out, p.cur = nil, nil, 0
 	p.workers = nil
+	p.held, p.heldPos = nil, 0
 	parts := p.partitions()
 	if len(parts) == 0 {
 		return nil
 	}
 	mParScans.Inc()
 	mParWorkers.Add(int64(len(parts)))
+	chanCap := parChanCap
+	if p.template.batchOut {
+		chanCap = parBatchChanCap
+	}
 	if p.unordered {
-		p.out = make(chan parRow, parChanCap*len(parts))
+		p.out = make(chan parRow, chanCap*len(parts))
 	} else {
 		p.chans = make([]chan parRow, len(parts))
 		for i := range p.chans {
-			p.chans[i] = make(chan parRow, parChanCap)
+			p.chans[i] = make(chan parRow, chanCap)
 		}
 	}
 	p.wg.Add(len(parts))
@@ -193,6 +211,10 @@ func (p *parallelScanOp) worker(ec *ExecCtx, scan *tableScan, pred Expr, ch chan
 	if pred != nil {
 		ctx = p.env.bindCtx(scan.Schema(), pred)
 	}
+	if scan.batchOut {
+		p.workerBatches(ec, scan, ctx, pred, out, &delivered)
+		return
+	}
 	ticks := 0
 	for {
 		select {
@@ -232,6 +254,64 @@ func (p *parallelScanOp) worker(ec *ExecCtx, scan *tableScan, pred Expr, ch chan
 	}
 }
 
+// workerBatches is the worker loop under batch delivery: the scan's
+// batches cross the channel whole. Ownership transfers — the scan
+// detaches each batch before the send, so it never recycles what the
+// consumer may still hold; a residual filter compacts survivors into a
+// worker-owned batch first (and recycles the scan's).
+func (p *parallelScanOp) workerBatches(ec *ExecCtx, scan *tableScan, ctx *evalCtx, pred Expr, out chan parRow, delivered *int64) {
+	ticks := 0
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		if err := ec.tickErr(&ticks); err != nil {
+			p.send(out, parRow{err: err})
+			return
+		}
+		b, err := scan.NextBatch(ec, 0)
+		if err != nil {
+			p.send(out, parRow{err: err})
+			return
+		}
+		if b == nil {
+			return
+		}
+		scan.detachBatch()
+		if pred != nil {
+			kept := getBatch()
+			for i := 0; i < b.Len(); i++ {
+				row := b.Row(i)
+				ctx.row = row
+				v, err := evalExpr(ctx, pred)
+				if err != nil {
+					putBatch(kept)
+					putBatch(b)
+					p.send(out, parRow{err: err})
+					return
+				}
+				if truthy(v) {
+					kept.add(row)
+				}
+			}
+			putBatch(b)
+			if kept.Len() == 0 {
+				putBatch(kept)
+				continue
+			}
+			b = kept
+		}
+		n := int64(b.Len())
+		if !p.send(out, parRow{b: b}) {
+			putBatch(b)
+			return
+		}
+		*delivered += n
+	}
+}
+
 // send delivers r unless the operator is being closed; a worker
 // blocked on a full channel unblocks through the stop case.
 func (p *parallelScanOp) send(ch chan parRow, r parRow) bool {
@@ -248,18 +328,75 @@ func (p *parallelScanOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err er
 		t0 := time.Now()
 		defer func() { p.st.observe(time.Since(t0), ok) }()
 	}
-	if p.unordered {
-		if p.out == nil {
-			return nil, false, nil
+	for {
+		if err := ec.tickErr(&p.ticks); err != nil {
+			return nil, false, err
 		}
-		r, ok := recvCounted(p.out)
-		if !ok {
+		if p.held != nil {
+			if p.heldPos < p.held.Len() {
+				row := p.held.Row(p.heldPos)
+				p.heldPos++
+				return row, true, nil
+			}
+			putBatch(p.held)
+			p.held = nil
+		}
+		r, more := p.recv()
+		if !more {
 			return nil, false, nil
 		}
 		if r.err != nil {
 			return nil, false, r.err
 		}
+		if r.b != nil {
+			p.held, p.heldPos = r.b, 0
+			continue
+		}
 		return r.row, true, nil
+	}
+}
+
+// batchReady mirrors the template: batch delivery is a plan-time
+// property, so the consumer can commit to NextBatch before Open.
+func (p *parallelScanOp) batchReady() bool { return p.template.batchOut }
+
+// NextBatch hands worker batches to the consumer in merge order,
+// recycling the previous one per the producer contract.
+func (p *parallelScanOp) NextBatch(ec *ExecCtx, max int) (b *Batch, err error) {
+	if p.st != nil {
+		t0 := time.Now()
+		defer func() { p.st.observeBatch(time.Since(t0), b.Len()) }()
+	}
+	putBatch(p.held)
+	p.held = nil
+	for {
+		r, more := p.recv()
+		if !more {
+			return nil, nil
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.b == nil {
+			continue // row-mode output cannot appear under batchOut; skip defensively
+		}
+		if max > 0 {
+			r.b.truncate(max)
+		}
+		p.held = r.b
+		return r.b, nil
+	}
+}
+
+// recv pulls the next merge input: the shared channel under the
+// unordered merge, the per-worker channels in partition order
+// otherwise.
+func (p *parallelScanOp) recv() (parRow, bool) {
+	if p.unordered {
+		if p.out == nil {
+			return parRow{}, false
+		}
+		return recvCounted(p.out)
 	}
 	for p.cur < len(p.chans) {
 		r, ok := recvCounted(p.chans[p.cur])
@@ -267,12 +404,9 @@ func (p *parallelScanOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err er
 			p.cur++
 			continue
 		}
-		if r.err != nil {
-			return nil, false, r.err
-		}
-		return r.row, true, nil
+		return r, true
 	}
-	return nil, false, nil
+	return parRow{}, false
 }
 
 // recvCounted receives one merge input, counting a stall when the
@@ -293,6 +427,8 @@ func recvCounted(ch chan parRow) (parRow, bool) {
 // the query — including workers blocked mid-send when the consumer
 // terminated early (LIMIT, error, cancellation).
 func (p *parallelScanOp) Close() error {
+	putBatch(p.held)
+	p.held = nil
 	if p.stop != nil {
 		p.closeOnce.Do(func() { close(p.stop) })
 		p.wg.Wait()

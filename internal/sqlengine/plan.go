@@ -71,21 +71,21 @@ func (s *tableScan) clonePlan(env *planEnv) rowSource {
 		cols: s.cols, sub: s.sub, vecFilters: s.vecFilters,
 		vecSpecs: s.vecSpecs, rowIDsFn: s.rowIDsFn,
 		batchMode: s.batchMode, batchKernels: s.batchKernels,
-		batchLabels: s.batchLabels, bsrc: s.bsrc,
+		batchLabels: s.batchLabels, bsrc: s.bsrc, batchOut: s.batchOut,
 		lo: s.lo, hi: s.hi, samplePct: s.samplePct, env: env,
 	}
 }
 
 func (f *filterOp) clonePlan(env *planEnv) rowSource {
-	return &filterOp{in: clonePlanTree(f.in, env), pred: f.pred, env: env}
+	return &filterOp{in: clonePlanTree(f.in, env), pred: f.pred, env: env, batch: f.batch}
 }
 
 func (p *projectOp) clonePlan(env *planEnv) rowSource {
-	return &projectOp{in: clonePlanTree(p.in, env), exprs: p.exprs, sch: p.sch, env: env}
+	return &projectOp{in: clonePlanTree(p.in, env), exprs: p.exprs, sch: p.sch, env: env, batch: p.batch}
 }
 
 func (l *limitOp) clonePlan(env *planEnv) rowSource {
-	return &limitOp{in: clonePlanTree(l.in, env), limit: l.limit}
+	return &limitOp{in: clonePlanTree(l.in, env), limit: l.limit, batch: l.batch}
 }
 
 func (j *jsonTableOp) clonePlan(env *planEnv) rowSource {
@@ -106,7 +106,7 @@ func (h *hashJoin) clonePlan(env *planEnv) rowSource {
 	return &hashJoin{
 		left: clonePlanTree(h.left, env), right: clonePlanTree(h.right, env),
 		leftKeys: h.leftKeys, rightKeys: h.rightKeys, residual: h.residual,
-		leftOuter: h.leftOuter, env: env, sch: h.sch,
+		leftOuter: h.leftOuter, env: env, sch: h.sch, batch: h.batch,
 	}
 }
 
@@ -115,15 +115,15 @@ func (h *hashJoin) clonePlan(env *planEnv) rowSource {
 // constructor again, which would re-append synthetic columns.
 func (g *groupAggOp) clonePlan(env *planEnv) rowSource {
 	return &groupAggOp{in: clonePlanTree(g.in, env), groupBy: g.groupBy,
-		aggs: g.aggs, env: env, implicitGroup: g.implicitGroup, sch: g.sch}
+		aggs: g.aggs, env: env, implicitGroup: g.implicitGroup, sch: g.sch, batch: g.batch}
 }
 
 func (w *windowOp) clonePlan(env *planEnv) rowSource {
-	return &windowOp{in: clonePlanTree(w.in, env), funcs: w.funcs, env: env, sch: w.sch}
+	return &windowOp{in: clonePlanTree(w.in, env), funcs: w.funcs, env: env, sch: w.sch, batch: w.batch}
 }
 
 func (s *sortOp) clonePlan(env *planEnv) rowSource {
-	return &sortOp{in: clonePlanTree(s.in, env), items: s.items, env: env}
+	return &sortOp{in: clonePlanTree(s.in, env), items: s.items, env: env, batch: s.batch}
 }
 
 func (w *aliasWrap) clonePlan(env *planEnv) rowSource {

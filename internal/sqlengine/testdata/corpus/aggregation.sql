@@ -1,0 +1,75 @@
+-- Grouped-aggregation corpus: dictionary-code and float-bits fast-path
+-- shapes, declined shapes (expression keys, multi-key, non-vector
+-- arguments), NULL aggregate semantics, and HAVING.
+
+-- case: group_string_count
+-- rows: 23
+select vs, count(*) from d group by vs order by vs;
+
+-- case: group_string_all_aggs
+-- rows: 23
+select vs, count(vn), sum(vn), avg(vn), min(vn), max(vn) from d group by vs order by vs;
+
+-- case: group_minmax_string
+-- rows: 5
+select vg, min(vs), max(vs) from d group by vg order by vg;
+
+-- case: group_number_key
+-- rows: 46
+select vn, count(*) from d where vn < 50 group by vn order by vn;
+
+-- case: count_star
+-- rows: 1
+select count(*) from d;
+
+-- case: count_sum_nulls
+-- rows: 1
+select count(vn), sum(vn) from d;
+
+-- case: group_filtered_range
+-- rows: 5
+select vg, count(*) from d where vn between 200 and 900 group by vg order by vg;
+
+-- case: group_expr_key
+-- rows: 7
+select mod(did, 7), count(*) from d group by mod(did, 7) order by mod(did, 7);
+
+-- case: group_nonvector_arg
+-- rows: 23
+select vs, sum(did) from d group by vs order by vs;
+
+-- case: group_nested_city
+-- rows: 17
+select vcity, count(*) from d group by vcity order by vcity;
+
+-- case: group_avg_price
+-- rows: 5
+select vg, avg(vprice) from d group by vg order by vg;
+
+-- case: group_residual_filter
+-- rows: 23
+select vs, count(*) from d where mod(did, 3) = 0 group by vs order by vs;
+
+-- case: group_number_desc_limit
+-- rows: 12
+select vn, count(*) from d group by vn order by vn desc limit 12;
+
+-- case: group_two_keys
+-- rows: 115
+select vg, vs, count(*) from d group by vg, vs order by vg, vs;
+
+-- case: count_all_null
+-- rows: 1
+select count(*) from d where vn is null;
+
+-- case: group_having
+-- rows: 20
+select vs, count(*) from d group by vs having count(*) > 60 order by vs;
+
+-- case: group_sum_null_slice
+-- rows: 23
+select vs, sum(vn) from d where vn is null group by vs order by vs;
+
+-- case: agg_over_join_key_range
+-- rows: 23
+select vs, min(vn), max(vn) from d where vn is not null group by vs order by vs;

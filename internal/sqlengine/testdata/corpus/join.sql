@@ -1,0 +1,51 @@
+-- Join corpus: cross-table numeric equi-joins (code-space probe in the
+-- IMC configuration), string self-joins sharing one dictionary, outer
+-- joins with probe misses, residuals, and joins feeding aggregation.
+
+-- case: join_lookup_string
+-- rows: 40
+select l.lid, a.did from lk l join d a on l.vk = a.vs where a.did < 40 order by l.lid, a.did;
+
+-- case: join_lookup_agg
+-- rows: 23
+select l.lid, count(*) from lk l join d a on l.vk = a.vs group by l.lid order by l.lid;
+
+-- case: left_join_lookup_residual
+-- rows: 32
+select l.lid, a.did from lk l left join d a on l.vk = a.vs and a.did < 25 order by l.lid, a.did;
+
+-- case: self_join_number
+-- rows: 27
+select a.did, b.did from d a join d b on a.vn = b.vn where a.did < 30 order by a.did, b.did;
+
+-- case: self_join_string_bounded
+-- rows: 8
+select a.did, b.did from d a join d b on a.vs = b.vs and b.did < 8 where a.did < 8 order by a.did, b.did;
+
+-- case: left_self_join_number
+-- rows: 102
+select a.did, b.did from d a left join d b on a.vn = b.vn and b.did < 100 where a.did < 120 order by a.did, b.did;
+
+-- case: self_join_string_agg
+-- rows: 23
+select a.vs, count(*) from d a join d b on a.vs = b.vs and b.did < 23 group by a.vs order by a.vs;
+
+-- case: join_number_cross_table
+-- rows: 27
+select a.did, l.lid from d a join lk l on a.vn = l.vw where a.did < 300 order by a.did, l.lid;
+
+-- case: left_join_number_cross_table
+-- rows: 30
+select l.lid, a.did from lk l left join d a on l.vw = a.vn order by l.lid, a.did;
+
+-- case: join_raw_path_key
+-- rows: 40
+select l.lid, a.did from lk l join d a on json_value(l.jdoc, '$.k') = a.vs where a.did < 40 order by l.lid, a.did;
+
+-- case: join_then_sort_limit
+-- rows: 17
+select a.did, b.did from d a join d b on a.vn = b.vn where a.vn between 60 and 90 order by a.did desc limit 17;
+
+-- case: join_residual_price
+-- rows: 40
+select a.did, b.did from d a join d b on a.vs = b.vs and b.vprice > 40 where a.did < 12 order by a.did, b.did limit 40;

@@ -1,0 +1,43 @@
+-- JSON path corpus: JSON_TABLE expansion (batch left input feeding the
+-- lateral expansion), scalar JSON_VALUE projections, and path filters
+-- over nested members and arrays.
+
+-- case: json_table_items
+-- rows: 79
+select a.did, jt.q, jt.part from d a, json_table(jdoc, '$.items[*]' columns (q number path '$.q', part varchar2(8) path '$.part')) jt where a.did < 40 order by a.did, jt.q;
+
+-- case: json_table_group
+-- rows: 7
+select jt.part, count(*) from d, json_table(jdoc, '$.items[*]' columns (part varchar2(8) path '$.part')) jt group by jt.part order by jt.part;
+
+-- case: json_value_city_projection
+-- rows: 25
+select did, json_value(jdoc, '$.addr.city') from d where did < 25 order by did;
+
+-- case: json_value_array_elem
+-- rows: 200
+select did from d where json_value(jdoc, '$.items[0].part') = 'p3' order by did;
+
+-- case: json_value_missing_member
+-- rows: 10
+select did, json_value(jdoc, '$.missing') from d where did < 10 order by did;
+
+-- case: json_table_filtered_sum
+-- rows: 5
+select d.vg, sum(jt.q) from d, json_table(jdoc, '$.items[*]' columns (q number path '$.q')) jt where d.vn < 500 group by d.vg order by d.vg;
+
+-- case: json_value_number_mixed_filter
+-- rows: 57
+select did, json_value(jdoc, '$.price' returning number) from d where vs = 's11' and did > 100 order by did;
+
+-- case: json_table_join_sorted
+-- rows: 20
+select a.did, jt.part from d a, json_table(jdoc, '$.items[*]' columns (part varchar2(8) path '$.part')) jt where a.vn between 10 and 30 order by a.did, jt.part limit 20;
+
+-- case: json_exists_nested
+-- rows: 1400
+select did from d where json_exists(jdoc, '$.addr.city') order by did;
+
+-- case: json_value_zip_group
+-- rows: 100
+select json_value(jdoc, '$.addr.zip' returning number), count(*) from d group by json_value(jdoc, '$.addr.zip' returning number) order by json_value(jdoc, '$.addr.zip' returning number);

@@ -1,0 +1,94 @@
+-- Scan and filter corpus: vector-kernel-eligible predicates, dictionary
+-- misses, NULL stretches, residual predicates, and raw JSON path
+-- filters. Expected row counts are maintained by
+--   go test ./internal/sqlengine -run TestQueryCorpus -update-corpus
+-- against the reference configuration (text storage, row-at-a-time,
+-- serial).
+
+-- case: eq_number
+-- rows: 1
+select did from d where vn = 77 order by did;
+
+-- case: eq_number_nullrow
+-- rows: 0
+select did from d where vn = 13 order by did;
+
+-- case: between_number
+-- rows: 75
+select did from d where vn between 100 and 180 order by did;
+
+-- case: between_reversed
+-- rows: 0
+select did from d where vn between 180 and 100 order by did;
+
+-- case: ge_tail
+-- rows: 46
+select did from d where vn >= 1350 order by did;
+
+-- case: lt_head_residual
+-- rows: 18
+select did from d where vn < 40 and mod(did, 2) = 0 order by did;
+
+-- case: eq_string
+-- rows: 61
+select did from d where vs = 's05' order by did;
+
+-- case: between_string
+-- rows: 244
+select did from d where vs between 's03' and 's06' order by did;
+
+-- case: string_dict_miss
+-- rows: 0
+select did from d where vs = 'zz' order by did;
+
+-- case: string_open_range
+-- rows: 120
+select did from d where vs > 's20' order by did;
+
+-- case: is_null
+-- rows: 108
+select did from d where vn is null order by did;
+
+-- case: is_not_null_head
+-- rows: 27
+select did from d where vn is not null and vn < 30 order by did;
+
+-- case: group_and_range
+-- rows: 18
+select did, vg from d where vg = 'grp3' and vn > 1300 order by did;
+
+-- case: nested_city
+-- rows: 82
+select did from d where vcity = 'c09' order by did;
+
+-- case: decimal_price
+-- rows: 28
+select did from d where vprice = 7.25 order by did;
+
+-- case: raw_path_zip
+-- rows: 14
+select did from d where json_value(jdoc, '$.addr.zip' returning number) = 10042 order by did;
+
+-- case: exists_member
+-- rows: 20
+select did from d where json_exists(jdoc, '$.n') order by did limit 20;
+
+-- case: not_exists_member
+-- rows: 108
+select did from d where not json_exists(jdoc, '$.n') order by did;
+
+-- case: exists_array_index
+-- rows: 466
+select did from d where json_exists(jdoc, '$.items[2]') order by did;
+
+-- case: ne_desc_limit
+-- rows: 15
+select did from d where vn != 0 order by did desc limit 15;
+
+-- case: conj_two_vectors
+-- rows: 24
+select did from d where vs = 's07' and vn between 200 and 800 order by did;
+
+-- case: disjunction_residual
+-- rows: 113
+select did from d where vs = 's01' or vn < 60 order by did;

@@ -1,0 +1,51 @@
+-- Sort and limit corpus: ORDER BY materialization through batch pulls,
+-- LIMIT budget pushdown into batch production, NULL ordering, and
+-- multi-key sorts.
+
+-- case: sort_number_limit
+-- rows: 30
+select did, vn from d order by vn, did limit 30;
+
+-- case: sort_string_desc_tiebreak
+-- rows: 25
+select did from d order by vs, did desc limit 25;
+
+-- case: sort_desc_top10
+-- rows: 10
+select did from d where vn > 1000 order by vn desc limit 10;
+
+-- case: limit_zero
+-- rows: 0
+select did from d order by did limit 0;
+
+-- case: limit_oversized
+-- rows: 61
+select did from d where vs = 's01' order by did limit 1000;
+
+-- case: sort_price_desc
+-- rows: 18
+select vprice, did from d order by vprice desc, did limit 18;
+
+-- case: sort_expr_key
+-- rows: 40
+select did from d order by mod(did, 11), did limit 40;
+
+-- case: sort_city_window
+-- rows: 33
+select did, vcity from d where vn between 30 and 700 order by vcity, did limit 33;
+
+-- case: limit_exact_chunk_edge
+-- rows: 1024
+select did from d order by did limit 1024;
+
+-- case: limit_mid_chunk
+-- rows: 1000
+select did from d where vn is not null or vn is null order by did limit 1000;
+
+-- case: sort_nulls_last_probe
+-- rows: 1400
+select did, vn from d order by vn, did;
+
+-- case: window_row_number
+-- rows: 14
+select did, row_number() over (order by did) from d where vn < 16 order by did limit 15;

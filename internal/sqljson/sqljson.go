@@ -227,7 +227,10 @@ func Coerce(v jsondom.Value, rt ReturnType) (jsondom.Value, error) {
 	case RetNumber:
 		switch t := v.(type) {
 		case jsondom.Number:
-			return t, nil
+			// return the incoming interface value, not t: re-boxing the
+			// unboxed string re-allocates the interface header on a path
+			// hit once per scanned row.
+			return v, nil
 		case jsondom.Double:
 			return jsondom.NumberFromFloat(float64(t)), nil
 		case jsondom.String:
@@ -245,7 +248,7 @@ func Coerce(v jsondom.Value, rt ReturnType) (jsondom.Value, error) {
 	case RetVarchar:
 		switch t := v.(type) {
 		case jsondom.String:
-			return t, nil
+			return v, nil // avoid re-boxing; see RetNumber above
 		default:
 			return jsondom.String(jsontext.SerializeString(t)), nil
 		}
