@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/jsontext
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/jsonpath
 	$(GO) test -fuzz=FuzzParseStatement -fuzztime=$(FUZZTIME) ./internal/sqlengine
+	$(GO) test -fuzz=FuzzSketchMerge -fuzztime=$(FUZZTIME) ./internal/dataguide
 
 # Godoc lint: every exported identifier in internal/ and cmd/ needs a
 # doc comment, and every package a package comment.

@@ -32,6 +32,11 @@
 //	                            batches + code-space agg/join fast
 //	                            paths); default true, false keeps
 //	                            row-at-a-time operators
+//	-cost-based                 cost-based planning from DataGuide/IMC
+//	                            statistics (conjunct ordering, access
+//	                            path and join build-side selection);
+//	                            default true, false keeps the heuristic
+//	                            planner (EXPLAIN still shows est-rows)
 package main
 
 import (
@@ -89,12 +94,14 @@ func runSQL(args []string) {
 	planCache := fs.Int("plan-cache", 128, "LRU plan cache capacity; 0 disables caching")
 	imcVectorized := fs.Bool("imc-vectorized", true, "batch-vectorized IMC scans (selection bitmaps + zone-map pruning); false keeps the row-at-a-time vector filters")
 	batchExec := fs.Bool("batch-exec", true, "batch execution spine (pooled row batches through filter/project/limit, code-space aggregation and join fast paths); false keeps row-at-a-time operators")
+	costBased := fs.Bool("cost-based", true, "cost-based planning from DataGuide/IMC statistics (conjunct ordering, access-path and join build-side selection); false keeps the heuristic planner")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	eng := sqlengine.New()
 	eng.SetPlanCacheSize(*planCache)
 	eng.Planner.DisableVectorizedScan = !*imcVectorized
 	eng.Planner.DisableBatchExec = !*batchExec
+	eng.Planner.DisableCostBasedPlanner = !*costBased
 	if *slowLog != "" {
 		var w io.Writer = os.Stderr
 		if *slowLog != "stderr" {

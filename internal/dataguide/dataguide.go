@@ -63,16 +63,49 @@ type Entry struct {
 	// entries as "array of X".
 	Many bool
 
-	// Statistics (populated continuously; §3.2.1).
+	// Statistics (populated continuously; §3.2.1). Every statistic is a
+	// commutative monoid under Merge — counts add, MaxLen takes max,
+	// Min/Max compare, SumLen adds, and the NDV sketch merges by
+	// register max — so guides built by parallel workers over document
+	// partitions combine into the statistics of the whole collection.
 	Frequency   int           // number of documents containing the path
 	Occurrences int           // total occurrences across all documents
 	MaxLen      int           // maximum rendered length of scalar values
 	NullCount   int           // occurrences with JSON null at this path
 	Min, Max    jsondom.Value // extreme scalar values (same-kind compares only)
+	// SumLen accumulates the rendered length of every non-null scalar
+	// occurrence; with NonNull it yields AvgLen.
+	SumLen int64
+
+	// ndv sketches the distinct non-null scalar values observed at this
+	// path (HyperLogLog; see hll.go).
+	ndv *Sketch
 
 	// mixed records that incomparable scalar kinds were observed, which
 	// permanently invalidates Min/Max (order-independent behaviour).
 	mixed bool
+}
+
+// NonNull returns the number of non-null scalar occurrences.
+func (e *Entry) NonNull() int { return e.Occurrences - e.NullCount }
+
+// AvgLen returns the average rendered length of the non-null scalar
+// occurrences, 0 when none were observed.
+func (e *Entry) AvgLen() float64 {
+	if nn := e.NonNull(); nn > 0 {
+		return float64(e.SumLen) / float64(nn)
+	}
+	return 0
+}
+
+// NDV returns the estimated number of distinct non-null scalar values
+// at this path, 0 when none were observed. The estimate comes from a
+// fixed-size HyperLogLog sketch (standard error ≈ 1.6%; see hll.go).
+func (e *Entry) NDV() int64 {
+	if e.ndv == nil {
+		return 0
+	}
+	return e.ndv.Estimate()
 }
 
 // TypeString renders the $DG "Type" column ("number", "array of
@@ -92,6 +125,19 @@ func (e *Entry) TypeString() string {
 type Guide struct {
 	entries map[string]*Entry
 	docs    int
+	// pendingValues counts scalar values folded into statistics since
+	// the last metric flush; flushed once per merged document so the
+	// per-value path stays free of shared-counter traffic.
+	pendingValues int
+}
+
+// flushStatsMetrics publishes the locally accumulated statistics
+// counters (one shared-counter add per document, not per value).
+func (g *Guide) flushStatsMetrics() {
+	if g.pendingValues > 0 {
+		mStatsValues.Add(int64(g.pendingValues))
+		g.pendingValues = 0
+	}
 }
 
 // New returns an empty DataGuide.
@@ -130,6 +176,7 @@ func (g *Guide) Add(v jsondom.Value) []*Entry {
 	for e := range seen {
 		e.Frequency++
 	}
+	g.flushStatsMetrics()
 	return added
 }
 
@@ -220,9 +267,16 @@ func (g *Guide) updateScalarStats(e *Entry, v jsondom.Value) {
 		e.NullCount++
 		return
 	}
-	if n := len(jsontext.Serialize(v)); n > e.MaxLen {
-		e.MaxLen = n
+	b := jsontext.Serialize(v)
+	if len(b) > e.MaxLen {
+		e.MaxLen = len(b)
 	}
+	e.SumLen += int64(len(b))
+	if e.ndv == nil {
+		e.ndv = NewSketch()
+	}
+	e.ndv.AddBytes(b)
+	g.pendingValues++
 	if e.mixed {
 		return
 	}
@@ -270,14 +324,21 @@ func generalize(a, b jsondom.Kind) jsondom.Kind {
 }
 
 // Merge unions another guide into g. Merge is commutative,
-// associative and idempotent over entry sets; statistics accumulate.
+// associative and idempotent over entry sets; statistics accumulate
+// (each one is a monoid: counts and SumLen add, MaxLen and Min/Max
+// compare, NDV sketches merge by register max), so partial guides
+// built by parallel workers combine into the collection's statistics.
 func (g *Guide) Merge(o *Guide) {
 	g.docs += o.docs
+	sketchMerges := 0
 	for key, oe := range o.entries {
 		e, ok := g.entries[key]
 		if !ok {
 			cp := *oe
 			cp.Steps = append([]string(nil), oe.Steps...)
+			if oe.ndv != nil {
+				cp.ndv = oe.ndv.Clone()
+			}
 			g.entries[key] = &cp
 			continue
 		}
@@ -290,8 +351,17 @@ func (g *Guide) Merge(o *Guide) {
 		e.Frequency += oe.Frequency
 		e.Occurrences += oe.Occurrences
 		e.NullCount += oe.NullCount
+		e.SumLen += oe.SumLen
 		if oe.MaxLen > e.MaxLen {
 			e.MaxLen = oe.MaxLen
+		}
+		if oe.ndv != nil {
+			if e.ndv == nil {
+				e.ndv = oe.ndv.Clone()
+			} else {
+				e.ndv.Merge(oe.ndv)
+			}
+			sketchMerges++
 		}
 		switch {
 		case e.mixed || oe.mixed:
@@ -313,6 +383,9 @@ func (g *Guide) Merge(o *Guide) {
 				e.Max = oe.Max
 			}
 		}
+	}
+	if sketchMerges > 0 {
+		mStatsMerges.Add(int64(sketchMerges))
 	}
 }
 

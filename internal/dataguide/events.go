@@ -41,6 +41,7 @@ func (g *Guide) AddTextTracked(text []byte) (added, touched []*Entry, err error)
 		e.Frequency++
 		touched = append(touched, e)
 	}
+	g.flushStatsMetrics()
 	return added, touched, nil
 }
 

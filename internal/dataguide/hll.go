@@ -1,0 +1,141 @@
+// HyperLogLog NDV sketches for the per-path statistics of §3.2.1.
+// JSONoid observes that schema-inference statistics compose as monoids
+// when every statistic carries a Merge; the sketch below is the one
+// statistic that needs real machinery for that: registers merge by
+// per-slot max, so Merge is commutative, associative and idempotent,
+// and sketches built by parallel workers over document partitions
+// combine into exactly the sketch of the union stream.
+
+package dataguide
+
+import (
+	"math"
+	"math/bits"
+)
+
+// sketchPrecision is the HyperLogLog precision p: 2^p registers. With
+// p = 12 the standard error is 1.04/sqrt(4096) ≈ 1.6%, comfortably
+// inside the documented 3% bound at a 4 KiB fixed footprint per
+// sketched path.
+const sketchPrecision = 12
+
+// sketchRegisters is the register count m = 2^p.
+const sketchRegisters = 1 << sketchPrecision
+
+// Sketch estimates the number of distinct values folded into it via
+// AddBytes. The zero value is ready to use. Sketches are fixed-size
+// and mergeable: Merge(a, b) equals the sketch of the concatenated
+// input streams, regardless of how the stream was split or ordered.
+type Sketch struct {
+	reg [sketchRegisters]uint8
+}
+
+// NewSketch returns an empty sketch.
+func NewSketch() *Sketch { return &Sketch{} }
+
+// fnv1a64 is the 64-bit FNV-1a hash. The sketch hashes inline rather
+// than through hash/fnv so AddBytes stays allocation-free and the
+// register contents are deterministic across processes — two guides
+// built from the same documents merge into identical sketches.
+func fnv1a64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// AddBytes folds one value, identified by its canonical byte
+// rendering, into the sketch. Duplicate renderings never change the
+// estimate (the sketch is a monoid over sets, not multisets).
+func (s *Sketch) AddBytes(b []byte) {
+	s.addHash(fnv1a64(b))
+}
+
+// AddString folds one string value into the sketch.
+func (s *Sketch) AddString(v string) {
+	// inline FNV-1a over the string to avoid a []byte conversion alloc
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= 1099511628211
+	}
+	s.addHash(h)
+}
+
+// AddUint64 folds one 64-bit value (e.g. math.Float64bits of a number)
+// into the sketch.
+func (s *Sketch) AddUint64(v uint64) {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v >> (8 * i) & 0xff
+		h *= 1099511628211
+	}
+	s.addHash(h)
+}
+
+// addHash places one hashed value: the top p bits pick the register,
+// the leading-zero rank of the rest updates it by max. A zero
+// remainder saturates at the maximum observable rank. FNV-1a mixes
+// its low bits well but avalanches poorly into the high bits the
+// register index needs, so the hash runs through a 64-bit
+// finalizer (the murmur3 fmix64 constants) first.
+func (s *Sketch) addHash(h uint64) {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	idx := h >> (64 - sketchPrecision)
+	rest := h << sketchPrecision
+	rank := uint8(64 - sketchPrecision + 1)
+	if rest != 0 {
+		rank = uint8(bits.LeadingZeros64(rest)) + 1
+	}
+	if rank > s.reg[idx] {
+		s.reg[idx] = rank
+	}
+}
+
+// Merge folds another sketch into s (per-register max). Afterwards s
+// estimates the union of both input streams.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil {
+		return
+	}
+	for i, r := range o.reg {
+		if r > s.reg[i] {
+			s.reg[i] = r
+		}
+	}
+}
+
+// Clone returns an independent copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	cp := *s
+	return &cp
+}
+
+// Estimate returns the estimated number of distinct values. Small
+// cardinalities use linear counting over the empty registers (the
+// standard bias correction); the 64-bit hash makes the large-range
+// correction of the original 32-bit formulation unnecessary.
+func (s *Sketch) Estimate() int64 {
+	const m = float64(sketchRegisters)
+	// alpha_m for m >= 128
+	alpha := 0.7213 / (1 + 1.079/m)
+	sum := 0.0
+	zeros := 0
+	for _, r := range s.reg {
+		sum += math.Exp2(-float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	raw := alpha * m * m / sum
+	if raw <= 2.5*m && zeros > 0 {
+		raw = m * math.Log(m/float64(zeros))
+	}
+	return int64(math.Round(raw))
+}

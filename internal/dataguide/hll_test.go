@@ -1,0 +1,202 @@
+package dataguide
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/jsontext"
+)
+
+func TestSketchEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 100, 1000, 10000, 100000} {
+		s := NewSketch()
+		for i := 0; i < n; i++ {
+			s.AddString(fmt.Sprintf("value-%d", i))
+		}
+		got := float64(s.Estimate())
+		if n == 0 {
+			if got != 0 {
+				t.Fatalf("empty sketch estimates %v", got)
+			}
+			continue
+		}
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		if relErr > 0.03 {
+			t.Errorf("n=%d: estimate %v, relative error %.4f > 3%%", n, got, relErr)
+		}
+	}
+}
+
+func TestSketchDuplicatesDoNotInflate(t *testing.T) {
+	s := NewSketch()
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 100; i++ {
+			s.AddString(fmt.Sprintf("v%d", i))
+		}
+	}
+	if got := s.Estimate(); got < 97 || got > 103 {
+		t.Fatalf("100 distinct values added 50x: estimate %d", got)
+	}
+}
+
+// TestSketchMergeMonoid checks the algebraic laws cost estimation
+// relies on: commutativity, associativity, idempotence, and that the
+// merge of partial sketches equals the sketch of the union stream.
+func TestSketchMergeMonoid(t *testing.T) {
+	build := func(lo, hi int) *Sketch {
+		s := NewSketch()
+		for i := lo; i < hi; i++ {
+			s.AddString(fmt.Sprintf("item-%d", i))
+		}
+		return s
+	}
+	a, b, c := build(0, 400), build(300, 900), build(850, 1300)
+	union := build(0, 1300)
+
+	// (a ⊕ b) ⊕ c
+	ab := a.Clone()
+	ab.Merge(b)
+	abc1 := ab.Clone()
+	abc1.Merge(c)
+	// a ⊕ (b ⊕ c)
+	bc := b.Clone()
+	bc.Merge(c)
+	abc2 := a.Clone()
+	abc2.Merge(bc)
+	// c ⊕ b ⊕ a (commuted)
+	abc3 := c.Clone()
+	abc3.Merge(b)
+	abc3.Merge(a)
+
+	for name, s := range map[string]*Sketch{"assoc-left": abc1, "assoc-right": abc2, "commuted": abc3} {
+		if s.reg != union.reg {
+			t.Errorf("%s: merged registers differ from union-stream sketch", name)
+		}
+		if s.Estimate() != union.Estimate() {
+			t.Errorf("%s: estimate %d != union estimate %d", name, s.Estimate(), union.Estimate())
+		}
+	}
+
+	// idempotence: x ⊕ x = x
+	dup := a.Clone()
+	dup.Merge(a)
+	if dup.reg != a.reg {
+		t.Error("self-merge changed the sketch")
+	}
+	// identity: x ⊕ empty = x, and nil is tolerated
+	id := a.Clone()
+	id.Merge(NewSketch())
+	id.Merge(nil)
+	if id.reg != a.reg {
+		t.Error("merging the empty sketch changed the registers")
+	}
+}
+
+// TestEntryStatsMerge checks that the enriched per-entry statistics
+// (SumLen/AvgLen, NonNull, NDV) accumulate identically whether
+// documents are added to one guide or split across guides and merged.
+func TestEntryStatsMerge(t *testing.T) {
+	doc := func(i int) []byte {
+		if i%7 == 0 {
+			return []byte(`{"v":null,"s":"x"}`)
+		}
+		return []byte(fmt.Sprintf(`{"v":%d,"s":"str-%d"}`, i, i%25))
+	}
+	whole := New()
+	left, right := New(), New()
+	const n = 700
+	for i := 0; i < n; i++ {
+		if _, err := whole.AddText(doc(i)); err != nil {
+			t.Fatal(err)
+		}
+		g := left
+		if i >= n/2 {
+			g = right
+		}
+		if _, err := g.AddText(doc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := New()
+	merged.Merge(right)
+	merged.Merge(left)
+
+	for _, path := range []string{"$.v", "$.s"} {
+		we, ok1 := whole.Lookup(path, CatScalar)
+		me, ok2 := merged.Lookup(path, CatScalar)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing entry for %s", path)
+		}
+		if we.SumLen != me.SumLen || we.NonNull() != me.NonNull() || we.NullCount != me.NullCount {
+			t.Errorf("%s: stats diverge: whole {sum=%d nn=%d null=%d} merged {sum=%d nn=%d null=%d}",
+				path, we.SumLen, we.NonNull(), we.NullCount, me.SumLen, me.NonNull(), me.NullCount)
+		}
+		if we.NDV() != me.NDV() {
+			t.Errorf("%s: NDV diverges: whole %d merged %d", path, we.NDV(), me.NDV())
+		}
+		if we.AvgLen() != me.AvgLen() {
+			t.Errorf("%s: AvgLen diverges: %v vs %v", path, we.AvgLen(), me.AvgLen())
+		}
+	}
+	ve, _ := whole.Lookup("$.v", CatScalar)
+	if ndv := ve.NDV(); ndv < 550 || ndv > 650 {
+		t.Errorf("$.v NDV %d out of range for 600 distinct numbers", ndv)
+	}
+	if ve.NullCount != 100 {
+		t.Errorf("$.v NullCount = %d, want 100", ve.NullCount)
+	}
+	se, _ := whole.Lookup("$.s", CatScalar)
+	if ndv := se.NDV(); ndv < 24 || ndv > 28 {
+		t.Errorf("$.s NDV %d, want ~26 (25 str values + \"x\")", ndv)
+	}
+}
+
+// FuzzSketchMerge feeds arbitrary byte streams through the
+// split-then-merge path and requires the result to be bit-identical to
+// sketching the whole stream: the monoid law the parallel $DG merge
+// pipeline relies on, for any input and any split point.
+func FuzzSketchMerge(f *testing.F) {
+	f.Add([]byte("hello world, this seed exercises several 4-byte chunks"), uint16(8))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, uint16(3))
+	f.Add([]byte(`{"a":1,"b":[2,3]}`), uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16) {
+		// interpret data as overlapping 4-byte values; split the value
+		// stream at cut
+		var vals [][]byte
+		for i := 0; i+4 <= len(data); i++ {
+			vals = append(vals, data[i:i+4])
+		}
+		split := 0
+		if len(vals) > 0 {
+			split = int(cut) % (len(vals) + 1)
+		}
+		whole, a, b := NewSketch(), NewSketch(), NewSketch()
+		for i, v := range vals {
+			whole.AddBytes(v)
+			if i < split {
+				a.AddBytes(v)
+			} else {
+				b.AddBytes(v)
+			}
+		}
+		a.Merge(b)
+		if a.reg != whole.reg {
+			t.Fatalf("merge(a,b) != sketch(a++b) for %d values split at %d", len(vals), split)
+		}
+	})
+}
+
+// TestSketchDeterministicAcrossRenderings pins the canonical-rendering
+// contract: AddBytes over jsontext.Serialize output is what the guide
+// uses, so equal values always hash identically.
+func TestSketchDeterministicAcrossRenderings(t *testing.T) {
+	v1 := jsontext.MustParse(`{"a": 1}`)
+	v2 := jsontext.MustParse(`{ "a" : 1 }`)
+	s1, s2 := NewSketch(), NewSketch()
+	s1.AddBytes(jsontext.Serialize(v1))
+	s2.AddBytes(jsontext.Serialize(v2))
+	if s1.reg != s2.reg {
+		t.Fatal("equal documents produced different sketches")
+	}
+}

@@ -1,0 +1,15 @@
+// Statistics-maintenance metrics (docs/OBSERVABILITY.md). The
+// per-value work accumulates in Guide-local counters and is flushed to
+// the shared registry once per merged document (flushStatsMetrics), so
+// the scalar hot path never touches an atomic.
+
+package dataguide
+
+import "repro/internal/metrics"
+
+var (
+	mStatsValues = metrics.NewCounter("dataguide.stats.values_observed",
+		"non-null scalar values folded into per-path statistics (length sums and NDV sketches)")
+	mStatsMerges = metrics.NewCounter("dataguide.stats.sketch_merges",
+		"per-entry NDV sketch merges performed during guide merge-union")
+)

@@ -12,8 +12,8 @@ func use() *preparedPlan { return newPreparedPlan("SELECT 1") }
 
 // recycle mutates a pooled batch header outside the spine file.
 func recycle(b *Batch) {
-	b.rows = b.rows[:0]     // want "immutable after construction"
-	b.rows[0] = []int{1}    // want "element write into"
+	b.rows = b.rows[:0]  // want "immutable after construction"
+	b.rows[0] = []int{1} // want "element write into"
 }
 
 // retarget redirects a fast-path spec outside the spine file.

@@ -40,6 +40,7 @@ type Vector struct {
 	dict  []string // sorted unique non-null strings
 	codes []uint32 // per-row index into dict
 	zones []ZoneMap
+	stats ColStats // population-time statistics (see stats.go)
 }
 
 // Len returns the number of entries.
@@ -158,6 +159,7 @@ func (b *vectorBuilder) build() *Vector {
 	if b.isNumber {
 		vec.Nums = b.nums
 		vec.buildZones()
+		vec.stats = computeStats(vec)
 		return vec
 	}
 	uniq := make(map[string]struct{}, len(b.strs))
@@ -182,6 +184,7 @@ func (b *vectorBuilder) build() *Vector {
 		}
 	}
 	vec.buildZones()
+	vec.stats = computeStats(vec)
 	return vec
 }
 

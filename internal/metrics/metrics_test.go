@@ -58,9 +58,9 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		want int
 	}{
 		{-5, 0}, {0, 0},
-		{1, 1},               // [1,1]
-		{2, 2}, {3, 2},       // [2,3]
-		{4, 3}, {7, 3},       // [4,7]
+		{1, 1},         // [1,1]
+		{2, 2}, {3, 2}, // [2,3]
+		{4, 3}, {7, 3}, // [4,7]
 		{8, 4},               // [8,15]
 		{1023, 10},           // top of [512,1023]
 		{1024, 11},           // bottom of [1024,2047]

@@ -169,10 +169,14 @@ type DropStmt struct {
 	Name string
 }
 
-// ShowMetricsStmt is SHOW METRICS (alias: STATS): it reads every
-// counter, gauge, and histogram in the default metrics registry as
-// (metric, value) rows.
+// ShowMetricsStmt is SHOW METRICS: it reads every counter, gauge, and
+// histogram in the default metrics registry as (metric, value) rows.
 type ShowMetricsStmt struct{}
+
+// ShowStatsStmt is SHOW STATS (shorthand: STATS): the SHOW METRICS
+// rows followed by the optimizer statistics rows (per-table row
+// counts, DataGuide path statistics, populated IMC column statistics).
+type ShowStatsStmt struct{}
 
 func (*CreateTableStmt) isStmt()       {}
 func (*CreateViewStmt) isStmt()        {}
@@ -183,6 +187,7 @@ func (*DropStmt) isStmt()              {}
 func (*DeleteStmt) isStmt()            {}
 func (*UpdateStmt) isStmt()            {}
 func (*ShowMetricsStmt) isStmt()       {}
+func (*ShowStatsStmt) isStmt()         {}
 
 // ---------------------------------------------------------------------------
 // Expressions

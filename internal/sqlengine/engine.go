@@ -94,6 +94,12 @@ type PlannerOptions struct {
 	// hash-join build, group-by, window, cross-join) may buffer per
 	// query; <= 0 disables the accountant.
 	MemoryBudget int64
+	// DisableCostBasedPlanner turns off the statistics-driven plan
+	// decisions (docs/OPTIMIZER.md): AND-conjunct ordering, the
+	// index-vs-vectorized access-path arbitration, and the hash-join
+	// build-side choice. EXPLAIN's est-rows annotations stay on — they
+	// are observability, not plan decisions.
+	DisableCostBasedPlanner bool
 }
 
 type viewDef struct {
@@ -358,6 +364,9 @@ func (e *Engine) dispatchStmt(ctx context.Context, stmt Statement, params []json
 		return res, nil, 0, err
 	case *ShowMetricsStmt:
 		res, err := e.runShowMetrics()
+		return res, nil, 0, err
+	case *ShowStatsStmt:
+		res, err := e.runShowStats()
 		return res, nil, 0, err
 	case *CreateTableStmt:
 		return &Result{}, nil, 0, e.ddl(e.createTable(t))
@@ -733,6 +742,24 @@ func (e *Engine) planSelectPushed(stmt *SelectStmt, env *planEnv, pushed []Expr)
 		where = andExpr(where, p)
 	}
 
+	// 2b. cost-based conjunct ordering (docs/OPTIMIZER.md): evaluate
+	// the most selective AND-conjunct first so the executor's
+	// short-circuit (and the vectorized scan's kernel/residual split)
+	// discards rows as early as possible. AND commutes over the row
+	// set, so the result rows and their order are unchanged.
+	cc := e.newCostCtx(stmt)
+	costOn := !e.Planner.DisableCostBasedPlanner
+	if costOn {
+		mCostPlans.Inc()
+		if where != nil {
+			if ordered, changed := cc.orderConjuncts(splitAnd(where)); changed {
+				where = joinAnd(ordered)
+				mCostReorders.Inc()
+			}
+		}
+	}
+	whereOrig := where
+
 	// 3. referenced-column analysis for virtual-column pruning
 	referenced, hasStar := collectReferenced(stmt)
 	for _, c := range exprColRefs(where) {
@@ -746,6 +773,20 @@ func (e *Engine) planSelectPushed(stmt *SelectStmt, env *planEnv, pushed []Expr)
 	if scan, residual, ok := e.tryIndexScan(stmt, where, env, referenced, hasStar); ok && !e.Planner.DisableIndexScan {
 		src = scan
 		where = residual
+		// cost-based access-path arbitration: when the postings are
+		// estimated to cover a large table fraction and a vectorized
+		// scan is available, the sparse row-id list loses its point —
+		// prefer the columnar kernels. Both paths return the same rows
+		// in ascending row-id order.
+		if costOn {
+			if sel, known := cc.indexScanSelectivity(whereOrig, residual); known && sel > costIndexMaxSel {
+				if vscan, vres, vok := e.tryVectorizedScan(stmt, whereOrig, env, referenced, hasStar); vok && !e.Planner.DisableVectorFilter {
+					src = vscan
+					where = vres
+					mCostIndexSkips.Inc()
+				}
+			}
+		}
 	} else if scan, residual, ok := e.tryVectorizedScan(stmt, where, env, referenced, hasStar); ok && !e.Planner.DisableVectorFilter {
 		src = scan
 		where = residual
@@ -758,7 +799,7 @@ func (e *Engine) planSelectPushed(stmt *SelectStmt, env *planEnv, pushed []Expr)
 	} else {
 		var jtOp *jsonTableOp
 		for _, f := range stmt.From {
-			s, lateral, err := e.buildFrom(f, src, env, referenced, hasStar)
+			s, lateral, err := e.buildFrom(f, src, env, referenced, hasStar, cc)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -785,6 +826,11 @@ func (e *Engine) planSelectPushed(stmt *SelectStmt, env *planEnv, pushed []Expr)
 	}
 	if src == nil {
 		return nil, nil, fmt.Errorf("sql: empty FROM clause")
+	}
+	// stamp the scan's est-rows with base rows x consumed-conjunct
+	// selectivity while the pushed-down conjuncts are still in hand
+	if scan, ok := src.(*tableScan); ok {
+		cc.setScanEstimate(scan, whereOrig, where)
 	}
 
 	// 5. WHERE (residual after pushdown). A bare scan over a large
@@ -868,7 +914,12 @@ func (e *Engine) planSelectPushed(stmt *SelectStmt, env *planEnv, pushed []Expr)
 		src = &limitOp{in: src, limit: stmt.Limit}
 	}
 
-	// 11. batch execution: flag every batch-capable operator so pooled
+	// 11. est-rows annotation for EXPLAIN: always computed (estimates
+	// are observability; only plan decisions are gated by
+	// DisableCostBasedPlanner)
+	cc.annotateEstimates(src)
+
+	// 12. batch execution: flag every batch-capable operator so pooled
 	// row batches flow up the plan (and the code-space fast paths may
 	// engage). A plan-time property — the plan cache keys on the
 	// planner-option snapshot, so cached plans never leak the flag
@@ -1433,7 +1484,7 @@ func stripQualifier(c Expr, alias string) Expr {
 
 // buildFrom builds a row source for one FROM item. lateral=true means
 // the returned source already incorporates the accumulated left side.
-func (e *Engine) buildFrom(f FromItem, left rowSource, env *planEnv, referenced map[string]bool, hasStar bool) (rowSource, bool, error) {
+func (e *Engine) buildFrom(f FromItem, left rowSource, env *planEnv, referenced map[string]bool, hasStar bool, cc *costCtx) (rowSource, bool, error) {
 	switch t := f.(type) {
 	case *TableRef:
 		alias := t.Alias
@@ -1469,15 +1520,15 @@ func (e *Engine) buildFrom(f FromItem, left rowSource, env *planEnv, referenced 
 	case *JSONTableRef:
 		return newJSONTableOp(left, t, env), true, nil
 	case *JoinRef:
-		l, lLateral, err := e.buildFrom(t.Left, left, env, referenced, hasStar)
+		l, lLateral, err := e.buildFrom(t.Left, left, env, referenced, hasStar, cc)
 		if err != nil {
 			return nil, false, err
 		}
-		r, _, err := e.buildFrom(t.Right, nil, env, referenced, hasStar)
+		r, _, err := e.buildFrom(t.Right, nil, env, referenced, hasStar, cc)
 		if err != nil {
 			return nil, false, err
 		}
-		join, err := planJoin(l, r, t, env)
+		join, err := e.planJoin(l, r, t, env, cc)
 		return join, lLateral, err
 	}
 	return nil, false, fmt.Errorf("sql: unsupported FROM item %T", f)
@@ -1486,8 +1537,12 @@ func (e *Engine) buildFrom(f FromItem, left rowSource, env *planEnv, referenced 
 // planJoin picks a hash join when the ON condition contains
 // equi-conjuncts whose two sides are each computable from one input
 // (arbitrary expressions, e.g. JSON_VALUE calls, not just bare
-// columns); otherwise a cross join plus filter.
-func planJoin(l, r rowSource, t *JoinRef, env *planEnv) (rowSource, error) {
+// columns); otherwise a cross join plus filter. With the cost-based
+// planner on, the hash table is built on whichever input is estimated
+// smaller (the build-side pick doubles as the order-preserving
+// two-way join reordering — probe order, and therefore output order,
+// never changes).
+func (e *Engine) planJoin(l, r rowSource, t *JoinRef, env *planEnv, cc *costCtx) (rowSource, error) {
 	conjuncts := splitAnd(t.On)
 	var lk, rk []Expr
 	var residual Expr
@@ -1507,7 +1562,16 @@ func planJoin(l, r rowSource, t *JoinRef, env *planEnv) (rowSource, error) {
 		residual = andExpr(residual, c)
 	}
 	if len(lk) > 0 {
-		return newHashJoin(l, r, lk, rk, residual, t.LeftOuter, env), nil
+		hj := newHashJoin(l, r, lk, rk, residual, t.LeftOuter, env)
+		if cc != nil && !e.Planner.DisableCostBasedPlanner {
+			ln, lok := cc.annotateEstimates(l)
+			rn, rok := cc.annotateEstimates(r)
+			if lok && rok && ln < rn {
+				hj.buildLeft = true
+				mCostBuildLeft.Inc()
+			}
+		}
+		return hj, nil
 	}
 	if t.LeftOuter {
 		return nil, fmt.Errorf("sql: LEFT JOIN requires an equi-join condition")

@@ -155,6 +155,7 @@ func (v *vecFilterSpec) operandValues(env *planEnv) ([]jsondom.Value, bool) {
 }
 
 type tableScan struct {
+	planEstimate
 	tab   *store.Table
 	alias string
 	sch   Schema
@@ -631,6 +632,7 @@ func pctOf(out, in int64) string {
 // filter / project / limit
 
 type filterOp struct {
+	planEstimate
 	in    rowSource
 	pred  Expr
 	env   *planEnv
@@ -692,6 +694,7 @@ func (f *filterOp) opChildren() []rowSource { return []rowSource{f.in} }
 func (f *filterOp) opStat() *OpStats        { return f.st }
 
 type projectOp struct {
+	planEstimate
 	in    rowSource
 	exprs []Expr
 	sch   Schema
@@ -748,6 +751,7 @@ func (p *projectOp) opChildren() []rowSource { return []rowSource{p.in} }
 func (p *projectOp) opStat() *OpStats        { return p.st }
 
 type limitOp struct {
+	planEstimate
 	in    rowSource
 	limit int
 	n     int
@@ -816,6 +820,7 @@ func (l *limitOp) opStat() *OpStats        { return l.st }
 // JSON_TABLE lateral apply
 
 type jsonTableOp struct {
+	planEstimate
 	left rowSource // may be nil when JSON_TABLE is the only FROM item
 	ref  *JSONTableRef
 	sch  Schema
@@ -990,6 +995,7 @@ func (j *jsonTableOp) opStat() *OpStats { return j.st }
 // crossJoin is a nested-loop cross product with the right side
 // materialized.
 type crossJoin struct {
+	planEstimate
 	left, right rowSource
 	sch         Schema
 
@@ -1088,6 +1094,7 @@ func (c *crossJoin) opStat() *OpStats        { return c.st }
 // left (the plan the REL storage of §6.3 uses to join master and
 // detail).
 type hashJoin struct {
+	planEstimate
 	left, right         rowSource
 	leftKeys, rightKeys []Expr
 	residual            Expr
@@ -1113,6 +1120,26 @@ type hashJoin struct {
 	fast     *joinFast
 	leftNext rowNextFunc
 	arena    rowArena
+
+	// buildLeft is the cost-based planner's build-side choice: when the
+	// LEFT input is estimated smaller, the hash table is built on it and
+	// the right side streams past once. Emission stays left-major with
+	// right rows in scan order — bit-for-bit the generic build-right
+	// output — so the differential corpus holds (see buildLeftSide).
+	buildLeft bool
+
+	// build-left execution state: the materialized left rows in scan
+	// order, and per left row the matching right rows in right-scan
+	// order (residual already applied at probe time). blHadKey marks
+	// left rows whose key matched at least one right row before the
+	// residual: like the build-right loop, the left-outer pad fires
+	// only on key misses, not on residual rejections.
+	blLeft     [][]jsondom.Value
+	blMatches  [][][]jsondom.Value
+	blHadKey   []bool
+	blActive   bool
+	blPadded   bool
+	blLi, blMi int
 }
 
 func newHashJoin(l, r rowSource, lk, rk []Expr, residual Expr, leftOuter bool, env *planEnv) *hashJoin {
@@ -1129,6 +1156,7 @@ func (h *hashJoin) Open(ec *ExecCtx) error {
 	h.init, h.table, h.leftRow, h.matches, h.mi = false, nil, nil, nil, 0
 	h.fast = nil
 	h.leftNext = nil
+	h.blLeft, h.blMatches, h.blHadKey, h.blActive, h.blPadded, h.blLi, h.blMi = nil, nil, nil, false, false, 0, 0
 	h.leftCtx = h.env.bindCtx(h.left.Schema(), h.leftKeys...)
 	h.rightCtx = h.env.bindCtx(h.right.Schema(), h.rightKeys...)
 	if h.residual != nil {
@@ -1183,13 +1211,20 @@ func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 			}
 		}
 		if h.fast == nil {
-			if err := h.buildGeneric(ec); err != nil {
+			if h.buildLeft {
+				if err := h.buildLeftSide(ec); err != nil {
+					return nil, false, err
+				}
+			} else if err := h.buildGeneric(ec); err != nil {
 				return nil, false, err
 			}
 		}
 	}
 	if h.fast != nil {
 		return h.fast.next(ec)
+	}
+	if h.blActive {
+		return h.nextBuildLeft(ec)
 	}
 	for {
 		if err := ec.tickErr(&h.ticks); err != nil {
@@ -1271,11 +1306,139 @@ func (h *hashJoin) buildGeneric(ec *ExecCtx) error {
 	}
 }
 
-func (h *hashJoin) opName() string {
-	if h.leftOuter {
-		return "HashJoin(left-outer)"
+// buildLeftSide materializes the LEFT input and hashes its keys, then
+// streams the right input once, attaching each right row (after the
+// residual check on the concatenated pair) to every matching left row.
+// Left rows keep scan order and right matches append in right-scan
+// order, so nextBuildLeft emits exactly the sequence the build-right
+// probe loop would: left-major, right-scan order within a left row.
+func (h *hashJoin) buildLeftSide(ec *ExecCtx) error {
+	h.blActive = true
+	leftNext := batchNextFunc(h.left, h.batch)
+	rightNext := batchNextFunc(h.right, h.batch)
+	byKey := make(map[string][]int)
+	for {
+		if err := ec.tickErr(&h.ticks); err != nil {
+			return err
+		}
+		row, ok, err := leftNext(ec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k, err := h.keyOf(h.leftCtx, row, h.leftKeys)
+		if err != nil {
+			return err
+		}
+		n := rowBytes(row) + int64(len(k))
+		if err := ec.grow(n); err != nil {
+			return err
+		}
+		h.memUsed += n
+		li := len(h.blLeft)
+		h.blLeft = append(h.blLeft, row)
+		if k != "" { // NULL keys never match
+			byKey[k] = append(byKey[k], li)
+		}
 	}
-	return "HashJoin"
+	h.blMatches = make([][][]jsondom.Value, len(h.blLeft))
+	h.blHadKey = make([]bool, len(h.blLeft))
+	for {
+		if err := ec.tickErr(&h.ticks); err != nil {
+			return err
+		}
+		row, ok, err := rightNext(ec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		k, err := h.keyOf(h.rightCtx, row, h.rightKeys)
+		if err != nil {
+			return err
+		}
+		if k == "" {
+			continue
+		}
+		charged := false
+		for _, li := range byKey[k] {
+			h.blHadKey[li] = true
+			if h.residual != nil {
+				pair := make([]jsondom.Value, 0, len(h.blLeft[li])+len(row))
+				pair = append(pair, h.blLeft[li]...)
+				pair = append(pair, row...)
+				h.residCtx.row = pair
+				v, err := evalExpr(h.residCtx, h.residual)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			if !charged {
+				// the row slice is shared across its left matches;
+				// charge it once
+				n := rowBytes(row)
+				if err := ec.grow(n); err != nil {
+					return err
+				}
+				h.memUsed += n
+				charged = true
+			}
+			h.blMatches[li] = append(h.blMatches[li], row)
+		}
+	}
+}
+
+// nextBuildLeft emits the build-left join output: left rows in scan
+// order, each concatenated with its matches in right-scan order, with
+// the left-outer NULL pad when a left row matched nothing.
+func (h *hashJoin) nextBuildLeft(ec *ExecCtx) ([]jsondom.Value, bool, error) {
+	for {
+		if err := ec.tickErr(&h.ticks); err != nil {
+			return nil, false, err
+		}
+		if h.blLi >= len(h.blLeft) {
+			return nil, false, nil
+		}
+		lrow := h.blLeft[h.blLi]
+		ms := h.blMatches[h.blLi]
+		if h.blMi < len(ms) {
+			r := ms[h.blMi]
+			h.blMi++
+			out := make([]jsondom.Value, 0, len(lrow)+len(r))
+			out = append(out, lrow...)
+			out = append(out, r...)
+			return out, true, nil
+		}
+		if len(ms) == 0 && h.leftOuter && !h.blHadKey[h.blLi] && !h.blPadded {
+			h.blPadded = true
+			out := make([]jsondom.Value, 0, len(lrow)+len(h.right.Schema()))
+			out = append(out, lrow...)
+			for range h.right.Schema() {
+				out = append(out, null)
+			}
+			return out, true, nil
+		}
+		h.blLi++
+		h.blMi = 0
+		h.blPadded = false
+	}
+}
+
+func (h *hashJoin) opName() string {
+	name := "HashJoin"
+	if h.leftOuter {
+		name = "HashJoin(left-outer)"
+	}
+	if h.buildLeft {
+		name += " build=left"
+	}
+	return name
 }
 func (h *hashJoin) opChildren() []rowSource { return []rowSource{h.left, h.right} }
 func (h *hashJoin) opStat() *OpStats        { return h.st }
@@ -1296,6 +1459,7 @@ func (h *hashJoin) opExtraLines() []string {
 // group: a representative input row extended with one synthetic
 // column per aggregate (positions recorded in planEnv.aggCols).
 type groupAggOp struct {
+	planEstimate
 	in      rowSource
 	groupBy []Expr
 	aggs    []*FuncCall
@@ -1613,6 +1777,7 @@ func (s *dataGuideState) result() jsondom.Value {
 // planEnv.winCols). LAG/LEAD/ROW_NUMBER with OVER (ORDER BY ...) are
 // supported; Q6 of Table 13 needs LAG.
 type windowOp struct {
+	planEstimate
 	in    rowSource
 	funcs []*WindowFunc
 	env   *planEnv
@@ -1762,6 +1927,7 @@ func (w *windowOp) opStat() *OpStats        { return w.st }
 // evaluated against the input schema; positional items (ORDER BY 1)
 // are resolved by the planner into expressions before reaching here.
 type sortOp struct {
+	planEstimate
 	in    rowSource
 	items []OrderItem
 	env   *planEnv
@@ -1971,6 +2137,7 @@ func keyRender(v jsondom.Value) string {
 // aliasWrap renames the table qualifier of every column, exposing a
 // subquery or view under its alias.
 type aliasWrap struct {
+	planEstimate
 	in    rowSource
 	alias string
 	sch   Schema

@@ -779,13 +779,13 @@ func (sp *aggFastSpec) result(st *fastAggState) jsondom.Value {
 // materializes a left row only when it matches (or, under left-outer
 // semantics, misses).
 type joinFast struct {
-	h              *hashJoin
-	lscan, rscan   *tableScan
-	lvec, rvec     *imc.Vector
-	table          map[uint64][][]jsondom.Value
-	pending        [][]jsondom.Value
-	pi             int
-	leftRow        []jsondom.Value
+	h                 *hashJoin
+	lscan, rscan      *tableScan
+	lvec, rvec        *imc.Vector
+	table             map[uint64][][]jsondom.Value
+	pending           [][]jsondom.Value
+	pi                int
+	leftRow           []jsondom.Value
 	probed, probeHits int64
 }
 

@@ -218,8 +218,11 @@ func TestExplain(t *testing.T) {
 			t.Fatalf("plan missing %q:\n%s", want, plan)
 		}
 	}
-	if strings.Contains(plan, "rows=") {
-		t.Fatalf("plain EXPLAIN should not carry stats:\n%s", plan)
+	if strings.Contains(plan, "(rows=") {
+		t.Fatalf("plain EXPLAIN should not carry runtime stats:\n%s", plan)
+	}
+	if !strings.Contains(plan, "est-rows=") {
+		t.Fatalf("plain EXPLAIN should carry cardinality estimates:\n%s", plan)
 	}
 }
 
@@ -232,10 +235,10 @@ func TestExplainAnalyze(t *testing.T) {
 		if strings.HasPrefix(line, "plan cache:") {
 			continue // cache-status annotation, not an operator line
 		}
-		if !strings.Contains(line, "rows=") || !strings.Contains(line, "time=") {
+		if !strings.Contains(line, "(rows=") || !strings.Contains(line, "time=") {
 			t.Fatalf("analyze line missing stats: %q", line)
 		}
-		if strings.Contains(line, "rows=3") {
+		if strings.Contains(line, "(rows=3") {
 			sawRows = true
 		}
 	}

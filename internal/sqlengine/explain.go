@@ -79,6 +79,8 @@ func (e *Engine) planCacheStatus(queryText string) string {
 		return "miss"
 	case ent.gen != e.planGen.Load() || ent.opts != e.plannerSnapshot():
 		return "stale"
+	case !ent.opts.DisableCostBasedPlanner && ent.statsFP != planStatsFP(ent.plan.root):
+		return "stale"
 	}
 	return "hit"
 }
@@ -95,6 +97,11 @@ func renderPlan(src rowSource, analyze bool) []string {
 			return
 		}
 		line := strings.Repeat("  ", depth) + node.opName()
+		if en, ok := s.(estNode); ok {
+			if n, valid := en.estRows(); valid {
+				line += fmt.Sprintf("  (est-rows=%d)", n)
+			}
+		}
 		if analyze {
 			if st := node.opStat(); st != nil {
 				line += fmt.Sprintf("  (rows=%d batches=%d time=%s)", st.Rows, st.Batches, st.Wall)

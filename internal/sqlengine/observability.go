@@ -15,6 +15,7 @@ package sqlengine
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -80,6 +81,17 @@ var (
 var (
 	mDictProbeBuilds = metrics.NewCounter("imc.dictprobe.builds", "hash-join builds executed in code space")
 	mDictProbeRows   = metrics.NewCounter("imc.dictprobe.rows", "probe-side rows matched through code-space lookup")
+)
+
+// Cost-based planner metrics (docs/OPTIMIZER.md): how often the
+// statistics actually changed a plan, and how often statistics drift
+// invalidated a cached one.
+var (
+	mCostPlans      = metrics.NewCounter("sql.planner.cost.plans", "SELECT plans produced with the cost-based planner enabled")
+	mCostReorders   = metrics.NewCounter("sql.planner.cost.conjunct_reorders", "WHERE clauses whose AND-conjuncts were reordered most-selective-first")
+	mCostBuildLeft  = metrics.NewCounter("sql.planner.cost.join_build_left", "hash joins built on the left (estimated smaller) input")
+	mCostIndexSkips = metrics.NewCounter("sql.planner.cost.index_skips", "index-postings scans demoted to vectorized scans by the selectivity crossover")
+	mCostStatsDrift = metrics.NewCounter("sql.planner.cost.stats_drift", "cached plans invalidated because base-table sizes drifted past a power-of-two bucket")
 )
 
 // slowQueryConfig is the installed slow-query log; nil means disabled.
@@ -154,6 +166,59 @@ func (e *Engine) runShowMetrics() (*Result, error) {
 		add(h.Name+".p50", h.P50)
 		add(h.Name+".p90", h.P90)
 		add(h.Name+".p99", h.P99)
+	}
+	return res, nil
+}
+
+// runShowStats executes SHOW STATS (and the bare STATS shorthand): the
+// SHOW METRICS rows followed by the optimizer statistics the
+// cost-based planner reads — per-table row counts, per-guide document
+// and path counts with the per-path monoid statistics (frequency,
+// non-null count, NDV estimate), and the populated IMC column
+// statistics.
+func (e *Engine) runShowStats() (*Result, error) {
+	res, err := e.runShowMetrics()
+	if err != nil {
+		return nil, err
+	}
+	add := func(name string, v int64) {
+		res.Rows = append(res.Rows, []jsondom.Value{jsondom.String(name), jsondom.NumberFromInt(v)})
+	}
+	names := e.cat.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tab, ok := e.cat.Table(name)
+		if !ok {
+			continue
+		}
+		add("optimizer."+name+".rows", int64(tab.NumRows()))
+		for _, ix := range e.indexesFor(name) {
+			if !ix.DataGuideEnabled() {
+				continue
+			}
+			g := ix.Guide()
+			leaves := g.LeafEntries()
+			add("optimizer."+name+".guide.docs", int64(ix.DocCount()))
+			add("optimizer."+name+".guide.paths", int64(len(leaves)))
+			for _, ent := range leaves {
+				pfx := "optimizer." + name + ".path." + ent.Path
+				add(pfx+".frequency", int64(ent.Frequency))
+				add(pfx+".nonnull", int64(ent.NonNull()))
+				add(pfx+".ndv", ent.NDV())
+			}
+		}
+		if css, ok := e.imcSource(name).(ColumnStatsSource); ok {
+			for _, col := range css.PopulatedColumns() {
+				st, ok := css.ColumnStats(col)
+				if !ok {
+					continue
+				}
+				pfx := "optimizer." + name + ".imc." + col
+				add(pfx+".rows", int64(st.Rows))
+				add(pfx+".nulls", int64(st.Nulls))
+				add(pfx+".ndv", st.NDV)
+			}
+		}
 	}
 	return res, nil
 }

@@ -64,7 +64,8 @@ func TestShowMetricsReflectsWorkload(t *testing.T) {
 		t.Fatalf("latency histogram count did not advance: %d -> %d", lat0, lat1)
 	}
 
-	// STATS is an alias for SHOW METRICS
+	// the bare STATS shorthand (SHOW STATS) is a superset of SHOW
+	// METRICS: the metrics rows come first
 	alias := mustExec(t, e, `stats`)
 	if _, ok := metricValue(t, alias, "sql.query.started"); !ok {
 		t.Fatal("STATS alias returned no sql.query.started row")

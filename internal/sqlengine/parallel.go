@@ -47,6 +47,7 @@ type parRow struct {
 }
 
 type parallelScanOp struct {
+	planEstimate
 	template *tableScan
 	// filter is the residual WHERE absorbed into the workers (may be
 	// nil); each worker evaluates its own clone.

@@ -96,21 +96,24 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseShow()
 	case p.atKw("stats"):
 		p.next()
-		return &ShowMetricsStmt{}, nil
+		return &ShowStatsStmt{}, nil
 	}
 	return nil, p.errf("expected statement keyword")
 }
 
-// parseShow parses SHOW METRICS (STATS is the short alias handled in
-// parseStatement).
+// parseShow parses SHOW METRICS and SHOW STATS (the bare STATS
+// shorthand for the latter is handled in parseStatement).
 func (p *parser) parseShow() (Statement, error) {
 	if err := p.expectKw("show"); err != nil {
 		return nil, err
 	}
-	if !p.acceptKw("metrics") {
-		return nil, p.errf("expected METRICS after SHOW")
+	if p.acceptKw("metrics") {
+		return &ShowMetricsStmt{}, nil
 	}
-	return &ShowMetricsStmt{}, nil
+	if p.acceptKw("stats") {
+		return &ShowStatsStmt{}, nil
+	}
+	return nil, p.errf("expected METRICS or STATS after SHOW")
 }
 
 // parseExplain parses EXPLAIN [ANALYZE] <select>.

@@ -67,7 +67,8 @@ func clonePlanTree(src rowSource, env *planEnv) rowSource {
 
 func (s *tableScan) clonePlan(env *planEnv) rowSource {
 	return &tableScan{
-		tab: s.tab, alias: s.alias, sch: s.sch, needVC: s.needVC,
+		planEstimate: s.planEstimate,
+		tab:          s.tab, alias: s.alias, sch: s.sch, needVC: s.needVC,
 		cols: s.cols, sub: s.sub, vecFilters: s.vecFilters,
 		vecSpecs: s.vecSpecs, rowIDsFn: s.rowIDsFn,
 		batchMode: s.batchMode, batchKernels: s.batchKernels,
@@ -77,15 +78,15 @@ func (s *tableScan) clonePlan(env *planEnv) rowSource {
 }
 
 func (f *filterOp) clonePlan(env *planEnv) rowSource {
-	return &filterOp{in: clonePlanTree(f.in, env), pred: f.pred, env: env, batch: f.batch}
+	return &filterOp{planEstimate: f.planEstimate, in: clonePlanTree(f.in, env), pred: f.pred, env: env, batch: f.batch}
 }
 
 func (p *projectOp) clonePlan(env *planEnv) rowSource {
-	return &projectOp{in: clonePlanTree(p.in, env), exprs: p.exprs, sch: p.sch, env: env, batch: p.batch}
+	return &projectOp{planEstimate: p.planEstimate, in: clonePlanTree(p.in, env), exprs: p.exprs, sch: p.sch, env: env, batch: p.batch}
 }
 
 func (l *limitOp) clonePlan(env *planEnv) rowSource {
-	return &limitOp{in: clonePlanTree(l.in, env), limit: l.limit, batch: l.batch}
+	return &limitOp{planEstimate: l.planEstimate, in: clonePlanTree(l.in, env), limit: l.limit, batch: l.batch}
 }
 
 func (j *jsonTableOp) clonePlan(env *planEnv) rowSource {
@@ -93,20 +94,22 @@ func (j *jsonTableOp) clonePlan(env *planEnv) rowSource {
 	if j.left != nil {
 		left = clonePlanTree(j.left, env)
 	}
-	return &jsonTableOp{left: left, ref: j.ref, sch: j.sch, env: env,
+	return &jsonTableOp{planEstimate: j.planEstimate, left: left, ref: j.ref, sch: j.sch, env: env,
 		preFilters: j.preFilters, preSpecs: j.preSpecs}
 }
 
 func (c *crossJoin) clonePlan(env *planEnv) rowSource {
-	return &crossJoin{left: clonePlanTree(c.left, env),
+	return &crossJoin{planEstimate: c.planEstimate, left: clonePlanTree(c.left, env),
 		right: clonePlanTree(c.right, env), sch: c.sch}
 }
 
 func (h *hashJoin) clonePlan(env *planEnv) rowSource {
 	return &hashJoin{
-		left: clonePlanTree(h.left, env), right: clonePlanTree(h.right, env),
+		planEstimate: h.planEstimate,
+		left:         clonePlanTree(h.left, env), right: clonePlanTree(h.right, env),
 		leftKeys: h.leftKeys, rightKeys: h.rightKeys, residual: h.residual,
 		leftOuter: h.leftOuter, env: env, sch: h.sch, batch: h.batch,
+		buildLeft: h.buildLeft,
 	}
 }
 
@@ -114,24 +117,24 @@ func (h *hashJoin) clonePlan(env *planEnv) rowSource {
 // recorded by newGroupAggOp at plan time; it must not run the
 // constructor again, which would re-append synthetic columns.
 func (g *groupAggOp) clonePlan(env *planEnv) rowSource {
-	return &groupAggOp{in: clonePlanTree(g.in, env), groupBy: g.groupBy,
+	return &groupAggOp{planEstimate: g.planEstimate, in: clonePlanTree(g.in, env), groupBy: g.groupBy,
 		aggs: g.aggs, env: env, implicitGroup: g.implicitGroup, sch: g.sch, batch: g.batch}
 }
 
 func (w *windowOp) clonePlan(env *planEnv) rowSource {
-	return &windowOp{in: clonePlanTree(w.in, env), funcs: w.funcs, env: env, sch: w.sch, batch: w.batch}
+	return &windowOp{planEstimate: w.planEstimate, in: clonePlanTree(w.in, env), funcs: w.funcs, env: env, sch: w.sch, batch: w.batch}
 }
 
 func (s *sortOp) clonePlan(env *planEnv) rowSource {
-	return &sortOp{in: clonePlanTree(s.in, env), items: s.items, env: env, batch: s.batch}
+	return &sortOp{planEstimate: s.planEstimate, in: clonePlanTree(s.in, env), items: s.items, env: env, batch: s.batch}
 }
 
 func (w *aliasWrap) clonePlan(env *planEnv) rowSource {
-	return &aliasWrap{in: clonePlanTree(w.in, env), alias: w.alias, sch: w.sch}
+	return &aliasWrap{planEstimate: w.planEstimate, in: clonePlanTree(w.in, env), alias: w.alias, sch: w.sch}
 }
 
 func (p *parallelScanOp) clonePlan(env *planEnv) rowSource {
 	scan, _ := p.template.clonePlan(env).(*tableScan)
-	return &parallelScanOp{template: scan, filter: p.filter, env: env,
+	return &parallelScanOp{planEstimate: p.planEstimate, template: scan, filter: p.filter, env: env,
 		degree: p.degree, unordered: p.unordered}
 }

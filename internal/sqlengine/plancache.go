@@ -40,6 +40,11 @@ type planEntry struct {
 	// nUser is the user-supplied parameter count the plan was built
 	// for; nSlots is nUser plus the auto-parameterized literal count.
 	nUser, nSlots int
+	// statsFP fingerprints the power-of-two size buckets of the base
+	// tables the plan reads (planStatsFP); a lookup whose recomputed
+	// fingerprint differs re-plans, so cost-based decisions track
+	// statistics drift.
+	statsFP uint64
 }
 
 // bindLits assembles the execution parameter vector: the caller's
@@ -238,6 +243,7 @@ func (e *Engine) buildEntry(key string, sel *SelectStmt, lits []token, nUser int
 		return nil, err
 	}
 	ent.plan = plan
+	ent.statsFP = planStatsFP(plan.root)
 	return ent, nil
 }
 
@@ -257,6 +263,12 @@ func (e *Engine) execCached(ctx context.Context, sql string, params []jsondom.Va
 	opts := e.plannerSnapshot()
 	if ent := e.plans.get(key); ent != nil {
 		if ent.gen != gen || ent.opts != opts {
+			e.plans.remove(key)
+		} else if !opts.DisableCostBasedPlanner && ent.statsFP != planStatsFP(ent.plan.root) {
+			// statistics drift: the plan's cost decisions were made
+			// against table sizes that have since crossed a
+			// power-of-two bucket — re-plan with fresh estimates
+			mCostStatsDrift.Inc()
 			e.plans.remove(key)
 		} else if ent.nUser != len(params) {
 			// parameter-count drift: let the uncached path produce the

@@ -230,19 +230,29 @@ func TestPlanCacheInvalidation(t *testing.T) {
 }
 
 func TestPlanCacheSeesInserts(t *testing.T) {
-	// DML does not invalidate plans: cached plans re-derive row
-	// postings at Open, so new rows must be visible through a cached
-	// plan without a rebuild.
+	// DML does not bump the plan generation: cached plans re-derive
+	// row postings at Open, so new rows must be visible through the
+	// cache. An insert that crosses a power-of-two size bucket makes
+	// the statistics fingerprint drift and forces one re-plan (counted
+	// by sql.planner.cost.stats_drift); the next lookup hits again.
 	e := newPOEngine(t)
 	r := mustExec(t, e, `select count(*) from po`)
 	if r.Rows[0][0].(jsondom.Number) != "3" {
 		t.Fatalf("count = %v", r.Rows)
 	}
-	hits0 := mPlanCacheHits.Value()
+	drift0 := mCostStatsDrift.Value()
 	mustExec(t, e, `insert into po values (4, '{"purchaseOrder":{"id":4}}')`)
 	r = mustExec(t, e, `select count(*) from po`)
 	if r.Rows[0][0].(jsondom.Number) != "4" {
 		t.Fatalf("count after insert = %v (cached plan missed the new row)", r.Rows)
+	}
+	if mCostStatsDrift.Value() == drift0 {
+		t.Fatal("3 -> 4 rows crosses a size bucket; expected a stats-drift re-plan")
+	}
+	hits0 := mPlanCacheHits.Value()
+	r = mustExec(t, e, `select count(*) from po`)
+	if r.Rows[0][0].(jsondom.Number) != "4" {
+		t.Fatalf("recount = %v", r.Rows)
 	}
 	if mPlanCacheHits.Value() == hits0 {
 		t.Fatal("expected the recount to be a cache hit")

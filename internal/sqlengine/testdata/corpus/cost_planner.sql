@@ -1,0 +1,45 @@
+-- Cost-planner corpus: multi-conjunct WHERE clauses and joins whose
+-- plans the cost-based planner may reshape (conjunct reordering,
+-- index-vs-vectorized access-path choice, hash-join build side). Every
+-- query orders by a unique key so results are bit-for-bit comparable
+-- across planner modes.
+
+-- case: multi_conjunct_selective_last
+-- rows: 11
+select did from d where vn >= 100 and vs = 's07' and vg = 'grp2' order by did;
+
+-- case: multi_conjunct_range_eq
+-- rows: 14
+select did from d where vprice < 10 and vcity = 'c05' and vn is not null order by did;
+
+-- case: multi_conjunct_json_raw
+-- rows: 14
+select did from d where json_value(jdoc, '$.addr.zip' returning number) = 10007 and json_value(jdoc, '$.g') = 'grp2' order by did;
+
+-- case: multi_conjunct_in_like
+-- rows: 97
+select did from d where vs in ('s01', 's05', 's09') and vcity like 'c0%' and vn > 50 order by did;
+
+-- case: multi_conjunct_between_ne
+-- rows: 238
+select did from d where vn between 300 and 600 and vs != 's10' and vprice >= 5.25 order by did;
+
+-- case: exists_then_eq_conjuncts
+-- rows: 92
+select did from d where json_exists(jdoc, '$.n') and vg = 'grp3' and vn < 500 order by did;
+
+-- case: join_where_multi_conjunct
+-- rows: 55
+select l.lid, a.did from lk l join d a on l.vk = a.vs where a.vn < 300 and a.vg = 'grp0' and l.vw >= 0 order by l.lid, a.did;
+
+-- case: join_small_right_side
+-- rows: 100
+select a.did, l.lid from d a join lk l on a.vs = l.vk where a.did < 100 order by a.did, l.lid;
+
+-- case: left_join_multi_conjunct_on
+-- rows: 26
+select l.lid, a.did from lk l left join d a on l.vk = a.vs and a.vn < 100 and a.vg = 'grp2' order by l.lid, a.did;
+
+-- case: join_agg_multi_conjunct
+-- rows: 5
+select a.vg, count(*) from d a join lk l on a.vs = l.vk where a.vn >= 0 and l.vw <= 200 group by a.vg order by a.vg;
