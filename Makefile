@@ -18,6 +18,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/imc
+	$(GO) test -race -count=1 -run 'TestParExec|TestParallelScan' ./internal/sqlengine
 
 vet:
 	$(GO) vet ./...
@@ -50,12 +51,14 @@ bench-smoke:
 
 # Benchmark run emitting the test2json machine-readable event stream
 # (one JSON object per line) for dashboards and regression tooling.
-# The Fig3/Fig5/Fig6 query benchmarks — the ones the scan, plan, and
-# batch-spine work moves — are captured to BENCH_PR6.json as the
-# repo's current perf trajectory checkpoint (BENCH_PR4.json is the
-# previous one; compare the two for the batch-execution delta).
+# The Fig3/Fig5/Fig6 query benchmarks — the ones the scan, plan,
+# batch-spine, and parallel-operator work moves — are captured to
+# BENCH_PR8.json as the repo's current perf trajectory checkpoint
+# (BENCH_PR6.json is the previous one; compare the two for the
+# morsel-driven parallelism delta, keeping in mind the parallel arms
+# only beat serial on multi-core hardware).
 bench-json:
-	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR6.json
+	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR8.json
 	$(GO) test -run '^$$' -bench 'Table|Fig[4789]' -benchmem -json .
 
 check: build vet lint test race doccheck bench-smoke

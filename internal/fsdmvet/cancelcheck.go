@@ -18,11 +18,12 @@ import (
 // CancelCheck flags unbounded row loops that never tick the query
 // context. A loop needs a tick when it
 //
-//   - pulls from a child row source (a call to Next/nextBatch passing
-//     an *ExecCtx),
+//   - pulls from a child row source (a call to Next, NextBatch,
+//     nextBatch, or nextSelID passing an *ExecCtx),
 //   - performs per-row store DML (Insert/Update/Delete on a
 //     store.Table-shaped receiver), or
-//   - is a condition-less `for {}` inside a Next/nextBatch method.
+//   - is a condition-less `for {}` inside a Next/NextBatch/nextBatch
+//     method.
 //
 // A tick is a call to tickErr, to any .Err() method (the inline
 // ticks%cancelCheckInterval pattern), or to a local closure named
@@ -42,7 +43,7 @@ func runCancelCheck(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil || !hasCancelParam(pass.TypesInfo, fd) {
 				continue
 			}
-			nextShaped := fd.Name.Name == "Next" || fd.Name.Name == "nextBatch"
+			nextShaped := fd.Name.Name == "Next" || fd.Name.Name == "NextBatch" || fd.Name.Name == "nextBatch"
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				var body *ast.BlockStmt
 				uncond := false
@@ -95,13 +96,19 @@ func hasCancelParam(info *types.Info, fd *ast.FuncDecl) bool {
 	return false
 }
 
-// pullsRowSource reports whether the loop body calls a Next or
-// nextBatch method that receives an *ExecCtx — the row-source pull
-// shape.
+// pullsRowSource reports whether the loop body calls a Next,
+// NextBatch, nextBatch, or nextSelID method that receives an
+// *ExecCtx — the row-source pull shapes, including the selected-row-id
+// pull the morsel-driven operator workers drive directly.
 func pullsRowSource(info *types.Info, body ast.Node) bool {
 	return containsCall(body, func(call *ast.CallExpr) bool {
 		sel := selectorCall(call)
-		if sel == nil || (sel.Sel.Name != "Next" && sel.Sel.Name != "nextBatch") {
+		if sel == nil {
+			return false
+		}
+		switch sel.Sel.Name {
+		case "Next", "NextBatch", "nextBatch", "nextSelID":
+		default:
 			return false
 		}
 		if len(call.Args) == 0 {

@@ -99,6 +99,87 @@ func (t *ticker) Next(ec *ExecCtx) (int, error) {
 	}
 }
 
+// Batch stands in for the engine's row batch.
+type Batch struct{}
+
+// batcher is a batch-producing row source: NextBatch pulls one batch
+// under an ExecCtx, and nextSelID yields selected row ids.
+type batcher struct{ n int }
+
+// NextBatch returns the next batch, or nil when drained.
+func (b *batcher) NextBatch(ec *ExecCtx, max int) (*Batch, error) { return nil, nil }
+
+// nextSelID returns the next selected row id.
+func (b *batcher) nextSelID(ec *ExecCtx) (int, bool, error) { return b.n, false, nil }
+
+// drainBatchesBad pulls batches forever without ever ticking.
+func drainBatchesBad(ec *ExecCtx, src *batcher) {
+	for { // want "pulls a child row source"
+		b, err := src.NextBatch(ec, 64)
+		if b == nil || err != nil {
+			return
+		}
+	}
+}
+
+// drainBatchesGood is the same loop with the tickErr discipline.
+func drainBatchesGood(ec *ExecCtx, src *batcher) {
+	ticks := 0
+	for {
+		if err := ec.tickErr(&ticks); err != nil {
+			return
+		}
+		b, err := src.NextBatch(ec, 64)
+		if b == nil || err != nil {
+			return
+		}
+	}
+}
+
+// drainIDsBad walks the selection vector without observing ctx — the
+// shape of a parallel-operator worker missing its tick.
+func drainIDsBad(ec *ExecCtx, src *batcher) int {
+	total := 0
+	for { // want "pulls a child row source"
+		id, more, err := src.nextSelID(ec)
+		if !more || err != nil {
+			return total
+		}
+		total += id
+	}
+}
+
+// drainIDsGood ticks every iteration of the selected-id pull.
+func drainIDsGood(ec *ExecCtx, src *batcher) int {
+	total := 0
+	ticks := 0
+	for {
+		if err := ec.tickErr(&ticks); err != nil {
+			return total
+		}
+		id, more, err := src.nextSelID(ec)
+		if !more || err != nil {
+			return total
+		}
+		total += id
+	}
+}
+
+// spinner is a batch producer whose NextBatch spins on an internal
+// condition — unbounded by construction, like a pruning producer that
+// can return many empty pulls back to back.
+type spinner struct{ n int }
+
+// NextBatch has a condition-less for{} and never ticks.
+func (s *spinner) NextBatch(ec *ExecCtx, max int) (*Batch, error) {
+	for { // want "unbounded for"
+		if s.n > 0 {
+			return nil, nil
+		}
+		s.n++
+	}
+}
+
 // noCtx cannot see a query context, so cancelcheck leaves it alone.
 func noCtx(src *source) int {
 	var ec *ExecCtx

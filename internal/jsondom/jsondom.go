@@ -259,25 +259,41 @@ func NumberFromInt(i int64) Number { return Number(strconv.FormatInt(i, 10)) }
 // NumberFromFloat returns the canonical Number for a float. It panics
 // on NaN or infinities, which have no JSON representation.
 func NumberFromFloat(f float64) Number {
+	var scratch [32]byte
+	return Number(AppendFloat(scratch[:0], f))
+}
+
+// AppendFloat appends the canonical Number text for f — the exact bytes
+// NumberFromFloat produces — to dst and returns the extended slice. The
+// integral and plain-decimal cases (virtually all grouping keys) append
+// in place, so callers rendering many floats into a reused buffer avoid
+// the per-value string allocation of NumberFromFloat. Panics on NaN or
+// infinities, which have no JSON representation.
+func AppendFloat(dst []byte, f float64) []byte {
 	if math.IsNaN(f) || math.IsInf(f, 0) {
 		panic("jsondom: NaN/Inf has no JSON number representation")
 	}
 	// Integral fast path: for these magnitudes the canonical form is the
-	// plain digit string, and FormatInt avoids the shortest-float search.
+	// plain digit string, and AppendInt avoids the shortest-float search.
 	// Excludes -0, whose canonical float form keeps the sign.
 	if f == math.Trunc(f) && f >= -1e15 && f <= 1e15 && !(f == 0 && math.Signbit(f)) {
-		return Number(strconv.FormatInt(int64(f), 10))
+		return strconv.AppendInt(dst, int64(f), 10)
 	}
-	s := strconv.FormatFloat(f, 'g', -1, 64)
-	// FormatFloat emits exponents like "e+07"; canonicalize them
-	if strings.ContainsRune(s, 'e') {
-		c, err := CanonNumber(s)
-		if err != nil {
-			panic("jsondom: " + err.Error()) // unreachable for FormatFloat output
+	start := len(dst)
+	dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
+	// AppendFloat emits exponents like "e+07"; canonicalize them
+	tail := dst[start:]
+	for _, c := range tail {
+		if c != 'e' {
+			continue
 		}
-		return Number(c)
+		canon, err := CanonNumber(string(tail))
+		if err != nil {
+			panic("jsondom: " + err.Error()) // unreachable for AppendFloat output
+		}
+		return append(dst[:start], canon...)
 	}
-	return Number(s)
+	return dst
 }
 
 // Float64 returns the number as a float64.

@@ -167,6 +167,39 @@ func TestCanonNumberRoundTripValue(t *testing.T) {
 	}
 }
 
+func TestAppendFloatMatchesNumberFromFloat(t *testing.T) {
+	// AppendFloat is the buffer-reuse form of NumberFromFloat; grouping
+	// keys built from either must be byte-identical. The fixed cases pin
+	// the three branches (integral fast path, plain decimal, exponent
+	// canonicalization); quick.Check sweeps the rest.
+	buf := make([]byte, 0, 64)
+	for _, x := range []float64{0, 1, -1, 1.5, -3.14159, 1e15, -1e15, 1e16, 1e-7, 123e30, math.Copysign(0, -1), math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		buf = AppendFloat(buf[:0], x)
+		if string(buf) != string(NumberFromFloat(x)) {
+			t.Errorf("AppendFloat(%v) = %q, want %q", x, buf, NumberFromFloat(x))
+		}
+	}
+	// appending must leave an existing prefix intact
+	if got := AppendFloat([]byte("n"), 2.5); string(got) != "n2.5" {
+		t.Fatalf("AppendFloat with prefix = %q", got)
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return string(AppendFloat(nil, x)) == string(NumberFromFloat(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendFloat(+Inf) should panic")
+		}
+	}()
+	AppendFloat(nil, math.Inf(1))
+}
+
 func TestCanonNumberIdempotent(t *testing.T) {
 	f := func(x float64) bool {
 		if math.IsNaN(x) || math.IsInf(x, 0) {

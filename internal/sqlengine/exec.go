@@ -469,6 +469,10 @@ func (s *tableScan) materialize(rowID int, row store.Row) (out []jsondom.Value, 
 // LIMIT budget — resumes mid-chunk without re-materializing anything.
 func (s *tableScan) nextBatchRow(ec *ExecCtx) ([]jsondom.Value, bool, error) {
 	for {
+		// a selective residual can reject many materialized rows per call
+		if err := ec.tickErr(&s.ticks); err != nil {
+			return nil, false, err
+		}
 		rowID, more, err := s.nextSelID(ec)
 		if err != nil || !more {
 			return nil, false, err
@@ -843,6 +847,11 @@ type jsonTableOp struct {
 	runFilters []*pathengine.Compiled
 	// arena carves the merged left+expanded output rows.
 	arena rowArena
+	// batch enables pooled-batch delivery of the expanded rows (plan
+	// flag, copied by clonePlan); out is the batch currently on loan to
+	// the consumer.
+	batch bool
+	out   *Batch
 }
 
 func newJSONTableOp(left rowSource, ref *JSONTableRef, env *planEnv) *jsonTableOp {
@@ -878,6 +887,8 @@ func (j *jsonTableOp) Open(ec *ExecCtx) error {
 }
 
 func (j *jsonTableOp) Close() error {
+	putBatch(j.out)
+	j.out = nil
 	if j.left != nil {
 		return j.left.Close()
 	}
@@ -891,6 +902,12 @@ func (j *jsonTableOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error
 		t0 := time.Now()
 		defer func() { j.st.observe(time.Since(t0), ok) }()
 	}
+	return j.nextRow(ec)
+}
+
+// nextRow is the stats-free expansion loop shared by Next and the
+// batch producer (NextBatch in exec_batch.go).
+func (j *jsonTableOp) nextRow(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 	for {
 		// document expansion can reject every pending row of many
 		// successive outer rows; stay cancellable across them
@@ -1120,6 +1137,9 @@ type hashJoin struct {
 	fast     *joinFast
 	leftNext rowNextFunc
 	arena    rowArena
+	// keyBuf is the keyOf scratch for the serial build and probe
+	// loops; parallel probe workers carry their own (parexec.go).
+	keyBuf []byte
 
 	// buildLeft is the cost-based planner's build-side choice: when the
 	// LEFT input is estimated smaller, the hash table is built on it and
@@ -1127,6 +1147,22 @@ type hashJoin struct {
 	// right rows in scan order — bit-for-bit the generic build-right
 	// output — so the differential corpus holds (see buildLeftSide).
 	buildLeft bool
+
+	// parExec enables the morsel-driven parallel probe (parexec.go):
+	// the build side is constructed once into a read-only shared table
+	// and probe partitions are joined in place by workers. Plan-time
+	// flags, copied by clonePlan.
+	parExec   bool
+	parDegree int
+	pj        *parProbe
+	// fastTable/fastLCol are the shared code-space build table and the
+	// probe-side key column when the parallel fast probe qualifies.
+	fastTable map[uint64][][]jsondom.Value
+	fastLCol  *ColRef
+	// leftOpen tracks whether h.left was actually opened: a parallel
+	// probe candidate defers it, because opening a parallelScanOp
+	// spawns scan workers the partition fan-out would never drain.
+	leftOpen bool
 
 	// build-left execution state: the materialized left rows in scan
 	// order, and per left row the matching right rows in right-scan
@@ -1156,43 +1192,58 @@ func (h *hashJoin) Open(ec *ExecCtx) error {
 	h.init, h.table, h.leftRow, h.matches, h.mi = false, nil, nil, nil, 0
 	h.fast = nil
 	h.leftNext = nil
+	h.pj, h.fastTable, h.fastLCol = nil, nil, nil
 	h.blLeft, h.blMatches, h.blHadKey, h.blActive, h.blPadded, h.blLi, h.blMi = nil, nil, nil, false, false, 0, 0
 	h.leftCtx = h.env.bindCtx(h.left.Schema(), h.leftKeys...)
 	h.rightCtx = h.env.bindCtx(h.right.Schema(), h.rightKeys...)
 	if h.residual != nil {
 		h.residCtx = h.env.bindCtx(h.sch, h.residual)
 	}
-	if err := h.left.Open(ec); err != nil {
-		return err
+	h.leftOpen = !(h.parExec && !h.buildLeft && findParPipe(h.left, h.parDegree) != nil)
+	if h.leftOpen {
+		if err := h.left.Open(ec); err != nil {
+			return err
+		}
 	}
 	return h.right.Open(ec)
 }
 
 func (h *hashJoin) Close() error {
+	if h.pj != nil {
+		// joins the probe workers before anything else is torn down;
+		// kept (not nilled) so EXPLAIN ANALYZE can read its counters
+		h.pj.close()
+	}
 	h.ec.release(h.memUsed)
 	h.memUsed = 0
-	if err := h.left.Close(); err != nil {
-		return err
+	if h.leftOpen {
+		if err := h.left.Close(); err != nil {
+			return err
+		}
 	}
 	return h.right.Close()
 }
 
 func (h *hashJoin) Schema() Schema { return h.sch }
 
-func (h *hashJoin) keyOf(ctx *evalCtx, row []jsondom.Value, keys []Expr) (string, error) {
+// keyOf renders the canonical join key for row into buf (a scratch
+// buffer the caller reuses across rows; the returned slice is its next
+// incarnation). ok is false when a key expression is NULL — NULL keys
+// never match — and the returned key is then empty.
+func (h *hashJoin) keyOf(ctx *evalCtx, buf []byte, row []jsondom.Value, keys []Expr) (key []byte, ok bool, err error) {
 	ctx.row = row
-	k := ""
+	buf = buf[:0]
 	for _, e := range keys {
 		v, err := evalExpr(ctx, e)
 		if err != nil {
-			return "", err
+			return buf, false, err
 		}
 		if isNull(v) {
-			return "", nil // NULL keys never match
+			return buf, false, nil
 		}
-		k += keyRender(v) + "\x00"
+		buf = keyRenderAppend(buf, v)
 	}
-	return k, nil
+	return buf, true, nil
 }
 
 func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
@@ -1202,7 +1253,22 @@ func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 	}
 	if !h.init {
 		h.init = true
-		if h.batch {
+		if !h.leftOpen {
+			started, err := h.startParProbe(ec)
+			if err != nil {
+				return nil, false, err
+			}
+			if !started {
+				// the fan-out declined at execution time: open the
+				// left input and run the serial paths
+				mParExecFallbacks.Inc()
+				h.leftOpen = true
+				if err := h.left.Open(ec); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+		if h.pj == nil && h.batch {
 			if jf := newJoinFast(h); jf != nil {
 				h.fast = jf
 				if err := jf.build(ec); err != nil {
@@ -1210,7 +1276,7 @@ func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 				}
 			}
 		}
-		if h.fast == nil {
+		if h.pj == nil && h.fast == nil {
 			if h.buildLeft {
 				if err := h.buildLeftSide(ec); err != nil {
 					return nil, false, err
@@ -1219,6 +1285,9 @@ func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 				return nil, false, err
 			}
 		}
+	}
+	if h.pj != nil {
+		return h.pj.next(ec)
 	}
 	if h.fast != nil {
 		return h.fast.next(ec)
@@ -1253,13 +1322,14 @@ func (h *hashJoin) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 			return nil, false, err
 		}
 		h.leftRow = row
-		k, err := h.keyOf(h.leftCtx, row, h.leftKeys)
+		k, kok, err := h.keyOf(h.leftCtx, h.keyBuf, row, h.leftKeys)
+		h.keyBuf = k
 		if err != nil {
 			return nil, false, err
 		}
 		h.matches = nil
-		if k != "" {
-			h.matches = h.table[k]
+		if kok {
+			h.matches = h.table[string(k)]
 		}
 		h.mi = 0
 		if len(h.matches) == 0 && h.leftOuter {
@@ -1290,19 +1360,21 @@ func (h *hashJoin) buildGeneric(ec *ExecCtx) error {
 		if !ok {
 			return nil
 		}
-		k, err := h.keyOf(h.rightCtx, row, h.rightKeys)
+		k, kok, err := h.keyOf(h.rightCtx, h.keyBuf, row, h.rightKeys)
+		h.keyBuf = k
 		if err != nil {
 			return err
 		}
-		if k == "" {
+		if !kok {
 			continue
 		}
-		n := rowBytes(row) + int64(len(k))
+		ks := string(k)
+		n := rowBytes(row) + int64(len(ks))
 		if err := ec.grow(n); err != nil {
 			return err
 		}
 		h.memUsed += n
-		h.table[k] = append(h.table[k], row)
+		h.table[ks] = append(h.table[ks], row)
 	}
 }
 
@@ -1328,7 +1400,8 @@ func (h *hashJoin) buildLeftSide(ec *ExecCtx) error {
 		if !ok {
 			break
 		}
-		k, err := h.keyOf(h.leftCtx, row, h.leftKeys)
+		k, kok, err := h.keyOf(h.leftCtx, h.keyBuf, row, h.leftKeys)
+		h.keyBuf = k
 		if err != nil {
 			return err
 		}
@@ -1339,8 +1412,9 @@ func (h *hashJoin) buildLeftSide(ec *ExecCtx) error {
 		h.memUsed += n
 		li := len(h.blLeft)
 		h.blLeft = append(h.blLeft, row)
-		if k != "" { // NULL keys never match
-			byKey[k] = append(byKey[k], li)
+		if kok { // NULL keys never match
+			ks := string(k)
+			byKey[ks] = append(byKey[ks], li)
 		}
 	}
 	h.blMatches = make([][][]jsondom.Value, len(h.blLeft))
@@ -1356,15 +1430,16 @@ func (h *hashJoin) buildLeftSide(ec *ExecCtx) error {
 		if !ok {
 			return nil
 		}
-		k, err := h.keyOf(h.rightCtx, row, h.rightKeys)
+		k, kok, err := h.keyOf(h.rightCtx, h.keyBuf, row, h.rightKeys)
+		h.keyBuf = k
 		if err != nil {
 			return err
 		}
-		if k == "" {
+		if !kok {
 			continue
 		}
 		charged := false
-		for _, li := range byKey[k] {
+		for _, li := range byKey[string(k)] {
 			h.blHadKey[li] = true
 			if h.residual != nil {
 				pair := make([]jsondom.Value, 0, len(h.blLeft[li])+len(row))
@@ -1444,12 +1519,19 @@ func (h *hashJoin) opChildren() []rowSource { return []rowSource{h.left, h.right
 func (h *hashJoin) opStat() *OpStats        { return h.st }
 
 // opExtraLines reports the code-space probe statistics when the fast
-// path ran.
+// path ran and the parallel probe's per-worker aggregate when the
+// partition fan-out ran (safe after Close: the workers are joined).
 func (h *hashJoin) opExtraLines() []string {
-	if h.fast == nil {
-		return nil
+	var lines []string
+	if h.fast != nil {
+		lines = append(lines, h.fast.stat())
 	}
-	return []string{h.fast.stat()}
+	if h.pj != nil {
+		probed, hits := h.pj.totals()
+		lines = append(lines, fmt.Sprintf("par-probe: mode=%s workers=%d probe-rows=%d hits=%d stalls=%d",
+			h.pj.mode, h.pj.workers, probed, hits, h.pj.stalls))
+	}
+	return lines
 }
 
 // ---------------------------------------------------------------------------
@@ -1481,6 +1563,18 @@ type groupAggOp struct {
 	// path; fastStat is its EXPLAIN ANALYZE line when it ran.
 	batch    bool
 	fastStat string
+
+	// parExec enables the morsel-driven parallel build (parexec.go):
+	// partition workers accumulate private partial-aggregate tables
+	// that a single-pass merge combines. Plan-time flags, copied by
+	// clonePlan; parStat is the EXPLAIN ANALYZE line when it ran.
+	parExec   bool
+	parDegree int
+	parStat   string
+	// inOpen tracks whether g.in was actually opened: a parallel-exec
+	// candidate defers it, because opening a parallelScanOp spawns scan
+	// workers the partition fan-out would then never drain.
+	inOpen bool
 }
 
 func newGroupAggOp(in rowSource, groupBy []Expr, aggs []*FuncCall, implicit bool, env *planEnv) *groupAggOp {
@@ -1497,13 +1591,20 @@ func (g *groupAggOp) Open(ec *ExecCtx) error {
 	g.st = ec.statFor()
 	g.ec = ec
 	g.groups, g.gi, g.opened = nil, 0, false
-	g.fastStat = ""
+	g.fastStat, g.parStat = "", ""
+	g.inOpen = !(g.parExec && findParPipe(g.in, g.parDegree) != nil)
+	if !g.inOpen {
+		return nil
+	}
 	return g.in.Open(ec)
 }
 
 func (g *groupAggOp) Close() error {
 	g.ec.release(g.memUsed)
 	g.memUsed = 0
+	if !g.inOpen {
+		return nil
+	}
 	return g.in.Close()
 }
 func (g *groupAggOp) Schema() Schema { return g.sch }
@@ -1519,6 +1620,22 @@ type aggState interface {
 }
 
 func (g *groupAggOp) build(ec *ExecCtx) error {
+	if !g.inOpen {
+		ok, err := g.buildParallel(ec)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// the fan-out declined at execution time (partition split
+		// degenerated): open the input and run the serial paths
+		mParExecFallbacks.Inc()
+		g.inOpen = true
+		if err := g.in.Open(ec); err != nil {
+			return err
+		}
+	}
 	if g.batch {
 		// code-space aggregation when the plan shape qualifies; falls
 		// through to the generic build (over batches) otherwise
@@ -1535,6 +1652,7 @@ func (g *groupAggOp) build(ec *ExecCtx) error {
 		bindExprs = append(bindExprs, a.Args...)
 	}
 	ctx := g.env.bindCtx(inSch, bindExprs...)
+	var keyBuf []byte // per-row rendered key, allocated only on new groups
 	for {
 		if err := ec.tickErr(&g.ticks); err != nil {
 			return err
@@ -1547,16 +1665,17 @@ func (g *groupAggOp) build(ec *ExecCtx) error {
 			break
 		}
 		ctx.row = row
-		key := ""
+		keyBuf = keyBuf[:0]
 		for _, e := range g.groupBy {
 			v, err := evalExpr(ctx, e)
 			if err != nil {
 				return err
 			}
-			key += keyRender(v) + "\x00"
+			keyBuf = keyRenderAppend(keyBuf, v)
 		}
-		gs, ok := index[key]
+		gs, ok := index[string(keyBuf)] // alloc-free lookup
 		if !ok {
+			key := string(keyBuf)
 			gs = &groupState{repr: row, states: g.newStates()}
 			index[key] = gs
 			order = append(order, key)
@@ -1647,12 +1766,17 @@ func (g *groupAggOp) opChildren() []rowSource { return []rowSource{g.in} }
 func (g *groupAggOp) opStat() *OpStats        { return g.st }
 
 // opExtraLines reports the code-space aggregation statistics when the
-// fast path ran.
+// fast path ran and the parallel-build statistics when the partition
+// fan-out ran.
 func (g *groupAggOp) opExtraLines() []string {
-	if g.fastStat == "" {
-		return nil
+	var lines []string
+	if g.fastStat != "" {
+		lines = append(lines, g.fastStat)
 	}
-	return []string{g.fastStat}
+	if g.parStat != "" {
+		lines = append(lines, g.parStat)
+	}
+	return lines
 }
 
 type countState struct {
@@ -1945,19 +2069,37 @@ type sortOp struct {
 	st       *OpStats
 	// batch enables batch-at-a-time materialization of the input.
 	batch bool
+
+	// parExec enables the morsel-driven parallel sort (parexec.go):
+	// partition workers build sorted runs that Next k-way merges.
+	// Plan-time flags, copied by clonePlan; parStat is the EXPLAIN
+	// ANALYZE line when it ran.
+	parExec   bool
+	parDegree int
+	runs      []parSortRun
+	parStat   string
+	// inOpen tracks whether s.in was actually opened: a parallel-exec
+	// candidate defers it, because opening a parallelScanOp spawns
+	// scan workers the partition fan-out would never drain.
+	inOpen bool
 }
 
 func (s *sortOp) Open(ec *ExecCtx) error {
 	s.st = ec.statFor()
 	s.ec = ec
 	s.rows, s.pos, s.opened, s.inClosed = nil, 0, false, false
+	s.runs, s.parStat = nil, ""
+	s.inOpen = !(s.parExec && findParPipe(s.in, s.parDegree) != nil)
+	if !s.inOpen {
+		return nil
+	}
 	return s.in.Open(ec)
 }
 
 func (s *sortOp) Close() error {
 	s.ec.release(s.memUsed)
 	s.memUsed = 0
-	if s.inClosed {
+	if !s.inOpen || s.inClosed {
 		return nil
 	}
 	s.inClosed = true
@@ -1973,71 +2115,33 @@ func (s *sortOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 	}
 	if !s.opened {
 		s.opened = true
-		next := batchNextFunc(s.in, s.batch)
-		for {
-			if err := ec.tickErr(&s.ticks); err != nil {
-				return nil, false, err
-			}
-			row, ok, err := next(ec)
+		if !s.inOpen {
+			built, err := s.buildParallel(ec)
 			if err != nil {
 				return nil, false, err
 			}
-			if !ok {
-				break
-			}
-			n := rowBytes(row)
-			if err := ec.grow(n); err != nil {
-				return nil, false, err
-			}
-			s.memUsed += n
-			s.rows = append(s.rows, row)
-		}
-		// fully materialized: release the upstream immediately
-		if !s.inClosed {
-			s.inClosed = true
-			if err := s.in.Close(); err != nil {
-				return nil, false, err
-			}
-		}
-		inSch := s.in.Schema()
-		var itemExprs []Expr
-		for _, it := range s.items {
-			itemExprs = append(itemExprs, it.Expr)
-		}
-		ctx := s.env.bindCtx(inSch, itemExprs...)
-		keys := make([][]jsondom.Value, len(s.rows))
-		for i, row := range s.rows {
-			ctx.row = row
-			keys[i] = make([]jsondom.Value, len(s.items))
-			for k, it := range s.items {
-				v, err := evalExpr(ctx, it.Expr)
-				if err != nil {
+			if !built {
+				// the fan-out declined at execution time: open the
+				// input and materialize serially
+				mParExecFallbacks.Inc()
+				s.inOpen = true
+				if err := s.in.Open(ec); err != nil {
 					return nil, false, err
 				}
-				keys[i][k] = v
 			}
 		}
-		idx := make([]int, len(s.rows))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			for k, it := range s.items {
-				c := compareForSort(keys[idx[a]][k], keys[idx[b]][k])
-				if it.Desc {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
+		if s.runs == nil {
+			if err := s.buildSerial(ec); err != nil {
+				return nil, false, err
 			}
-			return false
-		})
-		sorted := make([][]jsondom.Value, len(s.rows))
-		for i, j := range idx {
-			sorted[i] = s.rows[j]
 		}
-		s.rows = sorted
+	}
+	if s.runs != nil {
+		row, more := s.mergeNext()
+		if !more {
+			return nil, false, nil
+		}
+		return row, true, nil
 	}
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
@@ -2047,9 +2151,81 @@ func (s *sortOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 	return row, true, nil
 }
 
+// buildSerial materializes and stable-sorts the whole input in one
+// goroutine — the fallback when the partition fan-out is off or
+// declined.
+func (s *sortOp) buildSerial(ec *ExecCtx) error {
+	next := batchNextFunc(s.in, s.batch)
+	for {
+		if err := ec.tickErr(&s.ticks); err != nil {
+			return err
+		}
+		row, ok, err := next(ec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n := rowBytes(row)
+		if err := ec.grow(n); err != nil {
+			return err
+		}
+		s.memUsed += n
+		s.rows = append(s.rows, row)
+	}
+	// fully materialized: release the upstream immediately
+	if !s.inClosed {
+		s.inClosed = true
+		if err := s.in.Close(); err != nil {
+			return err
+		}
+	}
+	inSch := s.in.Schema()
+	var itemExprs []Expr
+	for _, it := range s.items {
+		itemExprs = append(itemExprs, it.Expr)
+	}
+	ctx := s.env.bindCtx(inSch, itemExprs...)
+	keys := make([][]jsondom.Value, len(s.rows))
+	for i, row := range s.rows {
+		ctx.row = row
+		keys[i] = make([]jsondom.Value, len(s.items))
+		for k, it := range s.items {
+			v, err := evalExpr(ctx, it.Expr)
+			if err != nil {
+				return err
+			}
+			keys[i][k] = v
+		}
+	}
+	idx := make([]int, len(s.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return sortKeyLess(s.items, keys[idx[a]], keys[idx[b]])
+	})
+	sorted := make([][]jsondom.Value, len(s.rows))
+	for i, j := range idx {
+		sorted[i] = s.rows[j]
+	}
+	s.rows = sorted
+	return nil
+}
+
 func (s *sortOp) opName() string          { return fmt.Sprintf("Sort(keys=%d)", len(s.items)) }
 func (s *sortOp) opChildren() []rowSource { return []rowSource{s.in} }
 func (s *sortOp) opStat() *OpStats        { return s.st }
+
+// opExtraLines reports the parallel sort's run statistics when the
+// partition fan-out ran.
+func (s *sortOp) opExtraLines() []string {
+	if s.parStat == "" {
+		return nil
+	}
+	return []string{s.parStat}
+}
 
 // sortedIndexes sorts row indexes by ORDER BY items evaluated against
 // the rows; used by window functions.
@@ -2132,6 +2308,38 @@ func keyRender(v jsondom.Value) string {
 		}
 		return "x"
 	}
+}
+
+// keyRenderAppend appends keyRender's canonical form of v plus the
+// NUL column separator to dst. Key builders render each row's key into
+// a reused scratch buffer and look groups up with an alloc-free
+// map[string(buf)] access, materializing the key string only when a
+// new group or build row is inserted — the dominant per-row allocation
+// of the rendered-key aggregation and join paths otherwise.
+func keyRenderAppend(dst []byte, v jsondom.Value) []byte {
+	if isNull(v) {
+		dst = append(dst, "\x00N"...)
+	} else {
+		switch t := v.(type) {
+		case jsondom.String:
+			dst = append(dst, 's')
+			dst = append(dst, t...)
+		case jsondom.Bool:
+			if t {
+				dst = append(dst, "bt"...)
+			} else {
+				dst = append(dst, "bf"...)
+			}
+		default:
+			if f, ok := numOf(v); ok {
+				dst = append(dst, 'n')
+				dst = jsondom.AppendFloat(dst, f)
+			} else {
+				dst = append(dst, 'x')
+			}
+		}
+	}
+	return append(dst, 0)
 }
 
 // aliasWrap renames the table qualifier of every column, exposing a

@@ -188,9 +188,10 @@ func batchNextFunc(in rowSource, batch bool) rowNextFunc {
 // pipeline breakers that consume batches but emit rows. It never
 // recycles batches — the producer owns them.
 type batchCursor struct {
-	src batchProducer
-	cur *Batch
-	pos int
+	src   batchProducer
+	cur   *Batch
+	pos   int
+	ticks int
 }
 
 func (c *batchCursor) next(ec *ExecCtx) ([]jsondom.Value, bool, error) {
@@ -199,6 +200,11 @@ func (c *batchCursor) next(ec *ExecCtx) ([]jsondom.Value, bool, error) {
 			row := c.cur.Row(c.pos)
 			c.pos++
 			return row, true, nil
+		}
+		// a pruning producer can return many empty pulls back to back;
+		// stay cancellable across them
+		if err := ec.tickErr(&c.ticks); err != nil {
+			return nil, false, err
 		}
 		b, err := c.src.NextBatch(ec, 0)
 		if err != nil {
@@ -500,6 +506,47 @@ func (w *aliasWrap) NextBatch(ec *ExecCtx, max int) (*Batch, error) {
 	return w.bin.NextBatch(ec, max)
 }
 
+// batchReady reports whether JSON_TABLE emits pooled batches this
+// plan. Expansion output batches regardless of whether the left input
+// does — the op re-rows its input anyway.
+func (j *jsonTableOp) batchReady() bool { return j.batch }
+
+// NextBatch collects expanded rows into a pooled batch, cutting the
+// per-row interface dispatch and stats observation between JSON_TABLE
+// and the aggregation above it — the Fig3 spine. The rows are arena-
+// carved (nextRow merges left+expansion through j.arena), so consumers
+// may retain them; only the header is recycled on the next call.
+func (j *jsonTableOp) NextBatch(ec *ExecCtx, max int) (b *Batch, err error) {
+	if j.st != nil {
+		t0 := time.Now()
+		defer func() { j.st.observeBatch(time.Since(t0), b.Len()) }()
+	}
+	putBatch(j.out)
+	j.out = nil
+	lim := batchSize
+	if max > 0 && max < lim {
+		lim = max
+	}
+	out := getBatch()
+	for out.Len() < lim {
+		row, ok, err := j.nextRow(ec)
+		if err != nil {
+			putBatch(out)
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out.add(row)
+	}
+	if out.Len() == 0 {
+		putBatch(out)
+		return nil, nil
+	}
+	j.out = out
+	return out, nil
+}
+
 // ---------------------------------------------------------------------------
 // grouped aggregation: the dictionary-code fast path
 
@@ -626,7 +673,11 @@ func (g *groupAggOp) buildFast(ec *ExecCtx) (ok bool, err error) {
 	var order []*fastGroup
 	var nullGroup *fastGroup
 	var rows int64
+	ticks := 0
 	for {
+		if err := ec.tickErr(&ticks); err != nil {
+			return true, err
+		}
 		id, more, err := scan.nextSelID(ec)
 		if err != nil {
 			return true, err
@@ -787,6 +838,7 @@ type joinFast struct {
 	pi                int
 	leftRow           []jsondom.Value
 	probed, probeHits int64
+	ticks             int
 }
 
 // newJoinFast qualifies the join for code-space probing after both
@@ -837,6 +889,9 @@ func keyAt(vec *imc.Vector, id int) (key uint64, ok bool) {
 func (jf *joinFast) build(ec *ExecCtx) error {
 	jf.table = make(map[uint64][][]jsondom.Value)
 	for {
+		if err := ec.tickErr(&jf.ticks); err != nil {
+			return err
+		}
 		id, more, err := jf.rscan.nextSelID(ec)
 		if err != nil {
 			return err
@@ -870,6 +925,11 @@ func (jf *joinFast) build(ec *ExecCtx) error {
 func (jf *joinFast) next(ec *ExecCtx) ([]jsondom.Value, bool, error) {
 	h := jf.h
 	for {
+		// inner-join probes can skip arbitrarily many key misses
+		// between emitted rows; stay cancellable across them
+		if err := ec.tickErr(&jf.ticks); err != nil {
+			return nil, false, err
+		}
 		if jf.pi < len(jf.pending) {
 			r := jf.pending[jf.pi]
 			jf.pi++

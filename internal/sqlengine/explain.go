@@ -24,6 +24,8 @@ func (e *Engine) runExplain(ctx context.Context, t *ExplainStmt, params []jsondo
 	if t.Analyze {
 		ec.collect = true
 		if err := src.Open(ec); err != nil {
+			// join any workers a partially-opened subtree spawned
+			src.Close() //nolint:errcheck // surfacing the Open error
 			return nil, err
 		}
 		ticks := 0

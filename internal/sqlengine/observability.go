@@ -83,6 +83,20 @@ var (
 	mDictProbeRows   = metrics.NewCounter("imc.dictprobe.rows", "probe-side rows matched through code-space lookup")
 )
 
+// Morsel-driven parallel operator metrics (parexec.go): partition
+// fan-outs of aggregation/probe/sort above the scan, their worker
+// counts, partial-aggregate volumes, probe throughput, merge-side
+// stalls, and execution-time fallbacks to the serial operators.
+var (
+	mParExecOps           = metrics.NewCounter("sql.parexec.ops", "operators (agg/probe/sort) that ran with partition fan-out")
+	mParExecWorkers       = metrics.NewCounter("sql.parexec.workers", "worker goroutines launched by parallel operators")
+	mParExecPartialGroups = metrics.NewCounter("sql.parexec.partial_groups", "groups accumulated in per-worker partial-aggregate tables")
+	mParExecMergedGroups  = metrics.NewCounter("sql.parexec.merged_groups", "groups remaining after the partial-aggregate merge")
+	mParExecProbeRows     = metrics.NewCounter("sql.parexec.probe_rows", "probe-side rows processed by parallel join workers")
+	mParExecMergeStalls   = metrics.NewCounter("sql.parexec.merge_stalls", "parallel-operator merge waits on an empty worker channel")
+	mParExecFallbacks     = metrics.NewCounter("sql.parexec.serial_fallbacks", "parallel-exec candidates that fell back to serial at execution time")
+)
+
 // Cost-based planner metrics (docs/OPTIMIZER.md): how often the
 // statistics actually changed a plan, and how often statistics drift
 // invalidated a cached one.

@@ -113,18 +113,21 @@ func (e *Engine) parallelizeScan(src rowSource, where Expr, env *planEnv) rowSou
 
 func (p *parallelScanOp) Schema() Schema { return p.template.Schema() }
 
-// partitions computes the worker row-id ranges. For a batch-mode
-// template they are aligned to imc.ChunkSize boundaries so no chunk is
-// split between workers — every worker's lo lands on a chunk start and
-// its kernels, zone maps, and selection bitmaps line up with the
-// vector's chunk grid. Otherwise the table's default equal split.
-func (p *parallelScanOp) partitions() [][2]int {
-	if !p.template.batchMode {
-		return p.template.tab.Partitions(p.degree)
+// scanPartitions computes the worker row-id ranges for a scan
+// template. For a batch-mode template they are aligned to
+// imc.ChunkSize boundaries so no chunk is split between workers —
+// every worker's lo lands on a chunk start and its kernels, zone maps,
+// and selection bitmaps line up with the vector's chunk grid.
+// Otherwise the table's default equal split. Shared by the parallel
+// scan and the parallel operator layer (parexec.go), so both fan-outs
+// slice the table identically.
+func scanPartitions(scan *tableScan, degree int) [][2]int {
+	if !scan.batchMode {
+		return scan.tab.Partitions(degree)
 	}
-	n := p.template.tab.MaxRowID()
+	n := scan.tab.MaxRowID()
 	chunks := (n + imc.ChunkSize - 1) / imc.ChunkSize
-	k := p.degree
+	k := degree
 	if k > chunks {
 		k = chunks
 	}
@@ -141,6 +144,9 @@ func (p *parallelScanOp) partitions() [][2]int {
 	}
 	return parts
 }
+
+// partitions computes this operator's worker ranges.
+func (p *parallelScanOp) partitions() [][2]int { return scanPartitions(p.template, p.degree) }
 
 func (p *parallelScanOp) Open(ec *ExecCtx) error {
 	p.st = ec.statFor()
@@ -371,6 +377,9 @@ func (p *parallelScanOp) NextBatch(ec *ExecCtx, max int) (b *Batch, err error) {
 	putBatch(p.held)
 	p.held = nil
 	for {
+		if err := ec.tickErr(&p.ticks); err != nil {
+			return nil, err
+		}
 		r, more := p.recv()
 		if !more {
 			return nil, nil

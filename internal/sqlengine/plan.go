@@ -95,7 +95,7 @@ func (j *jsonTableOp) clonePlan(env *planEnv) rowSource {
 		left = clonePlanTree(j.left, env)
 	}
 	return &jsonTableOp{planEstimate: j.planEstimate, left: left, ref: j.ref, sch: j.sch, env: env,
-		preFilters: j.preFilters, preSpecs: j.preSpecs}
+		preFilters: j.preFilters, preSpecs: j.preSpecs, batch: j.batch}
 }
 
 func (c *crossJoin) clonePlan(env *planEnv) rowSource {
@@ -109,7 +109,7 @@ func (h *hashJoin) clonePlan(env *planEnv) rowSource {
 		left:         clonePlanTree(h.left, env), right: clonePlanTree(h.right, env),
 		leftKeys: h.leftKeys, rightKeys: h.rightKeys, residual: h.residual,
 		leftOuter: h.leftOuter, env: env, sch: h.sch, batch: h.batch,
-		buildLeft: h.buildLeft,
+		buildLeft: h.buildLeft, parExec: h.parExec, parDegree: h.parDegree,
 	}
 }
 
@@ -118,7 +118,8 @@ func (h *hashJoin) clonePlan(env *planEnv) rowSource {
 // constructor again, which would re-append synthetic columns.
 func (g *groupAggOp) clonePlan(env *planEnv) rowSource {
 	return &groupAggOp{planEstimate: g.planEstimate, in: clonePlanTree(g.in, env), groupBy: g.groupBy,
-		aggs: g.aggs, env: env, implicitGroup: g.implicitGroup, sch: g.sch, batch: g.batch}
+		aggs: g.aggs, env: env, implicitGroup: g.implicitGroup, sch: g.sch, batch: g.batch,
+		parExec: g.parExec, parDegree: g.parDegree}
 }
 
 func (w *windowOp) clonePlan(env *planEnv) rowSource {
@@ -126,7 +127,8 @@ func (w *windowOp) clonePlan(env *planEnv) rowSource {
 }
 
 func (s *sortOp) clonePlan(env *planEnv) rowSource {
-	return &sortOp{planEstimate: s.planEstimate, in: clonePlanTree(s.in, env), items: s.items, env: env, batch: s.batch}
+	return &sortOp{planEstimate: s.planEstimate, in: clonePlanTree(s.in, env), items: s.items, env: env,
+		batch: s.batch, parExec: s.parExec, parDegree: s.parDegree}
 }
 
 func (w *aliasWrap) clonePlan(env *planEnv) rowSource {
