@@ -45,20 +45,25 @@ doccheck:
 	$(GO) run ./cmd/doccheck
 
 # One iteration of every benchmark: catches bit-rot in the benchmark
-# harnesses without paying for full measurement runs.
+# harnesses without paying for full measurement runs. The second step
+# is the allocation-regression gate: BenchmarkFig3OLAPOSON allocs/op
+# must stay within 10% of the committed ALLOC_BASELINE.txt figure, so
+# the PR9 expansion-allocation work cannot silently erode.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench 'Fig3OLAPOSON$$' -benchtime 5x -benchmem . | $(GO) run ./cmd/allocguard -baseline ALLOC_BASELINE.txt
 
 # Benchmark run emitting the test2json machine-readable event stream
-# (one JSON object per line) for dashboards and regression tooling.
-# The Fig3/Fig5/Fig6 query benchmarks — the ones the scan, plan,
-# batch-spine, and parallel-operator work moves — are captured to
-# BENCH_PR8.json as the repo's current perf trajectory checkpoint
-# (BENCH_PR6.json is the previous one; compare the two for the
-# morsel-driven parallelism delta, keeping in mind the parallel arms
-# only beat serial on multi-core hardware).
+# (one JSON object per line, ns/op and -benchmem allocs/op both
+# captured) for dashboards and regression tooling. The Fig3/Fig5/Fig6
+# query benchmarks — the ones the scan, plan, batch-spine,
+# parallel-operator, and expansion work moves — are captured to
+# BENCH_PR9.json as the repo's current perf trajectory checkpoint
+# (BENCH_PR8.json is the previous one; compare the two for the
+# JSON_TABLE expansion-vectorization delta: Fig3 OSON ~302k → ~34k
+# allocs/op).
 bench-json:
-	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR8.json
+	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR9.json
 	$(GO) test -run '^$$' -bench 'Table|Fig[4789]' -benchmem -json .
 
 check: build vet lint test race doccheck bench-smoke

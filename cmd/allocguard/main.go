@@ -1,0 +1,129 @@
+// Command allocguard is the allocation-regression gate wired into
+// `make bench-smoke`: it reads `go test -bench -benchmem` output on
+// stdin, extracts allocs/op for each benchmark named in the committed
+// baseline file, and exits 1 when any exceeds its baseline by more
+// than the tolerance (10%). PR 9 cut JSON_TABLE expansion from ~302k
+// to ~34k allocs/op; the guard keeps later PRs from silently giving
+// that back.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Fig3OLAPOSON -benchmem . | allocguard -baseline ALLOC_BASELINE.txt
+//
+// The baseline file holds one entry per line — `BenchmarkName allocs`
+// — with #-comments and blank lines ignored. Every listed benchmark
+// must appear in the input; a missing one fails the gate (a renamed
+// or deleted benchmark should be renamed in the baseline too, not
+// silently dropped). Improvements beyond the baseline print a hint to
+// ratchet the committed number down.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// tolerance is how far above baseline allocs/op may drift before the
+// gate fails: benchmarks allocate near-deterministically, so 10%
+// absorbs pool warmup variance while catching any real regression.
+const tolerance = 1.10
+
+// benchLine matches one -benchmem result line, capturing the
+// benchmark name (with any -N GOMAXPROCS suffix stripped) and its
+// allocs/op figure.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+.*?(\d+)\s+allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "ALLOC_BASELINE.txt", "committed allocs/op baseline file")
+	flag.Parse()
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocguard:", err)
+		os.Exit(2)
+	}
+
+	got := map[string]int64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through for the log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		got[m[1]] = n
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "allocguard:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for name, base := range baseline {
+		allocs, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "allocguard: %s not found in bench output (update %s if it was renamed)\n", name, *baselinePath)
+			failed = true
+			continue
+		}
+		limit := int64(float64(base) * tolerance)
+		switch {
+		case allocs > limit:
+			fmt.Fprintf(os.Stderr, "allocguard: %s regressed: %d allocs/op > %d (baseline %d +10%%)\n", name, allocs, limit, base)
+			failed = true
+		case float64(allocs) < float64(base)/tolerance:
+			fmt.Printf("allocguard: %s improved to %d allocs/op (baseline %d) — consider ratcheting the baseline down\n", name, allocs, base)
+		default:
+			fmt.Printf("allocguard: %s ok: %d allocs/op (baseline %d, limit %d)\n", name, allocs, base, limit)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readBaseline parses the committed baseline file: `name allocs` per
+// line, #-comments and blanks skipped.
+func readBaseline(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]int64{}
+	sc := bufio.NewScanner(f)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want `BenchmarkName allocs`, got %q", path, ln, line)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad allocs count %q", path, ln, fields[1])
+		}
+		out[fields[0]] = n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no baseline entries", path)
+	}
+	return out, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// timing-ratio shape tests relax their thresholds under its
+// instrumentation overhead.
+const raceEnabled = true

@@ -120,32 +120,27 @@ func EncodeFloat(f float64) ([]byte, error) {
 	return Encode(strconv.FormatFloat(f, 'g', -1, 64))
 }
 
-// Decode converts an encoding back to a canonical decimal string.
-// Decoding sits on the OSON scalar hot path, so every intermediate
-// (mantissa digits, decimal expansion) lives in stack buffers: the only
-// heap allocation is the returned string itself.
-func Decode(b []byte) (string, error) {
+// decodeParts validates an encoding and extracts sign, base-100
+// mantissa (written into mant, which must hold maxMantissa bytes) and
+// base-100 exponent. zero=true reports the canonical zero encoding.
+func decodeParts(b []byte, mant *[maxMantissa]byte) (neg, zero bool, e100, nm int, err error) {
 	if len(b) == 0 {
-		return "", ErrCorrupt
+		return false, false, 0, 0, ErrCorrupt
 	}
 	if b[0] == zeroByte {
 		if len(b) != 1 {
-			return "", ErrCorrupt
+			return false, false, 0, 0, ErrCorrupt
 		}
-		return "0", nil
+		return false, true, 0, 0, nil
 	}
-	var neg bool
-	var e100 int
-	var mant [maxMantissa]byte
-	var nm int
 	if b[0] > zeroByte { // positive
 		e100 = int(b[0]) - 0xC1
 		if len(b)-1 > maxMantissa {
-			return "", ErrCorrupt
+			return false, false, 0, 0, ErrCorrupt
 		}
 		for _, d := range b[1:] {
 			if d < 1 || d > 100 {
-				return "", ErrCorrupt
+				return false, false, 0, 0, ErrCorrupt
 			}
 			mant[nm] = d - 1
 			nm++
@@ -155,28 +150,44 @@ func Decode(b []byte) (string, error) {
 		e100 = 0x3E - int(b[0])
 		body := b[1:]
 		if len(body) == 0 || body[len(body)-1] != negTerm {
-			return "", ErrCorrupt
+			return false, false, 0, 0, ErrCorrupt
 		}
 		body = body[:len(body)-1]
 		if len(body) == 0 || len(body) > maxMantissa {
-			return "", ErrCorrupt
+			return false, false, 0, 0, ErrCorrupt
 		}
 		for _, d := range body {
 			v := 101 - int(d)
 			if v < 0 || v > 99 {
-				return "", ErrCorrupt
+				return false, false, 0, 0, ErrCorrupt
 			}
 			mant[nm] = byte(v)
 			nm++
 		}
 	}
 	if nm == 0 {
-		return "", ErrCorrupt
+		return false, false, 0, 0, ErrCorrupt
 	}
 	// Normalization invariant from the encoder: the first and last
 	// base-100 digits are nonzero.
 	if mant[0] == 0 || mant[nm-1] == 0 {
-		return "", ErrCorrupt
+		return false, false, 0, 0, ErrCorrupt
+	}
+	return neg, false, e100, nm, nil
+}
+
+// Decode converts an encoding back to a canonical decimal string.
+// Decoding sits on the OSON scalar hot path, so every intermediate
+// (mantissa digits, decimal expansion) lives in stack buffers: the only
+// heap allocation is the returned string itself.
+func Decode(b []byte) (string, error) {
+	var mant [maxMantissa]byte
+	neg, zero, e100, nm, err := decodeParts(b, &mant)
+	if err != nil {
+		return "", err
+	}
+	if zero {
+		return "0", nil
 	}
 	// value = 0.M1M2... * 100^(e100+1) in base 100
 	var digits [2 * maxMantissa]byte
@@ -188,11 +199,78 @@ func Decode(b []byte) (string, error) {
 	return assemble(neg, digits[:2*nm], p), nil
 }
 
+// AppendDecode appends the canonical decimal rendering of an encoding
+// to dst, the append-into-buffer variant of Decode: callers that own
+// the destination (batch emitters, key renderers) decode without the
+// per-value string allocation.
+func AppendDecode(dst []byte, b []byte) ([]byte, error) {
+	var mant [maxMantissa]byte
+	neg, zero, e100, nm, err := decodeParts(b, &mant)
+	if err != nil {
+		return dst, err
+	}
+	if zero {
+		return append(dst, '0'), nil
+	}
+	var digits [2 * maxMantissa]byte
+	for i := 0; i < nm; i++ {
+		digits[2*i] = '0' + mant[i]/10
+		digits[2*i+1] = '0' + mant[i]%10
+	}
+	return assembleAppend(dst, neg, digits[:2*nm], 2*(e100+1)), nil
+}
+
+// Valid reports whether b is a well-formed encoding, without
+// allocating. Producers handing out raw payloads (oson ScalarRaw)
+// validate up front so downstream decoding cannot fail.
+func Valid(b []byte) bool {
+	var mant [maxMantissa]byte
+	_, _, _, _, err := decodeParts(b, &mant)
+	return err == nil
+}
+
+// Int64 decodes integral encodings whose value fits int64 without
+// allocating; ok=false means the value is non-integral, out of range,
+// or the encoding is corrupt (callers fall back to Decode).
+func Int64(b []byte) (v int64, ok bool) {
+	var mant [maxMantissa]byte
+	neg, zero, e100, nm, err := decodeParts(b, &mant)
+	if err != nil {
+		return 0, false
+	}
+	if zero {
+		return 0, true
+	}
+	// value = 0.M1M2...Mnm * 100^(e100+1): integral iff every mantissa
+	// digit sits left of the decimal point.
+	intDigits := e100 + 1
+	if intDigits < nm || intDigits > 9 { // 100^9 > 1<<62: guard overflow
+		return 0, false
+	}
+	for i := 0; i < nm; i++ {
+		v = v*100 + int64(mant[i])
+	}
+	for i := nm; i < intDigits; i++ {
+		v *= 100
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
 // assemble renders sign/digits/point-position as a canonical decimal
 // string (plain form preferred, scientific beyond sensible widths),
 // composing into one stack buffer so the string conversion is the
 // single allocation.
 func assemble(neg bool, digits []byte, p int) string {
+	// worst case: sign + "0." + 5 zeros + 40 digits + "e-123"
+	var buf [56]byte
+	return string(assembleAppend(buf[:0], neg, digits, p))
+}
+
+// assembleAppend is assemble writing into a caller-owned buffer.
+func assembleAppend(dst []byte, neg bool, digits []byte, p int) []byte {
 	for len(digits) > 0 && digits[len(digits)-1] == '0' {
 		digits = digits[:len(digits)-1]
 	}
@@ -203,11 +281,9 @@ func assemble(neg bool, digits []byte, p int) string {
 	digits = digits[lead:]
 	p -= lead
 	if len(digits) == 0 {
-		return "0"
+		return append(dst, '0')
 	}
-	// worst case: sign + "0." + 5 zeros + 40 digits + "e-123"
-	var buf [56]byte
-	out := buf[:0]
+	out := dst
 	if neg {
 		out = append(out, '-')
 	}
@@ -236,19 +312,35 @@ func assemble(neg bool, digits []byte, p int) string {
 		out = append(out, 'e')
 		out = strconv.AppendInt(out, int64(p-1), 10)
 	}
-	return string(out)
+	return out
 }
 
 // Compare orders two encodings numerically without decoding.
 func Compare(a, b []byte) int { return bytes.Compare(a, b) }
 
-// Float64 decodes the encoding to a float64 (possibly lossy).
+// Float64 decodes the encoding to a float64 (possibly lossy). Integral
+// values in int64 range convert directly; the general path renders into
+// a stack buffer before parsing, so no heap allocation either way.
 func Float64(b []byte) (float64, error) {
-	s, err := Decode(b)
+	if v, ok := Int64(b); ok {
+		return float64(v), nil
+	}
+	var mant [maxMantissa]byte
+	neg, zero, e100, nm, err := decodeParts(b, &mant)
 	if err != nil {
 		return 0, err
 	}
-	return strconv.ParseFloat(s, 64)
+	if zero {
+		return 0, nil
+	}
+	var digits [2 * maxMantissa]byte
+	for i := 0; i < nm; i++ {
+		digits[2*i] = '0' + mant[i]/10
+		digits[2*i+1] = '0' + mant[i]%10
+	}
+	var buf [56]byte
+	out := assembleAppend(buf[:0], neg, digits[:2*nm], 2*(e100+1))
+	return strconv.ParseFloat(string(out), 64)
 }
 
 // parseDecimal splits a decimal literal into sign, significant digit

@@ -1,0 +1,84 @@
+package decnum
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestInt64Parity checks Int64 against Decode over integral and
+// non-integral inputs.
+func TestInt64Parity(t *testing.T) {
+	cases := []string{"0", "1", "-1", "99", "100", "101", "-100", "123456789",
+		"-987654321012345", "1e8", "25", "1000000", "-42", "7",
+		"3.14", "-0.5", "0.001", "1.5e10", "922337203685477580", "2.5"}
+	for _, s := range cases {
+		b, err := Encode(s)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", s, err)
+		}
+		dec, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", s, err)
+		}
+		v, ok := Int64(b)
+		want, perr := strconv.ParseInt(dec, 10, 64)
+		if perr == nil {
+			if !ok || v != want {
+				t.Errorf("Int64(%q) = %d,%v want %d,true", s, v, ok, want)
+			}
+			if got := strconv.FormatInt(v, 10); got != dec {
+				t.Errorf("Int64(%q) renders %q, Decode %q", s, got, dec)
+			}
+		} else if ok {
+			t.Errorf("Int64(%q) = %d,true but Decode=%q not integral", s, v, dec)
+		}
+	}
+}
+
+// TestAppendDecodeParity checks AppendDecode against Decode.
+func TestAppendDecodeParity(t *testing.T) {
+	cases := []string{"0", "1", "-1", "3.14", "-0.000123", "1e30", "-2.5e-9",
+		"99999999999999999999", "123.456"}
+	for _, s := range cases {
+		b, err := Encode(s)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", s, err)
+		}
+		dec, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", s, err)
+		}
+		out, err := AppendDecode([]byte("x:"), b)
+		if err != nil {
+			t.Fatalf("AppendDecode(%q): %v", s, err)
+		}
+		if string(out) != "x:"+dec {
+			t.Errorf("AppendDecode(%q) = %q want %q", s, out, "x:"+dec)
+		}
+	}
+	if _, err := AppendDecode(nil, []byte{0x00}); err == nil {
+		t.Error("AppendDecode(corrupt) = nil error")
+	}
+	if _, ok := Int64([]byte{0x00}); ok {
+		t.Error("Int64(corrupt) ok")
+	}
+}
+
+// TestFloat64Allocs pins the alloc-free Float64/Int64 paths.
+func TestFloat64Allocs(t *testing.T) {
+	ib := EncodeInt(123456)
+	fb, _ := Encode("3.25")
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := Float64(ib); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := Int64(ib); !ok {
+			t.Fatal("not integral")
+		}
+	}); n > 0 {
+		t.Errorf("integral Float64/Int64 allocs = %v, want 0", n)
+	}
+	if v, err := Float64(fb); err != nil || v != 3.25 {
+		t.Errorf("Float64(3.25) = %v, %v", v, err)
+	}
+}

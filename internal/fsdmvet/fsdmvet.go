@@ -13,6 +13,10 @@
 //     deferred unlock, or carries an explicit suppression.
 //   - errwrapcheck: error values are wrapped with %w (never flattened
 //     through %v/%s), and sqlengine builds sentinels at package level.
+//   - poolcheck: pooled expansion scratch (ExpandStates, EvalState
+//     node slices, batch headers) is never used after its release
+//     call, and released struct fields are cleared at the release
+//     site.
 //
 // The suite runs through cmd/fsdmvet (wired into `make lint`); a
 // finding is suppressed by annotating the line with
@@ -33,6 +37,7 @@ var Analyzers = []*analysis.Analyzer{
 	MetricCheck,
 	LockCheck,
 	ErrWrapCheck,
+	PoolCheck,
 }
 
 // baseTypeName unwraps pointers and returns the named type's name and

@@ -1,0 +1,194 @@
+// poolcheck: release discipline for the expansion scratch pools.
+// PR 9 introduced pooled per-operator evaluation state — ExpandStates
+// checked out of a TableDef pool (AcquireState/ReleaseState), node
+// slices checked out of an EvalState arena (Eval/PutNodes), and batch
+// headers recycled through putBatch. A value used after its release
+// call may already be serving another checkout, which corrupts silently
+// (the freelist hands the same backing array to two owners). The
+// analyzer turns the prose ownership rules in sqljson/expand.go into
+// two statement-order checks:
+//
+//  1. use-after-release: within a statement block, once a value is
+//     passed to a release call (ReleaseState, PutNodes, putBatch), no
+//     later statement in that block may mention it — until a statement
+//     reassigns it, which re-establishes ownership of a fresh value.
+//  2. release-then-clear: when the released value lives in a struct
+//     field (x.f), the statement immediately following the release
+//     must overwrite that field (typically `x.f = nil`), so a stale
+//     handle can never outlive the release site. Locals are exempt —
+//     rule 1 already covers every later use, and locals die with the
+//     function.
+//
+// The check is per-block by design: a pooled value smuggled through a
+// helper or goroutine is out of reach for AST analysis, which is why
+// the ownership rules also stay documented in prose.
+
+package fsdmvet
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// poolReleasers names the release entry points of the scratch pools;
+// argument 0 is the value whose ownership the call consumes.
+var poolReleasers = map[string]bool{
+	"ReleaseState": true, // sqljson.TableDef pool
+	"PutNodes":     true, // pathengine.EvalState arena
+	"putBatch":     true, // sqlengine batch header pool
+}
+
+// PoolCheck flags pooled scratch values used past their release call
+// and released struct fields left pointing at the returned value.
+var PoolCheck = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc:  "pooled expansion scratch must not be used after ReleaseState/PutNodes/putBatch, and released fields must be cleared",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				checkPoolBlock(pass, b.List)
+			}
+			if c, ok := n.(*ast.CaseClause); ok {
+				checkPoolBlock(pass, c.Body)
+			}
+			if c, ok := n.(*ast.CommClause); ok {
+				checkPoolBlock(pass, c.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPoolBlock applies both rules to one statement sequence.
+func checkPoolBlock(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		call := releaseCallIn(s)
+		if call == nil || len(call.Args) == 0 {
+			continue
+		}
+		released := refString(call.Args[0])
+		if released == "" || released == "nil" {
+			continue
+		}
+		// rule 2: a released field must be cleared by the very next
+		// statement (before any early return can leak the stale handle)
+		if isFieldRef(call.Args[0]) {
+			if i+1 >= len(stmts) || !assignsTo(stmts[i+1], released) {
+				pass.Reportf(call.Pos(), "pooled value %s is not cleared after release: the next statement must reassign it (e.g. %s = nil)", released, released)
+			}
+		}
+		// rule 1: no later statement in this block may use the value
+		for _, later := range stmts[i+1:] {
+			if assignsTo(later, released) {
+				break // fresh value, ownership re-established
+			}
+			if use := firstUse(later, released); use != nil {
+				pass.Reportf(use.Pos(), "pooled value %s used after release: the pool may already have handed it to another owner", released)
+				break
+			}
+		}
+	}
+}
+
+// releaseCallIn returns the release call when s is a bare call (or a
+// deferred one) to a pool releaser, else nil.
+func releaseCallIn(s ast.Stmt) *ast.CallExpr {
+	var call *ast.CallExpr
+	switch t := s.(type) {
+	case *ast.ExprStmt:
+		call, _ = unparen(t.X).(*ast.CallExpr)
+	case *ast.DeferStmt:
+		// deferred releases run at function exit; statement-order rules
+		// do not apply
+		return nil
+	}
+	if call == nil {
+		return nil
+	}
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if poolReleasers[fn.Sel.Name] {
+			return call
+		}
+	case *ast.Ident:
+		if poolReleasers[fn.Name] {
+			return call
+		}
+	}
+	return nil
+}
+
+// refString renders an identifier or selector chain (j.exp, out) to a
+// comparable key; "" for anything more complex (calls, index exprs),
+// which the analyzer conservatively skips.
+func refString(e ast.Expr) string {
+	switch t := unparen(e).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		base := refString(t.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + t.Sel.Name
+	}
+	return ""
+}
+
+// isFieldRef reports whether e is a selector chain (a struct field or
+// package-level reference) rather than a plain local.
+func isFieldRef(e ast.Expr) bool {
+	_, ok := unparen(e).(*ast.SelectorExpr)
+	return ok
+}
+
+// assignsTo reports whether s assigns directly to the named reference
+// (plain `=` or short `:=`, any position on the left-hand side).
+func assignsTo(s ast.Stmt, ref string) bool {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if refString(lhs) == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// firstUse returns the first mention of ref inside s, skipping
+// left-hand sides of assignments (an overwrite is not a use) — but not
+// descending past a reassignment is the caller's job via assignsTo.
+func firstUse(s ast.Stmt, ref string) ast.Expr {
+	var found ast.Expr
+	skip := map[ast.Expr]bool{}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if refString(lhs) == ref {
+					skip[lhs] = true
+				}
+			}
+		}
+		e, ok := n.(ast.Expr)
+		if !ok || skip[e] {
+			return true
+		}
+		if refString(e) == ref {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package fsdmvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/pool", fsdmvet.PoolCheck, "pool")
+}

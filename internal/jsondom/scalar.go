@@ -1,0 +1,240 @@
+// Scalar is the unboxed scalar representation used on
+// allocation-sensitive paths: path evaluation over OSON trees and
+// JSON_TABLE batch emission hand scalars around as Scalar values so the
+// per-value interface box (and, for OSON numbers, the decimal-text
+// string) is only materialized when a row actually retains the value.
+
+package jsondom
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/decnum"
+)
+
+// Scalar is an unboxed JSON scalar. Exactly one payload field is
+// meaningful, selected by K:
+//
+//	KindNull      — no payload
+//	KindBool      — B
+//	KindDouble    — F
+//	KindTimestamp — T
+//	KindString    — Str
+//	KindNumber    — Bytes (order-preserving decnum encoding) when
+//	                non-nil, else Str (canonical decimal text)
+//	KindBinary    — Bytes (raw)
+//
+// Str and Bytes may alias caller-owned storage (an OSON document's
+// value segment, a scratch buffer); Box copies what must outlive the
+// source. Container kinds never appear in a Scalar.
+type Scalar struct {
+	// K selects the payload field.
+	K Kind
+	// B is the KindBool payload.
+	B bool
+	// F is the KindDouble payload.
+	F float64
+	// T is the KindTimestamp payload (milliseconds since epoch, UTC).
+	T int64
+	// Str is the KindString payload, or the canonical decimal text of a
+	// KindNumber when Bytes is nil.
+	Str string
+	// Bytes is the decnum encoding of a KindNumber, or the raw
+	// KindBinary payload.
+	Bytes []byte
+}
+
+// Interned boxed values: converting small scalars to the Value
+// interface normally heap-allocates the box; these shared boxes make
+// the common cases (null, booleans, small non-negative integers —
+// quantities, item numbers, codes) allocation-free.
+const smallIntMax = 4096
+
+var (
+	boxedNull  Value = Null{}
+	boxedTrue  Value = Bool(true)
+	boxedFalse Value = Bool(false)
+	smallInts  [smallIntMax]Value
+)
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = Number(strconv.Itoa(i))
+	}
+}
+
+// BoxedNull returns the shared boxed null value.
+func BoxedNull() Value { return boxedNull }
+
+// BoxedBool returns a shared boxed boolean.
+func BoxedBool(b bool) Value {
+	if b {
+		return boxedTrue
+	}
+	return boxedFalse
+}
+
+// BoxedInt returns a pre-boxed Number for small non-negative integers,
+// ok=false otherwise.
+func BoxedInt(i int64) (Value, bool) {
+	if i >= 0 && i < smallIntMax {
+		return smallInts[i], true
+	}
+	return nil, false
+}
+
+// smallIntIndex reports whether canonical number text denotes a small
+// non-negative integer with an interned box.
+func smallIntIndex(s string) (int, bool) {
+	if len(s) == 0 || len(s) > 4 || (len(s) > 1 && s[0] == '0') {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, n < smallIntMax
+}
+
+// Box converts the unboxed scalar to a Value, copying aliased payloads
+// so the result is self-contained. Null, booleans, and small integers
+// return shared boxes.
+func (s Scalar) Box() Value {
+	switch s.K {
+	case KindNull:
+		return boxedNull
+	case KindBool:
+		return BoxedBool(s.B)
+	case KindDouble:
+		return Double(s.F)
+	case KindTimestamp:
+		return Timestamp(s.T)
+	case KindString:
+		return String(s.Str)
+	case KindNumber:
+		if s.Bytes != nil {
+			if v, ok := decnum.Int64(s.Bytes); ok && v >= 0 && v < smallIntMax {
+				return smallInts[v]
+			}
+			str, err := decnum.Decode(s.Bytes)
+			if err != nil {
+				// Unreachable for payloads validated by the producing
+				// tree; keep null rather than inventing a number.
+				return boxedNull
+			}
+			return Number(str)
+		}
+		if i, ok := smallIntIndex(s.Str); ok {
+			return smallInts[i]
+		}
+		return Number(s.Str)
+	case KindBinary:
+		return Binary(append([]byte(nil), s.Bytes...))
+	}
+	return boxedNull
+}
+
+// Float returns the numeric payload as a float64, mirroring the
+// (possibly lossy) conversion boxed CompareScalar uses; NaN for
+// non-numeric kinds.
+func (s Scalar) Float() float64 {
+	switch s.K {
+	case KindNumber:
+		if s.Bytes != nil {
+			f, err := decnum.Float64(s.Bytes)
+			if err != nil {
+				return math.NaN()
+			}
+			return f
+		}
+		f, _ := strconv.ParseFloat(s.Str, 64)
+		return f
+	case KindDouble:
+		return s.F
+	}
+	return math.NaN()
+}
+
+// NumberText appends the canonical decimal text of a KindNumber scalar
+// to dst. For other kinds dst is returned unchanged with ok=false.
+func (s Scalar) NumberText(dst []byte) (out []byte, ok bool) {
+	if s.K != KindNumber {
+		return dst, false
+	}
+	if s.Bytes == nil {
+		return append(dst, s.Str...), true
+	}
+	out, err := decnum.AppendDecode(dst, s.Bytes)
+	if err != nil {
+		return dst, false
+	}
+	return out, true
+}
+
+// ScalarOf unboxes a Value; ok=false for containers.
+func ScalarOf(v Value) (Scalar, bool) {
+	switch t := v.(type) {
+	case Null:
+		return Scalar{K: KindNull}, true
+	case Bool:
+		return Scalar{K: KindBool, B: bool(t)}, true
+	case Number:
+		return Scalar{K: KindNumber, Str: string(t)}, true
+	case Double:
+		return Scalar{K: KindDouble, F: float64(t)}, true
+	case String:
+		return Scalar{K: KindString, Str: string(t)}, true
+	case Timestamp:
+		return Scalar{K: KindTimestamp, T: int64(t)}, true
+	case Binary:
+		return Scalar{K: KindBinary, Bytes: t}, true
+	}
+	return Scalar{}, false
+}
+
+// CompareScalars orders two unboxed scalars with exactly the semantics
+// of CompareScalar on their boxed forms: numbers (Number and Double
+// interchangeably) compare as float64, strings lexically, booleans
+// false<true, timestamps by instant, nulls equal; ok=false for
+// cross-type pairs.
+func CompareScalars(a, b Scalar) (cmp int, ok bool) {
+	numeric := func(k Kind) bool { return k == KindNumber || k == KindDouble }
+	switch {
+	case numeric(a.K) && numeric(b.K):
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	case a.K == KindString && b.K == KindString:
+		return strings.Compare(a.Str, b.Str), true
+	case a.K == KindBool && b.K == KindBool:
+		switch {
+		case !a.B && b.B:
+			return -1, true
+		case a.B && !b.B:
+			return 1, true
+		}
+		return 0, true
+	case a.K == KindTimestamp && b.K == KindTimestamp:
+		switch {
+		case a.T < b.T:
+			return -1, true
+		case a.T > b.T:
+			return 1, true
+		}
+		return 0, true
+	case a.K == KindNull && b.K == KindNull:
+		return 0, true
+	}
+	return 0, false
+}

@@ -580,6 +580,11 @@ type Doc struct {
 	// shared is the external dictionary for set-encoded documents
 	// (nil for self-contained documents).
 	shared *SharedDict
+	// gen distinguishes successive ParseInto reuses of one Doc struct:
+	// FieldRef look-back records are keyed by (pointer, gen), so a
+	// pooled Doc repointed at a different document cannot serve stale
+	// field-id resolutions.
+	gen uint64
 }
 
 // Parse validates the OSON framing and returns a Doc for navigation.
@@ -607,7 +612,7 @@ func ParseInto(d *Doc, buf []byte) error {
 	if buf[4]&flagSharedDict != 0 {
 		return fmt.Errorf("%w: set-encoded document requires ParseShared", ErrCorrupt)
 	}
-	*d = Doc{}
+	*d = Doc{gen: d.gen + 1}
 	return parseCommonInto(d, buf)
 }
 
@@ -990,6 +995,13 @@ func (d *Doc) Scalar(a NodeAddr) (jsondom.Value, error) {
 	case stTrue:
 		return jsondom.Bool(true), nil
 	case stNumber:
+		// Small non-negative integers (quantities, codes, line numbers)
+		// box to shared interned values instead of fresh strings.
+		if v, ok := decnum.Int64(payload); ok {
+			if bv, ok := jsondom.BoxedInt(v); ok {
+				return bv, nil
+			}
+		}
 		str, err := decnum.Decode(payload)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
@@ -1006,6 +1018,44 @@ func (d *Doc) Scalar(a NodeAddr) (jsondom.Value, error) {
 		return jsondom.Binary(append([]byte(nil), payload...)), nil
 	}
 	return nil, fmt.Errorf("%w: bad scalar subtype", ErrCorrupt)
+}
+
+// ScalarRaw decodes the leaf value a scalar node references into an
+// unboxed jsondom.Scalar — the allocation-free counterpart of Scalar
+// used by arena-pooled path evaluation and batch emission. String,
+// number, and binary payloads alias the document's immutable value
+// segment (same contract as zstr), so they remain valid for the life of
+// the backing buffer even if the Doc struct itself is reused via
+// ParseInto. Number payloads are validated here so later decoding of
+// the returned bytes cannot fail.
+func (d *Doc) ScalarRaw(a NodeAddr) (jsondom.Scalar, error) {
+	s, err := d.scalarSlot(a)
+	if err != nil {
+		return jsondom.Scalar{}, err
+	}
+	payload := d.vals[s.valAt : s.valAt+s.length]
+	switch s.subtype {
+	case stNull:
+		return jsondom.Scalar{K: jsondom.KindNull}, nil
+	case stFalse:
+		return jsondom.Scalar{K: jsondom.KindBool}, nil
+	case stTrue:
+		return jsondom.Scalar{K: jsondom.KindBool, B: true}, nil
+	case stNumber:
+		if !decnum.Valid(payload) {
+			return jsondom.Scalar{}, fmt.Errorf("%w: %w", ErrCorrupt, decnum.ErrCorrupt)
+		}
+		return jsondom.Scalar{K: jsondom.KindNumber, Bytes: payload}, nil
+	case stDouble:
+		return jsondom.Scalar{K: jsondom.KindDouble, F: math.Float64frombits(binary.LittleEndian.Uint64(payload))}, nil
+	case stTimestamp:
+		return jsondom.Scalar{K: jsondom.KindTimestamp, T: int64(binary.LittleEndian.Uint64(payload))}, nil
+	case stString:
+		return jsondom.Scalar{K: jsondom.KindString, Str: zstr(payload)}, nil
+	case stBinary:
+		return jsondom.Scalar{K: jsondom.KindBinary, Bytes: payload}, nil
+	}
+	return jsondom.Scalar{}, fmt.Errorf("%w: bad scalar subtype", ErrCorrupt)
 }
 
 // NumberBytes returns the raw decnum payload of a number scalar,
@@ -1189,9 +1239,13 @@ type FieldRef struct {
 	last atomic.Pointer[lookback]
 }
 
-// lookback is the immutable per-document resolution cache record.
+// lookback is the immutable per-document resolution cache record. The
+// generation rides along so a pooled Doc reinitialized by ParseInto
+// (same pointer, different document) misses instead of serving the
+// previous document's id.
 type lookback struct {
 	doc *Doc
+	gen uint64
 	id  FieldID
 	ok  bool
 }
@@ -1204,7 +1258,7 @@ func NewFieldRef(name string) *FieldRef {
 // Resolve returns the field id of the referenced name in d.
 func (r *FieldRef) Resolve(d *Doc) (FieldID, bool) {
 	lb := r.last.Load()
-	if lb != nil && lb.doc == d {
+	if lb != nil && lb.doc == d && lb.gen == d.gen {
 		return lb.id, lb.ok
 	}
 	// look-back: check whether the previous document's id is valid here.
@@ -1229,6 +1283,6 @@ func (r *FieldRef) Resolve(d *Doc) (FieldID, bool) {
 	}
 	mLookbackMisses.Inc()
 	id, ok := d.LookupID(r.H, r.Name)
-	r.last.Store(&lookback{doc: d, id: id, ok: ok})
+	r.last.Store(&lookback{doc: d, gen: d.gen, id: id, ok: ok})
 	return id, ok
 }

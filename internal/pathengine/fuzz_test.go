@@ -1,0 +1,159 @@
+// Differential fuzzing of the two Tree backends: any compiled path
+// evaluated over the same document must select the same value multiset
+// whether it navigates a parsed DOM or serialized OSON bytes. The
+// comparison is order-insensitive (OSON iterates objects in dictionary
+// order, the DOM in insertion order) and canonicalizes numbers (OSON
+// round-trips them through the decimal encoding, so "1.0" decodes as
+// "1"). Exists is checked against Eval on both backends as well, which
+// cross-validates the streaming existence engine against the
+// arena-based evaluation engine.
+
+package pathengine
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/jsondom"
+	"repro/internal/jsontext"
+	"repro/internal/oson"
+)
+
+// fuzzCanon renders a value like canonKey but with numbers
+// canonicalized through float64, so text-preserved and
+// decimal-round-tripped spellings of the same number compare equal.
+func fuzzCanon(v jsondom.Value) string {
+	switch t := v.(type) {
+	case *jsondom.Object:
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i, f := range t.SortedFields() {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(f.Name)
+			sb.WriteByte(':')
+			sb.WriteString(fuzzCanon(f.Value))
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	case *jsondom.Array:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range t.Elems {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(fuzzCanon(e))
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	case jsondom.Number:
+		return strconv.FormatFloat(t.Float64(), 'g', -1, 64)
+	case jsondom.Double:
+		return strconv.FormatFloat(float64(t), 'g', -1, 64)
+	default:
+		return jsontext.SerializeString(v)
+	}
+}
+
+func fuzzMultiset(vs []jsondom.Value) []string {
+	keys := make([]string, len(vs))
+	for i, v := range vs {
+		keys[i] = fuzzCanon(v)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FuzzPathEvalOsonVsDom evaluates a fuzzer-chosen path over a
+// fuzzer-chosen document through both backends and requires identical
+// results.
+func FuzzPathEvalOsonVsDom(f *testing.F) {
+	seedDocs := []string{
+		`{"a":1,"b":"x"}`,
+		`{"purchaseOrder":{"id":7,"podate":"2014-07-30","items":[
+			{"name":"phone","price":100.0,"quantity":2,"parts":[{"partName":"battery"}]},
+			{"name":"tablet","price":350.86,"quantity":3}]}}`,
+		`[1,[2,[3,[4]]],{"a":[{"b":null},{"b":true},{"b":false}]}]`,
+		`{"n":{"a":1e10,"b":-0.5,"c":0,"d":123456789.123},"s":{"e":"","f":"é"}}`,
+	}
+	seedPaths := []string{
+		`$`,
+		`$.a`,
+		`$.purchaseOrder.items[*].name`,
+		`$.purchaseOrder.items[0 to 1].parts[*].partName`,
+		`$..b`,
+		`$..items[last]`,
+		`$.purchaseOrder.items[*]?(@.price > 200).name`,
+		`$.purchaseOrder.items[*]?(@.name == "phone" || @.quantity >= 3)`,
+		`$[*].a[*].b`,
+		`$.n.*`,
+		`$..*?(@.partName starts with "bat")`,
+	}
+	for _, d := range seedDocs {
+		for _, p := range seedPaths {
+			f.Add(d, p)
+		}
+	}
+	f.Fuzz(func(t *testing.T, docText, pathText string) {
+		if len(docText) > 1<<12 || len(pathText) > 1<<8 {
+			t.Skip("oversized input")
+		}
+		dom, err := jsontext.Parse([]byte(docText))
+		if err != nil {
+			t.Skip("not JSON")
+		}
+		c, err := CompileText(pathText)
+		if err != nil {
+			t.Skip("not a path")
+		}
+		enc, err := oson.Encode(dom)
+		if err != nil {
+			t.Skip("not encodable")
+		}
+		od, err := oson.Parse(enc)
+		if err != nil {
+			t.Fatalf("own encoding failed to parse: %v", err)
+		}
+
+		domRes := Eval(Dom, dom, c)
+		ot := NewOsonTree(od)
+		osonNodes := Eval[oson.NodeAddr](ot, od.Root(), c)
+		if err := ot.Err(); err != nil {
+			t.Fatalf("oson navigation failed: %v", err)
+		}
+		osonRes := make([]jsondom.Value, len(osonNodes))
+		for i, n := range osonNodes {
+			v, err := od.Decode(n)
+			if err != nil {
+				t.Fatalf("decode result %d: %v", i, err)
+			}
+			osonRes[i] = v
+		}
+
+		dk, ok := fuzzMultiset(domRes), fuzzMultiset(osonRes)
+		if len(dk) != len(ok) {
+			t.Fatalf("path %q: dom selected %d values, oson %d\ndom:  %v\noson: %v",
+				pathText, len(dk), len(ok), dk, ok)
+		}
+		for i := range dk {
+			if dk[i] != ok[i] {
+				t.Fatalf("path %q: result %d differs\ndom:  %s\noson: %s",
+					pathText, i, dk[i], ok[i])
+			}
+		}
+
+		// Exists must agree with Eval on both backends (streaming engine
+		// vs arena engine).
+		if got := Exists(Dom, dom, c); got != (len(domRes) > 0) {
+			t.Fatalf("path %q: dom Exists=%v but Eval selected %d", pathText, got, len(domRes))
+		}
+		ot2 := NewOsonTree(od)
+		if got := Exists[oson.NodeAddr](ot2, od.Root(), c); ot2.Err() == nil && got != (len(osonNodes) > 0) {
+			t.Fatalf("path %q: oson Exists=%v but Eval selected %d", pathText, got, len(osonNodes))
+		}
+	})
+}

@@ -18,7 +18,6 @@ package pathengine
 
 import (
 	"errors"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +44,17 @@ type Tree[N any] interface {
 	Children(n N, fn func(name string, hasName bool, child N) bool)
 	// Scalar decodes a leaf node (ok=false for containers).
 	Scalar(n N) (jsondom.Value, bool)
+	// ScalarRaw decodes a leaf node into the unboxed representation
+	// (ok=false for containers). Payloads may alias backend storage per
+	// the jsondom.Scalar contract.
+	ScalarRaw(n N) (jsondom.Scalar, bool)
+	// ChildCount returns the number of children of a container node
+	// (object members or array elements; 0 otherwise).
+	ChildCount(n N) int
+	// ChildAt returns the i-th child of a container node, with the
+	// member name for objects. Indexed access lets the evaluator iterate
+	// children without the per-node callback closure Children needs.
+	ChildAt(n N, i int) (name string, hasName bool, child N, ok bool)
 	// Materialize converts the subtree to a jsondom value.
 	Materialize(n N) (jsondom.Value, error)
 }
@@ -89,6 +99,10 @@ type compiledOpnd struct {
 	path    *Compiled
 	root    bool // '$'-anchored (vs '@')
 	literal jsondom.Value
+	// litScalar is the unboxed literal for raw comparison. A
+	// (grammar-unreachable) non-scalar literal is marked with
+	// K=KindObject so kind checks behave like the boxed path did.
+	litScalar jsondom.Scalar
 }
 
 // Compile prepares a parsed path for evaluation.
@@ -217,7 +231,13 @@ func compileOperand(o jsonpath.Operand) *compiledOpnd {
 	case jsonpath.PathOperand:
 		return compileOperandPath(t.Path)
 	case jsonpath.LiteralOperand:
-		return &compiledOpnd{literal: t.Value}
+		op := &compiledOpnd{literal: t.Value}
+		if s, ok := jsondom.ScalarOf(t.Value); ok {
+			op.litScalar = s
+		} else {
+			op.litScalar = jsondom.Scalar{K: jsondom.KindObject}
+		}
+		return op
 	}
 	return nil
 }
@@ -230,16 +250,17 @@ func compileOperandPath(p *jsonpath.Path) *compiledOpnd {
 // DOM engine
 
 // Eval evaluates the compiled path against root and returns the
-// resulting node sequence in document order.
+// resulting node sequence in document order. It runs over a throwaway
+// EvalState, so the caller owns the returned slice; operators
+// evaluating many documents should hold an EvalState and call its Eval
+// to reuse the scratch buffers instead.
 func Eval[N any](t Tree[N], root N, c *Compiled) []N {
-	cur := []N{root}
-	for i := range c.steps {
-		if len(cur) == 0 {
-			return nil
-		}
-		cur = evalStep(t, root, cur, c, i)
+	var st EvalState[N]
+	res := st.Eval(t, root, c)
+	if len(res) == 0 {
+		return nil
 	}
-	return cur
+	return res
 }
 
 // EvalValues evaluates the path and materializes the results.
@@ -258,126 +279,8 @@ func EvalValues[N any](t Tree[N], root N, c *Compiled) ([]jsondom.Value, error) 
 
 // Exists reports whether the path yields at least one item.
 func Exists[N any](t Tree[N], root N, c *Compiled) bool {
-	return len(Eval(t, root, c)) > 0
-}
-
-func evalStep[N any](t Tree[N], root N, cur []N, c *Compiled, idx int) []N {
-	step := c.steps[idx]
-	lax := c.Path.Lax
-	var next []N
-	switch raw := step.raw.(type) {
-	case jsonpath.FieldStep:
-		for _, n := range cur {
-			fieldFrom(t, n, step.field, lax, &next)
-		}
-	case jsonpath.WildcardStep:
-		for _, n := range cur {
-			wildcardFrom(t, n, lax, &next)
-		}
-	case jsonpath.ArrayStep:
-		for _, n := range cur {
-			arrayFrom(t, n, raw, lax, &next)
-		}
-	case jsonpath.DescendantStep:
-		for _, n := range cur {
-			descendants(t, n, step.field, &next)
-		}
-	case jsonpath.FilterStep:
-		for _, n := range cur {
-			if lax && t.Kind(n) == jsondom.KindArray {
-				// lax mode unwraps arrays before applying the predicate
-				t.Children(n, func(_ string, _ bool, child N) bool {
-					if evalPred(t, root, child, step.filter) {
-						next = append(next, child)
-					}
-					return true
-				})
-				continue
-			}
-			if evalPred(t, root, n, step.filter) {
-				next = append(next, n)
-			}
-		}
-	}
-	return next
-}
-
-func fieldFrom[N any](t Tree[N], n N, f *CompiledField, lax bool, out *[]N) {
-	switch t.Kind(n) {
-	case jsondom.KindObject:
-		if v, ok := t.Field(n, f); ok {
-			*out = append(*out, v)
-		}
-	case jsondom.KindArray:
-		if !lax {
-			return
-		}
-		// lax: unwrap one array level
-		t.Children(n, func(_ string, _ bool, child N) bool {
-			if t.Kind(child) == jsondom.KindObject {
-				if v, ok := t.Field(child, f); ok {
-					*out = append(*out, v)
-				}
-			}
-			return true
-		})
-	}
-}
-
-func wildcardFrom[N any](t Tree[N], n N, lax bool, out *[]N) {
-	switch t.Kind(n) {
-	case jsondom.KindObject:
-		t.Children(n, func(_ string, _ bool, child N) bool {
-			*out = append(*out, child)
-			return true
-		})
-	case jsondom.KindArray:
-		if !lax {
-			return
-		}
-		t.Children(n, func(_ string, _ bool, elem N) bool {
-			if t.Kind(elem) == jsondom.KindObject {
-				t.Children(elem, func(_ string, _ bool, child N) bool {
-					*out = append(*out, child)
-					return true
-				})
-			}
-			return true
-		})
-	}
-}
-
-func arrayFrom[N any](t Tree[N], n N, step jsonpath.ArrayStep, lax bool, out *[]N) {
-	if t.Kind(n) != jsondom.KindArray {
-		if !lax {
-			return
-		}
-		// lax: wrap the item as a singleton array
-		if step.Wildcard || selectsZero(step.Subs, 1) {
-			*out = append(*out, n)
-		}
-		return
-	}
-	length := t.Len(n)
-	if step.Wildcard {
-		t.Children(n, func(_ string, _ bool, child N) bool {
-			*out = append(*out, child)
-			return true
-		})
-		return
-	}
-	for _, sub := range step.Subs {
-		from := resolveIndex(sub.From, length)
-		to := from
-		if sub.IsRange {
-			to = resolveIndex(sub.To, length)
-		}
-		for i := from; i <= to; i++ {
-			if v, ok := t.Elem(n, i); ok {
-				*out = append(*out, v)
-			}
-		}
-	}
+	var st EvalState[N]
+	return st.Exists(t, root, c)
 }
 
 // selectsZero reports whether any subscript resolves to position 0 for
@@ -401,128 +304,6 @@ func resolveIndex(ix jsonpath.Index, length int) int {
 		return length - 1 - ix.Back
 	}
 	return ix.Pos
-}
-
-func descendants[N any](t Tree[N], n N, f *CompiledField, out *[]N) {
-	switch t.Kind(n) {
-	case jsondom.KindObject:
-		t.Children(n, func(name string, _ bool, child N) bool {
-			if name == f.Name {
-				*out = append(*out, child)
-			}
-			descendants(t, child, f, out)
-			return true
-		})
-	case jsondom.KindArray:
-		t.Children(n, func(_ string, _ bool, child N) bool {
-			descendants(t, child, f, out)
-			return true
-		})
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Predicates
-
-func evalPred[N any](t Tree[N], root, ctx N, p *compiledPred) bool {
-	switch p.raw.(type) {
-	case jsonpath.AndPred:
-		return evalPred(t, root, ctx, p.kids[0]) && evalPred(t, root, ctx, p.kids[1])
-	case jsonpath.OrPred:
-		return evalPred(t, root, ctx, p.kids[0]) || evalPred(t, root, ctx, p.kids[1])
-	case jsonpath.NotPred:
-		return !evalPred(t, root, ctx, p.kids[0])
-	case jsonpath.ExistsPred:
-		return len(evalOperandNodes(t, root, ctx, p.paths[0])) > 0
-	case jsonpath.CmpPred:
-		raw := p.raw.(jsonpath.CmpPred)
-		left := operandValues(t, root, ctx, p.paths[0])
-		right := operandValues(t, root, ctx, p.paths[1])
-		// existential semantics: true if any pair satisfies the operator
-		for _, l := range left {
-			for _, r := range right {
-				if compare(l, raw.Op, r) {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	return false
-}
-
-func evalOperandNodes[N any](t Tree[N], root, ctx N, o *compiledOpnd) []N {
-	base := ctx
-	if o.root {
-		base = root
-	}
-	return Eval(t, base, o.path)
-}
-
-func operandValues[N any](t Tree[N], root, ctx N, o *compiledOpnd) []jsondom.Value {
-	if o.path == nil {
-		return []jsondom.Value{o.literal}
-	}
-	nodes := evalOperandNodes(t, root, ctx, o)
-	out := make([]jsondom.Value, 0, len(nodes))
-	for _, n := range nodes {
-		if v, ok := t.Scalar(n); ok {
-			out = append(out, v)
-		} else if t.Kind(n) == jsondom.KindArray && o.path.Path.Lax {
-			// lax: unwrap array of scalars for comparison
-			t.Children(n, func(_ string, _ bool, child N) bool {
-				if v, ok := t.Scalar(child); ok {
-					out = append(out, v)
-				}
-				return true
-			})
-		}
-	}
-	return out
-}
-
-func compare(l jsondom.Value, op jsonpath.CmpOp, r jsondom.Value) bool {
-	switch op {
-	case jsonpath.OpStartsWith, jsonpath.OpHasSubstring:
-		ls, lok := l.(jsondom.String)
-		rs, rok := r.(jsondom.String)
-		if !lok || !rok {
-			return false
-		}
-		if op == jsonpath.OpStartsWith {
-			return strings.HasPrefix(string(ls), string(rs))
-		}
-		return strings.Contains(string(ls), string(rs))
-	}
-	cmp, ok := jsondom.CompareScalar(l, r)
-	if !ok {
-		// null comparisons: == and != are defined across kinds
-		if l.Kind() == jsondom.KindNull || r.Kind() == jsondom.KindNull {
-			eq := l.Kind() == r.Kind()
-			switch op {
-			case jsonpath.OpEq:
-				return eq
-			case jsonpath.OpNe:
-				return !eq
-			}
-		}
-		return false
-	}
-	switch op {
-	case jsonpath.OpEq:
-		return cmp == 0
-	case jsonpath.OpNe:
-		return cmp != 0
-	case jsonpath.OpLt:
-		return cmp < 0
-	case jsonpath.OpLe:
-		return cmp <= 0
-	case jsonpath.OpGt:
-		return cmp > 0
-	case jsonpath.OpGe:
-		return cmp >= 0
-	}
-	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -589,6 +370,40 @@ func (DomTree) Scalar(n jsondom.Value) (jsondom.Value, bool) {
 	return nil, false
 }
 
+// ScalarRaw implements Tree.
+func (DomTree) ScalarRaw(n jsondom.Value) (jsondom.Scalar, bool) {
+	return jsondom.ScalarOf(n)
+}
+
+// ChildCount implements Tree.
+func (DomTree) ChildCount(n jsondom.Value) int {
+	switch t := n.(type) {
+	case *jsondom.Object:
+		return t.Len()
+	case *jsondom.Array:
+		return len(t.Elems)
+	}
+	return 0
+}
+
+// ChildAt implements Tree.
+func (DomTree) ChildAt(n jsondom.Value, i int) (string, bool, jsondom.Value, bool) {
+	switch t := n.(type) {
+	case *jsondom.Object:
+		fs := t.Fields()
+		if i < 0 || i >= len(fs) {
+			return "", false, nil, false
+		}
+		return fs[i].Name, true, fs[i].Value, true
+	case *jsondom.Array:
+		if i < 0 || i >= len(t.Elems) {
+			return "", false, nil, false
+		}
+		return "", false, t.Elems[i], true
+	}
+	return "", false, nil, false
+}
+
 // Materialize implements Tree.
 func (DomTree) Materialize(n jsondom.Value) (jsondom.Value, error) { return n, nil }
 
@@ -604,6 +419,14 @@ type OsonTree struct {
 
 // NewOsonTree wraps a parsed OSON document.
 func NewOsonTree(d *oson.Doc) *OsonTree { return &OsonTree{Doc: d} }
+
+// Reset repoints the tree at a new document and clears the sticky
+// error, letting one pooled OsonTree instance serve a stream of
+// documents without reallocating.
+func (t *OsonTree) Reset(d *oson.Doc) {
+	t.Doc = d
+	t.err = nil
+}
 
 // Err returns the first navigation error encountered (corrupt buffers
 // surface here rather than panicking mid-query).
@@ -717,6 +540,71 @@ func (t *OsonTree) Scalar(n oson.NodeAddr) (jsondom.Value, bool) {
 		return nil, false
 	}
 	return v, true
+}
+
+// ScalarRaw implements Tree: payloads alias the document's value
+// segment, remaining valid for the life of the backing buffer.
+func (t *OsonTree) ScalarRaw(n oson.NodeAddr) (jsondom.Scalar, bool) {
+	s, err := t.Doc.ScalarRaw(n)
+	if err != nil {
+		if !errors.Is(err, oson.ErrNotScalar) {
+			t.fail(err)
+		}
+		return jsondom.Scalar{}, false
+	}
+	return s, true
+}
+
+// ChildCount implements Tree.
+func (t *OsonTree) ChildCount(n oson.NodeAddr) int {
+	k, err := t.Doc.NodeKind(n)
+	if err != nil {
+		t.fail(err)
+		return 0
+	}
+	var cnt int
+	switch k {
+	case jsondom.KindObject:
+		cnt, err = t.Doc.ObjectLen(n)
+	case jsondom.KindArray:
+		cnt, err = t.Doc.ArrayLen(n)
+	}
+	if err != nil {
+		t.fail(err)
+		return 0
+	}
+	return cnt
+}
+
+// ChildAt implements Tree.
+func (t *OsonTree) ChildAt(n oson.NodeAddr, i int) (string, bool, oson.NodeAddr, bool) {
+	k, err := t.Doc.NodeKind(n)
+	if err != nil {
+		t.fail(err)
+		return "", false, 0, false
+	}
+	switch k {
+	case jsondom.KindObject:
+		id, child, err := t.Doc.ObjectEntry(n, i)
+		if err != nil {
+			t.fail(err)
+			return "", false, 0, false
+		}
+		name, err := t.Doc.FieldName(id)
+		if err != nil {
+			t.fail(err)
+			return "", false, 0, false
+		}
+		return name, true, child, true
+	case jsondom.KindArray:
+		child, ok, err := t.Doc.GetArrayElement(n, i)
+		if err != nil || !ok {
+			t.fail(err)
+			return "", false, 0, false
+		}
+		return "", false, child, true
+	}
+	return "", false, 0, false
 }
 
 // Materialize implements Tree.

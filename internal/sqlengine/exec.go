@@ -852,6 +852,24 @@ type jsonTableOp struct {
 	// the consumer.
 	batch bool
 	out   *Batch
+	// exp is the pooled expansion scratch (execution state: lazily
+	// built per instance, never copied by clonePlan, so cached-plan
+	// clones and parallel worker clones each own one). emitPend and
+	// emitBatch are the pre-bound emit callbacks (built once so the
+	// per-document Expand call allocates no closure); bsink is the
+	// batch on loan to emitBatch during NextBatch.
+	exp       *sqljson.ExpandState
+	emitPend  func([]jsondom.Value) error
+	emitBatch func([]jsondom.Value) error
+	bsink     *Batch
+	// expansion accounting for sql.jsontable.* metrics and EXPLAIN
+	// ANALYZE: base is the state's counter snapshot at Open, pruned
+	// counts prefilter-rejected documents this execution, lastStats/
+	// lastPruned hold the flushed per-execution deltas for EXPLAIN.
+	base       sqljson.ExpandStats
+	pruned     int64
+	lastStats  sqljson.ExpandStats
+	lastPruned int64
 }
 
 func newJSONTableOp(left rowSource, ref *JSONTableRef, env *planEnv) *jsonTableOp {
@@ -867,7 +885,7 @@ func newJSONTableOp(left rowSource, ref *JSONTableRef, env *planEnv) *jsonTableO
 
 func (j *jsonTableOp) Open(ec *ExecCtx) error {
 	j.st = ec.statFor()
-	j.pending, j.pi, j.done = nil, 0, false
+	j.pending, j.pi, j.done = j.pending[:0], 0, false
 	j.leftRow = nil
 	j.runFilters = nil
 	for _, c := range j.preSpecs {
@@ -880,6 +898,17 @@ func (j *jsonTableOp) Open(ec *ExecCtx) error {
 		sch = j.left.Schema()
 	}
 	j.argCtx = j.env.bindCtx(sch, j.ref.Arg)
+	if j.exp == nil {
+		// execution state, never copied by clonePlan: cached-plan clones
+		// and parallel worker clones each check one out of the def's
+		// pool on Open (and return it on Close), so evaluation arenas
+		// and value dictionaries stay warm across executions
+		j.exp = j.ref.Def.AcquireState()
+		j.emitPend = j.pendEmit
+		j.emitBatch = j.batchEmit
+	}
+	j.base = j.exp.Stats()
+	j.pruned = 0
 	if j.left != nil {
 		return j.left.Open(ec)
 	}
@@ -887,12 +916,43 @@ func (j *jsonTableOp) Open(ec *ExecCtx) error {
 }
 
 func (j *jsonTableOp) Close() error {
+	j.flushStats()
+	j.ref.Def.ReleaseState(j.exp)
+	j.exp = nil
 	putBatch(j.out)
 	j.out = nil
 	if j.left != nil {
 		return j.left.Close()
 	}
 	return nil
+}
+
+// flushStats publishes this execution's expansion counters
+// operator-locally (like sql.scan.rows) and keeps the deltas for
+// EXPLAIN ANALYZE. Idempotent: a second Close adds zeros.
+func (j *jsonTableOp) flushStats() {
+	if j.exp == nil {
+		return
+	}
+	s := j.exp.Stats()
+	d := sqljson.ExpandStats{
+		Docs:       s.Docs - j.base.Docs,
+		Rows:       s.Rows - j.base.Rows,
+		ParseReuse: s.ParseReuse - j.base.ParseReuse,
+		ArenaGets:  s.ArenaGets - j.base.ArenaGets,
+		ArenaHits:  s.ArenaHits - j.base.ArenaHits,
+		InternHits: s.InternHits - j.base.InternHits,
+	}
+	j.base = s
+	mJSONTableDocs.Add(d.Docs)
+	mJSONTableRows.Add(d.Rows)
+	mJSONTablePruned.Add(j.pruned)
+	mJSONTableArenaHits.Add(d.ArenaHits)
+	mJSONTableInternHits.Add(d.InternHits)
+	if d.Docs != 0 || d.Rows != 0 || j.pruned != 0 {
+		j.lastStats, j.lastPruned = d, j.pruned
+	}
+	j.pruned = 0
 }
 
 func (j *jsonTableOp) Schema() Schema { return j.sch }
@@ -906,7 +966,8 @@ func (j *jsonTableOp) Next(ec *ExecCtx) (out []jsondom.Value, ok bool, err error
 }
 
 // nextRow is the stats-free expansion loop shared by Next and the
-// batch producer (NextBatch in exec_batch.go).
+// batch producer (NextBatch in exec_batch.go). Pending rows are fully
+// merged and arena-carved, so consumers may retain them.
 func (j *jsonTableOp) nextRow(ec *ExecCtx) (out []jsondom.Value, ok bool, err error) {
 	for {
 		// document expansion can reject every pending row of many
@@ -915,26 +976,18 @@ func (j *jsonTableOp) nextRow(ec *ExecCtx) (out []jsondom.Value, ok bool, err er
 			return nil, false, err
 		}
 		if j.pi < len(j.pending) {
-			jt := j.pending[j.pi]
+			row := j.pending[j.pi]
 			j.pi++
-			if j.left == nil {
-				return jt, true, nil
-			}
-			out := j.arena.alloc(len(j.leftRow) + len(jt))
-			copy(out, j.leftRow)
-			copy(out[len(j.leftRow):], jt)
-			return out, true, nil
+			return row, true, nil
 		}
 		if j.done {
 			return nil, false, nil
 		}
 		if j.left == nil {
 			j.done = true
-			rows, err := j.expand(ec, nil)
-			if err != nil {
+			if err := j.expandPending(ec, nil); err != nil {
 				return nil, false, err
 			}
-			j.pending, j.pi = rows, 0
 			continue
 		}
 		row, ok, err := j.left.Next(ec)
@@ -945,47 +998,79 @@ func (j *jsonTableOp) nextRow(ec *ExecCtx) (out []jsondom.Value, ok bool, err er
 			j.done = true
 			continue
 		}
-		j.leftRow = row
-		rows, err := j.expand(ec, row)
-		if err != nil {
+		if err := j.expandPending(ec, row); err != nil {
 			return nil, false, err
 		}
-		j.pending, j.pi = rows, 0
 	}
 }
 
-func (j *jsonTableOp) expand(ec *ExecCtx, leftRow []jsondom.Value) ([][]jsondom.Value, error) {
+// expandPending expands the current outer row's document into
+// j.pending, reusing the slice header across outer rows.
+func (j *jsonTableOp) expandPending(ec *ExecCtx, leftRow []jsondom.Value) error {
+	j.pending, j.pi = j.pending[:0], 0
+	return j.expandDoc(ec, leftRow, j.emitPend)
+}
+
+// pendEmit merges one expansion row with the current outer row and
+// queues it (the pre-bound emit target of expandPending).
+func (j *jsonTableOp) pendEmit(scratch []jsondom.Value) error {
+	j.pending = append(j.pending, j.mergeRow(scratch))
+	return nil
+}
+
+// mergeRow carves left+expanded into the op's row arena. The scratch
+// slice is ExpandState-owned and overwritten by the next row; the
+// arena copy is what consumers may retain.
+func (j *jsonTableOp) mergeRow(scratch []jsondom.Value) []jsondom.Value {
+	lw := len(j.leftRow)
+	row := j.arena.alloc(lw + len(scratch))
+	copy(row, j.leftRow)
+	copy(row[lw:], scratch)
+	return row
+}
+
+// expandDoc evaluates the document argument against the current outer
+// row, applies static and bind-time prefilters, and streams the merged
+// JSON_TABLE rows to emit via the pooled ExpandState.
+func (j *jsonTableOp) expandDoc(ec *ExecCtx, leftRow []jsondom.Value, emit func([]jsondom.Value) error) error {
+	// one cancellation point per document, matching row-at-a-time
+	// expansion granularity (a document expands in microseconds)
+	if err := ec.Context().Err(); err != nil {
+		return err
+	}
+	j.leftRow = leftRow
 	j.argCtx.row = leftRow
 	v, err := evalExpr(j.argCtx, j.ref.Arg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if isNull(v) {
-		return nil, nil
+		return nil
 	}
-	doc, err := sqljson.FromDatum(v)
-	if err != nil {
-		return nil, err
+	if err := j.exp.Bind(v); err != nil {
+		return err
 	}
 	for _, pf := range j.preFilters {
-		ok, err := doc.Exists(pf)
+		ok, err := j.exp.Exists(pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
-			return nil, nil // the residual WHERE would reject every row
+			j.pruned++
+			return nil // the residual WHERE would reject every row
 		}
 	}
 	for _, pf := range j.runFilters {
-		ok, err := doc.Exists(pf)
+		ok, err := j.exp.Exists(pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
-			return nil, nil
+			j.pruned++
+			return nil
 		}
 	}
-	return j.ref.Def.ExpandContext(ec.Context(), doc)
+	return j.exp.Expand(emit)
 }
 
 func (j *jsonTableOp) opName() string {
@@ -1005,6 +1090,20 @@ func (j *jsonTableOp) opChildren() []rowSource {
 	return []rowSource{j.left}
 }
 func (j *jsonTableOp) opStat() *OpStats { return j.st }
+
+// opExtraLines reports the expansion accounting of the last execution
+// for EXPLAIN ANALYZE: documents expanded, rows emitted, documents
+// pruned by prefilters, and how much evaluation scratch was served
+// from the arena freelists.
+func (j *jsonTableOp) opExtraLines() []string {
+	d := j.lastStats
+	if d.Docs == 0 && d.Rows == 0 && j.lastPruned == 0 {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"expand: docs=%d rows=%d pruned=%d arena-reuse=%d/%d parse-reuse=%d intern-hits=%d",
+		d.Docs, d.Rows, j.lastPruned, d.ArenaHits, d.ArenaGets, d.ParseReuse, d.InternHits)}
+}
 
 // ---------------------------------------------------------------------------
 // joins

@@ -511,11 +511,13 @@ func (w *aliasWrap) NextBatch(ec *ExecCtx, max int) (*Batch, error) {
 // does — the op re-rows its input anyway.
 func (j *jsonTableOp) batchReady() bool { return j.batch }
 
-// NextBatch collects expanded rows into a pooled batch, cutting the
-// per-row interface dispatch and stats observation between JSON_TABLE
-// and the aggregation above it — the Fig3 spine. The rows are arena-
-// carved (nextRow merges left+expansion through j.arena), so consumers
-// may retain them; only the header is recycled on the next call.
+// NextBatch expands documents directly into a pooled batch, cutting
+// the per-row interface dispatch and pending-queue staging between
+// JSON_TABLE and the aggregation above it — the Fig3 spine. Each
+// document's rows are emitted whole, so a batch may overshoot max (the
+// size hint contract allows it). The rows are arena-carved (batchEmit
+// merges left+expansion through j.arena), so consumers may retain
+// them; only the header is recycled on the next call.
 func (j *jsonTableOp) NextBatch(ec *ExecCtx, max int) (b *Batch, err error) {
 	if j.st != nil {
 		t0 := time.Now()
@@ -528,16 +530,40 @@ func (j *jsonTableOp) NextBatch(ec *ExecCtx, max int) (b *Batch, err error) {
 		lim = max
 	}
 	out := getBatch()
-	for out.Len() < lim {
-		row, ok, err := j.nextRow(ec)
+	j.bsink = out
+	defer func() { j.bsink = nil }()
+	// drain rows a row-mode pull already staged before emitting fresh
+	// documents straight into the batch
+	for j.pi < len(j.pending) {
+		out.add(j.pending[j.pi])
+		j.pi++
+	}
+	for out.Len() < lim && !j.done {
+		if err := ec.tickErr(&j.ticks); err != nil {
+			putBatch(out)
+			return nil, err
+		}
+		if j.left == nil {
+			j.done = true
+			if err := j.expandDoc(ec, nil, j.emitBatch); err != nil {
+				putBatch(out)
+				return nil, err
+			}
+			continue
+		}
+		row, ok, err := j.left.Next(ec)
 		if err != nil {
 			putBatch(out)
 			return nil, err
 		}
 		if !ok {
-			break
+			j.done = true
+			continue
 		}
-		out.add(row)
+		if err := j.expandDoc(ec, row, j.emitBatch); err != nil {
+			putBatch(out)
+			return nil, err
+		}
 	}
 	if out.Len() == 0 {
 		putBatch(out)
@@ -545,6 +571,13 @@ func (j *jsonTableOp) NextBatch(ec *ExecCtx, max int) (b *Batch, err error) {
 	}
 	j.out = out
 	return out, nil
+}
+
+// batchEmit merges one expansion row and appends it to the batch on
+// loan from NextBatch (the pre-bound emit target of batch mode).
+func (j *jsonTableOp) batchEmit(scratch []jsondom.Value) error {
+	j.bsink.add(j.mergeRow(scratch))
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1195,6 +1195,7 @@ func (pj *parProbe) close() {
 	pj.held = nil
 	for _, ch := range pj.chans {
 		for r := range ch {
+			//fsdmvet:ignore poolcheck r is a drained channel record discarded with this iteration
 			putBatch(r.b)
 		}
 	}

@@ -452,6 +452,7 @@ func (p *parser) parseJSONTable() (*JSONTableRef, error) {
 		return nil, err
 	}
 	def := &sqljson.TableDef{RowPath: rowPath, Columns: cols, Nested: nested}
+	def.Finish()
 	ref := &JSONTableRef{Arg: arg, Def: def}
 	for _, c := range def.OutputColumns() {
 		ref.ColNames = append(ref.ColNames, c.Name)

@@ -18,6 +18,7 @@ package sqljson
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/jsondom"
 	"repro/internal/oson"
@@ -45,12 +46,56 @@ type TableDef struct {
 	RowPath *pathengine.Compiled
 	Columns []TableColumn
 	Nested  []NestedPath
+
+	// outCols caches the flattened column list. Set by Finish, which
+	// must run before the def is shared across concurrent executions
+	// (the parser finishes every def it builds); unfinished defs
+	// recompute per call.
+	outCols []TableColumn
+
+	// pool recycles ExpandStates across executions of this definition:
+	// plans are cloned per execution, but the def is shared plan state,
+	// so pooling here lets the evaluation arenas, parse scratch, and
+	// value dictionaries warm up once per definition instead of once
+	// per query run. Checked out with AcquireState, returned with
+	// ReleaseState.
+	pool sync.Pool
+}
+
+// AcquireState checks an ExpandState for this definition out of the
+// pool (building one on first use). The caller owns it until
+// ReleaseState; a state serves one goroutine.
+func (d *TableDef) AcquireState() *ExpandState {
+	if v := d.pool.Get(); v != nil {
+		return v.(*ExpandState)
+	}
+	return NewExpandState(d)
+}
+
+// ReleaseState returns a state obtained from AcquireState to the pool.
+// The caller must not touch the state afterwards (clear the reference;
+// the poolcheck analyzer enforces release-then-nil at call sites).
+func (d *TableDef) ReleaseState(es *ExpandState) {
+	if es != nil {
+		d.pool.Put(es)
+	}
+}
+
+// Finish precomputes the flattened output layout so per-document
+// expansion never rebuilds it. Call once, before the def escapes to a
+// plan; a finished def is immutable.
+func (d *TableDef) Finish() {
+	d.outCols = nil
+	d.outCols = d.OutputColumns()
 }
 
 // OutputColumns flattens the column tree in declaration order: own
 // columns first, then each nested clause depth-first, matching the
 // column order of the generated view in Table 8.
 func (d *TableDef) OutputColumns() []TableColumn {
+	if d.outCols != nil {
+		return d.outCols
+	}
 	var out []TableColumn
 	out = append(out, d.Columns...)
 	for _, n := range d.Nested {
