@@ -1,6 +1,9 @@
-# Development targets. `make check` is the full pre-commit gate:
-# build, vet, the fsdmvet invariant checkers, tests, the race
-# detector over the concurrent scan paths, and the godoc lint.
+# Development targets. `make check` is the pre-commit gate: build,
+# vet, the fsdmvet invariant checkers, tests, and the godoc lint.
+# `make race` runs the race detector over the whole tree plus the
+# concurrent engine packages (imc, pathengine, sqlengine parallel
+# operators); CI runs it as its own job so analyzer findings and
+# data races fail independently.
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -18,6 +21,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/imc
+	$(GO) test -race -count=1 ./internal/pathengine
 	$(GO) test -race -count=1 -run 'TestParExec|TestParallelScan' ./internal/sqlengine
 
 vet:
@@ -66,4 +70,4 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'Fig[356]' -benchmem -json . | tee BENCH_PR9.json
 	$(GO) test -run '^$$' -bench 'Table|Fig[4789]' -benchmem -json .
 
-check: build vet lint test race doccheck bench-smoke
+check: build vet lint test doccheck bench-smoke

@@ -12,18 +12,21 @@
 //
 // The baseline file holds one entry per line — `BenchmarkName allocs`
 // — with #-comments and blank lines ignored. Every listed benchmark
-// must appear in the input; a missing one fails the gate (a renamed
-// or deleted benchmark should be renamed in the baseline too, not
-// silently dropped). Improvements beyond the baseline print a hint to
-// ratchet the committed number down.
+// must appear in the input; missing ones fail the gate with a single
+// consolidated listing, alongside any unmatched benchmarks the output
+// did carry (the usual culprits after a rename — the baseline should
+// be renamed too, not silently dropped). Improvements beyond the
+// baseline print a hint to ratchet the committed number down.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,11 +51,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	got, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocguard:", err)
+		os.Exit(2)
+	}
+
+	if failed := compare(baseline, got, *baselinePath, os.Stdout, os.Stderr); failed {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts allocs/op per benchmark from go test -benchmem
+// output, echoing every line to echo for the build log.
+func parseBench(r io.Reader, echo io.Writer) (map[string]int64, error) {
 	got := map[string]int64{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass the bench output through for the log
+		fmt.Fprintln(echo, line)
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -63,33 +80,66 @@ func main() {
 		}
 		got[m[1]] = n
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "allocguard:", err)
-		os.Exit(2)
+	return got, sc.Err()
+}
+
+// compare checks every baseline entry against the measured allocs,
+// writing verdicts to out and failures to errw; it reports whether
+// the gate fails. Output is sorted by benchmark name so failures read
+// the same run to run, and every missing benchmark is listed in one
+// block together with the unmatched names the output did carry.
+func compare(baseline, got map[string]int64, baselinePath string, out, errw io.Writer) bool {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
 	}
+	sort.Strings(names)
 
 	failed := false
-	for name, base := range baseline {
+	var missing []string
+	for _, name := range names {
+		base := baseline[name]
 		allocs, ok := got[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "allocguard: %s not found in bench output (update %s if it was renamed)\n", name, *baselinePath)
+			missing = append(missing, name)
 			failed = true
 			continue
 		}
 		limit := int64(float64(base) * tolerance)
 		switch {
 		case allocs > limit:
-			fmt.Fprintf(os.Stderr, "allocguard: %s regressed: %d allocs/op > %d (baseline %d +10%%)\n", name, allocs, limit, base)
+			fmt.Fprintf(errw, "allocguard: %s regressed: %d allocs/op > %d (baseline %d +10%%)\n", name, allocs, limit, base)
 			failed = true
 		case float64(allocs) < float64(base)/tolerance:
-			fmt.Printf("allocguard: %s improved to %d allocs/op (baseline %d) — consider ratcheting the baseline down\n", name, allocs, base)
+			fmt.Fprintf(out, "allocguard: %s improved to %d allocs/op (baseline %d) — consider ratcheting the baseline down\n", name, allocs, base)
 		default:
-			fmt.Printf("allocguard: %s ok: %d allocs/op (baseline %d, limit %d)\n", name, allocs, base, limit)
+			fmt.Fprintf(out, "allocguard: %s ok: %d allocs/op (baseline %d, limit %d)\n", name, allocs, base, limit)
 		}
 	}
-	if failed {
-		os.Exit(1)
+	if len(missing) > 0 {
+		fmt.Fprintf(errw, "allocguard: %d baseline benchmark(s) missing from the bench output:\n", len(missing))
+		for _, name := range missing {
+			fmt.Fprintf(errw, "allocguard:   %s\n", name)
+		}
+		if extra := unmatched(baseline, got); len(extra) > 0 {
+			fmt.Fprintf(errw, "allocguard: the output did carry unmatched benchmark(s): %s\n", strings.Join(extra, ", "))
+		}
+		fmt.Fprintf(errw, "allocguard: rename the entries in %s if the benchmarks were renamed, or widen the -bench pattern if they no longer run\n", baselinePath)
 	}
+	return failed
+}
+
+// unmatched lists, sorted, the benchmarks measured in the output that
+// no baseline entry names — the rename candidates.
+func unmatched(baseline, got map[string]int64) []string {
+	var extra []string
+	for name := range got {
+		if _, ok := baseline[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return extra
 }
 
 // readBaseline parses the committed baseline file: `name allocs` per

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+BenchmarkFig3OLAPOSON-8   	     100	  12000000 ns/op	 5000000 B/op	   34000 allocs/op
+BenchmarkExpandRenamed-8  	     100	   1000000 ns/op	  100000 B/op	    2000 allocs/op
+PASS
+`
+
+func parse(t *testing.T, out string) map[string]int64 {
+	t.Helper()
+	got, err := parseBench(strings.NewReader(out), &strings.Builder{})
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	return got
+}
+
+func TestParseBenchStripsProcSuffix(t *testing.T) {
+	got := parse(t, benchOutput)
+	if got["BenchmarkFig3OLAPOSON"] != 34000 {
+		t.Errorf("BenchmarkFig3OLAPOSON = %d, want 34000", got["BenchmarkFig3OLAPOSON"])
+	}
+	if len(got) != 2 {
+		t.Errorf("parsed %d benchmarks, want 2", len(got))
+	}
+}
+
+func TestCompareOKAndImproved(t *testing.T) {
+	baseline := map[string]int64{"BenchmarkFig3OLAPOSON": 34000, "BenchmarkExpandRenamed": 34000}
+	var out, errw strings.Builder
+	if compare(baseline, parse(t, benchOutput), "ALLOC_BASELINE.txt", &out, &errw) {
+		t.Fatalf("gate failed on in-tolerance run:\n%s", errw.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkFig3OLAPOSON ok") {
+		t.Errorf("missing ok verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ratcheting the baseline down") {
+		t.Errorf("missing improvement hint for the 2000-alloc result:\n%s", out.String())
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	baseline := map[string]int64{"BenchmarkFig3OLAPOSON": 20000}
+	var out, errw strings.Builder
+	if !compare(baseline, parse(t, benchOutput), "ALLOC_BASELINE.txt", &out, &errw) {
+		t.Fatal("34000 allocs against a 20000 baseline must fail")
+	}
+	if !strings.Contains(errw.String(), "regressed: 34000 allocs/op") {
+		t.Errorf("missing regression message:\n%s", errw.String())
+	}
+}
+
+func TestCompareMissingBenchmarksListed(t *testing.T) {
+	baseline := map[string]int64{
+		"BenchmarkExpandOld":    2000, // renamed in the output
+		"BenchmarkFig3OLAPOSON": 34000,
+		"BenchmarkGone":         10,
+	}
+	var out, errw strings.Builder
+	if !compare(baseline, parse(t, benchOutput), "base.txt", &out, &errw) {
+		t.Fatal("missing benchmarks must fail the gate")
+	}
+	msg := errw.String()
+	for _, w := range []string{
+		"2 baseline benchmark(s) missing from the bench output",
+		"allocguard:   BenchmarkExpandOld",
+		"allocguard:   BenchmarkGone",
+		"unmatched benchmark(s): BenchmarkExpandRenamed",
+		"rename the entries in base.txt",
+	} {
+		if !strings.Contains(msg, w) {
+			t.Errorf("missing %q in:\n%s", w, msg)
+		}
+	}
+	// the listing must come out sorted, in one block
+	if strings.Index(msg, "BenchmarkExpandOld") > strings.Index(msg, "BenchmarkGone") {
+		t.Errorf("missing-benchmark listing not sorted:\n%s", msg)
+	}
+}

@@ -122,6 +122,7 @@ func runSQL(args []string) {
 		eng.SetSlowQueryLog(w, *slowThreshold)
 	}
 	if *debugAddr != "" {
+		//fsdmvet:ignore leakcheck process-lifetime debug daemon; the HTTP server dies with the REPL, there is no Close to join it on
 		go func() {
 			if err := serveDebug(*debugAddr); err != nil {
 				fmt.Fprintln(os.Stderr, "fsdm: debug server:", err)

@@ -1,18 +1,21 @@
 // Command fsdmvet is the repository's invariant checker: a
-// multichecker in the shape of go vet that runs the six
+// multichecker in the shape of go vet that runs the nine
 // project-specific analyzers from internal/fsdmvet (cancelcheck,
-// immutcheck, metriccheck, lockcheck, errwrapcheck, poolcheck) over
-// every package of the module. It exits 1 when any invariant is violated
+// immutcheck, metriccheck, lockcheck, errwrapcheck, poolcheck, and
+// the flow-sensitive leakcheck, escapecheck, blockcheck) over every
+// package of the module. It exits 1 when any invariant is violated
 // and 2 when the tree fails to load, so `make lint` (wired into
 // `make check`) gates commits on the engine's concurrency,
-// immutability, and metrics contracts.
+// immutability, lifetime, and metrics contracts.
 //
 // Usage:
 //
-//	fsdmvet [-root dir] [import/path ...]    (default: every module package)
+//	fsdmvet [-root dir] [-v] [import/path ...]    (default: every module package)
 //
-// Findings print as file:line:col: analyzer: message. Suppress one
-// deliberately with a same-line or preceding-line comment:
+// -v prints a wall-time breakdown to stderr: the one shared
+// load-and-typecheck phase, then each analyzer's accumulated run
+// time. Findings print as file:line:col: analyzer: message. Suppress
+// one deliberately with a same-line or preceding-line comment:
 //
 //	//fsdmvet:ignore <analyzer> <reason>
 //
@@ -24,14 +27,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/fsdmvet"
 )
 
 func main() {
 	root := flag.String("root", ".", "module root to analyze")
+	verbose := flag.Bool("v", false, "print per-analyzer wall time to stderr")
 	flag.Parse()
-	n, err := fsdmvet.RunSuite(*root, flag.Args(), os.Stdout)
+	n, timings, err := fsdmvet.RunSuiteTimed(*root, flag.Args(), os.Stdout)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "fsdmvet: load+typecheck %v\n", timings.Load.Round(time.Millisecond))
+		for _, t := range timings.Analyzers {
+			fmt.Fprintf(os.Stderr, "fsdmvet: %-12s %v\n", t.Analyzer, t.Elapsed.Round(time.Millisecond))
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsdmvet:", err)
 		os.Exit(2)

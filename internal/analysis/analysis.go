@@ -25,6 +25,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer describes one invariant checker: a name (used in output
@@ -66,6 +67,10 @@ type Pass struct {
 	// shared is per-analyzer state that survives across packages of
 	// one suite run (see Pass.Shared).
 	shared map[string]any
+	// cfgs is the per-package CFG cache, shared by every analyzer of
+	// the run so the flow-sensitive checkers build each function's
+	// graph once (see CFGOf).
+	cfgs map[ast.Node]*CFG
 	// diags collects raw findings before suppression filtering.
 	diags []Diagnostic
 }
@@ -166,13 +171,30 @@ func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
 	return false
 }
 
+// Timing is one analyzer's accumulated wall time across every
+// package of a run, reported by RunTimed for `cmd/fsdmvet -v`.
+type Timing struct {
+	// Analyzer is the checker's name.
+	Analyzer string
+	// Elapsed is the total time spent inside the analyzer's Run.
+	Elapsed time.Duration
+}
+
 // Run applies every analyzer to every package, filters suppressed
 // diagnostics, and returns the surviving findings sorted by position.
 // Malformed suppression directives are themselves reported, once per
 // package. Shared analyzer state spans the whole call, so
 // cross-package rules see every package of the run.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunTimed(pkgs, analyzers)
+	return findings, err
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting, in the
+// analyzers' run order.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing, error) {
 	shared := make(map[*Analyzer]map[string]any, len(analyzers))
+	elapsed := make(map[*Analyzer]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		shared[a] = map[string]any{}
 	}
@@ -180,6 +202,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	for _, pkg := range pkgs {
 		idx, malformed := buildIgnoreIndex(pkg.Fset, pkg.Files)
 		out = append(out, malformed...)
+		// one CFG cache per package, shared by every analyzer of the run
+		cfgs := map[ast.Node]*CFG{}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -188,9 +212,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				shared:    shared[a],
+				cfgs:      cfgs,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			t0 := time.Now()
+			err := a.Run(pass)
+			elapsed[a] += time.Since(t0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 			}
 			for _, d := range pass.diags {
 				pos := pkg.Fset.Position(d.Pos)
@@ -200,6 +228,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
 		}
+	}
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a]})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -214,5 +246,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	return out, timings, nil
 }

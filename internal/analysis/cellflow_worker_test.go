@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestCellFlowWorkerShape mirrors sqlengine's workerBatches loop:
+// per-iteration acquire, a release-then-reassign hand-off (b = kept),
+// and a continue path that releases the acquired batch. No use after
+// release exists, and the per-(variable, cell) spent planes must keep
+// the continue path's staleness from bleeding into the hand-off
+// path's b — the false positive a global per-cell spent bit produces
+// at the loop-head merge.
+func TestCellFlowWorkerShape(t *testing.T) {
+	const src = `package x
+
+type batch struct{ n int }
+
+func (b *batch) Len() int    { return b.n }
+func (b *batch) add()        {}
+func getBatch() *batch       { return &batch{} }
+func putBatch(b *batch)      {}
+func next() (*batch, error)  { return nil, nil }
+func send(b *batch) bool     { return true }
+
+func worker(pred bool) {
+	for {
+		b, err := next()
+		if err != nil {
+			return
+		}
+		if b == nil {
+			return
+		}
+		if pred {
+			kept := getBatch()
+			for i := 0; i < b.Len(); i++ {
+				if i > 3 {
+					putBatch(kept)
+					putBatch(b)
+					return
+				}
+				kept.add()
+			}
+			putBatch(b)
+			if kept.Len() == 0 {
+				putBatch(kept)
+				continue
+			}
+			b = kept
+		}
+		n := b.Len()
+		if !send(b) {
+			putBatch(b)
+			return
+		}
+		_ = n
+	}
+}
+`
+	pass, fd := parseFunc(t, src, "worker")
+	cfg := CFGOf(pass, fd)
+	isSource := func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "getBatch"
+	}
+	releases := func(n ast.Node) []ast.Expr {
+		var out []ast.Expr
+		InspectNode(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "putBatch" {
+					out = append(out, call.Args[0])
+				}
+			}
+			return true
+		})
+		return out
+	}
+	flow := NewCellFlow(pass, cfg, isSource, releases)
+	if !flow.Tracked() {
+		t.Fatal("no cells tracked")
+	}
+	flow.Walk(func(n ast.Node, st CellState) {
+		// assignment targets are overwrites, not reads: the state
+		// before `kept := getBatch()` may carry last iteration's spent
+		// plane for kept, which the node itself discards
+		overwritten := map[*ast.Ident]bool{}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, isID := lhs.(*ast.Ident); isID {
+					overwritten[id] = true
+				}
+			}
+		}
+		InspectNode(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && !overwritten[id] && (id.Name == "b" || id.Name == "kept") && st.SpentCells(id) {
+				t.Errorf("line %d: %s reads as spent on a clean worker loop",
+					pass.Fset.Position(id.Pos()).Line, id.Name)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,554 @@
+// Intra-procedural control-flow graphs over go/ast function bodies,
+// in the shape of golang.org/x/tools/go/cfg but on the standard
+// library alone (the build environment is offline, like loader.go).
+//
+// A CFG decomposes one function body into basic blocks of *simple*
+// nodes — leaf statements and the header expressions of composite
+// statements — connected by Succs/Preds edges. Composite statements
+// never appear whole inside a block, with two deliberate exceptions
+// (*ast.RangeStmt in its loop-head block and *ast.SelectStmt in its
+// dispatch block); InspectNode prunes their bodies so analyzers can
+// walk a block's nodes without straying into nested blocks.
+//
+// The graph covers if/else, for (init/cond/post), range, switch and
+// type switch (including fallthrough), select (one block per comm
+// clause, the comm statement first), labeled break/continue/goto, and
+// return. Deferred statements are collected on CFG.Defers: they run
+// on every path out of the function, so flow-sensitive analyzers
+// treat them as executing at Exit rather than at their lexical
+// position.
+//
+// Analyzers obtain graphs through CFGOf, which caches per function
+// *across analyzers of one run* (the cache lives on the run, not the
+// pass), so the nine-analyzer suite builds each function's graph
+// once.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line sequence of
+// simple nodes with control entering at the top and leaving at the
+// bottom.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the block's statements and control expressions in
+	// execution order.
+	Nodes []ast.Node
+	// Succs are the control-flow successors.
+	Succs []*Block
+	// Preds are the control-flow predecessors.
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Fn ast.Node
+	// Blocks lists every block; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is the function-entry block.
+	Entry *Block
+	// Exit is the synthetic block every return (and the fall-off end)
+	// feeds; it holds no nodes.
+	Exit *Block
+	// Defers collects the function's defer statements in source order;
+	// they execute on every path into Exit.
+	Defers []*ast.DeferStmt
+
+	blockOf map[ast.Node]*Block
+	nodeIdx map[ast.Node]int
+	dom     []Bits // lazily computed dominator sets, indexed by Block.Index
+}
+
+// CFGOf returns the control-flow graph of fn (an *ast.FuncDecl or
+// *ast.FuncLit), building it on first use. Graphs are cached on the
+// enclosing run and shared by every analyzer inspecting the package,
+// so a suite of flow-sensitive checkers pays for each build once. A
+// function without a body (external declaration) returns nil.
+func CFGOf(pass *Pass, fn ast.Node) *CFG {
+	body := funcBody(fn)
+	if body == nil {
+		return nil
+	}
+	if pass.cfgs != nil {
+		if g, ok := pass.cfgs[fn]; ok {
+			return g
+		}
+	}
+	g := buildCFG(fn, body)
+	if pass.cfgs != nil {
+		pass.cfgs[fn] = g
+	}
+	return g
+}
+
+// funcBody unwraps the body of a function declaration or literal.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch t := fn.(type) {
+	case *ast.FuncDecl:
+		return t.Body
+	case *ast.FuncLit:
+		return t.Body
+	}
+	return nil
+}
+
+// BlockOf returns the block a simple node was placed in, or nil for
+// nodes that are not block members (composite statements, nodes of
+// nested function literals).
+func (c *CFG) BlockOf(n ast.Node) *Block { return c.blockOf[n] }
+
+// nodeIndex returns n's position within its block (valid only when
+// BlockOf(n) != nil).
+func (c *CFG) nodeIndex(n ast.Node) int { return c.nodeIdx[n] }
+
+// Dominates reports whether block a dominates block b: every path
+// from Entry to b passes through a. A block dominates itself.
+// Unreachable blocks are dominated by everything, matching the
+// standard dataflow convention.
+func (c *CFG) Dominates(a, b *Block) bool {
+	if c.dom == nil {
+		c.buildDominators()
+	}
+	return c.dom[b.Index].Get(a.Index)
+}
+
+// NodeDominates reports whether simple node a dominates simple node
+// b: a executes on every path reaching b. Within one block this is
+// statement order; across blocks it is block dominance.
+func (c *CFG) NodeDominates(a, b ast.Node) bool {
+	ba, bb := c.blockOf[a], c.blockOf[b]
+	if ba == nil || bb == nil {
+		return false
+	}
+	if ba == bb {
+		return c.nodeIdx[a] < c.nodeIdx[b]
+	}
+	return c.Dominates(ba, bb)
+}
+
+// buildDominators computes dominator sets with the classic iterative
+// bit-vector algorithm; CFGs here are function-sized, so the simple
+// O(n²) formulation is plenty.
+func (c *CFG) buildDominators() {
+	n := len(c.Blocks)
+	c.dom = make([]Bits, n)
+	full := NewBits(n)
+	for i := 0; i < n; i++ {
+		full.Set(i)
+	}
+	for i := range c.dom {
+		c.dom[i] = full.Clone()
+	}
+	entry := NewBits(n)
+	entry.Set(c.Entry.Index)
+	c.dom[c.Entry.Index] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.Blocks {
+			if b == c.Entry {
+				continue
+			}
+			next := full.Clone()
+			for _, p := range b.Preds {
+				next.And(c.dom[p.Index])
+			}
+			next.Set(b.Index)
+			if !next.Equal(c.dom[b.Index]) {
+				c.dom[b.Index] = next
+				changed = true
+			}
+		}
+	}
+}
+
+// ReachableWithout reports whether any path from block `from`
+// (exclusive of from's own membership test — the walk starts at its
+// successors) reaches block `to` without entering a block for which
+// barrier returns true. Analyzers use it for "is there a path from
+// the launch to an exit that skips the drain" questions.
+func (c *CFG) ReachableWithout(from, to *Block, barrier func(*Block) bool) bool {
+	seen := NewBits(len(c.Blocks))
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if seen.Get(b.Index) {
+			return false
+		}
+		seen.Set(b.Index)
+		if b == to {
+			return true
+		}
+		if barrier(b) {
+			return false
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range from.Succs {
+		if walk(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// InspectNode walks one block node the way ast.Inspect would, but
+// prunes the parts that belong to other blocks: the body and clauses
+// of a RangeStmt (only Key, Value and X are visited), everything
+// inside a SelectStmt (its comm statements live in the clause
+// blocks), and nested function literals (their bodies get their own
+// CFGs). Analyzers iterating Block.Nodes should walk with this, not
+// ast.Inspect.
+func InspectNode(n ast.Node, f func(ast.Node) bool) {
+	switch t := n.(type) {
+	case *ast.RangeStmt:
+		if !f(n) {
+			return
+		}
+		for _, part := range []ast.Node{t.Key, t.Value, t.X} {
+			if part != nil {
+				InspectNode(part, f)
+			}
+		}
+	case *ast.SelectStmt:
+		f(n)
+	default:
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+				f(m) // visible, but its body belongs to its own CFG
+				return false
+			}
+			return f(m)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// builder
+
+// builder carries the under-construction graph plus the jump targets
+// of the enclosing statements.
+type builder struct {
+	cfg *CFG
+	cur *Block
+	// breakTo/continueTo map "" to the innermost target and each label
+	// to its labeled statement's targets.
+	breaks    []jumpTarget
+	continues []jumpTarget
+	labels    map[string]*Block // goto targets
+	gotos     map[string][]*Block
+	// pendingLabel is the label naming the next loop/switch/select.
+	pendingLabel string
+}
+
+// jumpTarget is one break/continue destination, optionally labeled.
+type jumpTarget struct {
+	label string
+	block *Block
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(fn ast.Node, body *ast.BlockStmt) *CFG {
+	c := &CFG{
+		Fn:      fn,
+		blockOf: map[ast.Node]*Block{},
+		nodeIdx: map[ast.Node]int{},
+	}
+	b := &builder{cfg: c, labels: map[string]*Block{}, gotos: map[string][]*Block{}}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmtList(body.List)
+	// fall off the end of the function
+	b.edge(b.cur, c.Exit)
+	// resolve forward gotos
+	for label, srcs := range b.gotos {
+		dst := b.labels[label]
+		if dst == nil {
+			dst = c.Exit // malformed source; be lenient
+		}
+		for _, src := range srcs {
+			b.edge(src, dst)
+		}
+	}
+	return c
+}
+
+// newBlock appends a fresh empty block.
+func (b *builder) newBlock(preds ...*Block) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	for _, p := range preds {
+		b.edge(p, blk)
+	}
+	return blk
+}
+
+// edge links from → to.
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add places a simple node in the current block.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.cfg.blockOf[n] = b.cur
+	b.cfg.nodeIdx[n] = len(b.cur.Nodes)
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// stmtList walks a statement sequence.
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt translates one statement, leaving b.cur at the statement's
+// fall-through continuation.
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch t := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(t.List)
+
+	case *ast.LabeledStmt:
+		// start a new block so gotos have a landing site
+		blk := b.newBlock(b.cur)
+		b.cur = blk
+		b.labels[t.Label.Name] = blk
+		b.pendingLabel = t.Label.Name
+		b.stmt(t.Stmt)
+
+	case *ast.ReturnStmt:
+		b.add(t)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock()
+
+	case *ast.BranchStmt:
+		b.add(t)
+		name := ""
+		if t.Label != nil {
+			name = t.Label.Name
+		}
+		switch t.Tok {
+		case token.BREAK:
+			if dst := findTarget(b.breaks, name); dst != nil {
+				b.edge(b.cur, dst)
+			}
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			if dst := findTarget(b.continues, name); dst != nil {
+				b.edge(b.cur, dst)
+			}
+			b.cur = b.newBlock()
+		case token.GOTO:
+			if dst, ok := b.labels[name]; ok {
+				b.edge(b.cur, dst)
+			} else {
+				b.gotos[name] = append(b.gotos[name], b.cur)
+			}
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// handled structurally by the switch translation
+		}
+
+	case *ast.IfStmt:
+		if t.Init != nil {
+			b.stmt(t.Init)
+		}
+		b.add(t.Cond)
+		cond := b.cur
+		b.cur = b.newBlock(cond)
+		b.stmt(t.Body)
+		thenEnd := b.cur
+		if t.Else != nil {
+			b.cur = b.newBlock(cond)
+			b.stmt(t.Else)
+			elseEnd := b.cur
+			b.cur = b.newBlock(thenEnd, elseEnd)
+		} else {
+			b.cur = b.newBlock(thenEnd, cond)
+		}
+
+	case *ast.ForStmt:
+		if t.Init != nil {
+			b.stmt(t.Init)
+		}
+		head := b.newBlock(b.cur)
+		b.cur = head
+		if t.Cond != nil {
+			b.add(t.Cond)
+		}
+		after := b.newBlock()
+		if t.Cond != nil {
+			b.edge(head, after)
+		}
+		// continue target: the post block when present, else the head
+		post := head
+		if t.Post != nil {
+			post = b.newBlock()
+		}
+		body := b.newBlock(head)
+		b.pushLoop(label, after, post)
+		b.cur = body
+		b.stmt(t.Body)
+		b.popLoop()
+		if t.Post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(t.Post)
+			b.edge(b.cur, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock(b.cur)
+		b.cur = head
+		b.add(t) // the RangeStmt itself marks the iteration head
+		after := b.newBlock(head)
+		body := b.newBlock(head)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmt(t.Body)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			b.stmt(t.Init)
+		}
+		if t.Tag != nil {
+			b.add(t.Tag)
+		}
+		b.switchClauses(label, t.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if t.Init != nil {
+			b.stmt(t.Init)
+		}
+		b.switchClauses(label, t.Body, t.Assign)
+
+	case *ast.SelectStmt:
+		b.add(t) // the SelectStmt marks the blocking dispatch point
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, jumpTarget{label, after}, jumpTarget{"", after})
+		for _, cl := range t.Body.List {
+			comm := cl.(*ast.CommClause)
+			b.cur = b.newBlock(head)
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.edge(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-2]
+		b.cur = after
+
+	case *ast.DeferStmt:
+		b.add(t)
+		b.cfg.Defers = append(b.cfg.Defers, t)
+
+	default:
+		// simple statements: expressions, assignments, sends, go,
+		// declarations, inc/dec, empty
+		b.add(s)
+	}
+}
+
+// switchClauses translates the clause list shared by value and type
+// switches. assign is the type switch's `x := y.(type)` statement,
+// re-added at the head of every clause so per-clause definitions
+// land in the clause's block.
+func (b *builder) switchClauses(label string, body *ast.BlockStmt, assign ast.Stmt) {
+	head := b.cur
+	after := b.newBlock()
+	b.breaks = append(b.breaks, jumpTarget{label, after}, jumpTarget{"", after})
+	hasDefault := false
+	var clauseStarts []*Block
+	var clauseEnds []*Block
+	var clauses []*ast.CaseClause
+	for _, raw := range body.List {
+		cl := raw.(*ast.CaseClause)
+		if cl.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock(head)
+		clauseStarts = append(clauseStarts, blk)
+		b.cur = blk
+		if assign != nil {
+			// the per-clause binding of the type switch variable
+			b.add(assign)
+		}
+		for _, e := range cl.List {
+			b.add(e)
+		}
+		b.stmtList(cl.Body)
+		clauseEnds = append(clauseEnds, b.cur)
+		clauses = append(clauses, cl)
+		b.edge(b.cur, after)
+	}
+	// fallthrough: the clause end also feeds the next clause start
+	for i, cl := range clauses {
+		if i+1 < len(clauseStarts) && endsInFallthrough(cl.Body) {
+			b.edge(clauseEnds[i], clauseStarts[i+1])
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+// endsInFallthrough reports whether a clause body's last statement is
+// a fallthrough.
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// pushLoop enters a breakable+continuable scope.
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, jumpTarget{label, brk}, jumpTarget{"", brk})
+	b.continues = append(b.continues, jumpTarget{label, cont}, jumpTarget{"", cont})
+}
+
+// popLoop leaves the innermost loop scope.
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.continues = b.continues[:len(b.continues)-2]
+}
+
+// findTarget resolves a break/continue label ("" for the innermost).
+func findTarget(stack []jumpTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc type-checks one source file and returns a Pass plus the
+// named function's declaration.
+func parseFunc(t *testing.T, src, name string) (*Pass, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info,
+		cfgs: map[ast.Node]*CFG{}}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return pass, fd
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// findNode locates the first simple node in the CFG whose source text
+// position matches the given line.
+func findNodeOnLine(t *testing.T, pass *Pass, cfg *CFG, line int) ast.Node {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if pass.Fset.Position(n.Pos()).Line == line {
+				return n
+			}
+		}
+	}
+	t.Fatalf("no simple node on line %d", line)
+	return nil
+}
+
+const cfgSrc = `package x
+
+func f(c bool, xs []int) int {
+	n := 0              // line 4
+	if c {
+		n = 1           // line 6
+	} else {
+		n = 2           // line 8
+	}
+	for _, x := range xs {
+		n += x          // line 11
+	}
+	switch n {
+	case 0:
+		n = 10          // line 15
+	default:
+		n = 20          // line 17
+	}
+	return n            // line 19
+}
+`
+
+// TestCFGShape checks block construction, dominance, and node
+// dominance over if/range/switch control flow.
+func TestCFGShape(t *testing.T) {
+	pass, fd := parseFunc(t, cfgSrc, "f")
+	cfg := CFGOf(pass, fd)
+	if cfg == nil {
+		t.Fatal("nil CFG")
+	}
+	if CFGOf(pass, fd) != cfg {
+		t.Error("CFGOf did not cache the graph")
+	}
+	init := findNodeOnLine(t, pass, cfg, 4)
+	thenN := findNodeOnLine(t, pass, cfg, 6)
+	elseN := findNodeOnLine(t, pass, cfg, 8)
+	loop := findNodeOnLine(t, pass, cfg, 11)
+	ret := findNodeOnLine(t, pass, cfg, 19)
+	if !cfg.NodeDominates(init, ret) {
+		t.Error("entry statement should dominate the return")
+	}
+	if cfg.NodeDominates(thenN, ret) || cfg.NodeDominates(elseN, ret) {
+		t.Error("one if-arm must not dominate the return")
+	}
+	if !cfg.NodeDominates(init, loop) {
+		t.Error("init should dominate the loop body")
+	}
+	if cfg.NodeDominates(loop, ret) {
+		t.Error("range body must not dominate the return (zero-iteration path)")
+	}
+	// the loop body can reach the return, but not without crossing the
+	// range head
+	head := cfg.BlockOf(findNodeOnLine(t, pass, cfg, 10))
+	if head == nil {
+		t.Fatal("range head has no block")
+	}
+	if cfg.ReachableWithout(cfg.BlockOf(loop), cfg.Exit, func(b *Block) bool { return b == head }) {
+		t.Error("loop body should only exit through the range head")
+	}
+}
+
+const reachSrc = `package x
+
+func g(c bool) int {
+	v := 1              // def A, line 4
+	if c {
+		v = 2           // def B, line 6
+	}
+	return v            // line 8
+}
+`
+
+// TestReachingDefs checks that both the fall-through and the
+// reassigned definition reach the merged use.
+func TestReachingDefs(t *testing.T) {
+	pass, fd := parseFunc(t, reachSrc, "g")
+	cfg := CFGOf(pass, fd)
+	rd := NewReachingDefs(pass, cfg)
+	ret := findNodeOnLine(t, pass, cfg, 8)
+	var v *types.Var
+	for _, d := range rd.Defs {
+		if d.Var.Name() == "v" {
+			v = d.Var
+		}
+	}
+	if v == nil {
+		t.Fatal("no defs of v recorded")
+	}
+	defs := rd.Reaching(ret, v)
+	if len(defs) != 2 {
+		t.Fatalf("reaching defs of v at return = %d, want 2 (both branches)", len(defs))
+	}
+	use6 := findNodeOnLine(t, pass, cfg, 6)
+	defs = rd.Reaching(use6, v)
+	if len(defs) != 1 {
+		t.Fatalf("reaching defs of v before reassignment = %d, want 1", len(defs))
+	}
+}
+
+const cellSrc = `package x
+
+type thing struct{ n int }
+
+func acquire() *thing    { return &thing{} }
+func release(th *thing)  {}
+
+func h(c bool) int {
+	a := acquire()       // cell, line 9
+	b := a               // alias, line 10
+	if c {
+		release(a)       // spends the cell, line 12
+	}
+	return b.n           // line 14: b may be spent here
+}
+`
+
+// TestCellFlow checks the may-alias lattice: releasing through one
+// name spends the cell for its alias on the merged path, and a fresh
+// acquire revives the cell.
+func TestCellFlow(t *testing.T) {
+	pass, fd := parseFunc(t, cellSrc, "h")
+	cfg := CFGOf(pass, fd)
+	isSource := func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "acquire"
+	}
+	releases := func(n ast.Node) []ast.Expr {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return nil
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "release" {
+			return nil
+		}
+		return call.Args[:1]
+	}
+	flow := NewCellFlow(pass, cfg, isSource, releases)
+	if !flow.Tracked() {
+		t.Fatal("no cells tracked")
+	}
+	ret := findNodeOnLine(t, pass, cfg, 14)
+	var spentAtReturn, spentAtAlias bool
+	flow.Walk(func(n ast.Node, st CellState) {
+		if n == ret {
+			InspectNode(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == "b" {
+					spentAtReturn = st.SpentCells(id)
+				}
+				return true
+			})
+		}
+		if pass.Fset.Position(n.Pos()).Line == 10 {
+			InspectNode(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == "a" {
+					spentAtAlias = st.SpentCells(id)
+				}
+				return true
+			})
+		}
+	})
+	if !spentAtReturn {
+		t.Error("use of alias b after release(a) on a merged path should be spent")
+	}
+	if spentAtAlias {
+		t.Error("use of a before any release must not be spent")
+	}
+	// and the two names alias
+	var av, bv *types.Var
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				switch id.Name {
+				case "a":
+					av = v
+				case "b":
+					bv = v
+				}
+			}
+		}
+		return true
+	})
+	if av == nil || bv == nil {
+		t.Fatal("could not resolve a/b variables")
+	}
+	if !flow.MayAlias(av, bv) {
+		t.Error("a and b should may-alias")
+	}
+}

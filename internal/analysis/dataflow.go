@@ -1,0 +1,626 @@
+// Dataflow analyses over the CFG layer: a small bit-vector kit, a
+// generic forward may-analysis fixpoint, classic reaching
+// definitions, and CellFlow — a flow-sensitive may-alias lattice that
+// tracks which designated call sites ("cells") each local variable
+// may hold a value from, with a per-cell spent bit for
+// acquire/release protocols. The three flow-sensitive fsdmvet
+// analyzers (leakcheck, escapecheck, blockcheck) are built on these
+// pieces; they are analyzer-agnostic and live here so future checkers
+// share them.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ---------------------------------------------------------------------------
+// bit vectors
+
+// Bits is a fixed-width bit vector.
+type Bits []uint64
+
+// NewBits returns an all-zero vector holding n bits.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Get reports bit i.
+func (b Bits) Get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Set turns bit i on.
+func (b Bits) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Clear turns bit i off.
+func (b Bits) Clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+// Or folds o into b, reporting whether b changed.
+func (b Bits) Or(o Bits) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// And intersects b with o in place.
+func (b Bits) And(o Bits) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// AndNot removes o's bits from b.
+func (b Bits) AndNot(o Bits) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+// Intersects reports whether b and o share a set bit.
+func (b Bits) Intersects(o Bits) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports bitwise equality.
+func (b Bits) Equal(o Bits) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no bit is set.
+func (b Bits) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies b.
+func (b Bits) Clone() Bits {
+	out := make(Bits, len(b))
+	copy(out, b)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// generic forward fixpoint
+
+// Forward runs a forward may-dataflow fixpoint over the graph:
+// in(b) = ∪ out(pred), out(b) = transfer(b, in(b)), with the given
+// entry state. transfer must be monotone and must not retain or
+// mutate its argument beyond returning the new state. The returned
+// map holds the in-state of every block; analyzers re-apply their
+// per-node transfer while walking a block to refine between nodes.
+func (c *CFG) Forward(width int, entryIn Bits, transfer func(b *Block, in Bits) Bits) map[*Block]Bits {
+	ins := make(map[*Block]Bits, len(c.Blocks))
+	outs := make(map[*Block]Bits, len(c.Blocks))
+	for _, b := range c.Blocks {
+		ins[b] = NewBits(width)
+		outs[b] = NewBits(width)
+	}
+	ins[c.Entry] = entryIn.Clone()
+	outs[c.Entry] = transfer(c.Entry, entryIn.Clone())
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.Blocks {
+			if b != c.Entry {
+				in := NewBits(width)
+				for _, p := range b.Preds {
+					in.Or(outs[p])
+				}
+				if !in.Equal(ins[b]) {
+					ins[b] = in
+				}
+			}
+			out := transfer(b, ins[b].Clone())
+			if !out.Equal(outs[b]) {
+				outs[b] = out
+				changed = true
+			}
+		}
+	}
+	return ins
+}
+
+// ---------------------------------------------------------------------------
+// reaching definitions
+
+// Def is one definition of a function-local variable: the simple node
+// that assigns it. Parameter and named-result definitions have a nil
+// Node (they are born at Entry).
+type Def struct {
+	// ID indexes the definition in ReachingDefs.Defs.
+	ID int
+	// Var is the defined local.
+	Var *types.Var
+	// Node is the defining simple node; nil for parameters.
+	Node ast.Node
+}
+
+// ReachingDefs answers "which definitions of v may reach this node"
+// for one function, computed once per (function, analyzer suite run).
+type ReachingDefs struct {
+	cfg *CFG
+	// Defs lists every definition found, indexed by Def.ID.
+	Defs []*Def
+
+	byVar  map[*types.Var]Bits // kill masks: all defs of one var
+	byNode map[ast.Node][]*Def // defs made at one node
+	ins    map[*Block]Bits
+}
+
+// NewReachingDefs computes reaching definitions for cfg using the
+// pass's type information.
+func NewReachingDefs(pass *Pass, cfg *CFG) *ReachingDefs {
+	r := &ReachingDefs{
+		cfg:    cfg,
+		byVar:  map[*types.Var]Bits{},
+		byNode: map[ast.Node][]*Def{},
+	}
+	// collect definitions: parameters first, then node defs in block order
+	if fd, ok := cfg.Fn.(*ast.FuncDecl); ok && fd.Type != nil {
+		for _, field := range paramFields(fd.Type) {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					r.addDef(v, nil)
+				}
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			for _, v := range definedVars(pass.TypesInfo, n) {
+				r.addDef(v, n)
+			}
+		}
+	}
+	width := len(r.Defs)
+	entry := NewBits(width)
+	for _, d := range r.Defs {
+		if d.Node == nil {
+			entry.Set(d.ID)
+		}
+	}
+	r.ins = cfg.Forward(width, entry, func(b *Block, in Bits) Bits {
+		for _, n := range b.Nodes {
+			r.apply(in, n)
+		}
+		return in
+	})
+	return r
+}
+
+// addDef registers one definition.
+func (r *ReachingDefs) addDef(v *types.Var, n ast.Node) {
+	d := &Def{ID: len(r.Defs), Var: v, Node: n}
+	r.Defs = append(r.Defs, d)
+	if n != nil {
+		r.byNode[n] = append(r.byNode[n], d)
+	}
+	r.byVar[v] = nil // mask built lazily once IDs are final
+}
+
+// killMask returns the set of all definitions of v.
+func (r *ReachingDefs) killMask(v *types.Var) Bits {
+	m := r.byVar[v]
+	if m == nil {
+		m = NewBits(len(r.Defs))
+		for _, d := range r.Defs {
+			if d.Var == v {
+				m.Set(d.ID)
+			}
+		}
+		r.byVar[v] = m
+	}
+	return m
+}
+
+// apply folds one node's kills and gens into state.
+func (r *ReachingDefs) apply(state Bits, n ast.Node) {
+	for _, d := range r.byNode[n] {
+		state.AndNot(r.killMask(d.Var))
+	}
+	for _, d := range r.byNode[n] {
+		state.Set(d.ID)
+	}
+}
+
+// Reaching returns the definitions of v that may reach node `at`
+// (state before the node executes). at must be a simple node of the
+// CFG.
+func (r *ReachingDefs) Reaching(at ast.Node, v *types.Var) []*Def {
+	b := r.cfg.BlockOf(at)
+	if b == nil {
+		return nil
+	}
+	state := r.ins[b].Clone()
+	for _, n := range b.Nodes {
+		if n == at {
+			break
+		}
+		r.apply(state, n)
+	}
+	var out []*Def
+	mask := r.killMask(v)
+	for _, d := range r.Defs {
+		if mask.Get(d.ID) && state.Get(d.ID) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// paramFields flattens a signature's parameter and result fields.
+func paramFields(ft *ast.FuncType) []*ast.Field {
+	var out []*ast.Field
+	if ft.Params != nil {
+		out = append(out, ft.Params.List...)
+	}
+	if ft.Results != nil {
+		out = append(out, ft.Results.List...)
+	}
+	return out
+}
+
+// definedVars lists the local variables a simple node (re)defines.
+func definedVars(info *types.Info, n ast.Node) []*types.Var {
+	var out []*types.Var
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v := localVar(info, id); v != nil {
+				out = append(out, v)
+			}
+		}
+	}
+	switch t := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range t.Lhs {
+			add(lhs)
+		}
+	case *ast.IncDecStmt:
+		add(t.X)
+	case *ast.DeclStmt:
+		if gd, ok := t.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						add(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if t.Key != nil {
+			add(t.Key)
+		}
+		if t.Value != nil {
+			add(t.Value)
+		}
+	}
+	return out
+}
+
+// localVar resolves an identifier to the function-local (or
+// parameter) variable it denotes, nil otherwise.
+func localVar(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == nil || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return nil // package-level
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// CellFlow: flow-sensitive may-alias over designated call sites
+
+// CellFlow tracks, for one function, which source call sites each
+// local variable may hold a value from — a simple may-alias lattice:
+// two expressions may alias when their cell sets intersect. Each
+// (variable, cell) pair additionally carries a "spent" bit, set for
+// every variable still holding the cell when the value flows into a
+// release call. The bit is per variable, not per cell, for two
+// reasons: precision — a loop that releases through one name and
+// re-enters must not poison an unrelated name that merely may hold
+// the same cell on a different path — and soundness — re-executing
+// the source site hands out a fresh value to its assignee only, so a
+// stale alias from the previous checkout stays spent. This is exactly
+// the shape of use-after-release checking, but the lattice itself
+// knows nothing about pools.
+type CellFlow struct {
+	cfg  *CFG
+	info *types.Info
+
+	// source reports whether a call expression mints a tracked cell.
+	source func(*ast.CallExpr) bool
+	// release returns the expressions whose cells a node spends.
+	release func(ast.Node) []ast.Expr
+
+	vars   []*types.Var
+	varID  map[*types.Var]int
+	cells  []*ast.CallExpr
+	cellID map[*ast.CallExpr]int
+
+	width int // vars*cells held bits, then vars*cells spent bits
+	ins   map[*Block]Bits
+	// everHeld accumulates each var's cells across all program points,
+	// for the flow-insensitive MayAlias query.
+	everHeld map[*types.Var]Bits
+}
+
+// NewCellFlow computes the lattice for cfg. source designates the
+// cell-minting calls; release (optional) lists, per simple node, the
+// expressions whose cells become spent there.
+func NewCellFlow(pass *Pass, cfg *CFG, source func(*ast.CallExpr) bool, release func(ast.Node) []ast.Expr) *CellFlow {
+	f := &CellFlow{
+		cfg: cfg, info: pass.TypesInfo,
+		source: source, release: release,
+		varID:    map[*types.Var]int{},
+		cellID:   map[*ast.CallExpr]int{},
+		everHeld: map[*types.Var]Bits{},
+	}
+	if release == nil {
+		f.release = func(ast.Node) []ast.Expr { return nil }
+	}
+	// enumerate cells and the variables that can hold them: any local
+	// ever on the left of an assignment whose right side could carry a
+	// cell (a source call or another local). Over-approximating the
+	// variable set is harmless; bits stay zero.
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			InspectNode(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && f.source(call) {
+					if _, seen := f.cellID[call]; !seen {
+						f.cellID[call] = len(f.cells)
+						f.cells = append(f.cells, call)
+					}
+				}
+				if as, ok := m.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if id, isID := lhs.(*ast.Ident); isID {
+							if v := localVar(f.info, id); v != nil {
+								if _, seen := f.varID[v]; !seen {
+									f.varID[v] = len(f.vars)
+									f.vars = append(f.vars, v)
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	nc := len(f.cells)
+	f.width = 2 * len(f.vars) * nc
+	if nc == 0 {
+		return f
+	}
+	f.ins = cfg.Forward(f.width, NewBits(f.width), func(b *Block, in Bits) Bits {
+		for _, n := range b.Nodes {
+			f.apply(in, n)
+		}
+		return in
+	})
+	return f
+}
+
+// Tracked reports whether the function contains any cells at all;
+// analyzers skip functions without them.
+func (f *CellFlow) Tracked() bool { return len(f.cells) > 0 }
+
+// varBase returns the bit offset of v's held plane, ok=false for
+// untracked variables.
+func (f *CellFlow) varBase(v *types.Var) (int, bool) {
+	id, ok := f.varID[v]
+	if !ok {
+		return 0, false
+	}
+	return id * len(f.cells), true
+}
+
+// spentShift is the distance from a variable's held plane to its
+// spent plane.
+func (f *CellFlow) spentShift() int { return len(f.vars) * len(f.cells) }
+
+// plane reads len(cells) bits starting at base out of state.
+func (f *CellFlow) plane(state Bits, base int) Bits {
+	out := NewBits(len(f.cells))
+	for i := 0; i < len(f.cells); i++ {
+		if state.Get(base + i) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// setPlane writes len(cells) bits at base into state.
+func (f *CellFlow) setPlane(state Bits, base int, bits Bits) {
+	for i := 0; i < len(f.cells); i++ {
+		if bits.Get(i) {
+			state.Set(base + i)
+		} else {
+			state.Clear(base + i)
+		}
+	}
+}
+
+// cellsOf evaluates an expression's may-point-to cell set under
+// state: a source call is its own cell; an identifier reads its held
+// plane; a type assertion forwards (pool.Get().(*T)); anything else
+// is the empty set.
+func (f *CellFlow) cellsOf(state Bits, e ast.Expr) Bits {
+	held, _ := f.eval(state, e)
+	return held
+}
+
+// eval returns an expression's held and spent cell sets under state.
+func (f *CellFlow) eval(state Bits, e ast.Expr) (held, spent Bits) {
+	held, spent = NewBits(len(f.cells)), NewBits(len(f.cells))
+	switch t := stripParens(e).(type) {
+	case *ast.TypeAssertExpr:
+		return f.eval(state, t.X)
+	case *ast.CallExpr:
+		if id, ok := f.cellID[t]; ok {
+			held.Set(id) // a fresh checkout: held, never spent
+		}
+	case *ast.Ident:
+		if v := localVar(f.info, t); v != nil {
+			if base, ok := f.varBase(v); ok {
+				held = f.plane(state, base)
+				spent = f.plane(state, base+f.spentShift())
+			}
+		}
+	}
+	return held, spent
+}
+
+// apply folds one node into state: assignments copy held and spent
+// planes together (aliasing preserves staleness, a fresh source call
+// mints an unspent cell), and releases mark every variable still
+// holding a released cell as spent.
+func (f *CellFlow) apply(state Bits, n ast.Node) {
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		// evaluate all right sides against the pre-state first, so
+		// swaps (a, b = b, a) read consistent planes
+		type write struct {
+			base        int
+			held, spent Bits
+			v           *types.Var
+		}
+		var writes []write
+		for i, lhs := range as.Lhs {
+			id, isID := lhs.(*ast.Ident)
+			if !isID {
+				continue
+			}
+			v := localVar(f.info, id)
+			if v == nil {
+				continue
+			}
+			base, ok := f.varBase(v)
+			if !ok {
+				continue
+			}
+			held, spent := f.eval(state, as.Rhs[i])
+			writes = append(writes, write{base: base, held: held, spent: spent, v: v})
+		}
+		for _, w := range writes {
+			f.setPlane(state, w.base, w.held)
+			f.setPlane(state, w.base+f.spentShift(), w.spent)
+			f.accumulate(w.v, w.held)
+		}
+	} else if as, ok := n.(*ast.AssignStmt); ok {
+		// multi-value form a, b := f(): no cell can flow
+		empty := NewBits(len(f.cells))
+		for _, lhs := range as.Lhs {
+			if id, isID := lhs.(*ast.Ident); isID {
+				if v := localVar(f.info, id); v != nil {
+					if base, ok := f.varBase(v); ok {
+						f.setPlane(state, base, empty)
+						f.setPlane(state, base+f.spentShift(), empty)
+					}
+				}
+			}
+		}
+	}
+	for _, rel := range f.release(n) {
+		released := f.cellsOf(state, rel)
+		if released.Empty() {
+			continue
+		}
+		// every variable still holding a released cell goes stale
+		for _, v := range f.vars {
+			base, _ := f.varBase(v)
+			overlap := f.plane(state, base)
+			overlap.And(released)
+			if overlap.Empty() {
+				continue
+			}
+			spent := f.plane(state, base+f.spentShift())
+			spent.Or(overlap)
+			f.setPlane(state, base+f.spentShift(), spent)
+		}
+	}
+}
+
+// accumulate grows the flow-insensitive alias summary.
+func (f *CellFlow) accumulate(v *types.Var, cells Bits) {
+	held := f.everHeld[v]
+	if held == nil {
+		held = NewBits(len(f.cells))
+		f.everHeld[v] = held
+	}
+	held.Or(cells)
+}
+
+// MayAlias reports whether two locals may refer to a value from the
+// same cell at any program point (flow-insensitive summary of the
+// lattice).
+func (f *CellFlow) MayAlias(a, b *types.Var) bool {
+	ha, hb := f.everHeld[a], f.everHeld[b]
+	return ha != nil && hb != nil && ha.Intersects(hb)
+}
+
+// CellState is the lattice state before one node, handed to Walk
+// callbacks.
+type CellState struct {
+	f     *CellFlow
+	state Bits
+}
+
+// SpentCells reports whether e may hold a value it has already seen
+// released — the use-after-release question.
+func (s CellState) SpentCells(e ast.Expr) bool {
+	_, spent := s.f.eval(s.state, e)
+	return !spent.Empty()
+}
+
+// Holds reports whether e may hold a value from any tracked cell.
+func (s CellState) Holds(e ast.Expr) bool {
+	return !s.f.cellsOf(s.state, e).Empty()
+}
+
+// Walk visits every simple node of the function in block order,
+// passing the lattice state in force just before the node executes.
+func (f *CellFlow) Walk(visit func(n ast.Node, st CellState)) {
+	if len(f.cells) == 0 {
+		return
+	}
+	for _, b := range f.cfg.Blocks {
+		state := f.ins[b].Clone()
+		for _, n := range b.Nodes {
+			visit(n, CellState{f: f, state: state})
+			f.apply(state, n)
+		}
+	}
+}
+
+// stripParens unwraps parenthesized expressions.
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

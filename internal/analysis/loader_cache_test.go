@@ -1,0 +1,51 @@
+package analysis
+
+import "testing"
+
+// TestLoaderTypechecksOnce asserts the memoization the suite's
+// timing budget rests on: one parse+typecheck per package per run,
+// no matter how many analyzers or dependent packages ask for it.
+func TestLoaderTypechecksOnce(t *testing.T) {
+	loader := NewSrcLoader("../fsdmvet/testdata/leak/src")
+	first, err := loader.Load("leak")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	second, err := loader.Load("leak")
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if first != second {
+		t.Error("Load type-checked the same package twice; the loader must memoize")
+	}
+	if tp, err := loader.Import("leak"); err != nil || tp != first.Types {
+		t.Errorf("Import must serve the memoized types.Package (err=%v)", err)
+	}
+}
+
+// TestModuleLoaderTreeOnce asserts LoadTree and Load share one cache:
+// re-requesting a tree package returns the identical object.
+func TestModuleLoaderTreeOnce(t *testing.T) {
+	loader, err := NewModuleLoader("../..")
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	pkgs, err := loader.LoadTree()
+	if err != nil {
+		t.Fatalf("load tree: %v", err)
+	}
+	seen := map[string]*Package{}
+	for _, p := range pkgs {
+		if dup, ok := seen[p.ImportPath]; ok && dup != p {
+			t.Errorf("%s appears twice with distinct type-checks", p.ImportPath)
+		}
+		seen[p.ImportPath] = p
+	}
+	again, err := loader.Load("repro/internal/analysis")
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if seen["repro/internal/analysis"] != again {
+		t.Error("Load after LoadTree re-type-checked an already-loaded package")
+	}
+}

@@ -1,0 +1,15 @@
+package fsdmvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestBlockCheck(t *testing.T) {
+	findings := analysistest.Run(t, "testdata/block", fsdmvet.BlockCheck, "blockdemo")
+	// seeded-bug: a channel send inside a mutex critical section — the
+	// holder-waits-for-worker deadlock class.
+	assertFinding(t, findings, "channel send while e.mu is held")
+}

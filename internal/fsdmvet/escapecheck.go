@@ -1,0 +1,175 @@
+// escapecheck: flow-sensitive lifetimes for pooled scratch values.
+// poolcheck enforces the release discipline statement-by-statement
+// inside one block; escapecheck upgrades it to whole-function paths on
+// the CFG. A value checked out of a scratch pool — sqljson's
+// AcquireState, sqlengine's getBatch, or any sync.Pool Get — must not
+// be reached again once some path has released it: not read, not
+// stored into a struct field, not sent on a channel, and not captured
+// by a closure that can run after the release. The may-alias lattice
+// (analysis.CellFlow) makes the check robust where poolcheck is blind:
+// aliases (`b := kept`), releases inside one arm of an if, and loops
+// that re-acquire from the same site (a back edge revives the cell, so
+// per-iteration acquire/release stays clean).
+//
+// Deliberately NOT flagged: field stores and channel sends of a value
+// that is still live. Those are ownership transfers — detachBatch
+// hand-off, parRow sends in the parallel operators — and the receiving
+// side becomes the releaser. Only reaching a value after its pool got
+// it back is corruption.
+
+package fsdmvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// poolAcquirers names the checkout entry points whose results
+// escapecheck tracks; poolReleasers (poolcheck.go) spends them.
+var poolAcquirers = map[string]bool{
+	"AcquireState": true, // sqljson.TableDef pool
+	"getBatch":     true, // sqlengine batch header pool
+}
+
+// EscapeCheck flags pooled values reached after a release on some
+// path: reads, field stores, channel sends, and closure captures.
+var EscapeCheck = &analysis.Analyzer{
+	Name: "escapecheck",
+	Doc:  "a pooled value (AcquireState/getBatch/sync.Pool Get) must not be read, stored, sent, or captured after any path has released it",
+	Run:  runEscapeCheck,
+}
+
+func runEscapeCheck(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				checkFuncEscapes(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncEscapes runs the cell lattice over one function and reports
+// every reach of a spent value.
+func checkFuncEscapes(pass *analysis.Pass, fn ast.Node) {
+	cfg := analysis.CFGOf(pass, fn)
+	if cfg == nil {
+		return
+	}
+	flow := analysis.NewCellFlow(pass, cfg,
+		func(call *ast.CallExpr) bool { return isPoolAcquire(pass.TypesInfo, call) },
+		func(n ast.Node) []ast.Expr { return releasedArgs(pass.TypesInfo, n) },
+	)
+	if !flow.Tracked() {
+		return
+	}
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	flow.Walk(func(n ast.Node, st analysis.CellState) {
+		// overwriting a spent variable re-establishes ownership; its
+		// plain-identifier assignment targets are not uses
+		overwritten := map[*ast.Ident]bool{}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, isID := unparen(lhs).(*ast.Ident); isID {
+					overwritten[id] = true
+				}
+			}
+		}
+		analysis.InspectNode(n, func(m ast.Node) bool {
+			switch t := m.(type) {
+			case *ast.FuncLit:
+				// closure capturing a spent value: the body is not part
+				// of this CFG, so scan it against the state at the
+				// capture point
+				ast.Inspect(t.Body, func(b ast.Node) bool {
+					if id, ok := b.(*ast.Ident); ok && st.SpentCells(id) {
+						report(id.Pos(), "pooled value %s captured by closure after release: the pool may have handed it to another owner (capture before releasing, or move the release past the closure's last run)", id.Name)
+					}
+					return true
+				})
+				return false
+			case *ast.SendStmt:
+				if st.SpentCells(t.Value) {
+					report(t.Value.Pos(), "pooled value %s sent on channel after release: the receiver would share it with the pool's next checkout (send before releasing, or transfer ownership and drop the release)", refString(t.Value))
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range t.Lhs {
+					if _, isSel := unparen(lhs).(*ast.SelectorExpr); isSel && i < len(t.Rhs) {
+						if st.SpentCells(t.Rhs[i]) {
+							report(t.Rhs[i].Pos(), "pooled value %s stored to a field after release: the field would outlive the checkout (store before releasing, or clear the release and transfer ownership)", refString(t.Rhs[i]))
+						}
+					}
+				}
+			case *ast.Ident:
+				if !overwritten[t] && st.SpentCells(t) {
+					report(t.Pos(), "pooled value %s used after release on some path: the pool may already have handed it to another owner (release on every path only after the last use)", t.Name)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isPoolAcquire matches the pool checkout calls: the named acquirers
+// and any type-resolved (*sync.Pool).Get.
+func isPoolAcquire(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := callee(info, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	if poolAcquirers[fn.Name()] {
+		return true
+	}
+	return isSyncPoolMethod(info, fn, "Get")
+}
+
+// releasedArgs lists the expressions a non-deferred node releases:
+// argument 0 of every poolReleaser or (*sync.Pool).Put call inside it.
+// Deferred releases run at function exit, not at the defer site, so
+// they never spend mid-function state.
+func releasedArgs(info *types.Info, n ast.Node) []ast.Expr {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return nil
+	}
+	var out []ast.Expr
+	analysis.InspectNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := callee(info, call).(*types.Func)
+		if !ok {
+			return true
+		}
+		if poolReleasers[fn.Name()] || isSyncPoolMethod(info, fn, "Put") {
+			out = append(out, call.Args[0])
+		}
+		return true
+	})
+	return out
+}
+
+// isSyncPoolMethod reports whether fn is sync.Pool's method name.
+func isSyncPoolMethod(info *types.Info, fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, rname, _ := baseTypeName(sig.Recv().Type())
+	return rname == "Pool"
+}

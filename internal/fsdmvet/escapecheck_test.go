@@ -1,0 +1,16 @@
+package fsdmvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestEscapeCheck(t *testing.T) {
+	findings := analysistest.Run(t, "testdata/escape", fsdmvet.EscapeCheck, "escape")
+	// seeded-bug: a pooled batch parked in a struct field after its
+	// release — the stale-handle escape class poolcheck cannot see
+	// across blocks.
+	assertFinding(t, findings, "stored to a field after release")
+}

@@ -17,6 +17,17 @@
 //     node slices, batch headers) is never used after its release
 //     call, and released struct fields are cleared at the release
 //     site.
+//   - leakcheck: every go statement is dominated by a
+//     sync.WaitGroup.Add registration (or waits on a group itself),
+//     and every fleet is joined on all paths out of its owner.
+//   - escapecheck: flow-sensitive poolcheck — a pooled value is never
+//     read, stored to a field, sent on a channel, or captured by a
+//     closure after any path has released it (CFG + may-alias).
+//   - blockcheck: no channel operation, cursor Next/NextBatch pull,
+//     store DML, or WaitGroup.Wait while a sync mutex is held.
+//
+// The last three are flow-sensitive, built on the CFG/dataflow layer
+// in internal/analysis (see CFGOf, ReachingDefs, CellFlow).
 //
 // The suite runs through cmd/fsdmvet (wired into `make lint`); a
 // finding is suppressed by annotating the line with
@@ -38,6 +49,9 @@ var Analyzers = []*analysis.Analyzer{
 	LockCheck,
 	ErrWrapCheck,
 	PoolCheck,
+	LeakCheck,
+	EscapeCheck,
+	BlockCheck,
 }
 
 // baseTypeName unwraps pointers and returns the named type's name and

@@ -46,6 +46,47 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
+// TestIgnoreFlowAnalyzers drives the same machinery over the three
+// flow-sensitive analyzers on the ignoreflow fixture: one suppressed
+// and one surviving finding each for leakcheck and escapecheck, a
+// suppressed, a wrong-analyzer, and a malformed-directive case for
+// blockcheck.
+func TestIgnoreFlowAnalyzers(t *testing.T) {
+	loader := analysis.NewSrcLoader("testdata/ignore/src")
+	pkg, err := loader.Load("ignoreflow")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{
+		fsdmvet.LeakCheck, fsdmvet.EscapeCheck, fsdmvet.BlockCheck,
+	})
+	if err != nil {
+		t.Fatalf("running flow analyzers: %v", err)
+	}
+	counts := map[string]int{}
+	for _, f := range findings {
+		if f.Analyzer == "fsdmvet" && strings.Contains(f.Message, "malformed fsdmvet:ignore") {
+			counts["malformed"]++
+			continue
+		}
+		counts[f.Analyzer]++
+	}
+	want := map[string]int{
+		"malformed":   1, // BlockMalformed's reason-less directive
+		"leakcheck":   1, // LeakSurvives (LeakSuppressed silenced)
+		"escapecheck": 1, // EscapeSurvives (EscapeSuppressed silenced)
+		"blockcheck":  2, // BlockWrongAnalyzer + BlockMalformed (inert directive)
+	}
+	for k, w := range want {
+		if counts[k] != w {
+			t.Errorf("%s findings = %d, want %d\n%s", k, counts[k], w, dump(findings))
+		}
+	}
+	if len(findings) != 5 {
+		t.Errorf("total findings = %d, want 5\n%s", len(findings), dump(findings))
+	}
+}
+
 // dump renders findings for failure messages.
 func dump(findings []analysis.Finding) string {
 	var b strings.Builder

@@ -1,0 +1,29 @@
+package fsdmvet_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/fsdmvet"
+)
+
+func TestLeakCheck(t *testing.T) {
+	findings := analysistest.Run(t, "testdata/leak", fsdmvet.LeakCheck, "leak")
+	// seeded-bug: the leaky type's conditional Close (nil stop channel
+	// skips the Wait) must surface as an abandoned worker — the
+	// early-Close leak class the parallel operators are checked for.
+	assertFinding(t, findings, "never drained")
+}
+
+// assertFinding fails unless some finding message contains want.
+func assertFinding(t *testing.T, findings []analysis.Finding, want string) {
+	t.Helper()
+	for _, f := range findings {
+		if strings.Contains(f.Message, want) {
+			return
+		}
+	}
+	t.Errorf("no finding mentions %q (seeded defect not caught)", want)
+}

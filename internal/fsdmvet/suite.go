@@ -6,19 +6,40 @@ package fsdmvet
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/analysis"
 )
+
+// SuiteTimings is the wall-time breakdown of one suite run: the
+// load-and-typecheck phase (paid once for all analyzers — the module
+// loader memoizes each package) and each analyzer's accumulated Run
+// time, in suite order.
+type SuiteTimings struct {
+	// Load is the parse+typecheck time for every package of the run.
+	Load time.Duration
+	// Analyzers holds per-analyzer elapsed time in run order.
+	Analyzers []analysis.Timing
+}
 
 // RunSuite loads every package of the module rooted at root (or only
 // the packages named by importPaths when non-empty), runs the full
 // analyzer suite, writes findings one per line to w, and returns how
 // many findings were printed.
 func RunSuite(root string, importPaths []string, w io.Writer) (int, error) {
+	n, _, err := RunSuiteTimed(root, importPaths, w)
+	return n, err
+}
+
+// RunSuiteTimed is RunSuite plus the timing breakdown behind
+// `cmd/fsdmvet -v`.
+func RunSuiteTimed(root string, importPaths []string, w io.Writer) (int, SuiteTimings, error) {
+	var timings SuiteTimings
 	loader, err := analysis.NewModuleLoader(root)
 	if err != nil {
-		return 0, err
+		return 0, timings, err
 	}
+	t0 := time.Now()
 	var pkgs []*analysis.Package
 	if len(importPaths) == 0 {
 		pkgs, err = loader.LoadTree()
@@ -32,15 +53,17 @@ func RunSuite(root string, importPaths []string, w io.Writer) (int, error) {
 			pkgs = append(pkgs, pkg)
 		}
 	}
+	timings.Load = time.Since(t0)
 	if err != nil {
-		return 0, err
+		return 0, timings, err
 	}
-	findings, err := analysis.Run(pkgs, Analyzers)
+	findings, perAnalyzer, err := analysis.RunTimed(pkgs, Analyzers)
 	if err != nil {
-		return 0, err
+		return 0, timings, err
 	}
+	timings.Analyzers = perAnalyzer
 	for _, f := range findings {
 		fmt.Fprintln(w, f.String())
 	}
-	return len(findings), nil
+	return len(findings), timings, nil
 }

@@ -1,0 +1,65 @@
+// Package ignoreflow exercises fsdmvet:ignore against the three
+// flow-sensitive analyzers: a well-formed directive silences each of
+// leakcheck, escapecheck, and blockcheck; a wrong-analyzer directive
+// does not; and a reason-less directive is inert and itself reported.
+// No want comments — ignore_test.go asserts on the raw findings.
+package ignoreflow
+
+import "sync"
+
+type batch struct{ n int }
+
+func getBatch() *batch  { return &batch{} }
+func putBatch(b *batch) {}
+
+var mu sync.Mutex
+var out = make(chan int)
+
+// LeakSuppressed launches a deliberate fire-and-forget goroutine,
+// silenced by a line-above directive.
+func LeakSuppressed() {
+	//fsdmvet:ignore leakcheck deliberate fire-and-forget launch for the test
+	go func() { out <- 1 }()
+}
+
+// LeakSurvives carries no directive, so leakcheck fires.
+func LeakSurvives() {
+	go func() { out <- 2 }()
+}
+
+// EscapeSuppressed reads a released value, silenced on the same line.
+func EscapeSuppressed() int {
+	b := getBatch()
+	putBatch(b)
+	return b.n //fsdmvet:ignore escapecheck deliberate stale read for the test
+}
+
+// EscapeSurvives carries no directive, so escapecheck fires.
+func EscapeSurvives() int {
+	b := getBatch()
+	putBatch(b)
+	return b.n
+}
+
+// BlockSuppressed sends under the lock, silenced on the same line.
+func BlockSuppressed() {
+	mu.Lock()
+	defer mu.Unlock()
+	out <- 1 //fsdmvet:ignore blockcheck deliberate send under lock for the test
+}
+
+// BlockWrongAnalyzer names a different analyzer, so blockcheck fires.
+func BlockWrongAnalyzer() {
+	mu.Lock()
+	defer mu.Unlock()
+	out <- 2 //fsdmvet:ignore lockcheck wrong analyzer named on purpose
+}
+
+// BlockMalformed carries a reason-less directive: it suppresses
+// nothing and is reported as malformed.
+func BlockMalformed() {
+	mu.Lock()
+	defer mu.Unlock()
+	//fsdmvet:ignore blockcheck
+	out <- 3
+}

@@ -441,8 +441,10 @@ func (p *parallelScanOp) Close() error {
 	p.held = nil
 	if p.stop != nil {
 		p.closeOnce.Do(func() { close(p.stop) })
-		p.wg.Wait()
 	}
+	// join unconditionally: before Open, Wait on a zero group is a
+	// no-op, and an early Close must never abandon launched workers
+	p.wg.Wait()
 	return nil
 }
 
